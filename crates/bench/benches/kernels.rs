@@ -1,0 +1,55 @@
+//! Native wall-clock benchmarks: Original vs LoadTransformed kernels on
+//! the host CPU (the reproduction's analog of the paper's `time`
+//! measurements on real machines).
+//!
+//! The kernels run through [`NullTracer`], so instrumentation compiles
+//! away and the measured difference is purely the source-shape change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_trace::NullTracer;
+
+fn bench_transformed_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_original_vs_transformed");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for program in ProgramId::TRANSFORMED {
+        for variant in Variant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(program.name(), variant.label()),
+                &(program, variant),
+                |b, &(program, variant)| {
+                    b.iter(|| {
+                        let mut t = NullTracer::new();
+                        registry::run(&mut t, program, variant, Scale::Small, 42)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_characterized_only_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_characterized_only");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for program in [ProgramId::Blast, ProgramId::Fasta, ProgramId::Promlk] {
+        group.bench_function(program.name(), |b| {
+            b.iter(|| {
+                let mut t = NullTracer::new();
+                registry::run(&mut t, program, Variant::Original, Scale::Small, 42)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transformed_kernels, bench_characterized_only_kernels);
+criterion_main!(benches);

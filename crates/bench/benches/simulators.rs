@@ -1,0 +1,81 @@
+//! Substrate throughput benchmarks: how fast the tracing layer, cache
+//! hierarchy, branch profiler, and pipeline model consume micro-ops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+use bioperf_branch::BranchProfiler;
+use bioperf_cache::{alpha21264_hierarchy, AccessKind};
+use bioperf_core::Characterizer;
+use bioperf_isa::StaticId;
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_pipe::{CycleSim, PlatformConfig};
+use bioperf_trace::{consumers::InstrMix, Tape};
+
+const N: u64 = 100_000;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hierarchy");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("sequential_loads", |b| {
+        b.iter(|| {
+            let mut h = alpha21264_hierarchy();
+            let mut sum = 0u64;
+            for i in 0..N {
+                sum += h.access(i * 8 % (1 << 20), AccessKind::Load);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+fn bench_branch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_profiler");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.bench_function("biased_branches", |b| {
+        b.iter(|| {
+            let mut p = BranchProfiler::new();
+            let sid = StaticId::from_raw(0);
+            let mut correct = 0u64;
+            for i in 0..N {
+                correct += p.observe(sid, i % 7 != 0) as u64;
+            }
+            correct
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_stacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_consumers");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("hmmsearch_instr_mix", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new(InstrMix::default());
+            registry::run(&mut tape, ProgramId::Hmmsearch, Variant::Original, Scale::Test, 1);
+            tape.finish().1
+        })
+    });
+    group.bench_function("hmmsearch_characterizer", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new(Characterizer::new());
+            registry::run(&mut tape, ProgramId::Hmmsearch, Variant::Original, Scale::Test, 1);
+            tape.finish().0.len()
+        })
+    });
+    group.bench_function("hmmsearch_cycle_sim_alpha", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new(CycleSim::new(PlatformConfig::alpha21264()));
+            registry::run(&mut tape, ProgramId::Hmmsearch, Variant::Original, Scale::Test, 1);
+            let (_, sim) = tape.finish();
+            sim.into_result().cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_branch, bench_full_stacks);
+criterion_main!(benches);

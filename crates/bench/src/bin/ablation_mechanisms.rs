@@ -1,0 +1,64 @@
+//! Ablation study over the timing model's mechanisms (the design choices
+//! DESIGN.md calls out): which modeled effect contributes how much of the
+//! simulated speedup, per platform.
+//!
+//! Mechanisms toggled:
+//! * **if-conversion** — whether the transformed code's selects execute
+//!   as conditional moves or as compare-and-branch,
+//! * **register pressure** — the LRU spill model (given effectively
+//!   unlimited registers),
+//! * **L1 latency** — counterfactual single-cycle L1 (the paper's core
+//!   claim: the benefit comes from hiding the multi-cycle hit latency),
+//! * **misprediction penalty** — a hypothetical free redirect.
+
+use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_core::evaluate::evaluate_program;
+use bioperf_core::report::TextTable;
+use bioperf_kernels::{ProgramId, Scale};
+use bioperf_pipe::PlatformConfig;
+
+fn speedup(program: ProgramId, platform: PlatformConfig, scale: Scale) -> f64 {
+    evaluate_program(program, platform, scale, REPRO_SEED).speedup()
+}
+
+fn main() {
+    let scale = scale_from_args(Scale::Small);
+    banner("Ablation: which modeled mechanism carries the speedup", scale);
+    let program = ProgramId::Hmmsearch;
+    println!("program: {program}\n");
+
+    let mut table = TextTable::new(&["variant", "Alpha 21264", "PowerPC G5", "Pentium 4", "Itanium 2"]);
+    let base = PlatformConfig::all();
+
+    let row = |label: &str, tweak: &dyn Fn(&mut PlatformConfig)| {
+        let mut cells = vec![label.to_string()];
+        for p in base {
+            let mut cfg = p;
+            tweak(&mut cfg);
+            cells.push(format!("{:+.1}%", (speedup(program, cfg, scale) - 1.0) * 100.0));
+        }
+        cells
+    };
+
+    let baseline = row("baseline model", &|_| {});
+    table.row_owned(baseline);
+    table.row_owned(row("force if-conversion ON", &|c| c.if_conversion = true));
+    table.row_owned(row("force if-conversion OFF", &|c| c.if_conversion = false));
+    table.row_owned(row("no register pressure (256 regs)", &|c| c.logical_regs = 256));
+    table.row_owned(row("single-cycle L1", &|c| {
+        c.int_load_latency = 1;
+        c.fp_load_latency = 2;
+    }));
+    table.row_owned(row("free mispredicts (penalty 0)", &|c| c.mispredict_penalty = 0));
+    table.row_owned(row("double mispredict penalty", &|c| c.mispredict_penalty *= 2));
+    println!("{}", table.render());
+
+    println!("Reading guide:");
+    println!(" * forcing if-conversion ON lifts the PowerPC/Pentium 4 to Alpha-like gains,");
+    println!("   and forcing it OFF collapses the Alpha's — most of the cross-platform");
+    println!("   spread is whether the ISA/compiler realizes the selects branchlessly;");
+    println!(" * a single-cycle L1 trims the gain: part of the benefit is pure latency");
+    println!("   hiding, and the rest is the load latency's contribution to *branch*");
+    println!("   resolution delay, which the penalty rows scale directly;");
+    println!(" * removing register pressure mainly helps the 8-register Pentium 4.");
+}

@@ -1,0 +1,74 @@
+//! Ablation: the paper's idealized no-aliasing measurement predictor vs
+//! realistic shared-table predictors of various sizes.
+//!
+//! The paper's Table 4/5 misprediction rates come from a hybrid with a
+//! private entry per static branch. This harness replays each program's
+//! branch stream through that profiler *and* through aliased
+//! (PC⊕history-indexed) hybrids, showing how much aliasing changes the
+//! measured rates — i.e., whether the paper's idealization matters.
+
+use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_branch::{AliasedHybrid, BranchProfiler};
+use bioperf_core::report::{pct, TextTable};
+use bioperf_isa::{MicroOp, Program};
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_trace::{Tape, TraceConsumer};
+
+/// Feeds every conditional branch to all predictors under comparison.
+#[derive(Debug)]
+struct PredictorRace {
+    ideal: BranchProfiler,
+    aliased: Vec<(u32, AliasedHybrid)>,
+}
+
+impl PredictorRace {
+    fn new(sizes: &[u32]) -> Self {
+        Self {
+            ideal: BranchProfiler::new(),
+            aliased: sizes.iter().map(|&b| (b, AliasedHybrid::new(b))).collect(),
+        }
+    }
+}
+
+impl TraceConsumer for PredictorRace {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        if op.kind.is_cond_branch() {
+            self.ideal.observe(op.sid, op.taken);
+            for (_, p) in &mut self.aliased {
+                p.observe(op.sid, op.taken);
+            }
+        }
+    }
+}
+
+fn main() {
+    let scale = scale_from_args(Scale::Small);
+    banner("Ablation: no-aliasing measurement predictor vs realistic tables", scale);
+
+    const SIZES: [u32; 3] = [10, 12, 16];
+    let mut table = TextTable::new(&[
+        "program",
+        "no aliasing (paper)",
+        "2^10 shared",
+        "2^12 shared",
+        "2^16 shared",
+    ]);
+    for program in ProgramId::ALL {
+        let mut tape = Tape::new(PredictorRace::new(&SIZES));
+        registry::run(&mut tape, program, Variant::Original, scale, REPRO_SEED);
+        let (_, race) = tape.finish();
+        let mut row = vec![
+            program.name().to_string(),
+            pct(race.ideal.overall_misprediction_rate()),
+        ];
+        for (_, p) in &race.aliased {
+            row.push(pct(p.misprediction_rate()));
+        }
+        table.row_owned(row);
+    }
+    println!("{}", table.render());
+    println!("Expected shape: the bio kernels have so few static branches that aliasing");
+    println!("barely moves their rates even at modest table sizes — the paper's");
+    println!("no-aliasing idealization is harmless for this suite (it matters for codes");
+    println!("with thousands of hot branches).");
+}

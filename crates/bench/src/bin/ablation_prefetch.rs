@@ -1,0 +1,63 @@
+//! Ablation: can a prefetcher recover what the load transformation
+//! recovers?
+//!
+//! The paper's argument implies it cannot: the programs' loads already
+//! hit L1 almost always, so a prefetcher — which can only remove misses —
+//! has nothing to remove. This harness runs each program's trace through
+//! the reference hierarchy with no prefetcher, an (optimistic) next-line
+//! prefetcher, and a stride prefetcher, and reports L1 miss rates and
+//! AMAT side by side with the speedup the source transformation achieves
+//! on the Alpha model.
+
+use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_cache::{alpha21264_hierarchy, CacheSim, Prefetcher};
+use bioperf_core::evaluate::evaluate_program;
+use bioperf_core::report::{pct2, TextTable};
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_pipe::PlatformConfig;
+use bioperf_trace::Tape;
+
+fn miss_and_amat(program: ProgramId, scale: Scale, policy: Prefetcher) -> (f64, f64) {
+    let hierarchy = alpha21264_hierarchy().with_prefetcher(policy);
+    let mut tape = Tape::new(CacheSim::new(hierarchy));
+    registry::run(&mut tape, program, Variant::Original, scale, REPRO_SEED);
+    let (_, sim) = tape.finish();
+    let h = sim.into_hierarchy();
+    (h.stats().l1.load_miss_ratio(), h.amat())
+}
+
+fn main() {
+    let scale = scale_from_args(Scale::Small);
+    banner("Ablation: prefetching vs the source transformation", scale);
+
+    let mut table = TextTable::new(&[
+        "program",
+        "L1 miss (none)",
+        "L1 miss (next-line)",
+        "L1 miss (stride)",
+        "AMAT (none)",
+        "AMAT (stride)",
+        "transform speedup",
+    ]);
+    for program in ProgramId::TRANSFORMED {
+        let (m_none, a_none) = miss_and_amat(program, scale, Prefetcher::None);
+        let (m_next, _) = miss_and_amat(program, scale, Prefetcher::NextLine);
+        let (m_stride, a_stride) = miss_and_amat(program, scale, Prefetcher::Stride);
+        let speedup =
+            evaluate_program(program, PlatformConfig::alpha21264(), scale, REPRO_SEED).speedup();
+        table.row_owned(vec![
+            program.name().to_string(),
+            pct2(m_none),
+            pct2(m_next),
+            pct2(m_stride),
+            format!("{a_none:.3}"),
+            format!("{a_stride:.3}"),
+            format!("{:+.1}%", (speedup - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape: prefetchers shave the (already tiny) miss rates, moving");
+    println!("AMAT by hundredths of a cycle — while the source transformation, which");
+    println!("attacks the *hit* latency's interaction with branches, gains whole");
+    println!("percents to factors. Misses are not the problem; the paper's point.");
+}

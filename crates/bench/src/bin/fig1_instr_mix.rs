@@ -1,0 +1,40 @@
+//! Figure 1: instruction profile (loads / stores / conditional branches /
+//! other) of the nine BioPerf applications.
+
+use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_core::characterize::characterize_program;
+use bioperf_core::report::{pct, TextTable};
+use bioperf_isa::OpClass;
+use bioperf_kernels::{ProgramId, Scale};
+
+fn main() {
+    let scale = scale_from_args(Scale::Medium);
+    banner("Figure 1: instruction mix of the BioPerf applications", scale);
+
+    let mut table = TextTable::new(&["program", "loads", "stores", "cond branches", "other"]);
+    let mut sums = [0.0f64; 4];
+    for program in ProgramId::ALL {
+        let r = characterize_program(program, scale, REPRO_SEED);
+        let fr: Vec<f64> = OpClass::ALL.iter().map(|&c| r.mix.class_fraction(c)).collect();
+        for (s, f) in sums.iter_mut().zip(&fr) {
+            *s += f;
+        }
+        table.row_owned(vec![
+            program.name().to_string(),
+            pct(fr[0]),
+            pct(fr[1]),
+            pct(fr[2]),
+            pct(fr[3]),
+        ]);
+    }
+    let n = ProgramId::ALL.len() as f64;
+    table.row_owned(vec![
+        "average".to_string(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+    ]);
+    println!("{}", table.render());
+    println!("Paper shape: loads average ~30% of executed instructions across the suite.");
+}

@@ -1,0 +1,128 @@
+//! Figures 3–5 walkthrough: the paper's cycle-by-cycle narrative of why
+//! the load→branch sequence in hmmsearch's machine code defeats
+//! latency hiding, and how hoisting fixes it.
+//!
+//! The paper walks the BB1→BB3→BB5 code of Figure 3 through an Alpha-like
+//! pipeline (Figure 4), then shows the hoisted code of Figure 5. This
+//! binary builds those exact instruction sequences, runs them through the
+//! Alpha timing model with timeline recording, and prints per-op
+//! dispatch/issue/complete cycles for both shapes.
+
+use bioperf_bench::banner;
+use bioperf_isa::here;
+use bioperf_kernels::Scale;
+use bioperf_pipe::{CycleSim, PlatformConfig};
+use bioperf_trace::{Tape, Tracer};
+
+/// One iteration of the Figure 3 original shape:
+/// BB1: two loads → add → compare → branch (hard to predict)
+/// BB2: store (conditionally executed)
+/// BB3: two loads → add → load(mc) → compare → branch
+/// BB5: two loads → add …
+fn original_iteration<T: Tracer>(t: &mut T, mem: &[i64; 8], hard1: bool, hard2: bool) {
+    const F: &str = "fig3_original";
+    // BB1
+    let a = t.int_load(here!(F), &mem[0]);
+    let b = t.int_load(here!(F), &mem[1]);
+    let s = t.int_op(here!(F), &[a, b]);
+    let c = t.int_op(here!(F), &[s]);
+    if t.branch(here!(F), &[c], hard1) {
+        // BB2: the intervening store that blocks compiler hoisting.
+        t.int_store(here!(F), &mem[4], s);
+    }
+    // BB3
+    let a = t.int_load(here!(F), &mem[2]);
+    let b = t.int_load(here!(F), &mem[3]);
+    let s2 = t.int_op(here!(F), &[a, b]);
+    let mc = t.int_load(here!(F), &mem[4]); // the mc reload
+    let c = t.int_op(here!(F), &[s2, mc]);
+    if t.branch(here!(F), &[c], hard2) {
+        t.int_store(here!(F), &mem[4], s2);
+    }
+    // BB5
+    let a = t.int_load(here!(F), &mem[5]);
+    let b = t.int_load(here!(F), &mem[6]);
+    let s3 = t.int_op(here!(F), &[a, b]);
+    t.int_op(here!(F), &[s3]);
+}
+
+/// The Figure 5(b) hoisted shape: all six loads first, then the compares
+/// and selects — no load is control-dependent on the hard branches.
+fn hoisted_iteration<T: Tracer>(t: &mut T, mem: &[i64; 8], hard1: bool, hard2: bool) {
+    const F: &str = "fig5_hoisted";
+    let a1 = t.int_load(here!(F), &mem[0]);
+    let b1 = t.int_load(here!(F), &mem[1]);
+    let a2 = t.int_load(here!(F), &mem[2]);
+    let b2 = t.int_load(here!(F), &mem[3]);
+    let a3 = t.int_load(here!(F), &mem[5]);
+    let b3 = t.int_load(here!(F), &mem[6]);
+    let s1 = t.int_op(here!(F), &[a1, b1]);
+    let s2 = t.int_op(here!(F), &[a2, b2]);
+    let s3 = t.int_op(here!(F), &[a3, b3]);
+    let c1 = t.int_op(here!(F), &[s1]);
+    let m1 = t.select(here!(F), &[c1, s1, s2], hard1);
+    let c2 = t.int_op(here!(F), &[m1, s2]);
+    let m2 = t.select(here!(F), &[c2, m1, s3], hard2);
+    t.int_store(here!(F), &mem[4], m2);
+    t.int_op(here!(F), &[m2]);
+}
+
+fn run(label: &str, f: impl Fn(&mut Tape<CycleSim>, &[i64; 8], bool, bool)) -> u64 {
+    let mem = [10i64, 20, 30, 40, 50, 60, 70, 80];
+    let mut tape = Tape::new(CycleSim::new(PlatformConfig::alpha21264()).with_timeline());
+    // Warm the caches and predictor with a biased prologue, then run the
+    // interesting iterations with adversarial outcomes.
+    let mut state = 0x2545_F491u64;
+    for _ in 0..300 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        f(&mut tape, &mem, (state >> 33) & 1 == 1, (state >> 34) & 1 == 1);
+    }
+    let (program, sim) = tape.finish();
+    let result = sim.result();
+    let timeline = sim.timeline().expect("timeline enabled");
+
+    // Print the last iteration's ops, normalized to its first dispatch:
+    // iterations vary in length (conditional stores), so find the last
+    // occurrence of the iteration's first static instruction.
+    let first_sid = timeline[0].sid;
+    let last_start = timeline.iter().rposition(|op| op.sid == first_sid).expect("non-empty");
+    let tail = &timeline[last_start..];
+    let t0 = tail[0].dispatch;
+    println!("--- {label} (one steady-state iteration, cycles relative to first dispatch) ---");
+    println!("{:>3} {:<9} {:>8} {:>6} {:>9}  note", "#", "op", "dispatch", "issue", "complete");
+    for (i, op) in tail.iter().enumerate() {
+        let _ = program.get(op.sid);
+        println!(
+            "{:>3} {:<9} {:>8} {:>6} {:>9}  {}",
+            i,
+            op.kind.to_string(),
+            op.dispatch - t0,
+            op.issue - t0,
+            op.complete - t0,
+            if op.mispredicted { "MISPREDICT → redirect" } else { "" }
+        );
+    }
+    println!(
+        "total: {} cycles for {} instructions (IPC {:.2}), {} mispredicts\n",
+        result.cycles,
+        result.instructions,
+        result.ipc(),
+        result.mispredicts
+    );
+    result.cycles
+}
+
+fn main() {
+    banner("Figures 3-5: pipeline walkthrough of the load→branch pathology", Scale::Test);
+    let orig = run("Figure 3: original (loads behind hard branches)", original_iteration);
+    let hoisted = run("Figure 5: hoisted (loads first, branches become selects)", hoisted_iteration);
+    println!(
+        "hoisting speedup on this snippet: {:+.1}%",
+        (orig as f64 / hoisted as f64 - 1.0) * 100.0
+    );
+    println!("\nThe original shape resolves its branches only after a 3-cycle L1 hit plus");
+    println!("an add and a compare, so every misprediction redirect is charged that much");
+    println!("later — and the loads fetched after the redirect start from an empty window.");
+    println!("The hoisted shape issues all loads up front and replaces the hard branches");
+    println!("with conditional moves: there is nothing left to mispredict.");
+}

@@ -1,0 +1,27 @@
+//! Table 1: executed instruction counts and floating-point percentage.
+
+use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_core::characterize::characterize_program;
+use bioperf_core::report::{pct2, TextTable};
+use bioperf_kernels::{ProgramId, Scale};
+
+fn main() {
+    let scale = scale_from_args(Scale::Medium);
+    banner("Table 1: executed instructions and floating-point fraction", scale);
+
+    let mut table =
+        TextTable::new(&["program", "instructions (M)", "floating-point", "fp loads"]);
+    for program in ProgramId::ALL {
+        let r = characterize_program(program, scale, REPRO_SEED);
+        table.row_owned(vec![
+            program.name().to_string(),
+            format!("{:.2}", r.mix.total() as f64 / 1e6),
+            pct2(r.mix.fp_fraction()),
+            pct2(r.mix.fp_loads() as f64 / r.mix.total() as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper shape: only hmmpfam, predator, and promlk execute significant FP work;");
+    println!("promlk is the outlier at ~65% FP. Absolute counts are scaled down from the");
+    println!("paper's 20-894 billion (see EXPERIMENTS.md).");
+}

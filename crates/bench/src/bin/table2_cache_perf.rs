@@ -1,0 +1,62 @@
+//! Tables 2 and 3: cache performance of each application under the
+//! paper's reference hierarchy.
+
+use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_cache::{CacheConfig, LatencyConfig};
+use bioperf_core::characterize::characterize_program;
+use bioperf_core::report::{pct2, pct3, TextTable};
+use bioperf_kernels::{ProgramId, Scale};
+
+fn main() {
+    let scale = scale_from_args(Scale::Medium);
+    banner("Table 2: cache performance (local miss rates and AMAT)", scale);
+
+    let lat = LatencyConfig::alpha21264();
+    println!("Table 3 configuration:");
+    println!("  L1 data cache : {}", CacheConfig::new(64 * 1024, 2, 64));
+    println!("  L2 unified    : {}", CacheConfig::new(4 * 1024 * 1024, 1, 64));
+    println!("  write policy  : write back, write allocate");
+    println!("  latencies     : L1 {} / L2 +{} / memory +{} cycles", lat.l1, lat.l2, lat.memory);
+    println!();
+
+    let mut table = TextTable::new(&["program", "L1 local", "L2 local", "overall", "AMAT"]);
+    let (mut s1, mut s2, mut so, mut sa) = (0.0, 0.0, 0.0, 0.0);
+    let (mut g1, mut g2) = (0.0f64, 0.0f64);
+    let n = ProgramId::ALL.len() as f64;
+    for program in ProgramId::ALL {
+        let r = characterize_program(program, scale, REPRO_SEED);
+        let m1 = r.cache.l1.load_miss_ratio();
+        let m2 = r.cache.l2.load_miss_ratio();
+        let overall = r.cache.overall_load_memory_ratio();
+        s1 += m1;
+        s2 += m2;
+        so += overall;
+        sa += r.amat;
+        g1 += (m1.max(1e-9)).ln();
+        g2 += (m2.max(1e-9)).ln();
+        table.row_owned(vec![
+            program.name().to_string(),
+            pct2(m1),
+            pct2(m2),
+            pct3(overall),
+            format!("{:.2}", r.amat),
+        ]);
+    }
+    table.row_owned(vec![
+        "average".to_string(),
+        pct2(s1 / n),
+        pct2(s2 / n),
+        pct3(so / n),
+        format!("{:.2}", sa / n),
+    ]);
+    table.row_owned(vec![
+        "gmean".to_string(),
+        pct2((g1 / n).exp()),
+        pct2((g2 / n).exp()),
+        "".to_string(),
+        "".to_string(),
+    ]);
+    println!("{}", table.render());
+    println!("Paper shape: L1 local load miss rates ≪ 2%, overall memory rate ~0.03%,");
+    println!("so AMAT sits within a few percent of the 3-cycle L1 hit latency.");
+}

@@ -1,0 +1,428 @@
+//! Global pairwise alignment (Gotoh affine-gap Needleman–Wunsch) with
+//! traceback, and profile-based progressive multiple alignment — the
+//! machinery behind ClustalW's output stage.
+
+use crate::alphabet::Alphabet;
+use crate::matrix::ScoringMatrix;
+use crate::tree::GuideTree;
+
+/// Affine gap penalties (positive costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffineGap {
+    /// Cost of opening a gap.
+    pub open: i32,
+    /// Cost of extending a gap by one column.
+    pub extend: i32,
+}
+
+/// One column of an alignment path: indices into the two inputs, `None`
+/// meaning a gap in that input.
+pub type PathStep = (Option<usize>, Option<usize>);
+
+/// A scored global alignment with its traceback path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Optimal global score.
+    pub score: i32,
+    /// Column-by-column path covering both inputs completely.
+    pub path: Vec<PathStep>,
+}
+
+impl Alignment {
+    /// Number of alignment columns.
+    pub fn columns(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Number of columns aligning a residue to a residue.
+    pub fn matched_columns(&self) -> usize {
+        self.path.iter().filter(|(a, b)| a.is_some() && b.is_some()).count()
+    }
+
+    /// Renders the two gapped rows as strings (`-` for gaps).
+    pub fn render(&self, a: &[u8], b: &[u8], alphabet: Alphabet) -> (String, String) {
+        let mut ra = String::with_capacity(self.path.len());
+        let mut rb = String::with_capacity(self.path.len());
+        for &(ia, ib) in &self.path {
+            ra.push(ia.map_or('-', |i| alphabet.letter(a[i])));
+            rb.push(ib.map_or('-', |i| alphabet.letter(b[i])));
+        }
+        (ra, rb)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tb {
+    Diag,
+    Up,   // gap in b (consume a)
+    Left, // gap in a (consume b)
+}
+
+/// Globally aligns `a` and `b` under affine gaps (Gotoh's algorithm),
+/// returning the optimal score and a full traceback path.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_bioseq::align::{global, AffineGap};
+/// use bioperf_bioseq::alphabet::Alphabet;
+/// use bioperf_bioseq::matrix::ScoringMatrix;
+///
+/// let m = ScoringMatrix::blosum62();
+/// let a = Alphabet::Protein.encode("HEAGAWGHEE");
+/// let b = Alphabet::Protein.encode("PAWHEAE");
+/// let aln = global(&a, &b, &m, AffineGap { open: 10, extend: 1 });
+/// assert_eq!(aln.path.iter().filter(|(x, _)| x.is_some()).count(), a.len());
+/// assert_eq!(aln.path.iter().filter(|(_, y)| y.is_some()).count(), b.len());
+/// ```
+pub fn global(a: &[u8], b: &[u8], matrix: &ScoringMatrix, gap: AffineGap) -> Alignment {
+    let (n, m) = (a.len(), b.len());
+    const NEG: i32 = i32::MIN / 4;
+    let w = m + 1;
+
+    // DP matrices: best ending in match (h), gap-in-b (e: consuming a),
+    // gap-in-a (f: consuming b).
+    let mut h = vec![NEG; (n + 1) * w];
+    let mut e = vec![NEG; (n + 1) * w];
+    let mut f = vec![NEG; (n + 1) * w];
+    let mut tb = vec![Tb::Diag; (n + 1) * w];
+
+    h[0] = 0;
+    for j in 1..=m {
+        f[j] = -gap.open - (j as i32) * gap.extend;
+        h[j] = f[j];
+        tb[j] = Tb::Left;
+    }
+    for i in 1..=n {
+        e[i * w] = -gap.open - (i as i32) * gap.extend;
+        h[i * w] = e[i * w];
+        tb[i * w] = Tb::Up;
+    }
+
+    for i in 1..=n {
+        for j in 1..=m {
+            let idx = i * w + j;
+            let up = idx - w;
+            let left = idx - 1;
+            e[idx] = (h[up] - gap.open - gap.extend).max(e[up] - gap.extend);
+            f[idx] = (h[left] - gap.open - gap.extend).max(f[left] - gap.extend);
+            let diag = h[up - 1] + matrix.score(a[i - 1], b[j - 1]);
+            let best = diag.max(e[idx]).max(f[idx]);
+            h[idx] = best;
+            tb[idx] = if best == diag {
+                Tb::Diag
+            } else if best == e[idx] {
+                Tb::Up
+            } else {
+                Tb::Left
+            };
+        }
+    }
+
+    // Traceback.
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i == 0 {
+            j -= 1;
+            path.push((None, Some(j)));
+        } else if j == 0 {
+            i -= 1;
+            path.push((Some(i), None));
+        } else {
+            match tb[i * w + j] {
+                Tb::Diag => {
+                    i -= 1;
+                    j -= 1;
+                    path.push((Some(i), Some(j)));
+                }
+                Tb::Up => {
+                    i -= 1;
+                    path.push((Some(i), None));
+                }
+                Tb::Left => {
+                    j -= 1;
+                    path.push((None, Some(j)));
+                }
+            }
+        }
+    }
+    path.reverse();
+    Alignment { score: h[n * w + m], path }
+}
+
+/// A multiple sequence alignment: gapped rows over the original inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msa {
+    /// Indices of the input sequences, row-aligned with `rows`.
+    pub members: Vec<usize>,
+    /// Gapped rows: `Some(residue)` or `None` for a gap; all rows have
+    /// equal length.
+    pub rows: Vec<Vec<Option<u8>>>,
+}
+
+impl Msa {
+    /// A single-sequence alignment.
+    pub fn singleton(index: usize, seq: &[u8]) -> Self {
+        Self { members: vec![index], rows: vec![seq.iter().map(|&r| Some(r)).collect()] }
+    }
+
+    /// Number of alignment columns.
+    pub fn columns(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Column-majority consensus (gaps lose ties).
+    pub fn consensus(&self) -> Vec<u8> {
+        let ncols = self.columns();
+        let mut out = Vec::with_capacity(ncols);
+        for c in 0..ncols {
+            let mut counts = [0u32; 21];
+            for row in &self.rows {
+                match row[c] {
+                    Some(r) => counts[r as usize] += 1,
+                    None => counts[20] += 1,
+                }
+            }
+            let (best, _) = counts[..20].iter().enumerate().max_by_key(|&(_, c)| *c).expect("20 residues");
+            // Keep the column only if residues outnumber gaps.
+            if counts[best] > 0 && counts[..20].iter().sum::<u32>() >= counts[20] {
+                out.push(best as u8);
+            }
+        }
+        out
+    }
+
+    /// Average per-column identity over residue-residue pairs (an MSA
+    /// quality measure).
+    pub fn average_identity(&self) -> f64 {
+        let ncols = self.columns();
+        let mut pairs = 0u64;
+        let mut same = 0u64;
+        for c in 0..ncols {
+            for x in 0..self.rows.len() {
+                for y in (x + 1)..self.rows.len() {
+                    if let (Some(a), Some(b)) = (self.rows[x][c], self.rows[y][c]) {
+                        pairs += 1;
+                        if a == b {
+                            same += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            same as f64 / pairs as f64
+        }
+    }
+
+    /// Merges two MSAs along a pairwise alignment of their consensus
+    /// sequences (ClustalW-style profile join: the path's gap columns are
+    /// propagated into every member row).
+    pub fn join(left: &Msa, right: &Msa, matrix: &ScoringMatrix, gap: AffineGap) -> Msa {
+        let ca = left.consensus();
+        let cb = right.consensus();
+        // Map consensus positions back to alignment columns: consensus()
+        // may drop gap-heavy columns, so align over column indices kept.
+        let kept = |msa: &Msa| -> Vec<usize> {
+            let ncols = msa.columns();
+            let mut keep = Vec::new();
+            for c in 0..ncols {
+                let gaps = msa.rows.iter().filter(|r| r[c].is_none()).count();
+                if msa.rows.len() - gaps >= gaps.max(1) || gaps == 0 {
+                    keep.push(c);
+                }
+            }
+            keep
+        };
+        let _ = (kept, &ca, &cb);
+
+        // Simpler and robust: align the two consensus sequences over
+        // *all* columns by expanding each MSA to its full width first.
+        let full_a: Vec<u8> = expand_consensus(left);
+        let full_b: Vec<u8> = expand_consensus(right);
+        let aln = global(&full_a, &full_b, matrix, gap);
+
+        let mut members = left.members.clone();
+        members.extend(&right.members);
+        let mut rows: Vec<Vec<Option<u8>>> =
+            vec![Vec::with_capacity(aln.columns()); left.rows.len() + right.rows.len()];
+        for &(ia, ib) in &aln.path {
+            for (ri, row) in left.rows.iter().enumerate() {
+                rows[ri].push(ia.and_then(|c| row[c]));
+            }
+            for (ri, row) in right.rows.iter().enumerate() {
+                rows[left.rows.len() + ri].push(ib.and_then(|c| row[c]));
+            }
+        }
+        Msa { members, rows }
+    }
+}
+
+/// A per-column representative residue covering *every* column (gap-heavy
+/// columns take the most common residue anyway, defaulting to alanine for
+/// all-gap columns).
+fn expand_consensus(msa: &Msa) -> Vec<u8> {
+    (0..msa.columns())
+        .map(|c| {
+            let mut counts = [0u32; 20];
+            for row in &msa.rows {
+                if let Some(r) = row[c] {
+                    counts[r as usize] += 1;
+                }
+            }
+            counts.iter().enumerate().max_by_key(|&(_, n)| *n).map(|(r, _)| r as u8).unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Builds a full progressive MSA along a guide tree.
+pub fn progressive_msa(
+    seqs: &[Vec<u8>],
+    tree: &GuideTree,
+    matrix: &ScoringMatrix,
+    gap: AffineGap,
+) -> Msa {
+    match tree {
+        GuideTree::Leaf(i) => Msa::singleton(*i, &seqs[*i]),
+        GuideTree::Node(l, r) => {
+            let left = progressive_msa(seqs, l, matrix, gap);
+            let right = progressive_msa(seqs, r, matrix, gap);
+            Msa::join(&left, &right, matrix, gap)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DistanceMatrix, GuideTree};
+    use crate::SeqGen;
+
+    fn gap() -> AffineGap {
+        AffineGap { open: 10, extend: 1 }
+    }
+
+    #[test]
+    fn self_alignment_has_no_gaps() {
+        let m = ScoringMatrix::blosum62();
+        let mut gen = SeqGen::new(1);
+        let s = gen.random_protein(40);
+        let aln = global(&s, &s, &m, gap());
+        assert_eq!(aln.columns(), 40);
+        assert_eq!(aln.matched_columns(), 40);
+        let expected: i32 = s.iter().map(|&r| m.score(r, r)).sum();
+        assert_eq!(aln.score, expected);
+    }
+
+    #[test]
+    fn path_covers_both_inputs_exactly_once() {
+        let m = ScoringMatrix::blosum62();
+        let mut gen = SeqGen::new(2);
+        let a = gen.random_protein(25);
+        let b = gen.random_protein(33);
+        let aln = global(&a, &b, &m, gap());
+        let ai: Vec<usize> = aln.path.iter().filter_map(|(x, _)| *x).collect();
+        let bi: Vec<usize> = aln.path.iter().filter_map(|(_, y)| *y).collect();
+        assert_eq!(ai, (0..25).collect::<Vec<_>>());
+        assert_eq!(bi, (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deletion_is_recovered() {
+        let m = ScoringMatrix::blosum62();
+        let mut gen = SeqGen::new(3);
+        let a = gen.random_protein(30);
+        // b = a with positions 10..13 deleted.
+        let mut b = a.clone();
+        b.drain(10..13);
+        let aln = global(&a, &b, &m, gap());
+        let gaps_in_b = aln.path.iter().filter(|(x, y)| x.is_some() && y.is_none()).count();
+        assert_eq!(gaps_in_b, 3, "three-residue deletion should align as one gap run");
+        // All other columns are residue matches.
+        assert_eq!(aln.matched_columns(), 27);
+    }
+
+    #[test]
+    fn alignment_score_is_symmetric() {
+        let m = ScoringMatrix::blosum62();
+        let mut gen = SeqGen::new(4);
+        let a = gen.random_protein(20);
+        let b = gen.random_protein(24);
+        assert_eq!(global(&a, &b, &m, gap()).score, global(&b, &a, &m, gap()).score);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = ScoringMatrix::blosum62();
+        let s = vec![1u8, 2, 3];
+        let aln = global(&s, &[], &m, gap());
+        assert_eq!(aln.columns(), 3);
+        assert_eq!(aln.matched_columns(), 0);
+        let aln = global(&[], &[], &m, gap());
+        assert_eq!(aln.columns(), 0);
+        assert_eq!(aln.score, 0);
+    }
+
+    #[test]
+    fn render_shows_gaps() {
+        let m = ScoringMatrix::blosum62();
+        let a = crate::Alphabet::Protein.encode("ACD");
+        let b = crate::Alphabet::Protein.encode("AD");
+        let aln = global(&a, &b, &m, gap());
+        let (ra, rb) = aln.render(&a, &b, crate::Alphabet::Protein);
+        assert_eq!(ra, "ACD");
+        assert_eq!(rb.len(), 3);
+        assert!(rb.contains('-'));
+    }
+
+    #[test]
+    fn progressive_msa_aligns_a_family() {
+        let mut gen = SeqGen::new(5);
+        let family = gen.protein_family(5, 60, 0.15);
+        let m = ScoringMatrix::blosum62();
+        let dist = DistanceMatrix::p_distance(&family);
+        let tree = GuideTree::neighbor_joining(&dist);
+        let msa = progressive_msa(&family, &tree, &m, gap());
+        assert_eq!(msa.rows.len(), 5);
+        assert_eq!(msa.members.len(), 5);
+        let cols = msa.columns();
+        assert!(msa.rows.iter().all(|r| r.len() == cols), "rows equal length");
+        // A 15%-diverged ungapped family should align near-perfectly.
+        assert!(
+            msa.average_identity() > 0.6,
+            "family identity {:.2}",
+            msa.average_identity()
+        );
+    }
+
+    #[test]
+    fn msa_preserves_every_residue() {
+        let mut gen = SeqGen::new(6);
+        let family = gen.protein_family(4, 30, 0.3);
+        let m = ScoringMatrix::blosum62();
+        let dist = DistanceMatrix::p_distance(&family);
+        let tree = GuideTree::neighbor_joining(&dist);
+        let msa = progressive_msa(&family, &tree, &m, gap());
+        for (row, &member) in msa.rows.iter().zip(&msa.members) {
+            let residues: Vec<u8> = row.iter().filter_map(|&r| r).collect();
+            assert_eq!(residues, family[member], "row must spell its sequence");
+        }
+    }
+
+    #[test]
+    fn consensus_of_identical_rows_is_the_sequence() {
+        let s = vec![3u8, 1, 4, 1, 5];
+        let msa = Msa {
+            members: vec![0, 1],
+            rows: vec![
+                s.iter().map(|&r| Some(r)).collect(),
+                s.iter().map(|&r| Some(r)).collect(),
+            ],
+        };
+        assert_eq!(msa.consensus(), s);
+        assert_eq!(msa.average_identity(), 1.0);
+    }
+}

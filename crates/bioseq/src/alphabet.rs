@@ -1,0 +1,108 @@
+//! Residue alphabets with dense codes.
+
+/// A biological sequence alphabet.
+///
+/// Residues are stored as dense `u8` codes (`0..size()`), which is what
+/// the kernels index their score tables with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// Nucleotides `ACGT`.
+    Dna,
+    /// The twenty standard amino acids, in the conventional
+    /// `ARNDCQEGHILKMFPSTWYV` order used by BLOSUM matrices.
+    Protein,
+}
+
+/// Letters of the DNA alphabet in code order.
+pub const DNA_LETTERS: &[u8; 4] = b"ACGT";
+
+/// Letters of the protein alphabet in code order (BLOSUM convention).
+pub const PROTEIN_LETTERS: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+impl Alphabet {
+    /// Number of residues in the alphabet.
+    pub const fn size(self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 20,
+        }
+    }
+
+    /// The ASCII letter for a residue code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= self.size()`.
+    pub fn letter(self, code: u8) -> char {
+        let letters: &[u8] = match self {
+            Alphabet::Dna => DNA_LETTERS,
+            Alphabet::Protein => PROTEIN_LETTERS,
+        };
+        letters[code as usize] as char
+    }
+
+    /// The residue code for an ASCII letter (case-insensitive), or `None`
+    /// for letters outside the alphabet.
+    pub fn code(self, letter: u8) -> Option<u8> {
+        let upper = letter.to_ascii_uppercase();
+        let letters: &[u8] = match self {
+            Alphabet::Dna => DNA_LETTERS,
+            Alphabet::Protein => PROTEIN_LETTERS,
+        };
+        letters.iter().position(|&l| l == upper).map(|i| i as u8)
+    }
+
+    /// Encodes an ASCII sequence, skipping characters outside the
+    /// alphabet (whitespace, ambiguity codes).
+    pub fn encode(self, text: &str) -> Vec<u8> {
+        text.bytes().filter_map(|b| self.code(b)).collect()
+    }
+
+    /// Decodes residue codes back to an ASCII string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is out of range.
+    pub fn decode(self, codes: &[u8]) -> String {
+        codes.iter().map(|&c| self.letter(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_roundtrip() {
+        let seq = "ACGTACGT";
+        let codes = Alphabet::Dna.encode(seq);
+        assert_eq!(codes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(Alphabet::Dna.decode(&codes), seq);
+    }
+
+    #[test]
+    fn protein_roundtrip() {
+        let seq = "MKVLAW";
+        let codes = Alphabet::Protein.encode(seq);
+        assert_eq!(Alphabet::Protein.decode(&codes), seq);
+        assert!(codes.iter().all(|&c| (c as usize) < 20));
+    }
+
+    #[test]
+    fn encode_is_case_insensitive_and_skips_junk() {
+        assert_eq!(Alphabet::Dna.encode("a c-g\nt N"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn code_rejects_foreign_letters() {
+        assert_eq!(Alphabet::Dna.code(b'E'), None);
+        assert_eq!(Alphabet::Protein.code(b'B'), None);
+        assert_eq!(Alphabet::Protein.code(b'V'), Some(19));
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Alphabet::Dna.size(), 4);
+        assert_eq!(Alphabet::Protein.size(), 20);
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal FASTA parsing and formatting.
+//!
+//! The BioPerf programs all consume FASTA inputs; the reproduction's
+//! drivers use this module to round-trip synthetic databases through the
+//! same on-disk format.
+
+use std::fmt;
+
+use crate::alphabet::Alphabet;
+
+/// A named sequence with encoded residues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Header text after `>` (without the marker).
+    pub name: String,
+    /// Dense residue codes.
+    pub residues: Vec<u8>,
+}
+
+/// Error parsing FASTA text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseFastaError {
+    /// Sequence data appeared before any `>` header.
+    MissingHeader { line: usize },
+}
+
+impl fmt::Display for ParseFastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseFastaError::MissingHeader { line } => {
+                write!(f, "sequence data before any '>' header at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseFastaError {}
+
+/// Parses FASTA text, encoding residues with `alphabet` (letters outside
+/// the alphabet are skipped, matching common tool behaviour for ambiguity
+/// codes).
+///
+/// # Errors
+///
+/// Returns [`ParseFastaError::MissingHeader`] if sequence data precedes
+/// the first header.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_bioseq::alphabet::Alphabet;
+/// use bioperf_bioseq::fasta;
+///
+/// let recs = fasta::parse(">s1\nACGT\nAC\n>s2\nTTTT\n", Alphabet::Dna)?;
+/// assert_eq!(recs.len(), 2);
+/// assert_eq!(recs[0].residues.len(), 6);
+/// # Ok::<(), fasta::ParseFastaError>(())
+/// ```
+pub fn parse(text: &str, alphabet: Alphabet) -> Result<Vec<Record>, ParseFastaError> {
+    let mut records: Vec<Record> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            records.push(Record { name: name.trim().to_string(), residues: Vec::new() });
+        } else {
+            let rec = records
+                .last_mut()
+                .ok_or(ParseFastaError::MissingHeader { line: lineno + 1 })?;
+            rec.residues.extend(line.bytes().filter_map(|b| alphabet.code(b)));
+        }
+    }
+    Ok(records)
+}
+
+/// Formats records as FASTA text with 60-column sequence lines.
+pub fn format(records: &[Record], alphabet: Alphabet) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push('>');
+        out.push_str(&rec.name);
+        out.push('\n');
+        for chunk in rec.residues.chunks(60) {
+            out.push_str(&alphabet.decode(chunk));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let recs = vec![
+            Record { name: "a".into(), residues: Alphabet::Dna.encode("ACGTACGT") },
+            Record { name: "b longer name".into(), residues: Alphabet::Dna.encode("TTTT") },
+        ];
+        let text = format(&recs, Alphabet::Dna);
+        let parsed = parse(&text, Alphabet::Dna).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn multiline_sequences_concatenate() {
+        let recs = parse(">x\nAC\nGT\n", Alphabet::Dna).unwrap();
+        assert_eq!(recs[0].residues, Alphabet::Dna.encode("ACGT"));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse("ACGT\n", Alphabet::Dna).unwrap_err();
+        assert_eq!(err, ParseFastaError::MissingHeader { line: 1 });
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn long_sequences_wrap_at_60() {
+        let recs =
+            vec![Record { name: "x".into(), residues: vec![0u8; 130] }];
+        let text = format(&recs, Alphabet::Dna);
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 60 + 60 + 10
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[3].len(), 10);
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty() {
+        assert!(parse("", Alphabet::Protein).unwrap().is_empty());
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let recs = parse("\n>x\n\nAC\n\nGT\n", Alphabet::Dna).unwrap();
+        assert_eq!(recs[0].residues.len(), 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! Bioinformatics substrate for the BioPerf kernel reimplementations.
+//!
+//! The original study runs the BioPerf programs on the suite's class-B/C
+//! input data sets (protein and DNA databases, profile HMM libraries,
+//! alignment inputs). Those data sets are not redistributable here, so
+//! this crate provides the substrate the kernels need instead:
+//!
+//! * [`align`] — global (Gotoh) pairwise alignment with traceback and
+//!   progressive multiple alignment (ClustalW's output machinery),
+//! * [`alphabet`] — DNA and protein alphabets with dense residue codes,
+//! * [`matrix`] — scoring matrices (full BLOSUM62, DNA match/mismatch),
+//! * [`generate`] — seeded synthetic data: random sequences with realistic
+//!   composition, mutated homolog families, whole databases,
+//! * [`fasta`] — FASTA parsing and formatting,
+//! * [`plan7`] — Plan7 profile HMMs in the HMMER2 integer log-odds style
+//!   (the model the `hmmsearch`/`hmmpfam`/`hmmcalibrate` kernels consume),
+//! * [`plan7_io`] / [`phylip`] — text formats for models and character
+//!   matrices (HMMER2-style saves, PHYLIP sequential infiles),
+//! * [`tree`] — distance matrices, neighbor-joining guide trees, and
+//!   phylogeny character matrices for `clustalw`/`dnapenny`/`promlk`.
+//!
+//! All generation is deterministic given a seed, so every experiment in
+//! the reproduction is repeatable.
+//!
+//! # Example
+//!
+//! ```
+//! use bioperf_bioseq::alphabet::Alphabet;
+//! use bioperf_bioseq::generate::SeqGen;
+//!
+//! let mut gen = SeqGen::new(42);
+//! let seq = gen.random_protein(120);
+//! assert_eq!(seq.len(), 120);
+//! assert!(seq.iter().all(|&r| (r as usize) < Alphabet::Protein.size()));
+//! ```
+
+pub mod align;
+pub mod alphabet;
+pub mod fasta;
+pub mod generate;
+pub mod matrix;
+pub mod phylip;
+pub mod plan7;
+pub mod plan7_io;
+pub mod plan7_trace;
+pub mod tree;
+
+pub use alphabet::Alphabet;
+pub use generate::SeqGen;
+pub use matrix::ScoringMatrix;
+pub use plan7::Plan7Model;

@@ -1,0 +1,184 @@
+//! Residue-pair scoring matrices.
+
+use crate::alphabet::Alphabet;
+
+/// Upper triangle (row-major, including the diagonal) of BLOSUM62 in
+/// `ARNDCQEGHILKMFPSTWYV` order.
+#[rustfmt::skip]
+const BLOSUM62_UPPER: &[i32] = &[
+    // A
+    4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0,
+    // R
+    5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3,
+    // N
+    6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,
+    // D
+    6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,
+    // C
+    9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1,
+    // Q
+    5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,
+    // E
+    5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,
+    // G
+    6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3,
+    // H
+    8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,
+    // I
+    4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3,
+    // L
+    4, -2,  2,  0, -3, -2, -1, -2, -1,  1,
+    // K
+    5, -1, -3, -1,  0, -1, -3, -2, -2,
+    // M
+    5,  0, -2, -1, -1, -1, -1,  1,
+    // F
+    6, -4, -2, -2,  1,  3, -1,
+    // P
+    7, -1, -1, -4, -3, -2,
+    // S
+    4,  1, -3, -2, -2,
+    // T
+    5, -2, -2,  0,
+    // W
+    11,  2, -3,
+    // Y
+    7, -1,
+    // V
+    4,
+];
+
+/// A symmetric residue-pair scoring matrix over one [`Alphabet`].
+///
+/// # Example
+///
+/// ```
+/// use bioperf_bioseq::alphabet::Alphabet;
+/// use bioperf_bioseq::matrix::ScoringMatrix;
+///
+/// let m = ScoringMatrix::blosum62();
+/// let a = Alphabet::Protein.code(b'A').unwrap();
+/// let w = Alphabet::Protein.code(b'W').unwrap();
+/// assert_eq!(m.score(a, a), 4);
+/// assert_eq!(m.score(w, w), 11);
+/// assert_eq!(m.score(a, w), m.score(w, a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoringMatrix {
+    alphabet: Alphabet,
+    scores: Vec<i32>, // dense size x size
+}
+
+impl ScoringMatrix {
+    /// The standard BLOSUM62 protein substitution matrix.
+    pub fn blosum62() -> Self {
+        let n = Alphabet::Protein.size();
+        let mut scores = vec![0i32; n * n];
+        let mut it = BLOSUM62_UPPER.iter();
+        for i in 0..n {
+            for j in i..n {
+                let v = *it.next().expect("BLOSUM62 table complete");
+                scores[i * n + j] = v;
+                scores[j * n + i] = v;
+            }
+        }
+        assert!(it.next().is_none(), "BLOSUM62 table has trailing entries");
+        Self { alphabet: Alphabet::Protein, scores }
+    }
+
+    /// A simple DNA matrix with the given match and mismatch scores.
+    pub fn dna(matching: i32, mismatching: i32) -> Self {
+        let n = Alphabet::Dna.size();
+        let mut scores = vec![mismatching; n * n];
+        for i in 0..n {
+            scores[i * n + i] = matching;
+        }
+        Self { alphabet: Alphabet::Dna, scores }
+    }
+
+    /// The matrix's alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Score of a residue pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either code is outside the alphabet.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        let n = self.alphabet.size();
+        assert!((a as usize) < n && (b as usize) < n, "residue code out of range");
+        self.scores[a as usize * n + b as usize]
+    }
+
+    /// The full row for residue `a` — kernels index this directly in hot
+    /// loops.
+    #[inline]
+    pub fn row(&self, a: u8) -> &[i32] {
+        let n = self.alphabet.size();
+        &self.scores[a as usize * n..(a as usize + 1) * n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        let m = ScoringMatrix::blosum62();
+        let n = Alphabet::Protein.size() as u8;
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(m.score(a, b), m.score(b, a), "asymmetry at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_known_entries() {
+        let m = ScoringMatrix::blosum62();
+        let p = |c| Alphabet::Protein.code(c).unwrap();
+        assert_eq!(m.score(p(b'C'), p(b'C')), 9);
+        assert_eq!(m.score(p(b'W'), p(b'W')), 11);
+        assert_eq!(m.score(p(b'I'), p(b'V')), 3);
+        assert_eq!(m.score(p(b'D'), p(b'E')), 2);
+        assert_eq!(m.score(p(b'G'), p(b'I')), -4);
+    }
+
+    #[test]
+    fn blosum62_diagonal_dominates_rows() {
+        let m = ScoringMatrix::blosum62();
+        for a in 0..20u8 {
+            for b in 0..20u8 {
+                if a != b {
+                    assert!(m.score(a, a) > m.score(a, b), "diag not maximal at ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dna_matrix_scores() {
+        let m = ScoringMatrix::dna(5, -4);
+        assert_eq!(m.score(0, 0), 5);
+        assert_eq!(m.score(0, 3), -4);
+    }
+
+    #[test]
+    fn row_matches_score() {
+        let m = ScoringMatrix::blosum62();
+        let row = m.row(3);
+        for b in 0..20u8 {
+            assert_eq!(row[b as usize], m.score(3, b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_code_panics() {
+        ScoringMatrix::dna(1, -1).score(4, 0);
+    }
+}

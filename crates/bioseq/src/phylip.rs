@@ -1,0 +1,201 @@
+//! PHYLIP sequential-format character matrices.
+//!
+//! `dnapenny` and `promlk` consume PHYLIP infiles; this module reads and
+//! writes the sequential variant so the reproduction's drivers can
+//! round-trip real inputs.
+
+use std::fmt;
+
+use crate::alphabet::Alphabet;
+
+/// A parsed PHYLIP matrix: named, equal-length encoded sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhylipMatrix {
+    /// Taxon names (up to 10 characters in the classic format).
+    pub names: Vec<String>,
+    /// Encoded rows, one per taxon, all the same length.
+    pub rows: Vec<Vec<u8>>,
+}
+
+impl PhylipMatrix {
+    /// Number of taxa.
+    pub fn species(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+}
+
+/// Error parsing PHYLIP text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePhylipError {
+    /// The header line was missing or malformed.
+    BadHeader,
+    /// Fewer taxon lines than the header promised.
+    MissingTaxa {
+        /// Taxa promised by the header.
+        expected: usize,
+        /// Taxa actually present.
+        found: usize,
+    },
+    /// A row's site count disagreed with the header.
+    WrongSiteCount {
+        /// Offending taxon name.
+        taxon: String,
+        /// Sites promised by the header.
+        expected: usize,
+        /// Sites actually present after encoding.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParsePhylipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePhylipError::BadHeader => write!(f, "missing or malformed PHYLIP header"),
+            ParsePhylipError::MissingTaxa { expected, found } => {
+                write!(f, "header promised {expected} taxa but found {found}")
+            }
+            ParsePhylipError::WrongSiteCount { taxon, expected, found } => {
+                write!(f, "taxon '{taxon}' has {found} sites, header promised {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParsePhylipError {}
+
+/// Parses sequential PHYLIP text.
+///
+/// # Errors
+///
+/// Returns a [`ParsePhylipError`] on a malformed header, missing taxa, or
+/// rows whose encoded length disagrees with the header.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_bioseq::alphabet::Alphabet;
+/// use bioperf_bioseq::phylip;
+///
+/// let text = " 3 8\nA         ACGTACGT\nB         ACGTACGA\nC         TCGTACGA\n";
+/// let m = phylip::parse(text, Alphabet::Dna)?;
+/// assert_eq!(m.species(), 3);
+/// assert_eq!(m.sites(), 8);
+/// assert_eq!(m.names[2], "C");
+/// # Ok::<(), phylip::ParsePhylipError>(())
+/// ```
+pub fn parse(text: &str, alphabet: Alphabet) -> Result<PhylipMatrix, ParsePhylipError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(ParsePhylipError::BadHeader)?;
+    let mut parts = header.split_whitespace();
+    let species: usize =
+        parts.next().and_then(|s| s.parse().ok()).ok_or(ParsePhylipError::BadHeader)?;
+    let sites: usize =
+        parts.next().and_then(|s| s.parse().ok()).ok_or(ParsePhylipError::BadHeader)?;
+
+    let mut names = Vec::with_capacity(species);
+    let mut rows = Vec::with_capacity(species);
+    for line in lines.take(species) {
+        // Classic format: name in the first 10 columns, sequence after.
+        let (name_part, seq_part) = if line.len() > 10 { line.split_at(10) } else { (line, "") };
+        let name = name_part.trim().to_string();
+        let row = alphabet.encode(seq_part);
+        if row.len() != sites {
+            return Err(ParsePhylipError::WrongSiteCount { taxon: name, expected: sites, found: row.len() });
+        }
+        names.push(name);
+        rows.push(row);
+    }
+    if rows.len() != species {
+        return Err(ParsePhylipError::MissingTaxa { expected: species, found: rows.len() });
+    }
+    Ok(PhylipMatrix { names, rows })
+}
+
+/// Formats a matrix as sequential PHYLIP text.
+///
+/// # Panics
+///
+/// Panics if rows have unequal lengths.
+pub fn format(matrix: &PhylipMatrix, alphabet: Alphabet) -> String {
+    let sites = matrix.sites();
+    assert!(matrix.rows.iter().all(|r| r.len() == sites), "ragged matrix");
+    let mut out = format!(" {} {}\n", matrix.species(), sites);
+    for (name, row) in matrix.names.iter().zip(&matrix.rows) {
+        let padded = format!("{name:<10}");
+        out.push_str(&padded[..10.min(padded.len())]);
+        out.push_str(&alphabet.decode(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhylipMatrix {
+        PhylipMatrix {
+            names: vec!["human".into(), "chimp".into(), "mouse".into()],
+            rows: vec![
+                Alphabet::Dna.encode("ACGTAC"),
+                Alphabet::Dna.encode("ACGTAA"),
+                Alphabet::Dna.encode("TCGTAA"),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let text = format(&m, Alphabet::Dna);
+        let parsed = parse(&text, Alphabet::Dna).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn header_shape() {
+        let text = format(&sample(), Alphabet::Dna);
+        assert!(text.starts_with(" 3 6\n"));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(parse("", Alphabet::Dna).unwrap_err(), ParsePhylipError::BadHeader);
+        assert_eq!(parse("x y\n", Alphabet::Dna).unwrap_err(), ParsePhylipError::BadHeader);
+    }
+
+    #[test]
+    fn missing_taxa_rejected() {
+        let err = parse(" 3 4\nA         ACGT\n", Alphabet::Dna).unwrap_err();
+        assert_eq!(err, ParsePhylipError::MissingTaxa { expected: 3, found: 1 });
+    }
+
+    #[test]
+    fn wrong_site_count_rejected() {
+        let err = parse(" 1 8\nA         ACGT\n", Alphabet::Dna).unwrap_err();
+        assert!(matches!(err, ParsePhylipError::WrongSiteCount { expected: 8, found: 4, .. }));
+        assert!(err.to_string().contains("promised 8"));
+    }
+
+    #[test]
+    fn long_names_truncate_to_ten_columns() {
+        let m = PhylipMatrix {
+            names: vec!["averylongtaxonname".into()],
+            rows: vec![Alphabet::Dna.encode("AC")],
+        };
+        let text = format(&m, Alphabet::Dna);
+        let parsed = parse(&text, Alphabet::Dna).unwrap();
+        assert_eq!(parsed.names[0], "averylongt");
+    }
+
+    #[test]
+    fn whitespace_in_sequences_is_tolerated() {
+        let m = parse(" 1 6\nA         AC GT AC\n", Alphabet::Dna).unwrap();
+        assert_eq!(m.sites(), 6);
+    }
+}

@@ -1,0 +1,394 @@
+//! Plan7 profile HMMs in the HMMER2 integer log-odds style.
+//!
+//! The three HMMER-derived BioPerf programs (`hmmsearch`, `hmmpfam`,
+//! `hmmcalibrate`) spend nearly all their time in the `P7Viterbi` dynamic
+//! program over a model of this shape. Field names follow the paper's
+//! Figure 6 source (`tpmm`, `tpim`, `tpdm`, `bsc`, …), which are HMMER2's
+//! transition-score rows.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alphabet::Alphabet;
+
+/// HMMER2's "minus infinity" score sentinel; the Figure 6 loop clamps
+/// scores at this value (`if (mc[k] < -INFTY) mc[k] = -INFTY`).
+pub const INFTY: i32 = 987_654_321;
+
+/// Integer log-odds scale (HMMER2 uses 1000 × log2; we use a comparable
+/// natural-log scale).
+const INTSCALE: f64 = 350.0;
+
+fn prob_to_score(p: f64) -> i32 {
+    if p <= 0.0 {
+        -INFTY
+    } else {
+        (p.ln() * INTSCALE).round() as i32
+    }
+}
+
+/// A Plan7 profile HMM of length `m` with integer log-odds scores.
+///
+/// Emission tables are laid out `[residue][k]` so the Viterbi kernel can
+/// take a row pointer per sequence position, exactly like HMMER2's
+/// `msc[dsq[i]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan7Model {
+    /// Model length (number of match states).
+    pub m: usize,
+    /// M(k) → M(k+1) transition scores, indexed `0..=m`.
+    pub tpmm: Vec<i32>,
+    /// M(k) → I(k) transition scores.
+    pub tpmi: Vec<i32>,
+    /// M(k) → D(k+1) transition scores.
+    pub tpmd: Vec<i32>,
+    /// I(k) → M(k+1) transition scores.
+    pub tpim: Vec<i32>,
+    /// I(k) → I(k) transition scores.
+    pub tpii: Vec<i32>,
+    /// D(k) → M(k+1) transition scores.
+    pub tpdm: Vec<i32>,
+    /// D(k) → D(k+1) transition scores.
+    pub tpdd: Vec<i32>,
+    /// Match emission scores, `msc[residue][k]`.
+    pub msc: Vec<Vec<i32>>,
+    /// Insert emission scores, `isc[residue][k]`.
+    pub isc: Vec<Vec<i32>>,
+    /// Begin → M(k) entry scores.
+    pub bsc: Vec<i32>,
+    /// M(k) → End exit scores.
+    pub esc: Vec<i32>,
+    /// N-state self-loop score (models flanking sequence).
+    pub xtn_loop: i32,
+    /// N → B move score.
+    pub xtn_move: i32,
+    /// E → C move score.
+    pub xte_move: i32,
+    /// E → J loop score (multi-hit).
+    pub xte_loop: i32,
+    /// J self-loop score.
+    pub xtj_loop: i32,
+    /// J → B move score.
+    pub xtj_move: i32,
+    /// C self-loop score.
+    pub xtc_loop: i32,
+}
+
+impl Plan7Model {
+    /// Builds a model from an (implicitly aligned) protein family: column
+    /// residue frequencies become match emissions; transitions get
+    /// realistic magnitudes with per-position jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family is empty or members have unequal lengths.
+    pub fn from_family(family: &[Vec<u8>], seed: u64) -> Self {
+        assert!(!family.is_empty(), "family must be non-empty");
+        let m = family[0].len();
+        assert!(family.iter().all(|s| s.len() == m), "family members must align");
+        assert!(m >= 2, "model needs at least two match states");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nres = Alphabet::Protein.size();
+        // Background composition: uniform-ish with pseudo-counts.
+        let bg = 1.0 / nres as f64;
+
+        // Column frequencies with Laplace smoothing.
+        let mut msc = vec![vec![0i32; m + 1]; nres];
+        let mut isc = vec![vec![0i32; m + 1]; nres];
+        for k in 1..=m {
+            let mut counts = vec![1.0f64; nres]; // pseudo-count
+            for seq in family {
+                counts[seq[k - 1] as usize] += 1.0;
+            }
+            let total: f64 = counts.iter().sum();
+            for r in 0..nres {
+                let p = counts[r] / total;
+                msc[r][k] = prob_to_score(p / bg);
+                // Inserts emit near-background: small noisy scores.
+                isc[r][k] = rng.gen_range(-40..10);
+            }
+        }
+
+        let jitter = |rng: &mut StdRng, base: f64| {
+            let p = (base * rng.gen_range(0.7..1.3)).min(0.999);
+            prob_to_score(p)
+        };
+
+        let mut tpmm = vec![0i32; m + 1];
+        let mut tpmi = vec![0i32; m + 1];
+        let mut tpmd = vec![0i32; m + 1];
+        let mut tpim = vec![0i32; m + 1];
+        let mut tpii = vec![0i32; m + 1];
+        let mut tpdm = vec![0i32; m + 1];
+        let mut tpdd = vec![0i32; m + 1];
+        for k in 0..=m {
+            tpmm[k] = jitter(&mut rng, 0.90);
+            tpmi[k] = jitter(&mut rng, 0.05);
+            tpmd[k] = jitter(&mut rng, 0.05);
+            tpim[k] = jitter(&mut rng, 0.60);
+            tpii[k] = jitter(&mut rng, 0.40);
+            tpdm[k] = jitter(&mut rng, 0.70);
+            tpdd[k] = jitter(&mut rng, 0.30);
+        }
+
+        // Local (wing-retracted) entry/exit: strong at the ends, weak
+        // but possible internally.
+        let mut bsc = vec![-INFTY; m + 1];
+        let mut esc = vec![-INFTY; m + 1];
+        for k in 1..=m {
+            bsc[k] = if k == 1 { prob_to_score(0.5) } else { prob_to_score(0.5 / m as f64) };
+            esc[k] = if k == m { prob_to_score(0.5) } else { prob_to_score(0.5 / m as f64) };
+        }
+
+        Self {
+            m,
+            tpmm,
+            tpmi,
+            tpmd,
+            tpim,
+            tpii,
+            tpdm,
+            tpdd,
+            msc,
+            isc,
+            bsc,
+            esc,
+            xtn_loop: prob_to_score(0.99),
+            xtn_move: prob_to_score(0.01),
+            xte_move: prob_to_score(0.5),
+            xte_loop: prob_to_score(0.5),
+            xtj_loop: prob_to_score(0.99),
+            xtj_move: prob_to_score(0.01),
+            xtc_loop: prob_to_score(0.99),
+        }
+    }
+
+    /// A convenience model built from a fresh synthetic family.
+    pub fn synthetic(m: usize, seed: u64) -> Self {
+        let mut gen = crate::generate::SeqGen::new(seed);
+        let family = gen.protein_family(8, m, 0.2);
+        Self::from_family(&family, seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Reference Viterbi score of `dsq` against this model: a slow,
+    /// obviously-correct implementation of the Plan7 recurrence used to
+    /// validate the instrumented kernels (both the Original and the
+    /// LoadTransformed variants must reproduce it bit-for-bit).
+    #[allow(clippy::needless_range_loop)] // mirrors the HMMER recurrence
+    pub fn reference_viterbi(&self, dsq: &[u8]) -> i32 {
+        let m = self.m;
+        let n = dsq.len();
+        let neg = -INFTY;
+        let clamp = |x: i32| if x < neg { neg } else { x };
+
+        let mut mpp = vec![neg; m + 1];
+        let mut ipp = vec![neg; m + 1];
+        let mut dpp = vec![neg; m + 1];
+        let mut mc = vec![neg; m + 1];
+        let mut ic = vec![neg; m + 1];
+        let mut dc = vec![neg; m + 1];
+
+        let mut xmn = 0i32; // N state at row 0
+        let mut xmb = clamp(xmn + self.xtn_move);
+        let mut xmj = neg;
+        let mut xmc = neg;
+
+        for i in 1..=n {
+            let res = dsq[i - 1] as usize;
+            let ms = &self.msc[res];
+            let is = &self.isc[res];
+            mc[0] = neg;
+            ic[0] = neg;
+            dc[0] = neg;
+            for k in 1..=m {
+                // Match state.
+                let mut sc = mpp[k - 1].saturating_add(self.tpmm[k - 1]);
+                let t = ipp[k - 1].saturating_add(self.tpim[k - 1]);
+                if t > sc {
+                    sc = t;
+                }
+                let t = dpp[k - 1].saturating_add(self.tpdm[k - 1]);
+                if t > sc {
+                    sc = t;
+                }
+                let t = xmb.saturating_add(self.bsc[k]);
+                if t > sc {
+                    sc = t;
+                }
+                mc[k] = clamp(sc.saturating_add(ms[k]));
+
+                // Delete state (within-row dependence on mc[k-1]).
+                let mut sc = dc[k - 1].saturating_add(self.tpdd[k - 1]);
+                let t = mc[k - 1].saturating_add(self.tpmd[k - 1]);
+                if t > sc {
+                    sc = t;
+                }
+                dc[k] = clamp(sc);
+
+                // Insert state (no insert at k == m in Plan7).
+                if k < m {
+                    let mut sc = mpp[k].saturating_add(self.tpmi[k]);
+                    let t = ipp[k].saturating_add(self.tpii[k]);
+                    if t > sc {
+                        sc = t;
+                    }
+                    ic[k] = clamp(sc.saturating_add(is[k]));
+                } else {
+                    ic[k] = neg;
+                }
+            }
+
+            // Special states, HMMER2 order: E, J, C, N, B.
+            let mut e = neg;
+            for k in 1..=m {
+                let t = mc[k].saturating_add(self.esc[k]);
+                if t > e {
+                    e = t;
+                }
+            }
+            let xme = clamp(e);
+            let j1 = xmj.saturating_add(self.xtj_loop);
+            let j2 = xme.saturating_add(self.xte_loop);
+            xmj = clamp(j1.max(j2));
+            let c1 = xmc.saturating_add(self.xtc_loop);
+            let c2 = xme.saturating_add(self.xte_move);
+            xmc = clamp(c1.max(c2));
+            xmn = clamp(xmn.saturating_add(self.xtn_loop));
+            let b1 = xmn.saturating_add(self.xtn_move);
+            let b2 = xmj.saturating_add(self.xtj_move);
+            xmb = clamp(b1.max(b2));
+
+            std::mem::swap(&mut mpp, &mut mc);
+            std::mem::swap(&mut ipp, &mut ic);
+            std::mem::swap(&mut dpp, &mut dc);
+        }
+        xmc
+    }
+}
+
+/// Extreme-value (Gumbel) distribution parameters, fit by the method of
+/// moments — the statistical step of `hmmcalibrate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvdFit {
+    /// Location parameter.
+    pub mu: f64,
+    /// Scale parameter.
+    pub lambda: f64,
+}
+
+impl EvdFit {
+    /// Fits Gumbel parameters to a sample of scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two scores are supplied.
+    pub fn from_scores(scores: &[f64]) -> Self {
+        assert!(scores.len() >= 2, "EVD fit needs at least two scores");
+        let n = scores.len() as f64;
+        let mean = scores.iter().sum::<f64>() / n;
+        let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+        let std = var.sqrt().max(1e-9);
+        let lambda = std::f64::consts::PI / (std * 6.0f64.sqrt());
+        let mu = mean - 0.577_215_664_901_532_9 / lambda;
+        Self { mu, lambda }
+    }
+
+    /// Gumbel survival function: `P(S > x)`.
+    pub fn pvalue(&self, x: f64) -> f64 {
+        1.0 - (-(-self.lambda * (x - self.mu)).exp()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::SeqGen;
+
+    #[test]
+    fn model_shapes() {
+        let m = Plan7Model::synthetic(50, 1);
+        assert_eq!(m.m, 50);
+        assert_eq!(m.tpmm.len(), 51);
+        assert_eq!(m.msc.len(), 20);
+        assert_eq!(m.msc[0].len(), 51);
+        assert_eq!(m.bsc[0], -INFTY);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = Plan7Model::synthetic(30, 9);
+        let b = Plan7Model::synthetic(30, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consensus_scores_higher_than_random() {
+        let mut gen = SeqGen::new(11);
+        let family = gen.protein_family(8, 80, 0.15);
+        let model = Plan7Model::from_family(&family, 11);
+        let hit = model.reference_viterbi(&family[0]);
+        let random = gen.random_protein(80);
+        let miss = model.reference_viterbi(&random);
+        assert!(hit > miss, "consensus {hit} should outscore random {miss}");
+    }
+
+    #[test]
+    fn viterbi_scores_are_finite_for_reasonable_sequences() {
+        let model = Plan7Model::synthetic(40, 2);
+        let mut gen = SeqGen::new(3);
+        for len in [10, 40, 100] {
+            let s = gen.random_protein(len);
+            let score = model.reference_viterbi(&s);
+            assert!(score > -INFTY && score < INFTY, "len {len}: {score}");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_scores_neg_infinity_ish() {
+        let model = Plan7Model::synthetic(10, 4);
+        // No row processed: C never reached.
+        assert_eq!(model.reference_viterbi(&[]), -INFTY);
+    }
+
+    #[test]
+    fn longer_homolog_prefix_increases_score_monotonic_tendency() {
+        // Not a strict invariant, but a hit sequence must beat its own
+        // tiny prefix.
+        let mut gen = SeqGen::new(5);
+        let family = gen.protein_family(6, 60, 0.1);
+        let model = Plan7Model::from_family(&family, 5);
+        let full = model.reference_viterbi(&family[1]);
+        let prefix = model.reference_viterbi(&family[1][..5]);
+        assert!(full > prefix);
+    }
+
+    #[test]
+    fn evd_fit_recovers_parameters() {
+        // Sample from a known Gumbel via inverse CDF.
+        let (mu, lambda) = (120.0, 0.07);
+        let mut rng = StdRng::seed_from_u64(42);
+        let scores: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                mu - (-(u.ln())).ln() / lambda
+            })
+            .collect();
+        let fit = EvdFit::from_scores(&scores);
+        assert!((fit.mu - mu).abs() < 2.0, "mu = {}", fit.mu);
+        assert!((fit.lambda - lambda).abs() < 0.01, "lambda = {}", fit.lambda);
+    }
+
+    #[test]
+    fn evd_pvalue_is_monotone_decreasing() {
+        let fit = EvdFit { mu: 100.0, lambda: 0.1 };
+        assert!(fit.pvalue(90.0) > fit.pvalue(110.0));
+        assert!(fit.pvalue(200.0) < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn ragged_family_rejected() {
+        Plan7Model::from_family(&[vec![0; 5], vec![0; 6]], 0);
+    }
+}

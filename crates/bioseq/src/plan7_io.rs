@@ -1,0 +1,277 @@
+//! Text serialization for [`Plan7Model`], in the spirit of HMMER2's
+//! ASCII save files: one keyword-tagged line per score vector.
+//!
+//! ```text
+//! PLAN7 M <m>
+//! TPMM <m+1 integers>
+//! …                         (TPMI TPMD TPIM TPII TPDM TPDD BSC ESC)
+//! XT <7 integers>
+//! MSC <residue> <m+1 integers>   (×20)
+//! ISC <residue> <m+1 integers>   (×20)
+//! //
+//! ```
+
+use std::fmt;
+
+use crate::alphabet::Alphabet;
+use crate::plan7::Plan7Model;
+
+/// Error parsing a Plan7 text file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePlan7Error {
+    /// Missing or malformed `PLAN7 M <m>` header.
+    BadHeader,
+    /// A required section was missing.
+    MissingSection(&'static str),
+    /// A score vector had the wrong number of entries.
+    WrongLength {
+        /// Section tag.
+        section: String,
+        /// Expected entries (`m + 1`).
+        expected: usize,
+        /// Entries found.
+        found: usize,
+    },
+    /// A score failed to parse as an integer.
+    BadScore(String),
+    /// The terminating `//` was missing.
+    MissingTerminator,
+}
+
+impl fmt::Display for ParsePlan7Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePlan7Error::BadHeader => write!(f, "missing or malformed PLAN7 header"),
+            ParsePlan7Error::MissingSection(s) => write!(f, "missing section {s}"),
+            ParsePlan7Error::WrongLength { section, expected, found } => {
+                write!(f, "section {section}: expected {expected} scores, found {found}")
+            }
+            ParsePlan7Error::BadScore(tok) => write!(f, "unparseable score '{tok}'"),
+            ParsePlan7Error::MissingTerminator => write!(f, "missing terminating //"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePlan7Error {}
+
+fn write_vec(out: &mut String, tag: &str, v: &[i32]) {
+    out.push_str(tag);
+    for x in v {
+        out.push(' ');
+        out.push_str(&x.to_string());
+    }
+    out.push('\n');
+}
+
+/// Serializes a model to the text format.
+pub fn to_text(model: &Plan7Model) -> String {
+    let mut out = format!("PLAN7 M {}\n", model.m);
+    write_vec(&mut out, "TPMM", &model.tpmm);
+    write_vec(&mut out, "TPMI", &model.tpmi);
+    write_vec(&mut out, "TPMD", &model.tpmd);
+    write_vec(&mut out, "TPIM", &model.tpim);
+    write_vec(&mut out, "TPII", &model.tpii);
+    write_vec(&mut out, "TPDM", &model.tpdm);
+    write_vec(&mut out, "TPDD", &model.tpdd);
+    write_vec(&mut out, "BSC", &model.bsc);
+    write_vec(&mut out, "ESC", &model.esc);
+    write_vec(
+        &mut out,
+        "XT",
+        &[
+            model.xtn_loop,
+            model.xtn_move,
+            model.xte_move,
+            model.xte_loop,
+            model.xtj_loop,
+            model.xtj_move,
+            model.xtc_loop,
+        ],
+    );
+    for r in 0..Alphabet::Protein.size() {
+        write_vec(&mut out, &format!("MSC {r}"), &model.msc[r]);
+    }
+    for r in 0..Alphabet::Protein.size() {
+        write_vec(&mut out, &format!("ISC {r}"), &model.isc[r]);
+    }
+    out.push_str("//\n");
+    out
+}
+
+fn parse_scores(tokens: &[&str], expected: usize, section: &str) -> Result<Vec<i32>, ParsePlan7Error> {
+    if tokens.len() != expected {
+        return Err(ParsePlan7Error::WrongLength {
+            section: section.to_string(),
+            expected,
+            found: tokens.len(),
+        });
+    }
+    tokens
+        .iter()
+        .map(|t| t.parse().map_err(|_| ParsePlan7Error::BadScore(t.to_string())))
+        .collect()
+}
+
+/// Parses a model from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParsePlan7Error`] on structural or numeric problems; a
+/// successfully parsed model always round-trips through [`to_text`].
+pub fn from_text(text: &str) -> Result<Plan7Model, ParsePlan7Error> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(ParsePlan7Error::BadHeader)?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("PLAN7") || hp.next() != Some("M") {
+        return Err(ParsePlan7Error::BadHeader);
+    }
+    let m: usize = hp.next().and_then(|s| s.parse().ok()).ok_or(ParsePlan7Error::BadHeader)?;
+    let n = m + 1;
+    let nres = Alphabet::Protein.size();
+
+    let mut tpmm = None;
+    let mut tpmi = None;
+    let mut tpmd = None;
+    let mut tpim = None;
+    let mut tpii = None;
+    let mut tpdm = None;
+    let mut tpdd = None;
+    let mut bsc = None;
+    let mut esc = None;
+    let mut xt: Option<Vec<i32>> = None;
+    let mut msc: Vec<Option<Vec<i32>>> = vec![None; nres];
+    let mut isc: Vec<Option<Vec<i32>>> = vec![None; nres];
+    let mut terminated = false;
+
+    for line in lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["//"] => {
+                terminated = true;
+                break;
+            }
+            ["TPMM", rest @ ..] => tpmm = Some(parse_scores(rest, n, "TPMM")?),
+            ["TPMI", rest @ ..] => tpmi = Some(parse_scores(rest, n, "TPMI")?),
+            ["TPMD", rest @ ..] => tpmd = Some(parse_scores(rest, n, "TPMD")?),
+            ["TPIM", rest @ ..] => tpim = Some(parse_scores(rest, n, "TPIM")?),
+            ["TPII", rest @ ..] => tpii = Some(parse_scores(rest, n, "TPII")?),
+            ["TPDM", rest @ ..] => tpdm = Some(parse_scores(rest, n, "TPDM")?),
+            ["TPDD", rest @ ..] => tpdd = Some(parse_scores(rest, n, "TPDD")?),
+            ["BSC", rest @ ..] => bsc = Some(parse_scores(rest, n, "BSC")?),
+            ["ESC", rest @ ..] => esc = Some(parse_scores(rest, n, "ESC")?),
+            ["XT", rest @ ..] => xt = Some(parse_scores(rest, 7, "XT")?),
+            ["MSC", r, rest @ ..] => {
+                let ri: usize = r.parse().map_err(|_| ParsePlan7Error::BadScore(r.to_string()))?;
+                if ri < nres {
+                    msc[ri] = Some(parse_scores(rest, n, "MSC")?);
+                }
+            }
+            ["ISC", r, rest @ ..] => {
+                let ri: usize = r.parse().map_err(|_| ParsePlan7Error::BadScore(r.to_string()))?;
+                if ri < nres {
+                    isc[ri] = Some(parse_scores(rest, n, "ISC")?);
+                }
+            }
+            _ => return Err(ParsePlan7Error::BadScore(line.trim().to_string())),
+        }
+    }
+    if !terminated {
+        return Err(ParsePlan7Error::MissingTerminator);
+    }
+
+    let xt = xt.ok_or(ParsePlan7Error::MissingSection("XT"))?;
+    let unwrap_all = |v: Vec<Option<Vec<i32>>>, name: &'static str| {
+        v.into_iter()
+            .map(|o| o.ok_or(ParsePlan7Error::MissingSection(name)))
+            .collect::<Result<Vec<_>, _>>()
+    };
+    Ok(Plan7Model {
+        m,
+        tpmm: tpmm.ok_or(ParsePlan7Error::MissingSection("TPMM"))?,
+        tpmi: tpmi.ok_or(ParsePlan7Error::MissingSection("TPMI"))?,
+        tpmd: tpmd.ok_or(ParsePlan7Error::MissingSection("TPMD"))?,
+        tpim: tpim.ok_or(ParsePlan7Error::MissingSection("TPIM"))?,
+        tpii: tpii.ok_or(ParsePlan7Error::MissingSection("TPII"))?,
+        tpdm: tpdm.ok_or(ParsePlan7Error::MissingSection("TPDM"))?,
+        tpdd: tpdd.ok_or(ParsePlan7Error::MissingSection("TPDD"))?,
+        msc: unwrap_all(msc, "MSC")?,
+        isc: unwrap_all(isc, "ISC")?,
+        bsc: bsc.ok_or(ParsePlan7Error::MissingSection("BSC"))?,
+        esc: esc.ok_or(ParsePlan7Error::MissingSection("ESC"))?,
+        xtn_loop: xt[0],
+        xtn_move: xt[1],
+        xte_move: xt[2],
+        xte_loop: xt[3],
+        xtj_loop: xt[4],
+        xtj_move: xt[5],
+        xtc_loop: xt[6],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeqGen;
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let model = Plan7Model::synthetic(20, 7);
+        let text = to_text(&model);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed, model);
+    }
+
+    #[test]
+    fn roundtripped_model_scores_identically() {
+        let model = Plan7Model::synthetic(25, 8);
+        let parsed = from_text(&to_text(&model)).unwrap();
+        let mut gen = SeqGen::new(9);
+        let seq = gen.random_protein(40);
+        assert_eq!(parsed.reference_viterbi(&seq), model.reference_viterbi(&seq));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(from_text("").unwrap_err(), ParsePlan7Error::BadHeader);
+        assert_eq!(from_text("HMM 3\n//\n").unwrap_err(), ParsePlan7Error::BadHeader);
+    }
+
+    #[test]
+    fn missing_section_rejected() {
+        let model = Plan7Model::synthetic(5, 1);
+        let text = to_text(&model).replace("\nBSC", "\nZZZ");
+        assert!(from_text(&text).is_err());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let model = Plan7Model::synthetic(5, 1);
+        let mut text = String::new();
+        for line in to_text(&model).lines() {
+            if let Some(rest) = line.strip_prefix("TPMM ") {
+                let mut toks: Vec<&str> = rest.split(' ').collect();
+                toks.pop();
+                text.push_str(&format!("TPMM {}\n", toks.join(" ")));
+            } else {
+                text.push_str(line);
+                text.push('\n');
+            }
+        }
+        let err = from_text(&text).unwrap_err();
+        assert!(matches!(err, ParsePlan7Error::WrongLength { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let model = Plan7Model::synthetic(5, 1);
+        let text = to_text(&model).replace("//\n", "");
+        assert_eq!(from_text(&text).unwrap_err(), ParsePlan7Error::MissingTerminator);
+    }
+
+    #[test]
+    fn unparseable_score_reported() {
+        let model = Plan7Model::synthetic(4, 2);
+        let text = to_text(&model).replacen("TPMM ", "TPMM x", 1);
+        assert!(matches!(from_text(&text).unwrap_err(), ParsePlan7Error::WrongLength { .. } | ParsePlan7Error::BadScore(_)));
+    }
+}

@@ -1,0 +1,362 @@
+//! Full-matrix Viterbi with state-path traceback.
+//!
+//! `hmmsearch` does not just score its hits — it reports the aligned
+//! state path for every sequence above threshold. This module provides
+//! the full O(N·M) dynamic program with traceback, plus an independent
+//! path re-scorer used to validate the recurrence end-to-end.
+
+use crate::plan7::{Plan7Model, INFTY};
+
+const NEG: i32 = -INFTY;
+
+/// One step of a Plan7 state path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Flanking N state emitting sequence position `i` (1-based); `i = 0`
+    /// marks the initial silent N.
+    N(usize),
+    /// Begin state entered before row `i + 1`.
+    B(usize),
+    /// Match state `k` emitting position `i`.
+    M(usize, usize),
+    /// Insert state `k` emitting position `i`.
+    I(usize, usize),
+    /// Delete state `k` at row `i` (silent).
+    D(usize, usize),
+    /// End state at row `i`.
+    E(usize),
+    /// J (loop) state at row `i`.
+    J(usize),
+    /// Flanking C state at row `i`.
+    C(usize),
+}
+
+/// A complete Viterbi result: the score and the optimal state path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViterbiTrace {
+    /// Optimal score (identical to
+    /// [`Plan7Model::reference_viterbi`]).
+    pub score: i32,
+    /// State path from the first N to the final C.
+    pub path: Vec<State>,
+}
+
+impl ViterbiTrace {
+    /// Match states visited, in order — the alignment hmmsearch prints.
+    pub fn match_states(&self) -> Vec<(usize, usize)> {
+        self.path
+            .iter()
+            .filter_map(|s| if let State::M(i, k) = s { Some((*i, *k)) } else { None })
+            .collect()
+    }
+}
+
+/// Computes the Viterbi score with full matrices and traces back the
+/// optimal state path.
+///
+/// The returned score always equals [`Plan7Model::reference_viterbi`];
+/// [`rescore_path`] recomputes the same value from the path alone.
+pub fn viterbi_trace(model: &Plan7Model, dsq: &[u8]) -> ViterbiTrace {
+    let m = model.m;
+    let n = dsq.len();
+    let w = m + 1;
+    let clamp = |x: i32| if x < NEG { NEG } else { x };
+
+    let mut mmx = vec![NEG; (n + 1) * w];
+    let mut imx = vec![NEG; (n + 1) * w];
+    let mut dmx = vec![NEG; (n + 1) * w];
+    let mut xn = vec![NEG; n + 1];
+    let mut xb = vec![NEG; n + 1];
+    let mut xe = vec![NEG; n + 1];
+    let mut xj = vec![NEG; n + 1];
+    let mut xc = vec![NEG; n + 1];
+
+    xn[0] = 0;
+    xb[0] = clamp(model.xtn_move);
+
+    for i in 1..=n {
+        let res = dsq[i - 1] as usize;
+        let ms = &model.msc[res];
+        let is = &model.isc[res];
+        for k in 1..=m {
+            let idx = i * w + k;
+            let prev = (i - 1) * w + (k - 1);
+            let mut sc = mmx[prev].saturating_add(model.tpmm[k - 1]);
+            sc = sc.max(imx[prev].saturating_add(model.tpim[k - 1]));
+            sc = sc.max(dmx[prev].saturating_add(model.tpdm[k - 1]));
+            sc = sc.max(xb[i - 1].saturating_add(model.bsc[k]));
+            mmx[idx] = clamp(sc.saturating_add(ms[k]));
+
+            let mut sc = dmx[idx - 1].saturating_add(model.tpdd[k - 1]);
+            sc = sc.max(mmx[idx - 1].saturating_add(model.tpmd[k - 1]));
+            dmx[idx] = clamp(sc);
+
+            if k < m {
+                let up = (i - 1) * w + k;
+                let mut sc = mmx[up].saturating_add(model.tpmi[k]);
+                sc = sc.max(imx[up].saturating_add(model.tpii[k]));
+                imx[idx] = clamp(sc.saturating_add(is[k]));
+            }
+        }
+        let mut e = NEG;
+        for k in 1..=m {
+            e = e.max(mmx[i * w + k].saturating_add(model.esc[k]));
+        }
+        xe[i] = clamp(e);
+        xj[i] = clamp(
+            xj[i - 1].saturating_add(model.xtj_loop).max(xe[i].saturating_add(model.xte_loop)),
+        );
+        xc[i] = clamp(
+            xc[i - 1].saturating_add(model.xtc_loop).max(xe[i].saturating_add(model.xte_move)),
+        );
+        xn[i] = clamp(xn[i - 1].saturating_add(model.xtn_loop));
+        xb[i] = clamp(
+            xn[i].saturating_add(model.xtn_move).max(xj[i].saturating_add(model.xtj_move)),
+        );
+    }
+
+    // Traceback by predecessor re-checking (HMMER's shadowless style).
+    let mut path = Vec::new();
+    if n == 0 {
+        return ViterbiTrace { score: NEG, path: vec![State::N(0)] };
+    }
+    let score = xc[n];
+    let mut i = n;
+    #[derive(Clone, Copy, PartialEq)]
+    enum Cur {
+        C,
+        J,
+        E,
+        B,
+        N,
+        M(usize),
+        I(usize),
+        D(usize),
+    }
+    let mut cur = Cur::C;
+    path.push(State::C(n));
+    let mut guard = 0usize;
+    while !(cur == Cur::N && i == 0) {
+        guard += 1;
+        assert!(guard < 4 * (n + 2) * (m + 2), "traceback failed to terminate");
+        match cur {
+            Cur::C => {
+                // C(i) came from C(i-1) loop or E(i) move.
+                if i >= 1 && xc[i] == clamp(xc[i - 1].saturating_add(model.xtc_loop)) && xc[i - 1] > NEG {
+                    i -= 1;
+                    path.push(State::C(i));
+                } else {
+                    cur = Cur::E;
+                    path.push(State::E(i));
+                }
+            }
+            Cur::J => {
+                if i >= 1 && xj[i] == clamp(xj[i - 1].saturating_add(model.xtj_loop)) && xj[i - 1] > NEG {
+                    i -= 1;
+                    path.push(State::J(i));
+                } else {
+                    cur = Cur::E;
+                    path.push(State::E(i));
+                }
+            }
+            Cur::E => {
+                // E(i) is the max over M(i, k) + esc[k].
+                let mut found = None;
+                for k in 1..=m {
+                    if xe[i] == clamp(mmx[i * w + k].saturating_add(model.esc[k])) {
+                        found = Some(k);
+                        break;
+                    }
+                }
+                let k = found.expect("E state must have a match predecessor");
+                cur = Cur::M(k);
+                path.push(State::M(i, k));
+            }
+            Cur::B => {
+                // B(i) from N(i) or J(i).
+                if xb[i] == clamp(xn[i].saturating_add(model.xtn_move)) {
+                    cur = Cur::N;
+                    path.push(State::N(i));
+                } else {
+                    cur = Cur::J;
+                    path.push(State::J(i));
+                }
+            }
+            Cur::N => {
+                // N(i) from N(i-1); emits position i.
+                i -= 1;
+                path.push(State::N(i));
+            }
+            Cur::M(k) => {
+                // M(i,k) from M/I/D(i-1,k-1) or B(i-1).
+                let res = dsq[i - 1] as usize;
+                let emitted = model.msc[res][k];
+                let target = mmx[i * w + k];
+                let prev = (i - 1) * w + (k - 1);
+                if target == clamp(xb[i - 1].saturating_add(model.bsc[k]).saturating_add(emitted)) {
+                    i -= 1;
+                    cur = Cur::B;
+                    path.push(State::B(i));
+                } else if target == clamp(mmx[prev].saturating_add(model.tpmm[k - 1]).saturating_add(emitted)) {
+                    i -= 1;
+                    cur = Cur::M(k - 1);
+                    path.push(State::M(i, k - 1));
+                } else if target == clamp(imx[prev].saturating_add(model.tpim[k - 1]).saturating_add(emitted)) {
+                    i -= 1;
+                    cur = Cur::I(k - 1);
+                    path.push(State::I(i, k - 1));
+                } else {
+                    i -= 1;
+                    cur = Cur::D(k - 1);
+                    path.push(State::D(i, k - 1));
+                }
+            }
+            Cur::I(k) => {
+                let res = dsq[i - 1] as usize;
+                let emitted = model.isc[res][k];
+                let target = imx[i * w + k];
+                let up = (i - 1) * w + k;
+                if target == clamp(mmx[up].saturating_add(model.tpmi[k]).saturating_add(emitted)) {
+                    i -= 1;
+                    cur = Cur::M(k);
+                    path.push(State::M(i, k));
+                } else {
+                    i -= 1;
+                    cur = Cur::I(k);
+                    path.push(State::I(i, k));
+                }
+            }
+            Cur::D(k) => {
+                let target = dmx[i * w + k];
+                if target == clamp(mmx[i * w + k - 1].saturating_add(model.tpmd[k - 1])) {
+                    cur = Cur::M(k - 1);
+                    path.push(State::M(i, k - 1));
+                } else {
+                    cur = Cur::D(k - 1);
+                    path.push(State::D(i, k - 1));
+                }
+            }
+        }
+    }
+    path.reverse();
+    ViterbiTrace { score, path }
+}
+
+/// Independently rescores a state path by summing its transitions and
+/// emissions. For a path produced by [`viterbi_trace`] this equals the
+/// Viterbi score — the strongest possible check of the recurrence.
+pub fn rescore_path(model: &Plan7Model, dsq: &[u8], path: &[State]) -> i32 {
+    let mut score = 0i64;
+    for pair in path.windows(2) {
+        let step = match (pair[0], pair[1]) {
+            (State::N(_), State::N(_)) => model.xtn_loop as i64,
+            (State::N(_), State::B(_)) => model.xtn_move as i64,
+            (State::B(_), State::M(i, k)) => {
+                (model.bsc[k] as i64) + model.msc[dsq[i - 1] as usize][k] as i64
+            }
+            (State::M(_, k), State::M(i, k2)) if k2 == k + 1 => {
+                (model.tpmm[k] as i64) + model.msc[dsq[i - 1] as usize][k2] as i64
+            }
+            (State::M(_, k), State::I(i, k2)) if k2 == k => {
+                (model.tpmi[k] as i64) + model.isc[dsq[i - 1] as usize][k] as i64
+            }
+            (State::M(_, k), State::D(_, k2)) if k2 == k + 1 => model.tpmd[k] as i64,
+            (State::M(_, k), State::E(_)) => model.esc[k] as i64,
+            (State::I(_, k), State::I(i, k2)) if k2 == k => {
+                (model.tpii[k] as i64) + model.isc[dsq[i - 1] as usize][k] as i64
+            }
+            (State::I(_, k), State::M(i, k2)) if k2 == k + 1 => {
+                (model.tpim[k] as i64) + model.msc[dsq[i - 1] as usize][k2] as i64
+            }
+            (State::D(_, k), State::D(_, k2)) if k2 == k + 1 => model.tpdd[k] as i64,
+            (State::D(_, k), State::M(i, k2)) if k2 == k + 1 => {
+                (model.tpdm[k] as i64) + model.msc[dsq[i - 1] as usize][k2] as i64
+            }
+            (State::E(_), State::C(_)) => model.xte_move as i64,
+            (State::E(_), State::J(_)) => model.xte_loop as i64,
+            (State::J(_), State::J(_)) => model.xtj_loop as i64,
+            (State::J(_), State::B(_)) => model.xtj_move as i64,
+            (State::C(_), State::C(_)) => model.xtc_loop as i64,
+            (a, b) => panic!("illegal transition {a:?} -> {b:?}"),
+        };
+        score += step;
+    }
+    score.clamp(NEG as i64, INFTY as i64) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeqGen;
+
+    #[test]
+    fn trace_score_matches_reference() {
+        let model = Plan7Model::synthetic(25, 3);
+        let mut gen = SeqGen::new(4);
+        for len in [5, 20, 60] {
+            let seq = gen.random_protein(len);
+            let trace = viterbi_trace(&model, &seq);
+            assert_eq!(trace.score, model.reference_viterbi(&seq), "len {len}");
+        }
+    }
+
+    #[test]
+    fn path_rescoring_reproduces_the_score() {
+        let model = Plan7Model::synthetic(18, 5);
+        let mut gen = SeqGen::new(6);
+        for len in [8, 30, 45] {
+            let seq = gen.random_protein(len);
+            let trace = viterbi_trace(&model, &seq);
+            if trace.score > NEG {
+                let rescored = rescore_path(&model, &seq, &trace.path);
+                assert_eq!(rescored, trace.score, "len {len}: path disagrees with DP");
+            }
+        }
+    }
+
+    #[test]
+    fn homolog_path_uses_many_match_states() {
+        let mut gen = SeqGen::new(7);
+        let family = gen.protein_family(6, 40, 0.1);
+        let model = Plan7Model::from_family(&family, 7);
+        let trace = viterbi_trace(&model, &family[1]);
+        let matches = trace.match_states();
+        assert!(matches.len() > 25, "homolog should thread the model: {} matches", matches.len());
+        // Match positions advance monotonically in both coordinates.
+        assert!(matches.windows(2).all(|w| w[1].0 > w[0].0 && w[1].1 > w[0].1));
+    }
+
+    #[test]
+    fn empty_sequence_gives_trivial_path() {
+        let model = Plan7Model::synthetic(10, 8);
+        let trace = viterbi_trace(&model, &[]);
+        assert_eq!(trace.score, NEG);
+        assert_eq!(trace.path, vec![State::N(0)]);
+    }
+
+    #[test]
+    fn path_emissions_cover_the_sequence() {
+        let model = Plan7Model::synthetic(15, 9);
+        let mut gen = SeqGen::new(10);
+        let seq = gen.random_protein(25);
+        let trace = viterbi_trace(&model, &seq);
+        // Every sequence position is emitted exactly once by an M, I, N,
+        // J, or C state transition.
+        let mut emitted = vec![false; seq.len() + 1];
+        for pair in trace.path.windows(2) {
+            let pos = match (pair[0], pair[1]) {
+                (State::N(a), State::N(b)) if b == a + 1 => Some(b),
+                (State::J(a), State::J(b)) if b == a + 1 => Some(b),
+                (State::C(a), State::C(b)) if b == a + 1 => Some(b),
+                (_, State::M(i, _)) => Some(i),
+                (_, State::I(i, _)) => Some(i),
+                _ => None,
+            };
+            if let Some(p) = pos {
+                assert!(!emitted[p], "position {p} emitted twice");
+                emitted[p] = true;
+            }
+        }
+        assert!(emitted[1..].iter().all(|&e| e), "all positions emitted: {emitted:?}");
+    }
+}

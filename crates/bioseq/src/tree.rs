@@ -1,0 +1,240 @@
+//! Distance matrices, neighbor-joining guide trees, and phylogeny inputs.
+//!
+//! `clustalw` builds a guide tree from pairwise distances before its
+//! progressive alignment; `dnapenny` and `promlk` search tree topologies
+//! over character matrices. This module provides those substrates.
+
+/// A symmetric pairwise distance matrix over `n` taxa.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Creates a zero matrix over `n` taxa.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "need at least two taxa");
+        Self { n, d: vec![0.0; n * n] }
+    }
+
+    /// Computes p-distances (fraction of mismatching sites) between all
+    /// rows of a character matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or there are fewer than two.
+    pub fn p_distance(rows: &[Vec<u8>]) -> Self {
+        let n = rows.len();
+        let mut m = Self::new(n);
+        let sites = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == sites), "ragged character matrix");
+        assert!(sites > 0, "empty character matrix");
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let diff = rows[i].iter().zip(&rows[j]).filter(|(a, b)| a != b).count();
+                m.set(i, j, diff as f64 / sites as f64);
+            }
+        }
+        m
+    }
+
+    /// Number of taxa.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is trivial (never true: `n >= 2`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Distance between taxa `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+
+    /// Sets the symmetric distance between `i` and `j`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.d[i * self.n + j] = v;
+        self.d[j * self.n + i] = v;
+    }
+}
+
+/// A rooted binary guide tree over taxon indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuideTree {
+    /// A single taxon.
+    Leaf(usize),
+    /// An internal node joining two subtrees.
+    Node(Box<GuideTree>, Box<GuideTree>),
+}
+
+impl GuideTree {
+    /// Builds a guide tree by neighbor joining on the distance matrix.
+    ///
+    /// This is the classic Saitou–Nei algorithm: repeatedly join the pair
+    /// minimizing the Q-criterion until two clusters remain.
+    pub fn neighbor_joining(dist: &DistanceMatrix) -> GuideTree {
+        let n = dist.len();
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut trees: Vec<Option<GuideTree>> = (0..n).map(|i| Some(GuideTree::Leaf(i))).collect();
+        // Working distance matrix indexed by cluster id; grows as we join.
+        let mut d: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| dist.get(i, j)).collect())
+            .collect();
+
+        while active.len() > 2 {
+            let r = active.len();
+            // Row sums over active clusters.
+            let sums: Vec<f64> = active
+                .iter()
+                .map(|&i| active.iter().map(|&j| d[i][j]).sum())
+                .collect();
+            // Minimize Q(i,j) = (r-2) d(i,j) - sum_i - sum_j.
+            let mut best = (0usize, 1usize, f64::INFINITY);
+            for (ai, &i) in active.iter().enumerate() {
+                for (aj, &j) in active.iter().enumerate().skip(ai + 1) {
+                    let q = (r as f64 - 2.0) * d[i][j] - sums[ai] - sums[aj];
+                    if q < best.2 {
+                        best = (ai, aj, q);
+                    }
+                }
+            }
+            let (ai, aj, _) = best;
+            let (i, j) = (active[ai], active[aj]);
+
+            // New cluster id with distances to all remaining clusters.
+            let new_id = d.len();
+            for row in d.iter_mut() {
+                let dij = 0.5 * (row[i] + row[j]);
+                row.push(dij);
+            }
+            let mut new_row: Vec<f64> = (0..new_id).map(|k| 0.5 * (d[k][i] + d[k][j])).collect();
+            new_row.push(0.0);
+            d.push(new_row);
+
+            let left = trees[i].take().expect("active cluster has a tree");
+            let right = trees[j].take().expect("active cluster has a tree");
+            trees.push(Some(GuideTree::Node(Box::new(left), Box::new(right))));
+
+            // Remove j first (it is the later index).
+            active.remove(aj);
+            active.remove(ai);
+            active.push(new_id);
+        }
+
+        let right = trees[active[1]].take().expect("final cluster");
+        let left = trees[active[0]].take().expect("final cluster");
+        GuideTree::Node(Box::new(left), Box::new(right))
+    }
+
+    /// All taxon indices in this subtree, left-to-right.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            GuideTree::Leaf(i) => out.push(*i),
+            GuideTree::Node(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            GuideTree::Leaf(_) => 1,
+            GuideTree::Node(l, r) => l.leaf_count() + r.leaf_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_distance_of_identical_rows_is_zero() {
+        let rows = vec![vec![0u8, 1, 2, 3], vec![0, 1, 2, 3]];
+        let d = DistanceMatrix::p_distance(&rows);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn p_distance_counts_mismatches() {
+        let rows = vec![vec![0u8, 1, 2, 3], vec![0, 1, 0, 0]];
+        let d = DistanceMatrix::p_distance(&rows);
+        assert_eq!(d.get(0, 1), 0.5);
+        assert_eq!(d.get(1, 0), 0.5);
+    }
+
+    #[test]
+    fn nj_joins_closest_pair_first() {
+        // Taxa 0,1 are near each other; 2,3 near each other; the two
+        // groups are far apart. NJ must pair them accordingly.
+        let mut d = DistanceMatrix::new(4);
+        d.set(0, 1, 0.1);
+        d.set(2, 3, 0.1);
+        for (i, j) in [(0, 2), (0, 3), (1, 2), (1, 3)] {
+            d.set(i, j, 1.0);
+        }
+        let tree = GuideTree::neighbor_joining(&d);
+        assert_eq!(tree.leaf_count(), 4);
+        let mut leaves = tree.leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 1, 2, 3]);
+        // Check sibling structure: find the node containing exactly {0,1}.
+        fn has_clade(t: &GuideTree, want: &[usize]) -> bool {
+            let mut l = t.leaves();
+            l.sort_unstable();
+            if l == want {
+                return true;
+            }
+            match t {
+                GuideTree::Leaf(_) => false,
+                GuideTree::Node(a, b) => has_clade(a, want) || has_clade(b, want),
+            }
+        }
+        assert!(has_clade(&tree, &[0, 1]));
+        assert!(has_clade(&tree, &[2, 3]));
+    }
+
+    #[test]
+    fn nj_handles_two_taxa() {
+        let mut d = DistanceMatrix::new(2);
+        d.set(0, 1, 0.4);
+        let tree = GuideTree::neighbor_joining(&d);
+        assert_eq!(tree.leaf_count(), 2);
+    }
+
+    #[test]
+    fn nj_scales_to_many_taxa() {
+        let mut d = DistanceMatrix::new(20);
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                d.set(i, j, ((i * 7 + j * 13) % 17 + 1) as f64 / 17.0);
+            }
+        }
+        let tree = GuideTree::neighbor_joining(&d);
+        assert_eq!(tree.leaf_count(), 20);
+        let mut leaves = tree.leaves();
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        DistanceMatrix::p_distance(&[vec![0u8; 3], vec![0u8; 4]]);
+    }
+}

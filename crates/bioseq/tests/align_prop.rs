@@ -1,0 +1,84 @@
+//! Property tests for the alignment machinery.
+
+use bioperf_bioseq::align::{global, progressive_msa, AffineGap};
+use bioperf_bioseq::matrix::ScoringMatrix;
+use bioperf_bioseq::tree::{DistanceMatrix, GuideTree};
+use bioperf_bioseq::SeqGen;
+use proptest::prelude::*;
+
+fn gap() -> AffineGap {
+    AffineGap { open: 10, extend: 1 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The traceback path always covers both inputs exactly once, in
+    /// order, with no (gap, gap) columns.
+    #[test]
+    fn path_is_a_monotone_cover(seed in any::<u64>(), n in 0usize..40, m in 0usize..40) {
+        let mut gen = SeqGen::new(seed);
+        let a = gen.random_protein(n);
+        let b = gen.random_protein(m);
+        let aln = global(&a, &b, &ScoringMatrix::blosum62(), gap());
+        let ai: Vec<usize> = aln.path.iter().filter_map(|(x, _)| *x).collect();
+        let bi: Vec<usize> = aln.path.iter().filter_map(|(_, y)| *y).collect();
+        prop_assert_eq!(ai, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(bi, (0..m).collect::<Vec<_>>());
+        prop_assert!(aln.path.iter().all(|(x, y)| x.is_some() || y.is_some()));
+    }
+
+    /// Global alignment score is symmetric in its arguments.
+    #[test]
+    fn score_is_symmetric(seed in any::<u64>(), n in 0usize..30, m in 0usize..30) {
+        let mut gen = SeqGen::new(seed);
+        let a = gen.random_protein(n);
+        let b = gen.random_protein(m);
+        let matrix = ScoringMatrix::blosum62();
+        prop_assert_eq!(global(&a, &b, &matrix, gap()).score, global(&b, &a, &matrix, gap()).score);
+    }
+
+    /// Self-alignment is optimal and gap-free, scoring the diagonal sum.
+    #[test]
+    fn self_alignment_is_diagonal(seed in any::<u64>(), n in 1usize..50) {
+        let mut gen = SeqGen::new(seed);
+        let s = gen.random_protein(n);
+        let matrix = ScoringMatrix::blosum62();
+        let aln = global(&s, &s, &matrix, gap());
+        prop_assert_eq!(aln.matched_columns(), n);
+        let diag: i32 = s.iter().map(|&r| matrix.score(r, r)).sum();
+        prop_assert_eq!(aln.score, diag);
+    }
+
+    /// The optimal score never exceeds the self-alignment bound of the
+    /// higher-scoring input.
+    #[test]
+    fn score_is_bounded_by_self_scores(seed in any::<u64>(), n in 1usize..30, m in 1usize..30) {
+        let mut gen = SeqGen::new(seed);
+        let a = gen.random_protein(n);
+        let b = gen.random_protein(m);
+        let matrix = ScoringMatrix::blosum62();
+        let bound = global(&a, &a, &matrix, gap()).score.max(global(&b, &b, &matrix, gap()).score);
+        prop_assert!(global(&a, &b, &matrix, gap()).score <= bound);
+    }
+
+    /// A progressive MSA over any family preserves every member's
+    /// residues in order, with equal-length rows.
+    #[test]
+    fn msa_rows_spell_their_sequences(seed in any::<u64>(), count in 2usize..7, len in 5usize..40) {
+        let mut gen = SeqGen::new(seed);
+        let family = gen.protein_family(count, len, 0.3);
+        let matrix = ScoringMatrix::blosum62();
+        let tree = GuideTree::neighbor_joining(&DistanceMatrix::p_distance(&family));
+        let msa = progressive_msa(&family, &tree, &matrix, gap());
+        let cols = msa.columns();
+        for (row, &member) in msa.rows.iter().zip(&msa.members) {
+            prop_assert_eq!(row.len(), cols);
+            let spelled: Vec<u8> = row.iter().filter_map(|&r| r).collect();
+            prop_assert_eq!(&spelled, &family[member]);
+        }
+        let mut members = msa.members.clone();
+        members.sort_unstable();
+        prop_assert_eq!(members, (0..count).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests over the biological substrate.
+
+use bioperf_bioseq::alphabet::Alphabet;
+use bioperf_bioseq::fasta;
+use bioperf_bioseq::matrix::ScoringMatrix;
+use bioperf_bioseq::plan7::{EvdFit, Plan7Model};
+use bioperf_bioseq::tree::{DistanceMatrix, GuideTree};
+use bioperf_bioseq::SeqGen;
+use proptest::prelude::*;
+
+proptest! {
+    /// Encode/decode round-trips for any residue string.
+    #[test]
+    fn alphabet_roundtrip(codes in prop::collection::vec(0u8..20, 0..200)) {
+        let text = Alphabet::Protein.decode(&codes);
+        prop_assert_eq!(Alphabet::Protein.encode(&text), codes);
+    }
+
+    /// FASTA round-trips arbitrary records.
+    #[test]
+    fn fasta_roundtrip(seqs in prop::collection::vec(prop::collection::vec(0u8..4, 0..150), 1..8)) {
+        let records: Vec<fasta::Record> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| fasta::Record { name: format!("seq{i}"), residues: s.clone() })
+            .collect();
+        let text = fasta::format(&records, Alphabet::Dna);
+        let parsed = fasta::parse(&text, Alphabet::Dna).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+
+    /// Mutation preserves length and alphabet membership at any rate.
+    #[test]
+    fn mutation_preserves_shape(seed in any::<u64>(), len in 0usize..300, rate in 0.0f64..1.0) {
+        let mut gen = SeqGen::new(seed);
+        let s = gen.random_protein(len);
+        let m = gen.mutate(&s, Alphabet::Protein, rate);
+        prop_assert_eq!(m.len(), len);
+        prop_assert!(m.iter().all(|&r| (r as usize) < 20));
+    }
+
+    /// Neighbor joining always yields a tree over exactly the input taxa.
+    #[test]
+    fn nj_is_a_permutation(n in 2usize..12, seed in any::<u64>()) {
+        let mut gen = SeqGen::new(seed);
+        let rows = gen.dna_character_matrix(n, 40);
+        let d = DistanceMatrix::p_distance(&rows);
+        let tree = GuideTree::neighbor_joining(&d);
+        let mut leaves = tree.leaves();
+        leaves.sort_unstable();
+        prop_assert_eq!(leaves, (0..n).collect::<Vec<_>>());
+    }
+
+    /// The Viterbi score of any sequence against any synthetic model is
+    /// finite and no better than a perfect-consensus bound.
+    #[test]
+    fn viterbi_scores_are_sane(m in 4usize..40, seed in any::<u64>(), len in 1usize..80) {
+        let model = Plan7Model::synthetic(m, seed);
+        let mut gen = SeqGen::new(seed ^ 1);
+        let seq = gen.random_protein(len);
+        let score = model.reference_viterbi(&seq);
+        prop_assert!(score > -bioperf_bioseq::plan7::INFTY);
+        prop_assert!(score < bioperf_bioseq::plan7::INFTY);
+    }
+
+    /// The EVD p-value is a survival function: monotone non-increasing
+    /// and within [0, 1].
+    #[test]
+    fn evd_pvalue_is_a_survival_function(
+        mu in -100.0f64..100.0,
+        lambda in 0.01f64..1.0,
+        a in -200.0f64..200.0,
+        b in -200.0f64..200.0,
+    ) {
+        let fit = EvdFit { mu, lambda };
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (p_lo, p_hi) = (fit.pvalue(lo), fit.pvalue(hi));
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(p_lo >= p_hi - 1e-12);
+    }
+
+    /// BLOSUM row lookups agree with symmetric entry lookups everywhere.
+    #[test]
+    fn matrix_row_is_consistent(a in 0u8..20, b in 0u8..20) {
+        let m = ScoringMatrix::blosum62();
+        prop_assert_eq!(m.row(a)[b as usize], m.score(a, b));
+        prop_assert_eq!(m.score(a, b), m.score(b, a));
+    }
+}

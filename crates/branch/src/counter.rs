@@ -1,0 +1,100 @@
+//! Saturating two-bit counters, the building block of every component.
+
+/// A two-bit saturating counter in the classic four-state scheme:
+/// 0 = strongly not-taken, 1 = weakly not-taken, 2 = weakly taken,
+/// 3 = strongly taken.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_branch::SatCounter;
+///
+/// let mut c = SatCounter::weakly_not_taken();
+/// assert!(!c.predict());
+/// c.train(true);
+/// assert!(c.predict());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatCounter(u8);
+
+impl SatCounter {
+    /// Starts in state 1 (weakly not-taken), the usual cold state.
+    pub const fn weakly_not_taken() -> Self {
+        Self(1)
+    }
+
+    /// Starts in state 2 (weakly taken).
+    pub const fn weakly_taken() -> Self {
+        Self(2)
+    }
+
+    /// Current prediction: taken iff the counter is in the upper half.
+    #[inline]
+    pub fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains toward the observed outcome.
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            if self.0 < 3 {
+                self.0 += 1;
+            }
+        } else if self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+
+    /// Raw state (0..=3), exposed for tests and debugging.
+    pub fn state(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for SatCounter {
+    fn default() -> Self {
+        Self::weakly_not_taken()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SatCounter::weakly_not_taken();
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert_eq!(c.state(), 0);
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.state(), 3);
+    }
+
+    #[test]
+    fn hysteresis_needs_two_flips_from_strong() {
+        let mut c = SatCounter::weakly_taken();
+        c.train(true); // strongly taken
+        c.train(false);
+        assert!(c.predict(), "one not-taken must not flip a strong state");
+        c.train(false);
+        assert!(!c.predict());
+    }
+
+    #[test]
+    fn default_is_weakly_not_taken() {
+        assert_eq!(SatCounter::default(), SatCounter::weakly_not_taken());
+        assert!(!SatCounter::default().predict());
+    }
+
+    #[test]
+    fn single_taken_flips_weak_state() {
+        let mut c = SatCounter::weakly_not_taken();
+        c.train(true);
+        assert!(c.predict());
+    }
+}

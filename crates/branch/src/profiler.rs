@@ -1,0 +1,232 @@
+//! Per-static-branch misprediction profiling.
+
+use bioperf_isa::{MicroOp, Program, StaticId};
+use bioperf_trace::TraceConsumer;
+
+use crate::predictor::Hybrid;
+
+/// Execution and misprediction counts for one static branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Dynamic executions.
+    pub executions: u64,
+    /// Dynamic mispredictions under the profiling predictor.
+    pub mispredictions: u64,
+}
+
+impl BranchStats {
+    /// Misprediction rate (0 for never-executed branches).
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.executions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.executions as f64
+        }
+    }
+}
+
+/// Profiles every static conditional branch with a private [`Hybrid`]
+/// predictor and a shared global-history register — the paper's
+/// no-aliasing measurement predictor.
+///
+/// Use it directly via [`observe`](BranchProfiler::observe) (the
+/// dependence-sequence detector does this so it can see per-dynamic-branch
+/// correctness), or plug it into a tape as a [`TraceConsumer`].
+///
+/// # Example
+///
+/// ```
+/// use bioperf_branch::BranchProfiler;
+/// use bioperf_isa::StaticId;
+///
+/// let mut prof = BranchProfiler::new();
+/// let b = StaticId::from_raw(0);
+/// for i in 0..100u64 {
+///     prof.observe(b, i % 7 == 0); // biased branch
+/// }
+/// assert!(prof.stats(b).misprediction_rate() < 0.5);
+/// assert_eq!(prof.stats(b).executions, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchProfiler {
+    history_bits: u32,
+    global_history: u64,
+    predictors: Vec<Option<Box<Hybrid>>>,
+    stats: Vec<BranchStats>,
+}
+
+impl Default for BranchProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BranchProfiler {
+    /// Default history length used by the study's measurements.
+    pub const DEFAULT_HISTORY_BITS: u32 = 10;
+
+    /// Creates a profiler with the default history length.
+    pub fn new() -> Self {
+        Self::with_history_bits(Self::DEFAULT_HISTORY_BITS)
+    }
+
+    /// Creates a profiler whose per-branch history components have
+    /// `2^bits` entries.
+    pub fn with_history_bits(bits: u32) -> Self {
+        Self { history_bits: bits, global_history: 0, predictors: Vec::new(), stats: Vec::new() }
+    }
+
+    /// Observes one dynamic branch: predicts, updates, records stats, and
+    /// returns whether the prediction was *correct*.
+    pub fn observe(&mut self, sid: StaticId, taken: bool) -> bool {
+        let idx = sid.index();
+        if idx >= self.predictors.len() {
+            self.predictors.resize_with(idx + 1, || None);
+            self.stats.resize(idx + 1, BranchStats::default());
+        }
+        let bits = self.history_bits;
+        let predictor =
+            self.predictors[idx].get_or_insert_with(|| Box::new(Hybrid::new(bits)));
+        let correct = predictor.predict_and_update(self.global_history, taken);
+        self.global_history = (self.global_history << 1) | taken as u64;
+        let s = &mut self.stats[idx];
+        s.executions += 1;
+        if !correct {
+            s.mispredictions += 1;
+        }
+        correct
+    }
+
+    /// Statistics for one static branch (zeros if never executed).
+    pub fn stats(&self, sid: StaticId) -> BranchStats {
+        self.stats.get(sid.index()).copied().unwrap_or_default()
+    }
+
+    /// Running misprediction rate of one static branch.
+    pub fn misprediction_rate(&self, sid: StaticId) -> f64 {
+        self.stats(sid).misprediction_rate()
+    }
+
+    /// Whether the branch qualifies as hard to predict under the paper's
+    /// ≥ 5% threshold (false until it has executed at least once).
+    pub fn is_hard_to_predict(&self, sid: StaticId) -> bool {
+        let s = self.stats(sid);
+        s.executions > 0 && s.misprediction_rate() >= crate::HARD_TO_PREDICT_THRESHOLD
+    }
+
+    /// Total dynamic branches observed.
+    pub fn total_executions(&self) -> u64 {
+        self.stats.iter().map(|s| s.executions).sum()
+    }
+
+    /// Total dynamic mispredictions observed.
+    pub fn total_mispredictions(&self) -> u64 {
+        self.stats.iter().map(|s| s.mispredictions).sum()
+    }
+
+    /// Overall dynamic misprediction rate.
+    pub fn overall_misprediction_rate(&self) -> f64 {
+        let execs = self.total_executions();
+        if execs == 0 {
+            0.0
+        } else {
+            self.total_mispredictions() as f64 / execs as f64
+        }
+    }
+
+    /// Iterates over `(StaticId, BranchStats)` for every branch that
+    /// executed at least once.
+    pub fn iter(&self) -> impl Iterator<Item = (StaticId, BranchStats)> + '_ {
+        self.stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.executions > 0)
+            .map(|(i, s)| (StaticId::from_raw(i as u32), *s))
+    }
+}
+
+impl TraceConsumer for BranchProfiler {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        if op.kind.is_cond_branch() {
+            self.observe(op.sid, op.taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> StaticId {
+        StaticId::from_raw(n)
+    }
+
+    #[test]
+    fn per_branch_isolation() {
+        // Two branches with opposite biases must not interfere (the
+        // paper's no-aliasing property).
+        let mut p = BranchProfiler::new();
+        for _ in 0..500 {
+            p.observe(sid(0), true);
+            p.observe(sid(1), false);
+        }
+        assert!(p.misprediction_rate(sid(0)) < 0.02);
+        assert!(p.misprediction_rate(sid(1)) < 0.02);
+    }
+
+    #[test]
+    fn hard_to_predict_threshold() {
+        let mut p = BranchProfiler::new();
+        let mut state = 99u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.observe(sid(0), (state >> 40) & 1 == 1);
+        }
+        assert!(p.is_hard_to_predict(sid(0)));
+        assert!(!p.is_hard_to_predict(sid(1)), "never-executed branch is not hard");
+    }
+
+    #[test]
+    fn totals_aggregate_over_branches() {
+        let mut p = BranchProfiler::new();
+        for i in 0..10u64 {
+            p.observe(sid((i % 3) as u32), i % 2 == 0);
+        }
+        assert_eq!(p.total_executions(), 10);
+        assert_eq!(
+            p.total_mispredictions(),
+            p.iter().map(|(_, s)| s.mispredictions).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn iter_skips_unexecuted() {
+        let mut p = BranchProfiler::new();
+        p.observe(sid(5), true);
+        let seen: Vec<_> = p.iter().map(|(id, _)| id).collect();
+        assert_eq!(seen, vec![sid(5)]);
+    }
+
+    #[test]
+    fn correlated_branches_benefit_from_global_history() {
+        // Branch B always equals the outcome of branch A: global history
+        // makes B nearly perfectly predictable even though B alone looks
+        // random.
+        let mut p = BranchProfiler::new();
+        let mut state = 7u64;
+        let mut b_wrong_tail = 0u64;
+        let n = 4000;
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (state >> 40) & 1 == 1;
+            p.observe(sid(0), a);
+            let before = p.stats(sid(1)).mispredictions;
+            p.observe(sid(1), a);
+            if i >= n / 2 {
+                b_wrong_tail += p.stats(sid(1)).mispredictions - before;
+            }
+        }
+        let tail_rate = b_wrong_tail as f64 / (n / 2) as f64;
+        assert!(tail_rate < 0.25, "correlated branch tail rate {tail_rate}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: predictor statistics stay consistent for arbitrary
+//! branch streams.
+
+use bioperf_branch::{BranchProfiler, Hybrid, SatCounter};
+use bioperf_isa::StaticId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Counter state is always one of the four saturating states.
+    #[test]
+    fn counter_stays_in_range(outcomes in prop::collection::vec(prop::bool::ANY, 0..200)) {
+        let mut c = SatCounter::weakly_not_taken();
+        for &o in &outcomes {
+            c.train(o);
+            prop_assert!(c.state() <= 3);
+        }
+    }
+
+    /// Totals equal the per-branch sums; rates are probabilities.
+    #[test]
+    fn profiler_totals_are_consistent(
+        stream in prop::collection::vec((0u32..8, prop::bool::ANY), 1..500)
+    ) {
+        let mut p = BranchProfiler::new();
+        for &(b, taken) in &stream {
+            p.observe(StaticId::from_raw(b), taken);
+        }
+        prop_assert_eq!(p.total_executions(), stream.len() as u64);
+        let per_branch: u64 = p.iter().map(|(_, s)| s.executions).sum();
+        prop_assert_eq!(per_branch, stream.len() as u64);
+        prop_assert!(p.total_mispredictions() <= p.total_executions());
+        let rate = p.overall_misprediction_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        for (_, s) in p.iter() {
+            prop_assert!((0.0..=1.0).contains(&s.misprediction_rate()));
+        }
+    }
+
+    /// A constant branch is eventually always predicted correctly: at
+    /// most a handful of warmup mispredictions regardless of direction.
+    #[test]
+    fn constant_branches_converge(direction in prop::bool::ANY, n in 50usize..400) {
+        let mut p = Hybrid::new(8);
+        let mut wrong = 0;
+        let mut h = 0u64;
+        for _ in 0..n {
+            if !p.predict_and_update(h, direction) {
+                wrong += 1;
+            }
+            h = (h << 1) | direction as u64;
+        }
+        prop_assert!(wrong <= 4, "{wrong} mispredicts on a constant branch");
+    }
+
+    /// Prediction is a pure function of state: predicting twice without
+    /// an update gives the same answer.
+    #[test]
+    fn predict_is_pure(history in any::<u64>(), warmup in prop::collection::vec(prop::bool::ANY, 0..50)) {
+        let mut p = Hybrid::new(6);
+        let mut h = 0u64;
+        for &o in &warmup {
+            p.update(h, o);
+            h = (h << 1) | o as u64;
+        }
+        prop_assert_eq!(p.predict(history), p.predict(history));
+    }
+}

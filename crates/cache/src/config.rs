@@ -1,0 +1,174 @@
+//! Cache and latency configuration.
+
+use std::fmt;
+
+/// Write handling policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Write back with write allocate (the paper's Table 3 policy).
+    WriteBackAllocate,
+    /// Write through without allocation (stores never fill the cache).
+    WriteThroughNoAllocate,
+}
+
+/// Geometry and policy of a single cache.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_cache::CacheConfig;
+///
+/// let l1 = CacheConfig::new(64 * 1024, 2, 64);
+/// assert_eq!(l1.num_sets(), 512);
+/// assert_eq!(l1.to_string(), "64 KB 2-way, 64 B blocks");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity; `1` means direct-mapped.
+    pub ways: u32,
+    /// Block (line) size in bytes; must be a power of two.
+    pub block_bytes: u64,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// Creates a write-back/write-allocate configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid: zero sizes, non-power-of-two
+    /// block size, or a capacity not divisible by `ways * block_bytes`.
+    pub fn new(size_bytes: u64, ways: u32, block_bytes: u64) -> Self {
+        let cfg = Self { size_bytes, ways, block_bytes, write_policy: WritePolicy::WriteBackAllocate };
+        cfg.validate();
+        cfg
+    }
+
+    /// Sets the write policy.
+    pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.block_bytes)
+    }
+
+    fn validate(&self) {
+        assert!(self.size_bytes > 0 && self.ways > 0 && self.block_bytes > 0, "zero-sized cache");
+        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            self.size_bytes.is_multiple_of(self.ways as u64 * self.block_bytes),
+            "capacity must be a whole number of sets"
+        );
+        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let size = self.size_bytes;
+        if size >= 1024 * 1024 && size.is_multiple_of(1024 * 1024) {
+            write!(f, "{} MB ", size / (1024 * 1024))?;
+        } else {
+            write!(f, "{} KB ", size / 1024)?;
+        }
+        if self.ways == 1 {
+            write!(f, "direct-mapped, {} B blocks", self.block_bytes)
+        } else {
+            write!(f, "{}-way, {} B blocks", self.ways, self.block_bytes)
+        }
+    }
+}
+
+/// Access latencies of a two-level hierarchy plus memory, in cycles.
+///
+/// The paper's Section 2.1 uses L1 = 3, L2 = 5, memory = 72 for its AMAT
+/// computation, which [`LatencyConfig::alpha21264`] reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyConfig {
+    /// L1 hit (load-to-use) latency.
+    pub l1: u64,
+    /// Additional latency of an L2 hit beyond the L1 probe.
+    pub l2: u64,
+    /// Additional latency of a memory access beyond the L2 probe.
+    pub memory: u64,
+}
+
+impl LatencyConfig {
+    /// The paper's Alpha 21264 reference latencies (Section 2.1).
+    pub const fn alpha21264() -> Self {
+        Self { l1: 3, l2: 5, memory: 72 }
+    }
+
+    /// Total latency of an access serviced at the given depth.
+    pub fn total(&self, l1_miss: bool, l2_miss: bool) -> u64 {
+        let mut lat = self.l1;
+        if l1_miss {
+            lat += self.l2;
+            if l2_miss {
+                lat += self.memory;
+            }
+        }
+        lat
+    }
+
+    /// The paper's AMAT formula: `l1 + m1*(l2 + m2*mem)` for local miss
+    /// ratios `m1` (L1) and `m2` (L2).
+    pub fn amat(&self, m1: f64, m2: f64) -> f64 {
+        self.l1 as f64 + m1 * (self.l2 as f64 + m2 * self.memory as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_l1_geometry() {
+        let cfg = CacheConfig::new(64 * 1024, 2, 64);
+        assert_eq!(cfg.num_sets(), 512);
+    }
+
+    #[test]
+    fn alpha_l2_geometry() {
+        let cfg = CacheConfig::new(4 * 1024 * 1024, 1, 64);
+        assert_eq!(cfg.num_sets(), 65536);
+        assert_eq!(cfg.to_string(), "4 MB direct-mapped, 64 B blocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_block_rejected() {
+        CacheConfig::new(1024, 2, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn ragged_capacity_rejected() {
+        CacheConfig::new(1000, 2, 64);
+    }
+
+    #[test]
+    fn paper_amat_formula_matches_blast_example() {
+        // Section 2.1: blast AMAT = 3 + 1.78% * (5 + 4.05% * 72) = 3.14.
+        let lat = LatencyConfig::alpha21264();
+        let (m1, m2) = (0.0178, 0.0405);
+        let amat = lat.amat(m1, m2);
+        #[allow(clippy::approx_constant)] // 3.14 is the paper's AMAT figure, not pi
+        let expected = 3.14f64;
+        assert!((amat - expected).abs() < 0.01, "got {amat}");
+    }
+
+    #[test]
+    fn total_latency_by_depth() {
+        let lat = LatencyConfig::alpha21264();
+        assert_eq!(lat.total(false, false), 3);
+        assert_eq!(lat.total(true, false), 8);
+        assert_eq!(lat.total(true, true), 80);
+    }
+}

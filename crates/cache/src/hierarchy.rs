@@ -1,0 +1,361 @@
+//! Two-level hierarchy with per-level demand statistics and AMAT.
+
+use bioperf_isa::{MicroOp, Program};
+use bioperf_trace::TraceConsumer;
+
+use crate::cache::Cache;
+use crate::config::{CacheConfig, LatencyConfig};
+use crate::prefetch::{PrefetchEngine, Prefetcher};
+
+/// Demand access type presented to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+}
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicedBy {
+    /// Hit in the L1 data cache.
+    L1,
+    /// Missed L1, hit the unified L2.
+    L2,
+    /// Missed both caches; serviced by main memory.
+    Memory,
+}
+
+/// Demand statistics for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Load accesses presented to this level.
+    pub load_accesses: u64,
+    /// Load accesses that missed.
+    pub load_misses: u64,
+    /// Store accesses presented to this level.
+    pub store_accesses: u64,
+    /// Store accesses that missed.
+    pub store_misses: u64,
+    /// Dirty evictions written back out of this level.
+    pub writebacks: u64,
+}
+
+impl LevelStats {
+    /// Local load miss ratio (misses at this level / accesses that reached
+    /// this level), the quantity in the paper's Table 2.
+    pub fn load_miss_ratio(&self) -> f64 {
+        if self.load_accesses == 0 {
+            0.0
+        } else {
+            self.load_misses as f64 / self.load_accesses as f64
+        }
+    }
+}
+
+/// Aggregate statistics of a [`Hierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 data cache demand stats.
+    pub l1: LevelStats,
+    /// Unified L2 demand stats (data side only — we trace no instruction
+    /// fetches, mirroring the paper's data-cache focus).
+    pub l2: LevelStats,
+}
+
+impl HierarchyStats {
+    /// Fraction of all loads serviced by main memory (the paper's
+    /// "overall" column: ~0.03% on average).
+    pub fn overall_load_memory_ratio(&self) -> f64 {
+        if self.l1.load_accesses == 0 {
+            0.0
+        } else {
+            self.l2.load_misses as f64 / self.l1.load_accesses as f64
+        }
+    }
+}
+
+/// L1 data cache + unified L2 + main memory.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_cache::{alpha21264_hierarchy, AccessKind};
+///
+/// let mut h = alpha21264_hierarchy();
+/// for _pass in 0..20 {
+///     for i in 0..1000u64 {
+///         h.access(i * 8, AccessKind::Load); // small working set: mostly L1 hits
+///     }
+/// }
+/// assert!(h.stats().l1.load_miss_ratio() < 0.01);
+/// assert!(h.amat() < 3.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1d: Cache,
+    l2: Cache,
+    latencies: LatencyConfig,
+    stats: HierarchyStats,
+    prefetch: PrefetchEngine,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from per-level configurations (no prefetching).
+    pub fn new(l1d: CacheConfig, l2: CacheConfig, latencies: LatencyConfig) -> Self {
+        let block = l1d.block_bytes;
+        Self {
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            latencies,
+            stats: HierarchyStats::default(),
+            prefetch: PrefetchEngine::new(Prefetcher::None, block),
+        }
+    }
+
+    /// Attaches an L1 prefetcher (prefetched blocks fill L1 directly;
+    /// their upstream traffic is not charged — an optimistic prefetcher,
+    /// which only strengthens the paper's "prefetching cannot help here"
+    /// conclusion).
+    pub fn with_prefetcher(mut self, policy: Prefetcher) -> Self {
+        self.prefetch = PrefetchEngine::new(policy, self.l1d.config().block_bytes);
+        self
+    }
+
+    /// Prefetch statistics (issued / useless).
+    pub fn prefetch_stats(&self) -> &PrefetchEngine {
+        &self.prefetch
+    }
+
+    /// The configured latencies.
+    pub fn latencies(&self) -> LatencyConfig {
+        self.latencies
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Performs a demand access and returns its total latency in cycles.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> u64 {
+        self.access_detailed(addr, kind).1
+    }
+
+    /// Performs a demand access, returning the servicing level and the
+    /// total latency in cycles.
+    pub fn access_detailed(&mut self, addr: u64, kind: AccessKind) -> (ServicedBy, u64) {
+        let is_store = kind == AccessKind::Store;
+        match kind {
+            AccessKind::Load => self.stats.l1.load_accesses += 1,
+            AccessKind::Store => self.stats.l1.store_accesses += 1,
+        }
+        let r1 = self.l1d.access(addr, is_store);
+        if let Some(wb) = r1.writeback {
+            self.stats.l1.writebacks += 1;
+            // Write the dirty block back into L2 (not counted as demand).
+            let r2 = self.l2.access(wb, true);
+            if r2.writeback.is_some() {
+                self.stats.l2.writebacks += 1;
+            }
+        }
+        if r1.hit {
+            return (ServicedBy::L1, self.latencies.total(false, false));
+        }
+        match kind {
+            AccessKind::Load => self.stats.l1.load_misses += 1,
+            AccessKind::Store => self.stats.l1.store_misses += 1,
+        }
+        self.prefetch.on_miss(addr, &mut self.l1d);
+
+        match kind {
+            AccessKind::Load => self.stats.l2.load_accesses += 1,
+            AccessKind::Store => self.stats.l2.store_accesses += 1,
+        }
+        let r2 = self.l2.access(addr, is_store);
+        if r2.writeback.is_some() {
+            self.stats.l2.writebacks += 1;
+        }
+        if r2.hit {
+            return (ServicedBy::L2, self.latencies.total(true, false));
+        }
+        match kind {
+            AccessKind::Load => self.stats.l2.load_misses += 1,
+            AccessKind::Store => self.stats.l2.store_misses += 1,
+        }
+        (ServicedBy::Memory, self.latencies.total(true, true))
+    }
+
+    /// Average memory access time for loads, computed with the paper's
+    /// formula from the accumulated local miss ratios.
+    pub fn amat(&self) -> f64 {
+        let m1 = self.stats.l1.load_miss_ratio();
+        let m2 = self.stats.l2.load_miss_ratio();
+        self.latencies.amat(m1, m2)
+    }
+
+    /// Invalidates all cached state and clears statistics.
+    pub fn reset(&mut self) {
+        self.l1d.clear();
+        self.l2.clear();
+        self.stats = HierarchyStats::default();
+    }
+}
+
+/// The paper's reference configuration (Table 3 geometry, Section 2.1
+/// latencies): 64 KB 2-way L1D, 4 MB direct-mapped unified L2, 64-byte
+/// blocks, write-back/write-allocate, latencies 3/5/72.
+pub fn alpha21264_hierarchy() -> Hierarchy {
+    Hierarchy::new(
+        CacheConfig::new(64 * 1024, 2, 64),
+        CacheConfig::new(4 * 1024 * 1024, 1, 64),
+        LatencyConfig::alpha21264(),
+    )
+}
+
+/// Trace consumer adapter: feeds every load and store of a micro-op trace
+/// through a [`Hierarchy`], making the cache simulator pluggable into a
+/// [`Tape`](bioperf_trace::Tape).
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    hierarchy: Hierarchy,
+}
+
+impl CacheSim {
+    /// Wraps a hierarchy for trace consumption.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        Self { hierarchy }
+    }
+
+    /// The wrapped hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Unwraps the hierarchy.
+    pub fn into_hierarchy(self) -> Hierarchy {
+        self.hierarchy
+    }
+}
+
+impl TraceConsumer for CacheSim {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        if let Some(addr) = op.addr {
+            let kind = if op.kind.is_load() { AccessKind::Load } else { AccessKind::Store };
+            self.hierarchy.access(addr, kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_hierarchy() -> Hierarchy {
+        Hierarchy::new(
+            CacheConfig::new(1024, 2, 64),       // 1 KB L1
+            CacheConfig::new(16 * 1024, 1, 64),  // 16 KB L2
+            LatencyConfig::alpha21264(),
+        )
+    }
+
+    #[test]
+    fn first_touch_goes_to_memory() {
+        let mut h = small_hierarchy();
+        let (lvl, lat) = h.access_detailed(0x1000, AccessKind::Load);
+        assert_eq!(lvl, ServicedBy::Memory);
+        assert_eq!(lat, 80);
+    }
+
+    #[test]
+    fn second_touch_hits_l1() {
+        let mut h = small_hierarchy();
+        h.access(0x1000, AccessKind::Load);
+        let (lvl, lat) = h.access_detailed(0x1000, AccessKind::Load);
+        assert_eq!(lvl, ServicedBy::L1);
+        assert_eq!(lat, 3);
+    }
+
+    #[test]
+    fn l1_victim_still_hits_l2() {
+        let mut h = small_hierarchy();
+        // L1: 8 sets x 2 ways. Fill set 0 beyond capacity; all blocks stay in L2.
+        for i in 0..4u64 {
+            h.access(i * 512, AccessKind::Load); // same L1 set 0
+        }
+        let (lvl, _) = h.access_detailed(0, AccessKind::Load);
+        assert_eq!(lvl, ServicedBy::L2);
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent() {
+        let mut h = small_hierarchy();
+        for i in 0..100u64 {
+            h.access(i * 64, AccessKind::Load);
+        }
+        for i in 0..50u64 {
+            h.access(i * 64, AccessKind::Store);
+        }
+        let s = h.stats();
+        assert_eq!(s.l1.load_accesses, 100);
+        assert_eq!(s.l1.store_accesses, 50);
+        // Every L1 miss becomes exactly one L2 access.
+        assert_eq!(s.l1.load_misses, s.l2.load_accesses);
+        assert_eq!(s.l1.store_misses, s.l2.store_accesses);
+        assert!(s.l2.load_misses <= s.l2.load_accesses);
+    }
+
+    #[test]
+    fn amat_equals_l1_latency_when_all_hit() {
+        let mut h = small_hierarchy();
+        h.access(0, AccessKind::Load);
+        for _ in 0..999 {
+            h.access(0, AccessKind::Load);
+        }
+        // miss ratio 1/1000 -> AMAT barely above 3.
+        assert!(h.amat() > 3.0 && h.amat() < 3.1, "amat = {}", h.amat());
+    }
+
+    #[test]
+    fn dirty_writeback_reaches_l2() {
+        let mut h = small_hierarchy();
+        h.access(0x000, AccessKind::Store); // dirty in L1
+        for i in 1..3u64 {
+            h.access(i * 512, AccessKind::Load); // evict set 0
+        }
+        assert!(h.stats().l1.writebacks >= 1);
+    }
+
+    #[test]
+    fn reset_clears_state_and_stats() {
+        let mut h = small_hierarchy();
+        h.access(0x40, AccessKind::Load);
+        h.reset();
+        assert_eq!(h.stats().l1.load_accesses, 0);
+        let (lvl, _) = h.access_detailed(0x40, AccessKind::Load);
+        assert_eq!(lvl, ServicedBy::Memory);
+    }
+
+    #[test]
+    fn chunked_working_set_has_low_miss_rate() {
+        // The paper's explanation for the low L1 miss rates: programs work
+        // on an L1-resident chunk for a while before moving on.
+        let mut h = alpha21264_hierarchy();
+        for chunk in 0..8u64 {
+            let base = chunk * 16 * 1024;
+            for _pass in 0..50 {
+                for i in 0..(16 * 1024 / 8) {
+                    h.access(base + i * 8, AccessKind::Load);
+                }
+            }
+        }
+        // Only compulsory misses remain: 256 blocks per 16 KB chunk over
+        // 102 400 accesses per chunk = 0.25% local miss rate.
+        assert!(
+            h.stats().l1.load_miss_ratio() < 0.003,
+            "chunked access should almost always hit: {}",
+            h.stats().l1.load_miss_ratio()
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Hardware prefetching for the cache hierarchy.
+//!
+//! The paper's central claim is that the BioPerf programs' memory cost is
+//! the L1 *hit* latency, not misses — which predicts that a prefetcher
+//! (which can only remove misses) barely helps. This module implements
+//! two classic schemes so that prediction can be tested:
+//!
+//! * [`Prefetcher::NextLine`] — on a miss to block `B`, also fetch `B+1`,
+//! * [`Prefetcher::Stride`] — a per-PC-less global stride detector that
+//!   confirms a stride after two repetitions and then runs ahead.
+
+use crate::cache::Cache;
+
+/// Prefetch policy attached to a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prefetcher {
+    /// No prefetching.
+    None,
+    /// Fetch the next sequential block on every demand miss.
+    NextLine,
+    /// Detect a repeating stride in the demand-miss address stream and
+    /// prefetch one stride ahead once confirmed.
+    Stride,
+}
+
+/// Stride-detector state for [`Prefetcher::Stride`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrideState {
+    last_addr: u64,
+    last_stride: i64,
+    confirmed: bool,
+}
+
+/// Runtime prefetch engine: owns the policy, its state, and statistics.
+#[derive(Debug, Clone)]
+pub struct PrefetchEngine {
+    policy: Prefetcher,
+    stride: StrideState,
+    block_bytes: u64,
+    /// Prefetches issued.
+    pub issued: u64,
+    /// Prefetches that were already resident (wasted).
+    pub useless: u64,
+}
+
+impl PrefetchEngine {
+    /// Creates an engine for a given block size.
+    pub fn new(policy: Prefetcher, block_bytes: u64) -> Self {
+        Self { policy, stride: StrideState::default(), block_bytes, issued: 0, useless: 0 }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Prefetcher {
+        self.policy
+    }
+
+    /// Reacts to a demand miss at `addr`, filling `cache` with any
+    /// predicted blocks.
+    pub fn on_miss(&mut self, addr: u64, cache: &mut Cache) {
+        match self.policy {
+            Prefetcher::None => {}
+            Prefetcher::NextLine => {
+                self.fetch(addr.wrapping_add(self.block_bytes), cache);
+            }
+            Prefetcher::Stride => {
+                let stride = addr as i64 - self.stride.last_addr as i64;
+                if stride != 0 && stride == self.stride.last_stride {
+                    self.stride.confirmed = true;
+                } else if stride != 0 {
+                    self.stride.confirmed = false;
+                }
+                if self.stride.confirmed {
+                    let target = (addr as i64).wrapping_add(stride) as u64;
+                    self.fetch(target, cache);
+                }
+                if stride != 0 {
+                    self.stride.last_stride = stride;
+                }
+                self.stride.last_addr = addr;
+            }
+        }
+    }
+
+    fn fetch(&mut self, addr: u64, cache: &mut Cache) {
+        self.issued += 1;
+        if cache.probe(addr) {
+            self.useless += 1;
+        } else {
+            cache.access(addr, false);
+        }
+    }
+
+    /// Fraction of issued prefetches that were already resident.
+    pub fn useless_fraction(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.useless as f64 / self.issued as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn cache() -> Cache {
+        Cache::new(CacheConfig::new(4096, 2, 64))
+    }
+
+    #[test]
+    fn none_never_issues() {
+        let mut c = cache();
+        let mut p = PrefetchEngine::new(Prefetcher::None, 64);
+        for i in 0..10u64 {
+            p.on_miss(i * 64, &mut c);
+        }
+        assert_eq!(p.issued, 0);
+    }
+
+    #[test]
+    fn next_line_eliminates_sequential_misses() {
+        let mut c = cache();
+        let mut p = PrefetchEngine::new(Prefetcher::NextLine, 64);
+        // Touch block 0; prefetcher should pull block 1.
+        assert!(!c.access(0, false).hit);
+        p.on_miss(0, &mut c);
+        assert!(c.probe(64), "next line prefetched");
+    }
+
+    #[test]
+    fn stride_confirms_after_two_repeats() {
+        let mut c = cache();
+        let mut p = PrefetchEngine::new(Prefetcher::Stride, 64);
+        p.on_miss(0, &mut c);
+        assert_eq!(p.issued, 0, "no stride yet");
+        p.on_miss(256, &mut c);
+        assert_eq!(p.issued, 0, "stride seen once");
+        p.on_miss(512, &mut c);
+        assert_eq!(p.issued, 1, "stride confirmed");
+        assert!(c.probe(768), "one stride ahead");
+    }
+
+    #[test]
+    fn stride_resets_on_irregular_pattern() {
+        let mut c = cache();
+        let mut p = PrefetchEngine::new(Prefetcher::Stride, 64);
+        p.on_miss(0, &mut c);
+        p.on_miss(256, &mut c);
+        p.on_miss(512, &mut c); // confirmed, prefetch 768
+        p.on_miss(100_000, &mut c); // break the stride
+        let issued_before = p.issued;
+        p.on_miss(100_064, &mut c); // new stride seen once
+        assert_eq!(p.issued, issued_before, "must reconfirm after a break");
+    }
+
+    #[test]
+    fn useless_prefetches_are_counted() {
+        let mut c = cache();
+        c.access(64, false); // resident already
+        let mut p = PrefetchEngine::new(Prefetcher::NextLine, 64);
+        p.on_miss(0, &mut c);
+        assert_eq!(p.issued, 1);
+        assert_eq!(p.useless, 1);
+        assert_eq!(p.useless_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: cache accounting invariants hold for arbitrary access
+//! streams.
+
+use bioperf_cache::{AccessKind, Cache, CacheConfig, Hierarchy, LatencyConfig};
+use proptest::prelude::*;
+
+fn small_hierarchy() -> Hierarchy {
+    Hierarchy::new(
+        CacheConfig::new(1024, 2, 64),
+        CacheConfig::new(8 * 1024, 1, 64),
+        LatencyConfig::alpha21264(),
+    )
+}
+
+proptest! {
+    /// Every L1 miss becomes exactly one L2 access; misses never exceed
+    /// accesses at any level.
+    #[test]
+    fn accounting_is_conserved(ops in prop::collection::vec((0u64..1 << 16, prop::bool::ANY), 1..500)) {
+        let mut h = small_hierarchy();
+        for (addr, is_store) in &ops {
+            let kind = if *is_store { AccessKind::Store } else { AccessKind::Load };
+            h.access(*addr, kind);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1.load_misses, s.l2.load_accesses);
+        prop_assert_eq!(s.l1.store_misses, s.l2.store_accesses);
+        prop_assert!(s.l1.load_misses <= s.l1.load_accesses);
+        prop_assert!(s.l2.load_misses <= s.l2.load_accesses);
+        let total = ops.len() as u64;
+        prop_assert_eq!(s.l1.load_accesses + s.l1.store_accesses, total);
+    }
+
+    /// Latency is always one of the three levels' totals, and AMAT is
+    /// bounded by them.
+    #[test]
+    fn latency_is_one_of_three_levels(ops in prop::collection::vec(0u64..1 << 14, 1..300)) {
+        let mut h = small_hierarchy();
+        let lat = LatencyConfig::alpha21264();
+        for addr in &ops {
+            let l = h.access(*addr, AccessKind::Load);
+            prop_assert!(
+                l == lat.total(false, false) || l == lat.total(true, false) || l == lat.total(true, true),
+                "unexpected latency {l}"
+            );
+        }
+        let amat = h.amat();
+        prop_assert!(amat >= lat.l1 as f64);
+        prop_assert!(amat <= (lat.l1 + lat.l2 + lat.memory) as f64);
+    }
+
+    /// A block is always resident immediately after a load access.
+    #[test]
+    fn loads_fill(addrs in prop::collection::vec(0u64..1 << 14, 1..200)) {
+        let mut c = Cache::new(CacheConfig::new(512, 2, 64));
+        for addr in &addrs {
+            c.access(*addr, false);
+            prop_assert!(c.probe(*addr), "block 0x{addr:x} not resident after access");
+        }
+    }
+
+    /// Repeating any access stream twice can only raise the hit count:
+    /// the second pass finds whatever survived.
+    #[test]
+    fn second_pass_never_hurts_total_hits(addrs in prop::collection::vec(0u64..1 << 12, 1..100)) {
+        let mut once = small_hierarchy();
+        for a in &addrs {
+            once.access(*a, AccessKind::Load);
+        }
+        let misses_once = once.stats().l1.load_misses;
+
+        let mut twice = small_hierarchy();
+        for a in addrs.iter().chain(addrs.iter()) {
+            twice.access(*a, AccessKind::Load);
+        }
+        let misses_twice = twice.stats().l1.load_misses;
+        prop_assert!(misses_twice <= 2 * misses_once + addrs.len() as u64,
+            "second pass should reuse state");
+        prop_assert!(misses_twice >= misses_once, "prefix misses are identical");
+    }
+
+    /// Writebacks only happen if there was at least one store.
+    #[test]
+    fn writebacks_require_stores(ops in prop::collection::vec((0u64..1 << 14, prop::bool::ANY), 1..300)) {
+        let mut h = small_hierarchy();
+        for (addr, is_store) in &ops {
+            let kind = if *is_store { AccessKind::Store } else { AccessKind::Load };
+            h.access(*addr, kind);
+        }
+        let s = h.stats();
+        if s.l1.store_accesses == 0 {
+            prop_assert_eq!(s.l1.writebacks, 0);
+        }
+    }
+}

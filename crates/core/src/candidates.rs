@@ -1,0 +1,220 @@
+//! Transformation-candidate discovery — the paper's Section 3 workflow.
+//!
+//! The paper's method for deciding *which* loads to schedule: "use ATOM
+//! to detect the two load sequences … and map the loads back to source
+//! code lines. A profile run then determines, for each sequence, the
+//! frequency of execution, the branch misprediction rate, the L1 miss
+//! rate, and information about the corresponding lines of source code.
+//! The optimization candidates are the frequently executed loads that
+//! lead to or follow branches with high misprediction rates."
+//!
+//! [`find_candidates`] automates exactly that over a
+//! [`CharacterizationReport`], ranking static loads by expected benefit.
+
+use bioperf_isa::{SrcLoc, StaticId};
+
+use crate::characterize::CharacterizationReport;
+
+/// Why a load qualifies as a scheduling candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateReason {
+    /// The load's value feeds a hard-to-predict branch (load→branch):
+    /// hoisting it shortens branch resolution.
+    LeadsToHardBranch,
+    /// The load starts a tight dependent chain right after a
+    /// hard-to-predict branch (branch→load): hoisting it above the
+    /// branch hides its latency under older work.
+    FollowsHardBranch,
+    /// Both patterns apply (the sequences are not mutually exclusive,
+    /// as the paper notes).
+    Both,
+}
+
+impl std::fmt::Display for CandidateReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CandidateReason::LeadsToHardBranch => "load→branch",
+            CandidateReason::FollowsHardBranch => "branch→load",
+            CandidateReason::Both => "load→branch + branch→load",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A ranked transformation candidate: one static load worth scheduling.
+#[derive(Debug, Clone)]
+pub struct TransformCandidate {
+    /// The static load.
+    pub sid: StaticId,
+    /// Source location to edit.
+    pub loc: SrcLoc,
+    /// Fraction of all dynamic loads this site contributes.
+    pub frequency: f64,
+    /// Its own L1 miss rate (candidates should be L1-resident — the
+    /// point of the paper is that *hits* are the problem).
+    pub l1_miss_rate: f64,
+    /// Misprediction rate of the branches it feeds.
+    pub fed_branch_misprediction_rate: f64,
+    /// Fraction of its executions right behind a hard branch.
+    pub after_hard_branch_fraction: f64,
+    /// Which pattern(s) qualified it.
+    pub reason: CandidateReason,
+    /// Ranking score: frequency × exposure probability.
+    pub score: f64,
+}
+
+/// Thresholds for candidate selection.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateCriteria {
+    /// Minimum fraction of dynamic loads a site must contribute.
+    pub min_frequency: f64,
+    /// Minimum misprediction rate of fed branches for the load→branch
+    /// pattern (the paper's "high misprediction rates"; its Table 4b
+    /// threshold is 5%).
+    pub min_fed_mispredict: f64,
+    /// Minimum after-hard-branch fraction for the branch→load pattern.
+    pub min_after_hard: f64,
+}
+
+impl Default for CandidateCriteria {
+    fn default() -> Self {
+        Self { min_frequency: 0.005, min_fed_mispredict: 0.05, min_after_hard: 0.25 }
+    }
+}
+
+/// Finds and ranks scheduling candidates in a characterization report.
+///
+/// Returns candidates sorted by descending score. A load qualifies if it
+/// is frequent and either feeds hard branches or follows them; its score
+/// is `frequency × max(fed_mispredict, after_hard_fraction)` — an
+/// estimate of how often its L1 hit latency lands on the critical path.
+///
+/// # Example
+///
+/// ```no_run
+/// use bioperf_core::candidates::{find_candidates, CandidateCriteria};
+/// use bioperf_core::characterize::characterize_program;
+/// use bioperf_kernels::{ProgramId, Scale};
+///
+/// let report = characterize_program(ProgramId::Hmmsearch, Scale::Small, 42);
+/// let candidates = find_candidates(&report, CandidateCriteria::default());
+/// for c in candidates.iter().take(5) {
+///     println!("{} ({}): score {:.4}", c.loc, c.reason, c.score);
+/// }
+/// ```
+pub fn find_candidates(
+    report: &CharacterizationReport,
+    criteria: CandidateCriteria,
+) -> Vec<TransformCandidate> {
+    let total = report.sequences.total_loads.max(1) as f64;
+    let mut out = Vec::new();
+    for inst in report.program.iter() {
+        if !inst.kind.is_load() {
+            continue;
+        }
+        let stats = report.analysis_load_stats(inst.id);
+        if stats.executions == 0 {
+            continue;
+        }
+        let frequency = stats.executions as f64 / total;
+        if frequency < criteria.min_frequency {
+            continue;
+        }
+        let fed = stats.fed_branch_misprediction_rate();
+        let after = stats.after_hard_branch_fraction();
+        let leads = stats.fed_branch_executions > 0 && fed >= criteria.min_fed_mispredict;
+        let follows = after >= criteria.min_after_hard;
+        let reason = match (leads, follows) {
+            (true, true) => CandidateReason::Both,
+            (true, false) => CandidateReason::LeadsToHardBranch,
+            (false, true) => CandidateReason::FollowsHardBranch,
+            (false, false) => continue,
+        };
+        out.push(TransformCandidate {
+            sid: inst.id,
+            loc: inst.loc,
+            frequency,
+            l1_miss_rate: stats.l1_miss_rate(),
+            fed_branch_misprediction_rate: fed,
+            after_hard_branch_fraction: after,
+            reason,
+            score: frequency * fed.max(after),
+        });
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize_program, Characterizer};
+    use bioperf_isa::here;
+    use bioperf_kernels::{ProgramId, Scale};
+    use bioperf_trace::{Tape, Tracer};
+
+    #[test]
+    fn hmmsearch_candidates_point_into_the_viterbi_kernel() {
+        let report = characterize_program(ProgramId::Hmmsearch, Scale::Test, 42);
+        let candidates = find_candidates(&report, CandidateCriteria::default());
+        assert!(!candidates.is_empty(), "hmmsearch must yield candidates");
+        for c in candidates.iter().take(3) {
+            assert!(c.loc.file.contains("viterbi"), "candidate at {}", c.loc);
+            assert!(c.l1_miss_rate < 0.02, "candidates hit L1: {}", c.l1_miss_rate);
+        }
+        // Scores are sorted descending.
+        assert!(candidates.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn promlk_yields_fewer_candidates_than_hmmsearch() {
+        let hmm = characterize_program(ProgramId::Hmmsearch, Scale::Test, 42);
+        let promlk = characterize_program(ProgramId::Promlk, Scale::Test, 42);
+        let ch = find_candidates(&hmm, CandidateCriteria::default());
+        let cp = find_candidates(&promlk, CandidateCriteria::default());
+        assert!(
+            ch.len() > cp.len(),
+            "hmmsearch ({}) should offer more opportunities than promlk ({})",
+            ch.len(),
+            cp.len()
+        );
+    }
+
+    #[test]
+    fn synthetic_hard_branch_load_is_found() {
+        // A hot load feeding a random branch qualifies; a load feeding
+        // nothing does not.
+        let xs = [1u64, 2];
+        let mut state = 5u64;
+        let mut tape = Tape::new(Characterizer::new());
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = tape.int_load(here!("feeds_branch"), &xs[0]);
+            let c = tape.int_op(here!("feeds_branch"), &[v]);
+            tape.branch(here!("feeds_branch"), &[c], (state >> 33) & 1 == 1);
+            let w = tape.int_load(here!("feeds_nothing"), &xs[1]);
+            tape.int_op(here!("dead"), &[w]);
+        }
+        let (program, ch) = tape.finish();
+        let report = ch.into_report(program, 5);
+        let candidates = find_candidates(&report, CandidateCriteria::default());
+        assert!(candidates.iter().any(|c| c.loc.function == "feeds_branch"));
+        assert!(
+            !candidates
+                .iter()
+                .any(|c| c.loc.function == "feeds_nothing" && c.reason == CandidateReason::LeadsToHardBranch),
+            "a load that never feeds a branch is not a load→branch candidate"
+        );
+    }
+
+    #[test]
+    fn criteria_thresholds_filter() {
+        let report = characterize_program(ProgramId::Hmmsearch, Scale::Test, 42);
+        let strict = CandidateCriteria {
+            min_frequency: 0.99,
+            min_fed_mispredict: 0.99,
+            min_after_hard: 0.99,
+        };
+        assert!(find_candidates(&report, strict).is_empty());
+    }
+}

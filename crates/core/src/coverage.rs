@@ -1,0 +1,149 @@
+//! Cumulative load-coverage curves (Figure 2).
+
+use bioperf_isa::{MicroOp, Program};
+use bioperf_trace::consumers::LoadCounts;
+use bioperf_trace::TraceConsumer;
+
+/// Builds the paper's Figure 2 curve: the fraction of dynamic loads
+/// covered by the `n` most frequently executed static loads.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_core::LoadCoverage;
+/// use bioperf_isa::here;
+/// use bioperf_trace::{Tape, Tracer};
+///
+/// let mut tape = Tape::new(LoadCoverage::new());
+/// let (hot, cold) = (1u64, 2u64);
+/// for _ in 0..99 {
+///     tape.int_load(here!("k"), &hot);
+/// }
+/// tape.int_load(here!("k2"), &cold);
+/// let (_, cov) = tape.finish();
+/// assert_eq!(cov.coverage_at(1), 0.99);
+/// assert_eq!(cov.coverage_at(2), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LoadCoverage {
+    counts: LoadCounts,
+}
+
+impl LoadCoverage {
+    /// Creates an empty coverage accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total dynamic loads observed.
+    pub fn total_loads(&self) -> u64 {
+        self.counts.total()
+    }
+
+    /// Number of static loads that executed at least once.
+    pub fn active_static_loads(&self) -> usize {
+        self.counts.active_static_loads()
+    }
+
+    /// Fraction of dynamic loads covered by the `n` hottest static loads.
+    pub fn coverage_at(&self, n: usize) -> f64 {
+        let total = self.counts.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.counts.sorted_desc().iter().take(n).sum();
+        top as f64 / total as f64
+    }
+
+    /// The whole cumulative curve: element `i` is the coverage of the
+    /// `i + 1` hottest static loads. Monotonically non-decreasing,
+    /// ending at 1.0 (for a non-empty trace).
+    pub fn curve(&self) -> Vec<f64> {
+        let total = self.counts.total();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut acc = 0u64;
+        self.counts
+            .sorted_desc()
+            .into_iter()
+            .map(|c| {
+                acc += c;
+                acc as f64 / total as f64
+            })
+            .collect()
+    }
+
+    /// Curve values sampled at the given ranks (1-based), clamping ranks
+    /// beyond the active static-load count to full coverage.
+    pub fn sampled(&self, ranks: &[usize]) -> Vec<(usize, f64)> {
+        ranks.iter().map(|&r| (r, self.coverage_at(r))).collect()
+    }
+}
+
+impl TraceConsumer for LoadCoverage {
+    fn consume(&mut self, op: &MicroOp, program: &Program) {
+        self.counts.consume(op, program);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_isa::here;
+    use bioperf_trace::{Tape, Tracer};
+
+    fn skewed_coverage() -> LoadCoverage {
+        let x = 0u64;
+        let mut tape = Tape::new(LoadCoverage::new());
+        for _ in 0..90 {
+            tape.int_load(here!("hot"), &x);
+        }
+        for _ in 0..9 {
+            tape.int_load(here!("warm"), &x);
+        }
+        tape.int_load(here!("cold"), &x);
+        tape.finish().1
+    }
+
+    #[test]
+    fn coverage_orders_by_frequency() {
+        let cov = skewed_coverage();
+        assert_eq!(cov.total_loads(), 100);
+        assert_eq!(cov.active_static_loads(), 3);
+        assert!((cov.coverage_at(1) - 0.90).abs() < 1e-12);
+        assert!((cov.coverage_at(2) - 0.99).abs() < 1e-12);
+        assert!((cov.coverage_at(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_complete() {
+        let cov = skewed_coverage();
+        let curve = cov.curve();
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+        assert!((curve.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_asking_clamps_to_one() {
+        let cov = skewed_coverage();
+        assert_eq!(cov.coverage_at(100), 1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let cov = LoadCoverage::new();
+        assert_eq!(cov.coverage_at(5), 0.0);
+        assert!(cov.curve().is_empty());
+    }
+
+    #[test]
+    fn sampled_returns_requested_ranks() {
+        let cov = skewed_coverage();
+        let samples = cov.sampled(&[1, 3]);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].0, 1);
+        assert!((samples[1].1 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Cross-consumer consistency: the characterizer's sub-analyses must
+//! agree with each other on real program traces.
+
+use bioperf_core::candidates::{find_candidates, CandidateCriteria};
+use bioperf_core::characterize::characterize_program;
+use bioperf_kernels::{ProgramId, Scale};
+
+#[test]
+fn load_accounting_agrees_across_consumers() {
+    for program in [ProgramId::Hmmsearch, ProgramId::Predator, ProgramId::Fasta] {
+        let r = characterize_program(program, Scale::Test, 42);
+        // The mix counter, the coverage counter, the cache simulator, and
+        // the sequence analysis all count the same load stream.
+        assert_eq!(r.mix.loads(), r.coverage.total_loads(), "{program}");
+        assert_eq!(r.mix.loads(), r.cache.l1.load_accesses, "{program}");
+        assert_eq!(r.mix.loads(), r.sequences.total_loads, "{program}");
+        assert_eq!(r.mix.stores(), r.cache.l1.store_accesses, "{program}");
+        // Per-load stats sum back to the total.
+        let per_load: u64 = r.load_stats.iter().map(|s| s.executions).sum();
+        assert_eq!(per_load, r.mix.loads(), "{program}");
+    }
+}
+
+#[test]
+fn sequence_counts_are_bounded_by_totals() {
+    for program in ProgramId::ALL {
+        let r = characterize_program(program, Scale::Test, 42);
+        let s = r.sequences;
+        assert!(s.loads_to_branch <= s.total_loads, "{program}");
+        assert!(s.loads_after_hard_branch <= s.total_loads, "{program}");
+        assert!(s.sequence_branch_mispredictions <= s.sequence_branch_executions, "{program}");
+        assert!(s.sequence_branch_executions <= r.mix.cond_branches(), "{program}");
+    }
+}
+
+#[test]
+fn hot_loads_are_a_prefix_of_the_coverage_ranking() {
+    let r = characterize_program(ProgramId::Hmmsearch, Scale::Test, 42);
+    // The hottest load's frequency equals the first point of the curve.
+    let first = r.coverage.coverage_at(1);
+    assert!((r.hot_loads[0].frequency - first).abs() < 1e-9);
+    // The sum of the top-k hot-load frequencies equals coverage_at(k).
+    let k = r.hot_loads.len().min(5);
+    let sum: f64 = r.hot_loads.iter().take(k).map(|h| h.frequency).sum();
+    assert!((sum - r.coverage.coverage_at(k)).abs() < 1e-9);
+}
+
+#[test]
+fn candidates_are_a_subset_of_traced_loads() {
+    let r = characterize_program(ProgramId::Clustalw, Scale::Test, 42);
+    let cands = find_candidates(&r, CandidateCriteria::default());
+    for c in &cands {
+        let stats = r.analysis_load_stats(c.sid);
+        assert!(stats.executions > 0, "candidate {} never executed", c.loc);
+        assert!(c.frequency > 0.0 && c.frequency <= 1.0);
+        assert!(c.score > 0.0);
+        // The reported location is a real traced static instruction.
+        assert_eq!(r.program.get(c.sid).loc, c.loc);
+    }
+}
+
+#[test]
+fn per_load_l1_misses_do_not_exceed_hierarchy_misses() {
+    let r = characterize_program(ProgramId::Blast, Scale::Test, 42);
+    let per_load_misses: u64 = r.load_stats.iter().map(|s| s.l1_misses).sum();
+    // The analysis runs its own identical hierarchy; totals must match
+    // the cache consumer's within the tiny allocator-layout jitter.
+    let delta = per_load_misses.abs_diff(r.cache.l1.load_misses);
+    assert!(
+        delta * 100 <= r.cache.l1.load_misses.max(100),
+        "per-load misses {} vs hierarchy {}",
+        per_load_misses,
+        r.cache.l1.load_misses
+    );
+}

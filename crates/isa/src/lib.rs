@@ -1,0 +1,37 @@
+//! Abstract micro-op ISA for the BioPerf load-characterization study.
+//!
+//! The IISWC 2006 paper instruments Alpha binaries with ATOM and reasons
+//! about the resulting dynamic instruction stream: which instructions are
+//! loads, which static loads dominate, how load values flow into
+//! conditional branches, and how the L1 hit latency interacts with branch
+//! resolution. This crate defines the vocabulary for that reasoning,
+//! decoupled from any concrete hardware ISA:
+//!
+//! * [`OpKind`] / [`OpClass`] — instruction classes (the paper's Figure 1
+//!   categories plus the latency classes the timing model needs),
+//! * [`VReg`] — SSA-style virtual registers carrying dataflow,
+//! * [`StaticId`] / [`StaticInst`] / [`SrcLoc`] — static-instruction
+//!   identity with source mapping (the paper's Table 5 maps hot loads back
+//!   to file/line/function),
+//! * [`MicroOp`] — one dynamic instruction event,
+//! * [`Program`] — the static-instruction table built up while tracing.
+//!
+//! # Example
+//!
+//! ```
+//! use bioperf_isa::{MicroOp, OpKind, Program, SrcLoc, VReg};
+//!
+//! let mut program = Program::new();
+//! let sid = program.intern(OpKind::IntLoad, SrcLoc::new("viterbi.rs", 42, 1, "viterbi"));
+//! let op = MicroOp::load(sid, OpKind::IntLoad, VReg(0), 0x1000, None);
+//! assert!(op.kind.is_load());
+//! assert_eq!(program.get(sid).loc.line, 42);
+//! ```
+
+pub mod op;
+pub mod program;
+pub mod source;
+
+pub use op::{DepKind, MicroOp, OpClass, OpKind, VReg, MAX_SRCS};
+pub use program::{Program, StaticId, StaticInst};
+pub use source::SrcLoc;

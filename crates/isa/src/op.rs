@@ -1,0 +1,325 @@
+//! Dynamic micro-operations and their classification.
+
+use std::fmt;
+
+use crate::program::StaticId;
+
+/// An SSA-style virtual register produced by a traced operation.
+///
+/// Virtual registers are assigned monotonically by the tracing layer; each
+/// is written exactly once, which makes dependence analysis (the paper's
+/// load-to-branch chain detection) a simple backwards walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u64);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The kind of a micro-operation.
+///
+/// Kinds are chosen to support the paper's analyses: the Figure 1
+/// instruction mix (loads / stores / conditional branches / other), the
+/// Table 1 floating-point fraction, and the per-kind latencies of the
+/// timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Integer load from memory.
+    IntLoad,
+    /// Floating-point load from memory.
+    FpLoad,
+    /// Integer store to memory.
+    IntStore,
+    /// Floating-point store to memory.
+    FpStore,
+    /// Conditional branch; outcome recorded on the [`MicroOp`].
+    CondBranch,
+    /// Unconditional control transfer (jump/call/return).
+    Jump,
+    /// Single-cycle integer ALU operation (add, compare, logic, shift).
+    IntAlu,
+    /// Conditional move / select (the paper's transformed code turns
+    /// hard-to-predict branches into these).
+    CondMove,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add/subtract/compare.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt / exp-class long-latency operation.
+    FpDiv,
+}
+
+impl OpKind {
+    /// Whether this operation reads memory.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, OpKind::IntLoad | OpKind::FpLoad)
+    }
+
+    /// Whether this operation writes memory.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, OpKind::IntStore | OpKind::FpStore)
+    }
+
+    /// Whether this operation accesses memory at all.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this operation is a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, OpKind::CondBranch)
+    }
+
+    /// Whether this operation executes in the floating-point pipeline
+    /// (the paper's Table 1 counts FP loads as floating-point
+    /// instructions).
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            OpKind::FpLoad | OpKind::FpStore | OpKind::FpAlu | OpKind::FpMul | OpKind::FpDiv
+        )
+    }
+
+    /// The coarse class used by the Figure 1 instruction-mix profile.
+    #[inline]
+    pub fn class(self) -> OpClass {
+        match self {
+            k if k.is_load() => OpClass::Load,
+            k if k.is_store() => OpClass::Store,
+            OpKind::CondBranch => OpClass::CondBranch,
+            _ => OpClass::Other,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::IntLoad => "ldq",
+            OpKind::FpLoad => "ldt",
+            OpKind::IntStore => "stq",
+            OpKind::FpStore => "stt",
+            OpKind::CondBranch => "br.cond",
+            OpKind::Jump => "jmp",
+            OpKind::IntAlu => "alu",
+            OpKind::CondMove => "cmov",
+            OpKind::IntMul => "mul",
+            OpKind::FpAlu => "fadd",
+            OpKind::FpMul => "fmul",
+            OpKind::FpDiv => "fdiv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse instruction classes reported in the paper's Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Memory reads.
+    Load,
+    /// Memory writes.
+    Store,
+    /// Conditional branches.
+    CondBranch,
+    /// Everything else (ALU, FP, unconditional control flow).
+    Other,
+}
+
+impl OpClass {
+    /// All classes in the paper's reporting order.
+    pub const ALL: [OpClass; 4] =
+        [OpClass::Load, OpClass::Store, OpClass::CondBranch, OpClass::Other];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::Load => "loads",
+            OpClass::Store => "stores",
+            OpClass::CondBranch => "cond branches",
+            OpClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a value used by an op relates to its producer; reserved for richer
+/// dependence annotations (address vs. data dependence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// The consumed value is data input to the computation.
+    Data,
+    /// The consumed value forms the memory address of a load/store.
+    Address,
+}
+
+/// Maximum number of register sources a [`MicroOp`] can carry.
+pub const MAX_SRCS: usize = 3;
+
+/// One dynamic instruction event in a trace.
+///
+/// A `MicroOp` is the unit exchanged between the instrumented kernels and
+/// every analysis/simulation consumer: instruction-mix counters, the cache
+/// hierarchy, branch predictors, dependence-chain detectors, and the
+/// trace-driven timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Static instruction that produced this dynamic instance.
+    pub sid: StaticId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Destination virtual register, if the op produces a value.
+    pub dst: Option<VReg>,
+    /// Register sources (SSA values consumed). Unused slots are `None`.
+    pub srcs: [Option<VReg>; MAX_SRCS],
+    /// Effective address for loads/stores.
+    pub addr: Option<u64>,
+    /// Conditional-branch outcome (`true` = taken); meaningless otherwise.
+    pub taken: bool,
+}
+
+impl MicroOp {
+    /// Builds a load micro-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `kind` is not a load kind.
+    #[inline]
+    pub fn load(sid: StaticId, kind: OpKind, dst: VReg, addr: u64, base: Option<VReg>) -> Self {
+        debug_assert!(kind.is_load());
+        Self { sid, kind, dst: Some(dst), srcs: [base, None, None], addr: Some(addr), taken: false }
+    }
+
+    /// Builds a store micro-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `kind` is not a store kind.
+    #[inline]
+    pub fn store(sid: StaticId, kind: OpKind, value: Option<VReg>, addr: u64) -> Self {
+        debug_assert!(kind.is_store());
+        Self { sid, kind, dst: None, srcs: [value, None, None], addr: Some(addr), taken: false }
+    }
+
+    /// Builds a computational micro-op producing `dst` from `srcs`.
+    #[inline]
+    pub fn compute(sid: StaticId, kind: OpKind, dst: VReg, srcs: [Option<VReg>; MAX_SRCS]) -> Self {
+        Self { sid, kind, dst: Some(dst), srcs, addr: None, taken: false }
+    }
+
+    /// Builds a conditional-branch micro-op with its dynamic outcome.
+    #[inline]
+    pub fn branch(sid: StaticId, srcs: [Option<VReg>; MAX_SRCS], taken: bool) -> Self {
+        Self { sid, kind: OpKind::CondBranch, dst: None, srcs, addr: None, taken }
+    }
+
+    /// Iterates over the populated source registers.
+    #[inline]
+    pub fn sources(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> StaticId {
+        StaticId::from_raw(n)
+    }
+
+    #[test]
+    fn load_classification() {
+        assert!(OpKind::IntLoad.is_load());
+        assert!(OpKind::FpLoad.is_load());
+        assert!(!OpKind::IntStore.is_load());
+        assert_eq!(OpKind::IntLoad.class(), OpClass::Load);
+        assert_eq!(OpKind::FpLoad.class(), OpClass::Load);
+    }
+
+    #[test]
+    fn store_classification() {
+        assert!(OpKind::IntStore.is_store());
+        assert!(OpKind::FpStore.is_store());
+        assert_eq!(OpKind::FpStore.class(), OpClass::Store);
+    }
+
+    #[test]
+    fn branch_and_other_classification() {
+        assert_eq!(OpKind::CondBranch.class(), OpClass::CondBranch);
+        assert_eq!(OpKind::Jump.class(), OpClass::Other);
+        assert_eq!(OpKind::IntAlu.class(), OpClass::Other);
+        assert_eq!(OpKind::CondMove.class(), OpClass::Other);
+        assert_eq!(OpKind::FpDiv.class(), OpClass::Other);
+    }
+
+    #[test]
+    fn fp_classification_includes_fp_memory_ops() {
+        for k in [OpKind::FpLoad, OpKind::FpStore, OpKind::FpAlu, OpKind::FpMul, OpKind::FpDiv] {
+            assert!(k.is_fp(), "{k} should be FP");
+        }
+        for k in [OpKind::IntLoad, OpKind::IntStore, OpKind::IntAlu, OpKind::CondBranch] {
+            assert!(!k.is_fp(), "{k} should not be FP");
+        }
+    }
+
+    #[test]
+    fn mem_ops_have_addresses() {
+        let ld = MicroOp::load(sid(1), OpKind::IntLoad, VReg(5), 0xdead, None);
+        assert_eq!(ld.addr, Some(0xdead));
+        assert_eq!(ld.dst, Some(VReg(5)));
+
+        let st = MicroOp::store(sid(2), OpKind::IntStore, Some(VReg(5)), 0xbeef);
+        assert_eq!(st.addr, Some(0xbeef));
+        assert_eq!(st.dst, None);
+    }
+
+    #[test]
+    fn sources_iterates_only_populated_slots() {
+        let op = MicroOp::compute(sid(3), OpKind::IntAlu, VReg(9), [Some(VReg(1)), None, Some(VReg(2))]);
+        let srcs: Vec<_> = op.sources().collect();
+        assert_eq!(srcs, vec![VReg(1), VReg(2)]);
+    }
+
+    #[test]
+    fn branch_records_outcome() {
+        let b = MicroOp::branch(sid(4), [Some(VReg(7)), None, None], true);
+        assert!(b.taken);
+        assert!(b.kind.is_cond_branch());
+        assert_eq!(b.dst, None);
+    }
+
+    #[test]
+    fn class_all_covers_every_kind() {
+        use std::collections::HashSet;
+        let classes: HashSet<_> = [
+            OpKind::IntLoad,
+            OpKind::FpLoad,
+            OpKind::IntStore,
+            OpKind::FpStore,
+            OpKind::CondBranch,
+            OpKind::Jump,
+            OpKind::IntAlu,
+            OpKind::CondMove,
+            OpKind::IntMul,
+            OpKind::FpAlu,
+            OpKind::FpMul,
+            OpKind::FpDiv,
+        ]
+        .iter()
+        .map(|k| k.class())
+        .collect();
+        for c in OpClass::ALL {
+            assert!(classes.contains(&c), "class {c} unreachable");
+        }
+    }
+}

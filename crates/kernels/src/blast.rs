@@ -1,0 +1,315 @@
+//! The BLAST kernel: word seeding plus ungapped X-drop extension
+//! (characterized only — the paper does not transform `blast`).
+//!
+//! `blast` has the suite's highest load→branch fraction (75.7%) and the
+//! hardest branches (19.9% misprediction): the X-drop extension loop
+//! loads two residues, scores them, updates a running sum, and branches
+//! on `score > best - X` every iteration — a pure load→compare→branch
+//! chain whose trip count is data-dependent.
+
+use bioperf_bioseq::matrix::ScoringMatrix;
+use bioperf_bioseq::SeqGen;
+use bioperf_isa::here;
+use bioperf_trace::Tracer;
+
+use crate::registry::{RunResult, Scale};
+
+const WORD: usize = 3;
+const NCODES: usize = 20 * 20 * 20;
+const XDROP: i32 = 12;
+
+/// Neighborhood word threshold (blastp's `T`): a database word triggers
+/// a query position if the pairwise BLOSUM score of the 3-mer pair is at
+/// least this value.
+const NEIGHBOR_T: i32 = 9;
+
+/// Chained neighborhood 3-mer index over the query, as in real blastp:
+/// every word scoring at least [`NEIGHBOR_T`] against a query word is
+/// indexed, not just exact matches.
+struct WordIndex {
+    head: Vec<i32>,
+    next: Vec<i32>,
+    pos: Vec<i32>,
+}
+
+impl WordIndex {
+    fn build(query: &[u8], matrix: &ScoringMatrix) -> Self {
+        let mut head = vec![-1i32; NCODES];
+        let mut next = Vec::new();
+        let mut pos = Vec::new();
+        for code in 0..NCODES {
+            let (c0, c1, c2) = ((code / 400) as u8, (code / 20 % 20) as u8, (code % 20) as u8);
+            for i in 0..query.len().saturating_sub(WORD - 1) {
+                let score = matrix.score(query[i], c0)
+                    + matrix.score(query[i + 1], c1)
+                    + matrix.score(query[i + 2], c2);
+                if score >= NEIGHBOR_T {
+                    next.push(head[code]);
+                    pos.push(i as i32);
+                    head[code] = (pos.len() - 1) as i32;
+                }
+            }
+        }
+        Self { head, next, pos }
+    }
+}
+
+/// Workload parameters for blast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlastConfig {
+    /// Query length.
+    pub query_len: usize,
+    /// Database size.
+    pub db_count: usize,
+    /// Shortest database sequence.
+    pub seq_min: usize,
+    /// Longest database sequence.
+    pub seq_max: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl BlastConfig {
+    /// Standard parameters for a workload scale.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (query_len, db_count, seq_min, seq_max) = match scale {
+            Scale::Test => (80, 10, 50, 100),
+            Scale::Small => (140, 24, 80, 160),
+            Scale::Medium => (200, 56, 100, 240),
+            Scale::Large => (280, 96, 140, 320),
+        };
+        Self { query_len, db_count, seq_min, seq_max, seed }
+    }
+}
+
+/// Runs blast (registry entry point).
+pub fn run<T: Tracer>(t: &mut T, scale: Scale, seed: u64) -> RunResult {
+    blast(t, &BlastConfig::at_scale(scale, seed))
+}
+
+/// Runs the word-seeded ungapped search over a synthetic database.
+pub fn blast<T: Tracer>(t: &mut T, cfg: &BlastConfig) -> RunResult {
+    const F: &str = "blast_scan";
+    let mut gen = SeqGen::new(cfg.seed);
+    let query = gen.random_protein(cfg.query_len);
+    let db = gen.protein_database(cfg.db_count, cfg.seq_min, cfg.seq_max, &query, 0.3);
+    let matrix = ScoringMatrix::blosum62();
+    let index = WordIndex::build(&query, &matrix);
+
+    let mut checksum = 0u64;
+    // Two-hit diagonal bookkeeping, as in real blastp: the last word-hit
+    // position per diagonal is stored and reloaded on every hit.
+    let ndiags = cfg.query_len + cfg.seq_max + 1;
+    let mut last_hit = vec![-1i64; ndiags];
+    for subject in &db {
+        last_hit.iter_mut().for_each(|d| *d = -1);
+        let mut best_hit = 0i32;
+        let mut v_best = t.lit();
+        for j in 0..subject.len().saturating_sub(WORD - 1) {
+            // Word code from three subject residues.
+            let v_s0 = t.int_load(here!(F), &subject[j]);
+            let v_s1 = t.int_load(here!(F), &subject[j + 1]);
+            let v_s2 = t.int_load(here!(F), &subject[j + 2]);
+            let v_c = t.int_op(here!(F), &[v_s0, v_s1, v_s2]);
+            let code = subject[j] as usize * 400
+                + subject[j + 1] as usize * 20
+                + subject[j + 2] as usize;
+
+            // Chase the query-position chain for this word.
+            let mut v_p = t.int_load_via(here!(F), &index.head[code], v_c);
+            let mut p = index.head[code];
+            loop {
+                if !t.branch(here!(F), &[v_p], p >= 0) {
+                    break;
+                }
+                let v_i = t.int_load_via(here!(F), &index.pos[p as usize], v_p);
+                let _ = v_i;
+                let i = index.pos[p as usize] as usize;
+                // Two-hit check: load the diagonal's last hit position,
+                // extend only on a recent second hit, store the update.
+                let d = (j as i64 - i as i64 + cfg.query_len as i64) as usize;
+                let v_last = t.int_load_via(here!(F), &last_hit[d], v_p);
+                let v_gap = t.int_op(here!(F), &[v_last]);
+                let recent = last_hit[d] >= 0 && (j as i64 - last_hit[d]) <= 40;
+                let v_j = t.lit();
+                t.int_store(here!(F), &last_hit[d], v_j);
+                let prev = last_hit[d];
+                last_hit[d] = j as i64;
+                if t.branch(here!(F), &[v_gap], recent) {
+                    let _ = prev;
+                    let score = extend(t, &query, subject, &matrix, i, j);
+                    let v_sc = t.lit();
+                    let v_cmp = t.int_op(here!(F), &[v_sc, v_best]);
+                    if t.branch(here!(F), &[v_cmp], score > best_hit) {
+                        best_hit = score;
+                        v_best = v_sc;
+                    }
+                }
+                let entry = p as usize;
+                v_p = t.int_load_via(here!(F), &index.next[entry], v_p);
+                p = index.next[entry];
+            }
+        }
+        checksum = RunResult::fold(checksum, best_hit as i64);
+    }
+    RunResult { checksum }
+}
+
+/// Ungapped X-drop extension of a seed at `(qi, sj)` in both directions.
+///
+/// This is the load→branch hot loop: every iteration loads a query and a
+/// subject residue, scores them through the substitution matrix, and
+/// branches on the X-drop condition.
+fn extend<T: Tracer>(
+    t: &mut T,
+    query: &[u8],
+    subject: &[u8],
+    matrix: &ScoringMatrix,
+    qi: usize,
+    sj: usize,
+) -> i32 {
+    const F: &str = "blast_extend";
+    // Seed score.
+    let mut score = 0i32;
+    let mut v_score = t.lit();
+    for w in 0..WORD {
+        let v_q = t.int_load(here!(F), &query[qi + w]);
+        let v_s = t.int_load(here!(F), &subject[sj + w]);
+        let v_m = t.int_op(here!(F), &[v_q, v_s]);
+        v_score = t.int_op(here!(F), &[v_score, v_m]);
+        score += matrix.score(query[qi + w], subject[sj + w]);
+    }
+    let mut best = score;
+    let mut v_best = v_score;
+
+    // Right extension.
+    let (mut i, mut j) = (qi + WORD, sj + WORD);
+    loop {
+        // Bounds check branch.
+        let v_cmp = t.int_op(here!(F), &[v_score]);
+        if !t.branch(here!(F), &[v_cmp], i < query.len() && j < subject.len()) {
+            break;
+        }
+        let v_q = t.int_load(here!(F), &query[i]);
+        let v_s = t.int_load(here!(F), &subject[j]);
+        let v_m = t.int_op(here!(F), &[v_q, v_s]);
+        v_score = t.int_op(here!(F), &[v_score, v_m]);
+        score += matrix.score(query[i], subject[j]);
+
+        // if (score > best) best = score;
+        let v_cmp = t.int_op(here!(F), &[v_score, v_best]);
+        if t.branch(here!(F), &[v_cmp], score > best) {
+            best = score;
+            v_best = v_score;
+        }
+        // X-drop: while (score > best - X).
+        let v_cmp = t.int_op(here!(F), &[v_score, v_best]);
+        if !t.branch(here!(F), &[v_cmp], score > best - XDROP) {
+            break;
+        }
+        i += 1;
+        j += 1;
+    }
+
+    // Left extension.
+    let mut score_l = best;
+    let mut v_score = v_best;
+    let (mut i, mut j) = (qi, sj);
+    loop {
+        let v_cmp = t.int_op(here!(F), &[v_score]);
+        if !t.branch(here!(F), &[v_cmp], i > 0 && j > 0) {
+            break;
+        }
+        i -= 1;
+        j -= 1;
+        let v_q = t.int_load(here!(F), &query[i]);
+        let v_s = t.int_load(here!(F), &subject[j]);
+        let v_m = t.int_op(here!(F), &[v_q, v_s]);
+        v_score = t.int_op(here!(F), &[v_score, v_m]);
+        score_l += matrix.score(query[i], subject[j]);
+
+        let v_cmp = t.int_op(here!(F), &[v_score, v_best]);
+        if t.branch(here!(F), &[v_cmp], score_l > best) {
+            best = score_l;
+            v_best = v_score;
+        }
+        let v_cmp = t.int_op(here!(F), &[v_score, v_best]);
+        if !t.branch(here!(F), &[v_cmp], score_l > best - XDROP) {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_trace::{consumers::InstrMix, NullTracer, Tape};
+
+    #[test]
+    fn deterministic() {
+        let cfg = BlastConfig::at_scale(Scale::Test, 1);
+        let mut t = NullTracer::new();
+        assert_eq!(blast(&mut t, &cfg), blast(&mut t, &cfg));
+    }
+
+    #[test]
+    fn self_extension_covers_whole_query() {
+        let mut gen = SeqGen::new(2);
+        let q = gen.random_protein(50);
+        let matrix = ScoringMatrix::blosum62();
+        let mut t = NullTracer::new();
+        let score = extend(&mut t, &q, &q, &matrix, 20, 20);
+        // Extending a perfect self-match accumulates every residue's
+        // positive diagonal score.
+        let full: i32 = q.iter().map(|&r| matrix.score(r, r)).sum();
+        assert_eq!(score, full);
+    }
+
+    #[test]
+    fn extension_stops_on_mismatch_run() {
+        let matrix = ScoringMatrix::blosum62();
+        // Query = AAAA...; subject matches for 6 residues then diverges to
+        // tryptophan mismatches (A vs W = -3).
+        let q = vec![0u8; 30];
+        let mut s = vec![0u8; 30];
+        for r in s.iter_mut().skip(6) {
+            *r = 17; // W
+        }
+        let mut t = NullTracer::new();
+        let score = extend(&mut t, &q, &s, &matrix, 0, 0);
+        let expect: i32 = 6 * matrix.score(0, 0);
+        assert_eq!(score, expect, "X-drop should stop the extension");
+    }
+
+    #[test]
+    fn word_index_contains_exact_and_neighbor_words() {
+        let matrix = ScoringMatrix::blosum62();
+        let q = vec![4u8, 17, 4, 4, 17, 4]; // CWC CWC: high self-scores
+        let idx = WordIndex::build(&q, &matrix);
+        let code = 4usize * 400 + 17 * 20 + 4;
+        let mut positions = Vec::new();
+        let mut p = idx.head[code];
+        while p >= 0 {
+            positions.push(idx.pos[p as usize]);
+            p = idx.next[p as usize];
+        }
+        positions.sort_unstable();
+        // Exact occurrences at 0 and 3 must be indexed (self-score 29).
+        assert!(positions.contains(&0) && positions.contains(&3), "{positions:?}");
+        // Neighborhood: a near-identical word also triggers position 0.
+        let neighbor = 4usize * 400 + 17 * 20 + 15; // C W S
+        assert!(idx.head[neighbor] >= 0, "neighbor word missing");
+    }
+
+    #[test]
+    fn blast_is_load_branch_heavy() {
+        let cfg = BlastConfig::at_scale(Scale::Test, 3);
+        let mut tape = Tape::new(InstrMix::default());
+        blast(&mut tape, &cfg);
+        let (_, mix) = tape.finish();
+        let branches = mix.cond_branches() as f64 / mix.total() as f64;
+        assert!(branches > 0.15, "branch fraction {branches}");
+        assert!(mix.loads() > 0);
+    }
+}

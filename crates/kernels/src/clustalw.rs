@@ -1,0 +1,518 @@
+//! The ClustalW progressive-alignment kernels.
+//!
+//! ClustalW spends its time in `forward_pass` (pairwise Smith–Waterman
+//! scoring used both for the distance matrix and inside progressive
+//! alignment). The inner loop is a chain of guarded maximum updates over
+//! values loaded from the `HH`/`DD` rows and the substitution matrix —
+//! the same load→compare→branch→conditional-store motif the paper
+//! transforms in hmmsearch.
+//!
+//! The transformed variant applies the paper's *narrow* clustalw
+//! scheduling (Table 6: 4 static loads, ~10 lines): the iteration's four
+//! loads are hoisted to the top, the two-way `d` maximum becomes a
+//! conditional move, and the `HH[j]` reload is eliminated; the remaining
+//! guarded maxima keep their branches.
+
+use bioperf_bioseq::align::{progressive_msa, AffineGap};
+use bioperf_bioseq::matrix::ScoringMatrix;
+use bioperf_bioseq::tree::{DistanceMatrix, GuideTree};
+use bioperf_bioseq::SeqGen;
+use bioperf_isa::here;
+use bioperf_trace::Tracer;
+
+use crate::registry::{RunResult, Scale, Variant};
+
+/// Reusable scoring rows (`HH` = match row, `DD` = gap row), kept stable
+/// across calls like ClustalW's statically allocated arrays.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardPassWorkspace {
+    hh: Vec<i32>,
+    dd: Vec<i32>,
+}
+
+/// Result of one forward pass: the best local score and its end cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassScore {
+    /// Maximum local alignment score.
+    pub maxscore: i32,
+    /// Row of the maximum.
+    pub se1: usize,
+    /// Column of the maximum.
+    pub se2: usize,
+}
+
+/// Gap model: opening and extension penalties (positive costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapPenalties {
+    /// Gap-open cost `g`.
+    pub open: i32,
+    /// Gap-extend cost `gh`.
+    pub extend: i32,
+}
+
+/// Reference (untraced, obviously correct) forward pass.
+pub fn forward_pass_reference(
+    s1: &[u8],
+    s2: &[u8],
+    matrix: &ScoringMatrix,
+    gap: GapPenalties,
+) -> PassScore {
+    let (g, gh) = (gap.open, gap.extend);
+    let m = s2.len();
+    let mut hh = vec![0i32; m + 1];
+    let mut dd = vec![0i32; m + 1];
+    let mut best = PassScore { maxscore: 0, se1: 0, se2: 0 };
+    for (i, &a) in s1.iter().enumerate() {
+        let mut p = 0i32;
+        let mut h = 0i32;
+        let mut f = -g;
+        for (j, &b) in s2.iter().enumerate() {
+            f -= gh;
+            let t = h - g - gh;
+            if f < t {
+                f = t;
+            }
+            let mut d = dd[j + 1] - gh;
+            let t = hh[j + 1] - g - gh;
+            if d < t {
+                d = t;
+            }
+            h = p + matrix.score(a, b);
+            if h < f {
+                h = f;
+            }
+            if h < d {
+                h = d;
+            }
+            if h < 0 {
+                h = 0;
+            }
+            p = hh[j + 1];
+            hh[j + 1] = h;
+            dd[j + 1] = d;
+            if h > best.maxscore {
+                best = PassScore { maxscore: h, se1: i + 1, se2: j + 1 };
+            }
+        }
+    }
+    best
+}
+
+/// Instrumented forward pass in the selected source shape.
+pub fn forward_pass<T: Tracer>(
+    t: &mut T,
+    s1: &[u8],
+    s2: &[u8],
+    matrix: &ScoringMatrix,
+    gap: GapPenalties,
+    ws: &mut ForwardPassWorkspace,
+    variant: Variant,
+) -> PassScore {
+    match variant {
+        Variant::Original => forward_pass_original(t, s1, s2, matrix, gap, ws),
+        Variant::LoadTransformed => forward_pass_transformed(t, s1, s2, matrix, gap, ws),
+    }
+}
+
+/// The ClustalW source shape: guarded maxima with conditional stores.
+fn forward_pass_original<T: Tracer>(
+    t: &mut T,
+    s1: &[u8],
+    s2: &[u8],
+    matrix: &ScoringMatrix,
+    gap: GapPenalties,
+    ws: &mut ForwardPassWorkspace,
+) -> PassScore {
+    const F: &str = "clustalw_forward_pass_original";
+    let (g, gh) = (gap.open, gap.extend);
+    let m = s2.len();
+    ws.hh.clear();
+    ws.hh.resize(m + 1, 0);
+    ws.dd.clear();
+    ws.dd.resize(m + 1, 0);
+
+    let mut best = PassScore { maxscore: 0, se1: 0, se2: 0 };
+    let mut v_max = t.lit();
+
+    for (i, &a) in s1.iter().enumerate() {
+        // seq1 residue load (row pointer into the substitution matrix).
+        let v_a = t.int_load(here!(F), &s1[i]);
+        let row = matrix.row(a);
+        let mut p = 0i32;
+        let mut h = 0i32;
+        let mut f = -g;
+        let mut v_p = t.lit();
+        let mut v_h = t.lit();
+        let mut v_f = t.lit();
+
+        for (j, &b) in s2.iter().enumerate() {
+            // f -= gh; if (f < t = h - g - gh) f = t;
+            v_f = t.int_op(here!(F), &[v_f]);
+            f -= gh;
+            let v_t = t.int_op(here!(F), &[v_h]);
+            let tv = h - g - gh;
+            let v_cmp = t.int_op(here!(F), &[v_f, v_t]);
+            if t.branch(here!(F), &[v_cmp], f < tv) {
+                f = tv;
+                v_f = v_t;
+            }
+
+            // d = DD[j] - gh; if (d < t = HH[j] - g - gh) d = t;
+            let v_ddj = t.int_load(here!(F), &ws.dd[j + 1]);
+            let mut v_d = t.int_op(here!(F), &[v_ddj]);
+            let mut d = ws.dd[j + 1] - gh;
+            let v_hhj = t.int_load(here!(F), &ws.hh[j + 1]);
+            let v_t = t.int_op(here!(F), &[v_hhj]);
+            let tv = ws.hh[j + 1] - g - gh;
+            let v_cmp = t.int_op(here!(F), &[v_d, v_t]);
+            if t.branch(here!(F), &[v_cmp], d < tv) {
+                d = tv;
+                v_d = v_t;
+            }
+
+            // h = p + matrix[a][b]; three guarded floors.
+            let v_b = t.int_load(here!(F), &s2[j]);
+            let v_sub = t.int_load_via(here!(F), &row[b as usize], v_b);
+            let _ = v_a;
+            v_h = t.int_op(here!(F), &[v_p, v_sub]);
+            h = p + row[b as usize];
+            let v_cmp = t.int_op(here!(F), &[v_h, v_f]);
+            if t.branch(here!(F), &[v_cmp], h < f) {
+                h = f;
+                v_h = v_f;
+            }
+            let v_cmp = t.int_op(here!(F), &[v_h, v_d]);
+            if t.branch(here!(F), &[v_cmp], h < d) {
+                h = d;
+                v_h = v_d;
+            }
+            let v_cmp = t.int_op(here!(F), &[v_h]);
+            if t.branch(here!(F), &[v_cmp], h < 0) {
+                h = 0;
+                v_h = t.lit();
+            }
+
+            // p = HH[j]; HH[j] = h; DD[j] = d;
+            v_p = t.int_load(here!(F), &ws.hh[j + 1]);
+            p = ws.hh[j + 1];
+            t.int_store(here!(F), &ws.hh[j + 1], v_h);
+            ws.hh[j + 1] = h;
+            t.int_store(here!(F), &ws.dd[j + 1], v_d);
+            ws.dd[j + 1] = d;
+
+            // if (h > maxscore) { maxscore = h; se1 = i; se2 = j; }
+            let v_cmp = t.int_op(here!(F), &[v_h, v_max]);
+            if t.branch(here!(F), &[v_cmp], h > best.maxscore) {
+                best = PassScore { maxscore: h, se1: i + 1, se2: j + 1 };
+                v_max = v_h;
+            }
+        }
+    }
+    best
+}
+
+/// The load-scheduled shape. ClustalW's transformation is the narrowest
+/// of the hmm-style ones (Table 6: 4 static loads, ~10 lines): the four
+/// loads of the iteration — `HH[j]`, `DD[j]`, the subject residue, and
+/// its substitution score — are hoisted to the top of the iteration so
+/// they issue before the `f` update's branch, the two-way `d` maximum
+/// becomes a conditional move with a single `DD[j]` store, and `p` reuses
+/// the already-loaded `HH[j]` instead of reloading it. The remaining
+/// guarded maxima keep their branches, as in the paper's clustalw.
+fn forward_pass_transformed<T: Tracer>(
+    t: &mut T,
+    s1: &[u8],
+    s2: &[u8],
+    matrix: &ScoringMatrix,
+    gap: GapPenalties,
+    ws: &mut ForwardPassWorkspace,
+) -> PassScore {
+    const F: &str = "clustalw_forward_pass_transformed";
+    let (g, gh) = (gap.open, gap.extend);
+    let m = s2.len();
+    ws.hh.clear();
+    ws.hh.resize(m + 1, 0);
+    ws.dd.clear();
+    ws.dd.resize(m + 1, 0);
+
+    let mut best = PassScore { maxscore: 0, se1: 0, se2: 0 };
+    let mut v_max = t.lit();
+
+    for (i, &a) in s1.iter().enumerate() {
+        let _v_a = t.int_load(here!(F), &s1[i]);
+        let row = matrix.row(a);
+        let mut p = 0i32;
+        let mut h = 0i32;
+        let mut f = -g;
+        let mut v_p = t.lit();
+        let mut v_h = t.lit();
+        let mut v_f = t.lit();
+
+        for (j, &b) in s2.iter().enumerate() {
+            // The four hoisted loads: independent of everything below.
+            let v_ddj = t.int_load(here!(F), &ws.dd[j + 1]);
+            let v_hhj = t.int_load(here!(F), &ws.hh[j + 1]);
+            let v_b = t.int_load(here!(F), &s2[j]);
+            let v_sub = t.int_load_via(here!(F), &row[b as usize], v_b);
+            let sub = row[b as usize];
+
+            // f update keeps its branch (unchanged from the original).
+            v_f = t.int_op(here!(F), &[v_f]);
+            f -= gh;
+            let v_t = t.int_op(here!(F), &[v_h]);
+            let tv = h - g - gh;
+            let v_cmp = t.int_op(here!(F), &[v_f, v_t]);
+            if t.branch(here!(F), &[v_cmp], f < tv) {
+                f = tv;
+                v_f = v_t;
+            }
+
+            // d via conditional move over the hoisted values.
+            let v_tdd = t.int_op(here!(F), &[v_ddj]);
+            let t_dd = ws.dd[j + 1] - gh;
+            let v_thh = t.int_op(here!(F), &[v_hhj]);
+            let t_hh = ws.hh[j + 1] - g - gh;
+            let v_c = t.int_op(here!(F), &[v_tdd, v_thh]);
+            let v_d = t.select(here!(F), &[v_c, v_tdd, v_thh], t_hh > t_dd);
+            let d = t_dd.max(t_hh);
+
+            // h and its guarded floors keep their branches.
+            v_h = t.int_op(here!(F), &[v_p, v_sub]);
+            h = p + sub;
+            let v_cmp = t.int_op(here!(F), &[v_h, v_f]);
+            if t.branch(here!(F), &[v_cmp], h < f) {
+                h = f;
+                v_h = v_f;
+            }
+            let v_cmp = t.int_op(here!(F), &[v_h, v_d]);
+            if t.branch(here!(F), &[v_cmp], h < d) {
+                h = d;
+                v_h = v_d;
+            }
+            let v_cmp = t.int_op(here!(F), &[v_h]);
+            if t.branch(here!(F), &[v_cmp], h < 0) {
+                h = 0;
+                v_h = t.lit();
+            }
+
+            // p reuses the hoisted HH[j] value; single stores.
+            v_p = v_hhj;
+            p = ws.hh[j + 1];
+            t.int_store(here!(F), &ws.hh[j + 1], v_h);
+            ws.hh[j + 1] = h;
+            t.int_store(here!(F), &ws.dd[j + 1], v_d);
+            ws.dd[j + 1] = d;
+
+            let v_cmp = t.int_op(here!(F), &[v_h, v_max]);
+            if t.branch(here!(F), &[v_cmp], h > best.maxscore) {
+                best = PassScore { maxscore: h, se1: i + 1, se2: j + 1 };
+                v_max = v_h;
+            }
+        }
+    }
+    best
+}
+
+/// Workload parameters for the clustalw driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClustalwConfig {
+    /// Number of input sequences.
+    pub seq_count: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl ClustalwConfig {
+    /// Standard parameters for a workload scale.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (seq_count, seq_len) = match scale {
+            Scale::Test => (5, 40),
+            Scale::Small => (8, 70),
+            Scale::Medium => (12, 110),
+            Scale::Large => (16, 160),
+        };
+        Self { seq_count, seq_len, seed }
+    }
+}
+
+/// Runs the clustalw driver (registry entry point).
+pub fn run<T: Tracer>(t: &mut T, variant: Variant, scale: Scale, seed: u64) -> RunResult {
+    clustalw(t, variant, &ClustalwConfig::at_scale(scale, seed))
+}
+
+/// Full clustalw pipeline: all-pairs forward passes → distance matrix →
+/// neighbor-joining guide tree → progressive consensus alignment.
+pub fn clustalw<T: Tracer>(t: &mut T, variant: Variant, cfg: &ClustalwConfig) -> RunResult {
+    let mut gen = SeqGen::new(cfg.seed);
+    let family = gen.protein_family(cfg.seq_count, cfg.seq_len, 0.35);
+    let matrix = ScoringMatrix::blosum62();
+    let gap = GapPenalties { open: 10, extend: 1 };
+    let mut ws = ForwardPassWorkspace::default();
+
+    // Stage 1: pairwise alignment (the dominant stage).
+    let n = family.len();
+    let mut dist = DistanceMatrix::new(n);
+    let mut checksum = 0u64;
+    let self_scores: Vec<i32> = family
+        .iter()
+        .map(|s| forward_pass(t, s, s, &matrix, gap, &mut ws, variant).maxscore)
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let score = forward_pass(t, &family[i], &family[j], &matrix, gap, &mut ws, variant);
+            checksum = RunResult::fold(checksum, score.maxscore as i64);
+            checksum = RunResult::fold(checksum, score.se1 as i64);
+            checksum = RunResult::fold(checksum, score.se2 as i64);
+            let denom = self_scores[i].min(self_scores[j]).max(1) as f64;
+            dist.set(i, j, 1.0 - score.maxscore as f64 / denom);
+        }
+    }
+
+    // Stage 2: guide tree.
+    let tree = GuideTree::neighbor_joining(&dist);
+    for leaf in tree.leaves() {
+        checksum = RunResult::fold(checksum, leaf as i64);
+    }
+
+    // Stage 3: progressive alignment along the tree — each merge aligns
+    // the two child consensus sequences with the same kernel.
+    #[allow(clippy::too_many_arguments)] // internal recursion carries the full context
+    fn consensus<T: Tracer>(
+        t: &mut T,
+        tree: &GuideTree,
+        family: &[Vec<u8>],
+        matrix: &ScoringMatrix,
+        gap: GapPenalties,
+        ws: &mut ForwardPassWorkspace,
+        variant: Variant,
+        checksum: &mut u64,
+    ) -> Vec<u8> {
+        match tree {
+            GuideTree::Leaf(i) => family[*i].clone(),
+            GuideTree::Node(l, r) => {
+                let cl = consensus(t, l, family, matrix, gap, ws, variant, checksum);
+                let cr = consensus(t, r, family, matrix, gap, ws, variant, checksum);
+                let score = forward_pass(t, &cl, &cr, matrix, gap, ws, variant);
+                *checksum = RunResult::fold(*checksum, score.maxscore as i64);
+                // Merge: take the residue-wise "older" (max-coded) symbol
+                // over the common prefix; keep the longer tail.
+                let (long, short) = if cl.len() >= cr.len() { (&cl, &cr) } else { (&cr, &cl) };
+                let mut merged = long.to_vec();
+                for (m, &s) in merged.iter_mut().zip(short.iter()) {
+                    if s > *m {
+                        *m = s;
+                    }
+                }
+                merged
+            }
+        }
+    }
+    let root = consensus(t, &tree, &family, &matrix, gap, &mut ws, variant, &mut checksum);
+    checksum = RunResult::fold(checksum, root.len() as i64);
+
+    // Stage 4: emit the actual multiple alignment (ClustalW's output).
+    // This is driver logic shared verbatim by both variants.
+    let msa = progressive_msa(&family, &tree, &matrix, AffineGap { open: 10, extend: 1 });
+    checksum = RunResult::fold(checksum, msa.columns() as i64);
+    checksum = RunResult::fold(checksum, (msa.average_identity() * 1e6) as i64);
+    RunResult { checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_trace::{consumers::InstrMix, NullTracer, Tape};
+
+    fn pair() -> (Vec<u8>, Vec<u8>, ScoringMatrix, GapPenalties) {
+        let mut gen = SeqGen::new(5);
+        let a = gen.random_protein(60);
+        let b = gen.mutate(&a, bioperf_bioseq::Alphabet::Protein, 0.3);
+        (a, b, ScoringMatrix::blosum62(), GapPenalties { open: 10, extend: 1 })
+    }
+
+    #[test]
+    fn original_matches_reference() {
+        let (a, b, m, g) = pair();
+        let mut ws = ForwardPassWorkspace::default();
+        let mut t = NullTracer::new();
+        assert_eq!(
+            forward_pass_original(&mut t, &a, &b, &m, g, &mut ws),
+            forward_pass_reference(&a, &b, &m, g)
+        );
+    }
+
+    #[test]
+    fn transformed_matches_reference() {
+        let (a, b, m, g) = pair();
+        let mut ws = ForwardPassWorkspace::default();
+        let mut t = NullTracer::new();
+        assert_eq!(
+            forward_pass_transformed(&mut t, &a, &b, &m, g, &mut ws),
+            forward_pass_reference(&a, &b, &m, g)
+        );
+    }
+
+    #[test]
+    fn homologs_outscore_random_pairs() {
+        let mut gen = SeqGen::new(8);
+        let a = gen.random_protein(80);
+        let hom = gen.mutate(&a, bioperf_bioseq::Alphabet::Protein, 0.15);
+        let rand_seq = gen.random_protein(80);
+        let m = ScoringMatrix::blosum62();
+        let g = GapPenalties { open: 10, extend: 1 };
+        let s_hom = forward_pass_reference(&a, &hom, &m, g).maxscore;
+        let s_rand = forward_pass_reference(&a, &rand_seq, &m, g).maxscore;
+        assert!(s_hom > s_rand, "homolog {s_hom} vs random {s_rand}");
+    }
+
+    #[test]
+    fn driver_produces_a_sane_alignment() {
+        use bioperf_bioseq::align::progressive_msa;
+        use bioperf_bioseq::align::AffineGap;
+        use bioperf_bioseq::tree::{DistanceMatrix, GuideTree};
+        let mut gen = SeqGen::new(31);
+        let family = gen.protein_family(6, 50, 0.25);
+        let matrix = ScoringMatrix::blosum62();
+        let dist = DistanceMatrix::p_distance(&family);
+        let tree = GuideTree::neighbor_joining(&dist);
+        let msa = progressive_msa(&family, &tree, &matrix, AffineGap { open: 10, extend: 1 });
+        assert_eq!(msa.rows.len(), 6);
+        assert!(msa.average_identity() > 0.4, "{}", msa.average_identity());
+    }
+
+    #[test]
+    fn driver_variants_agree() {
+        let cfg = ClustalwConfig::at_scale(Scale::Test, 2);
+        let mut t = NullTracer::new();
+        let a = clustalw(&mut t, Variant::Original, &cfg);
+        let b = clustalw(&mut t, Variant::LoadTransformed, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transformed_removes_only_the_d_branch() {
+        // The clustalw transformation is narrow (Table 6: 4 loads, ~10
+        // lines): exactly one guarded max per cell becomes a cmov.
+        let (a, b, m, g) = pair();
+        let mut ws = ForwardPassWorkspace::default();
+        let mut tape = Tape::new(InstrMix::default());
+        forward_pass_original(&mut tape, &a, &b, &m, g, &mut ws);
+        let (_, orig) = tape.finish();
+        let mut tape = Tape::new(InstrMix::default());
+        forward_pass_transformed(&mut tape, &a, &b, &m, g, &mut ws);
+        let (_, tr) = tape.finish();
+        let cells = (a.len() * b.len()) as u64;
+        let removed = orig.cond_branches() - tr.cond_branches();
+        assert_eq!(removed, cells, "one branch per cell becomes a cmov");
+    }
+
+    #[test]
+    fn empty_sequences_score_zero() {
+        let m = ScoringMatrix::blosum62();
+        let g = GapPenalties { open: 10, extend: 1 };
+        let score = forward_pass_reference(&[], &[], &m, g);
+        assert_eq!(score.maxscore, 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The PHYLIP `dnapenny` kernel: branch-and-bound maximum parsimony.
+//!
+//! `dnapenny` enumerates tree topologies by stepwise addition, scoring
+//! each partial tree with Fitch parsimony and pruning when the running
+//! step count exceeds the best complete tree found so far. The hot loop
+//! is the per-site Fitch update with the bound check:
+//!
+//! ```c
+//! for (site = 0; site < sites; site++) {
+//!     a = left[site] & right[site];
+//!     if (a == 0) { steps += weight[site]; a = left[site] | right[site]; }
+//!     anc[site] = a;
+//!     if (steps > bound) return ABANDON;
+//! }
+//! ```
+//!
+//! The `a == 0` branch is data-dependent (hard to predict), and the
+//! `weight[site]` load sits right behind it; `steps` then feeds the bound
+//! branch — both of the paper's problem sequences. The transformed
+//! variant hoists the weight load, accumulates `steps` branch-free, and
+//! selects the ancestor state, keeping the same early-exit granularity.
+
+use bioperf_bioseq::SeqGen;
+use bioperf_isa::here;
+use bioperf_trace::Tracer;
+
+use crate::registry::{RunResult, Scale, Variant};
+
+/// Fitch state sets: one byte per site, one bit per nucleotide.
+type StateRow = Vec<u8>;
+
+/// Outcome of scoring one partial tree against the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FitchOutcome {
+    /// Completed with this many steps.
+    Steps(u32),
+    /// Exceeded the bound at some site; the partial tree is pruned.
+    Abandoned,
+}
+
+/// The per-join Fitch update in the BioPerf source shape.
+fn fitch_join_original<T: Tracer>(
+    t: &mut T,
+    left: &StateRow,
+    right: &StateRow,
+    weight: &[u32],
+    anc: &mut StateRow,
+    mut steps: u32,
+    bound: u32,
+) -> FitchOutcome {
+    const F: &str = "dnapenny_fitch_original";
+    let mut v_steps = t.lit();
+    for site in 0..left.len() {
+        // a = left[site] & right[site];
+        let v_l = t.int_load(here!(F), &left[site]);
+        let v_r = t.int_load(here!(F), &right[site]);
+        let mut v_a = t.int_op(here!(F), &[v_l, v_r]);
+        let mut a = left[site] & right[site];
+
+        // if (a == 0) { steps += weight[site]; a = left | right; }
+        let v_cmp = t.int_op(here!(F), &[v_a]);
+        if t.branch(here!(F), &[v_cmp], a == 0) {
+            let v_w = t.int_load(here!(F), &weight[site]);
+            v_steps = t.int_op(here!(F), &[v_steps, v_w]);
+            steps += weight[site];
+            v_a = t.int_op(here!(F), &[v_l, v_r]);
+            a = left[site] | right[site];
+        }
+
+        // anc[site] = a;
+        t.int_store(here!(F), &anc[site], v_a);
+        anc[site] = a;
+
+        // if (steps > bound) return ABANDON;
+        let v_cmp = t.int_op(here!(F), &[v_steps]);
+        if t.branch(here!(F), &[v_cmp], steps > bound) {
+            return FitchOutcome::Abandoned;
+        }
+    }
+    FitchOutcome::Steps(steps)
+}
+
+/// The per-join Fitch update in the load-scheduled shape. dnapenny's
+/// transformation is small (Table 6: 3 static loads, ~10 lines): the
+/// `weight[site]` load is hoisted above the hard-to-predict
+/// incompatibility guard, the `steps` accumulation becomes branch-free,
+/// and the ancestor state is chosen with a select — no load or store
+/// remains control-dependent on the guard.
+fn fitch_join_transformed<T: Tracer>(
+    t: &mut T,
+    left: &StateRow,
+    right: &StateRow,
+    weight: &[u32],
+    anc: &mut StateRow,
+    mut steps: u32,
+    bound: u32,
+) -> FitchOutcome {
+    const F: &str = "dnapenny_fitch_transformed";
+    let mut v_steps = t.lit();
+    for site in 0..left.len() {
+        // Hoisted, independent loads: all three arrays up front.
+        let v_l = t.int_load(here!(F), &left[site]);
+        let v_r = t.int_load(here!(F), &right[site]);
+        let v_w = t.int_load(here!(F), &weight[site]);
+
+        let v_and = t.int_op(here!(F), &[v_l, v_r]);
+        let and = left[site] & right[site];
+        let v_or = t.int_op(here!(F), &[v_l, v_r]);
+        let or = left[site] | right[site];
+
+        // steps += (a == 0) ? w : 0, computed branchlessly with the
+        // mask trick ((a == 0) - 1), which every ISA supports: the
+        // steps chain no longer passes through the guard branch or the
+        // then-path load.
+        let v_z = t.int_op(here!(F), &[v_and]);
+        let v_mask = t.int_op(here!(F), &[v_z]);
+        let v_inc = t.int_op(here!(F), &[v_mask, v_w]);
+        let inc = if and == 0 { weight[site] } else { 0 };
+        v_steps = t.int_op(here!(F), &[v_steps, v_inc]);
+        steps += inc;
+
+        // a = intersection | (mask & union): when the intersection is
+        // empty the union wins, otherwise the intersection passes
+        // through. Pure ALU again — stored exactly once.
+        let v_masked = t.int_op(here!(F), &[v_mask, v_or]);
+        let v_a = t.int_op(here!(F), &[v_masked, v_and]);
+        let a = if and == 0 { or } else { and };
+
+        t.int_store(here!(F), &anc[site], v_a);
+        anc[site] = a;
+
+        let v_cmp = t.int_op(here!(F), &[v_steps]);
+        if t.branch(here!(F), &[v_cmp], steps > bound) {
+            return FitchOutcome::Abandoned;
+        }
+    }
+    FitchOutcome::Steps(steps)
+}
+
+/// A rooted tree under construction, stored as joins over state rows.
+struct SearchState {
+    /// Fitch state rows for the species.
+    species: Vec<StateRow>,
+    /// Per-site weights.
+    weight: Vec<u32>,
+    /// Best complete score found so far (the bound).
+    best: u32,
+    /// Number of optimal trees found.
+    optimal_count: u64,
+    /// Partial trees visited (work measure, folded into the checksum).
+    visited: u64,
+}
+
+/// Exhaustive stepwise-addition branch-and-bound search.
+///
+/// Trees over species `0..n` are built by adding species `k` to every
+/// edge of the current partial tree. The partial tree is represented as a
+/// vector of "join rows" (internal-node Fitch sets); adding to an edge is
+/// approximated by joining against the corresponding row — a compact
+/// formulation that preserves dnapenny's compute shape (repeated bounded
+/// Fitch passes over all sites) and its pruning behaviour.
+fn search<T: Tracer>(
+    t: &mut T,
+    st: &mut SearchState,
+    rows: Vec<StateRow>,
+    steps: u32,
+    next_species: usize,
+    variant: Variant,
+) {
+    st.visited += 1;
+    if next_species == st.species.len() {
+        if steps < st.best {
+            st.best = steps;
+            st.optimal_count = 1;
+        } else if steps == st.best {
+            st.optimal_count += 1;
+        }
+        return;
+    }
+    let new_leaf = st.species[next_species].clone();
+    for edge in 0..rows.len() {
+        let mut anc = vec![0u8; new_leaf.len()];
+        let outcome = match variant {
+            Variant::Original => fitch_join_original(
+                t,
+                &rows[edge],
+                &new_leaf,
+                &st.weight,
+                &mut anc,
+                steps,
+                st.best,
+            ),
+            Variant::LoadTransformed => fitch_join_transformed(
+                t,
+                &rows[edge],
+                &new_leaf,
+                &st.weight,
+                &mut anc,
+                steps,
+                st.best,
+            ),
+        };
+        match outcome {
+            FitchOutcome::Abandoned => {}
+            FitchOutcome::Steps(s) => {
+                let mut next_rows = rows.clone();
+                next_rows[edge] = anc;
+                next_rows.push(new_leaf.clone());
+                search(t, st, next_rows, s, next_species + 1, variant);
+            }
+        }
+    }
+}
+
+/// Workload parameters for dnapenny.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnapennyConfig {
+    /// Number of species (search space grows super-exponentially).
+    pub species: usize,
+    /// Number of sites.
+    pub sites: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl DnapennyConfig {
+    /// Standard parameters for a workload scale.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (species, sites) = match scale {
+            Scale::Test => (6, 30),
+            Scale::Small => (7, 60),
+            Scale::Medium => (9, 90),
+            Scale::Large => (10, 110),
+        };
+        Self { species, sites, seed }
+    }
+}
+
+/// Runs dnapenny (registry entry point).
+pub fn run<T: Tracer>(t: &mut T, variant: Variant, scale: Scale, seed: u64) -> RunResult {
+    dnapenny(t, variant, &DnapennyConfig::at_scale(scale, seed))
+}
+
+/// Runs the branch-and-bound parsimony search.
+pub fn dnapenny<T: Tracer>(t: &mut T, variant: Variant, cfg: &DnapennyConfig) -> RunResult {
+    let mut gen = SeqGen::new(cfg.seed);
+    let matrix = gen.dna_character_matrix(cfg.species, cfg.sites);
+    let species: Vec<StateRow> =
+        matrix.iter().map(|row| row.iter().map(|&b| 1u8 << b).collect()).collect();
+    let weight: Vec<u32> = (0..cfg.sites).map(|_| 1 + gen.index(3) as u32).collect();
+
+    let mut st = SearchState {
+        species,
+        weight,
+        best: u32::MAX,
+        optimal_count: 0,
+        visited: 0,
+    };
+    let initial = vec![st.species[0].clone(), st.species[1].clone()];
+    search(t, &mut st, initial, 0, 2, variant);
+
+    let mut checksum = RunResult::fold(0, st.best as i64);
+    checksum = RunResult::fold(checksum, st.optimal_count as i64);
+    checksum = RunResult::fold(checksum, st.visited as i64);
+    RunResult { checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_trace::{consumers::InstrMix, NullTracer, Tape};
+
+    #[test]
+    fn variants_agree() {
+        for seed in [1, 2, 3] {
+            let cfg = DnapennyConfig::at_scale(Scale::Test, seed);
+            let mut t = NullTracer::new();
+            let a = dnapenny(&mut t, Variant::Original, &cfg);
+            let b = dnapenny(&mut t, Variant::LoadTransformed, &cfg);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fitch_join_counts_incompatible_sites() {
+        let left: StateRow = vec![0b0001, 0b0010, 0b0001];
+        let right: StateRow = vec![0b0001, 0b0100, 0b0011];
+        let weight = vec![1, 1, 1];
+        let mut anc = vec![0u8; 3];
+        let mut t = NullTracer::new();
+        let out =
+            fitch_join_original(&mut t, &left, &right, &weight, &mut anc, 0, u32::MAX);
+        // Site 0: intersection nonempty (0 steps). Site 1: empty → union,
+        // 1 step. Site 2: intersection 0b0001 (0 steps).
+        assert_eq!(out, FitchOutcome::Steps(1));
+        assert_eq!(anc, vec![0b0001, 0b0110, 0b0001]);
+    }
+
+    #[test]
+    fn fitch_join_abandons_on_bound() {
+        let left: StateRow = vec![0b0001; 10];
+        let right: StateRow = vec![0b0010; 10];
+        let weight = vec![1; 10];
+        let mut anc = vec![0u8; 10];
+        let mut t = NullTracer::new();
+        let out = fitch_join_original(&mut t, &left, &right, &weight, &mut anc, 0, 3);
+        assert_eq!(out, FitchOutcome::Abandoned);
+        let out2 = fitch_join_transformed(&mut t, &left, &right, &weight, &mut anc, 0, 3);
+        assert_eq!(out2, FitchOutcome::Abandoned, "same early-exit granularity");
+    }
+
+    #[test]
+    fn transformed_join_matches_original_join() {
+        let mut gen = SeqGen::new(77);
+        for _ in 0..20 {
+            let sites = 25;
+            let left: StateRow = (0..sites).map(|_| 1u8 << gen.index(4)).collect();
+            let right: StateRow = (0..sites).map(|_| 1u8 << gen.index(4)).collect();
+            let weight: Vec<u32> = (0..sites).map(|_| 1 + gen.index(2) as u32).collect();
+            let mut anc_a = vec![0u8; sites];
+            let mut anc_b = vec![0u8; sites];
+            let mut t = NullTracer::new();
+            let a = fitch_join_original(&mut t, &left, &right, &weight, &mut anc_a, 2, 20);
+            let b = fitch_join_transformed(&mut t, &left, &right, &weight, &mut anc_b, 2, 20);
+            assert_eq!(a, b);
+            if a != FitchOutcome::Abandoned {
+                assert_eq!(anc_a, anc_b);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_search_tractable() {
+        let cfg = DnapennyConfig::at_scale(Scale::Test, 4);
+        let mut tape = Tape::new(InstrMix::default());
+        dnapenny(&mut tape, Variant::Original, &cfg);
+        let (_, mix) = tape.finish();
+        assert!(mix.total() > 1_000, "search should do real work");
+        assert!(mix.total() < 50_000_000, "bound should prune the search");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = DnapennyConfig::at_scale(Scale::Test, 5);
+        let mut t = NullTracer::new();
+        assert_eq!(dnapenny(&mut t, Variant::Original, &cfg), dnapenny(&mut t, Variant::Original, &cfg));
+    }
+}

@@ -1,0 +1,274 @@
+//! The FASTA k-tuple heuristic search kernel (characterized only — the
+//! paper found no source-level scheduling opportunity in `fasta`, so
+//! there is no load-transformed variant).
+//!
+//! The pipeline is the classic FASTA heuristic: hash the query's k-tuples
+//! into chained position lists, scan each database sequence accumulating
+//! hit counts per diagonal (the `diag[]` increment is a load–modify–store
+//! with a chained-list walk in front of it), select the best diagonal,
+//! then rescore a band around it with a small dynamic program.
+
+use bioperf_bioseq::matrix::ScoringMatrix;
+use bioperf_bioseq::SeqGen;
+use bioperf_isa::here;
+use bioperf_trace::Tracer;
+
+use crate::registry::{RunResult, Scale};
+
+const KTUP: usize = 2;
+const NCODES: usize = 20 * 20;
+const BAND: i64 = 8;
+
+/// Chained k-tuple index over the query.
+struct KtupIndex {
+    head: Vec<i32>,
+    next: Vec<i32>,
+}
+
+impl KtupIndex {
+    fn build(query: &[u8]) -> Self {
+        let mut head = vec![-1i32; NCODES];
+        let mut next = vec![-1i32; query.len()];
+        for i in 0..query.len().saturating_sub(KTUP - 1) {
+            let code = query[i] as usize * 20 + query[i + 1] as usize;
+            next[i] = head[code];
+            head[code] = i as i32;
+        }
+        Self { head, next }
+    }
+}
+
+/// Workload parameters for fasta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastaConfig {
+    /// Query length.
+    pub query_len: usize,
+    /// Database size.
+    pub db_count: usize,
+    /// Shortest database sequence.
+    pub seq_min: usize,
+    /// Longest database sequence.
+    pub seq_max: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl FastaConfig {
+    /// Standard parameters for a workload scale.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (query_len, db_count, seq_min, seq_max) = match scale {
+            Scale::Test => (60, 6, 40, 80),
+            Scale::Small => (100, 16, 60, 140),
+            Scale::Medium => (150, 36, 80, 200),
+            Scale::Large => (200, 64, 100, 280),
+        };
+        Self { query_len, db_count, seq_min, seq_max, seed }
+    }
+}
+
+/// Runs fasta (registry entry point).
+pub fn run<T: Tracer>(t: &mut T, scale: Scale, seed: u64) -> RunResult {
+    fasta(t, &FastaConfig::at_scale(scale, seed))
+}
+
+/// Runs the FASTA heuristic over a synthetic database.
+pub fn fasta<T: Tracer>(t: &mut T, cfg: &FastaConfig) -> RunResult {
+    const F: &str = "fasta_scan";
+    let mut gen = SeqGen::new(cfg.seed);
+    let query = gen.random_protein(cfg.query_len);
+    let db = gen.protein_database(cfg.db_count, cfg.seq_min, cfg.seq_max, &query, 0.25);
+    let index = KtupIndex::build(&query);
+    let matrix = ScoringMatrix::blosum62();
+
+    let ndiags = cfg.query_len + cfg.seq_max + 1;
+    let mut diag = vec![0i32; ndiags];
+    let mut checksum = 0u64;
+
+    for subject in &db {
+        // Stage 1: diagonal hit accumulation.
+        diag.iter_mut().for_each(|d| *d = 0);
+        for j in 0..subject.len().saturating_sub(KTUP - 1) {
+            // code = 20*s[j] + s[j+1]
+            let v_s0 = t.int_load(here!(F), &subject[j]);
+            let v_s1 = t.int_load(here!(F), &subject[j + 1]);
+            let v_code = t.int_op(here!(F), &[v_s0, v_s1]);
+            let code = subject[j] as usize * 20 + subject[j + 1] as usize;
+
+            // Walk the chained query positions for this code.
+            let mut v_p = t.int_load_via(here!(F), &index.head[code], v_code);
+            let mut p = index.head[code];
+            loop {
+                if !t.branch(here!(F), &[v_p], p >= 0) {
+                    break;
+                }
+                let i = p as usize;
+                // d = j - i + query_len; diag[d]++ (load-add-store).
+                let v_d = t.int_op(here!(F), &[v_p]);
+                let d = (j as i64 - i as i64 + cfg.query_len as i64) as usize;
+                let v_old = t.int_load_via(here!(F), &diag[d], v_d);
+                let v_new = t.int_op(here!(F), &[v_old]);
+                t.int_store(here!(F), &diag[d], v_new);
+                diag[d] += 1;
+                // p = next[p] (pointer chase).
+                v_p = t.int_load_via(here!(F), &index.next[i], v_p);
+                p = index.next[i];
+            }
+        }
+
+        // Stage 2: best-diagonal scan (a running max with a data-dependent
+        // branch, like the paper's E-state loop).
+        let mut best_d = 0usize;
+        let mut best_hits = -1i32;
+        let mut v_best = t.lit();
+        for (d, &hits) in diag.iter().enumerate().take(cfg.query_len + subject.len()) {
+            let v_h = t.int_load(here!(F), &diag[d]);
+            let v_cmp = t.int_op(here!(F), &[v_h, v_best]);
+            if t.branch(here!(F), &[v_cmp], hits > best_hits) {
+                best_hits = hits;
+                best_d = d;
+                v_best = v_h;
+            }
+        }
+
+        // Stage 3: banded Smith–Waterman around the best diagonal.
+        let score = banded_sw(t, &query, subject, &matrix, best_d as i64 - cfg.query_len as i64);
+        checksum = RunResult::fold(checksum, best_d as i64);
+        checksum = RunResult::fold(checksum, best_hits as i64);
+        checksum = RunResult::fold(checksum, score as i64);
+    }
+    RunResult { checksum }
+}
+
+/// Smith–Waterman restricted to a band around diagonal `center`
+/// (j − i ≈ center).
+fn banded_sw<T: Tracer>(
+    t: &mut T,
+    query: &[u8],
+    subject: &[u8],
+    matrix: &ScoringMatrix,
+    center: i64,
+) -> i32 {
+    const F: &str = "fasta_banded_sw";
+    let n = query.len();
+    let m = subject.len();
+    let mut prev = vec![0i32; m + 1];
+    let mut cur = vec![0i32; m + 1];
+    let mut best = 0i32;
+    let mut v_best = t.lit();
+    let gap = 6i32;
+
+    for i in 1..=n {
+        let v_q = t.int_load(here!(F), &query[i - 1]);
+        let row = matrix.row(query[i - 1]);
+        cur.iter_mut().for_each(|c| *c = 0);
+        let lo = (i as i64 + center - BAND).max(1);
+        let hi = (i as i64 + center + BAND).min(m as i64);
+        if hi < lo {
+            std::mem::swap(&mut prev, &mut cur);
+            continue;
+        }
+        for j in lo as usize..=hi as usize {
+            let v_s = t.int_load(here!(F), &subject[j - 1]);
+            let v_sub = t.int_load_via(here!(F), &row[subject[j - 1] as usize], v_s);
+            let _ = v_q;
+            let v_diag = t.int_load(here!(F), &prev[j - 1]);
+            let v_h = t.int_op(here!(F), &[v_diag, v_sub]);
+            let mut h = prev[j - 1] + row[subject[j - 1] as usize];
+
+            let v_up = t.int_load(here!(F), &prev[j]);
+            let v_t = t.int_op(here!(F), &[v_up]);
+            let up = prev[j] - gap;
+            let v_cmp = t.int_op(here!(F), &[v_h, v_t]);
+            let mut v_h = v_h;
+            if t.branch(here!(F), &[v_cmp], h < up) {
+                h = up;
+                v_h = v_t;
+            }
+
+            let v_left = t.int_load(here!(F), &cur[j - 1]);
+            let v_t = t.int_op(here!(F), &[v_left]);
+            let left = cur[j - 1] - gap;
+            let v_cmp = t.int_op(here!(F), &[v_h, v_t]);
+            if t.branch(here!(F), &[v_cmp], h < left) {
+                h = left;
+                v_h = v_t;
+            }
+
+            let v_cmp = t.int_op(here!(F), &[v_h]);
+            if t.branch(here!(F), &[v_cmp], h < 0) {
+                h = 0;
+                v_h = t.lit();
+            }
+
+            t.int_store(here!(F), &cur[j], v_h);
+            cur[j] = h;
+
+            let v_cmp = t.int_op(here!(F), &[v_h, v_best]);
+            if t.branch(here!(F), &[v_cmp], h > best) {
+                best = h;
+                v_best = v_h;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_trace::{consumers::InstrMix, NullTracer, Tape};
+
+    #[test]
+    fn deterministic() {
+        let cfg = FastaConfig::at_scale(Scale::Test, 1);
+        let mut t = NullTracer::new();
+        assert_eq!(fasta(&mut t, &cfg), fasta(&mut t, &cfg));
+    }
+
+    #[test]
+    fn index_chains_cover_all_ktuples() {
+        let query = vec![0u8, 1, 0, 1, 0];
+        let idx = KtupIndex::build(&query);
+        // Code (0,1) occurs at positions 0 and 2; chain should hold both.
+        let code = 1usize;
+        let mut positions = Vec::new();
+        let mut p = idx.head[code];
+        while p >= 0 {
+            positions.push(p);
+            p = idx.next[p as usize];
+        }
+        positions.sort_unstable();
+        assert_eq!(positions, vec![0, 2]);
+    }
+
+    #[test]
+    fn homologous_subject_scores_high_on_its_diagonal() {
+        let mut gen = SeqGen::new(2);
+        let query = gen.random_protein(80);
+        let matrix = ScoringMatrix::blosum62();
+        let mut t = NullTracer::new();
+        let self_score = banded_sw(&mut t, &query, &query, &matrix, 0);
+        let other = gen.random_protein(80);
+        let other_score = banded_sw(&mut t, &query, &other, &matrix, 0);
+        assert!(self_score > other_score * 2, "{self_score} vs {other_score}");
+    }
+
+    #[test]
+    fn traces_substantial_work() {
+        let cfg = FastaConfig::at_scale(Scale::Test, 3);
+        let mut tape = Tape::new(InstrMix::default());
+        fasta(&mut tape, &cfg);
+        let (program, mix) = tape.finish();
+        assert!(mix.total() > 50_000, "{}", mix.total());
+        // FASTA has only a handful of static loads — Figure 2's claim.
+        assert!(program.count_kind(bioperf_isa::OpKind::is_load) < 40);
+    }
+
+    #[test]
+    fn banded_sw_empty_inputs() {
+        let matrix = ScoringMatrix::blosum62();
+        let mut t = NullTracer::new();
+        assert_eq!(banded_sw(&mut t, &[], &[], &matrix, 0), 0);
+    }
+}

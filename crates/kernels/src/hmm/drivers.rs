@@ -1,0 +1,292 @@
+//! Drivers for the three HMMER-derived programs.
+//!
+//! The drivers differ in what is scanned against what; the cycles are all
+//! in [`viterbi()`](crate::hmm::viterbi::viterbi).
+
+use bioperf_bioseq::plan7::{EvdFit, Plan7Model};
+use bioperf_bioseq::plan7_trace::viterbi_trace;
+use bioperf_bioseq::SeqGen;
+use bioperf_isa::here;
+use bioperf_trace::Tracer;
+
+use crate::hmm::viterbi::{viterbi, ViterbiWorkspace};
+use crate::registry::{RunResult, Scale, Variant};
+
+/// Workload of `hmmsearch`: one profile HMM scanned against a sequence
+/// database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HmmsearchConfig {
+    /// Model length (match states).
+    pub model_len: usize,
+    /// Number of database sequences.
+    pub db_count: usize,
+    /// Shortest database sequence.
+    pub seq_min: usize,
+    /// Longest database sequence.
+    pub seq_max: usize,
+    /// Input-generation seed.
+    pub seed: u64,
+}
+
+impl HmmsearchConfig {
+    /// Standard parameters for a workload scale.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (model_len, db_count, seq_min, seq_max) = match scale {
+            Scale::Test => (30, 4, 30, 60),
+            Scale::Small => (50, 12, 50, 100),
+            Scale::Medium => (80, 24, 60, 140),
+            Scale::Large => (100, 32, 80, 200),
+        };
+        Self { model_len, db_count, seq_min, seq_max, seed }
+    }
+}
+
+/// Runs the `hmmsearch` kernel: best Viterbi score per database sequence,
+/// folded into a checksum.
+pub fn hmmsearch<T: Tracer>(t: &mut T, variant: Variant, cfg: &HmmsearchConfig) -> RunResult {
+    let model = Plan7Model::synthetic(cfg.model_len, cfg.seed);
+    let mut gen = SeqGen::new(cfg.seed ^ 0xabcd_1234);
+    let target = gen.random_protein(cfg.model_len);
+    let db = gen.protein_database(cfg.db_count, cfg.seq_min, cfg.seq_max, &target, 0.25);
+
+    let mut ws = ViterbiWorkspace::new();
+    let mut checksum = 0u64;
+    let mut scores = Vec::with_capacity(db.len());
+    for seq in &db {
+        let score = viterbi(t, &model, seq, &mut ws, variant);
+        scores.push(score);
+        checksum = RunResult::fold(checksum, score as i64);
+    }
+    // Report hits: sequences scoring above the database median get their
+    // state-path alignment traced back (hmmsearch's output stage; driver
+    // logic identical across variants).
+    let mut sorted = scores.clone();
+    sorted.sort_unstable();
+    let threshold = sorted[sorted.len() / 2];
+    for (seq, &score) in db.iter().zip(&scores) {
+        if score > threshold {
+            let trace = viterbi_trace(&model, seq);
+            debug_assert_eq!(trace.score, score, "traceback disagrees with the kernel");
+            checksum = RunResult::fold(checksum, trace.match_states().len() as i64);
+        }
+    }
+    RunResult { checksum }
+}
+
+/// Workload of `hmmpfam`: a library of profile HMMs scanned with query
+/// sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HmmpfamConfig {
+    /// Number of models in the library.
+    pub library_size: usize,
+    /// Length of each model.
+    pub model_len: usize,
+    /// Number of query sequences.
+    pub query_count: usize,
+    /// Query length.
+    pub query_len: usize,
+    /// Input-generation seed.
+    pub seed: u64,
+}
+
+impl HmmpfamConfig {
+    /// Standard parameters for a workload scale.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (library_size, model_len, query_count, query_len) = match scale {
+            Scale::Test => (3, 25, 2, 40),
+            Scale::Small => (6, 40, 4, 70),
+            Scale::Medium => (10, 60, 6, 110),
+            Scale::Large => (14, 80, 8, 160),
+        };
+        Self { library_size, model_len, query_count, query_len, seed }
+    }
+}
+
+/// Runs the `hmmpfam` kernel: every query against every library model.
+pub fn hmmpfam<T: Tracer>(t: &mut T, variant: Variant, cfg: &HmmpfamConfig) -> RunResult {
+    let library: Vec<Plan7Model> = (0..cfg.library_size)
+        .map(|i| Plan7Model::synthetic(cfg.model_len, cfg.seed.wrapping_add(i as u64 * 7919)))
+        .collect();
+    let mut gen = SeqGen::new(cfg.seed ^ 0x5eed);
+    let queries: Vec<Vec<u8>> = (0..cfg.query_count).map(|_| gen.random_protein(cfg.query_len)).collect();
+
+    let mut ws = ViterbiWorkspace::new();
+    let mut checksum = 0u64;
+    for query in &queries {
+        // hmmpfam reports the best-matching models per query.
+        let mut scored: Vec<(i32, usize)> = Vec::with_capacity(library.len());
+        for (mi, model) in library.iter().enumerate() {
+            let score = viterbi(t, model, query, &mut ws, variant);
+            scored.push((score, mi));
+            checksum = RunResult::fold(checksum, score as i64);
+        }
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        // Rescore the top hits with a floating-point forward-style pass
+        // (hmmpfam's ~5% FP component in the paper's Table 1).
+        for &(score, mi) in scored.iter().take(3) {
+            let fwd = forward_rescore(t, &library[mi], query);
+            checksum = RunResult::fold(checksum, score as i64);
+            checksum = RunResult::fold(checksum, (fwd * 1e3) as i64);
+        }
+    }
+    RunResult { checksum }
+}
+
+/// A probability-space forward-style rescoring pass over the best-hit
+/// model: dense FP multiply/adds with per-row renormalization. Identical
+/// in both source variants (it is not part of the load transformation).
+fn forward_rescore<T: Tracer>(t: &mut T, model: &Plan7Model, dsq: &[u8]) -> f64 {
+    const F: &str = "hmmpfam_forward_rescore";
+    let m = model.m;
+    let mut prev = vec![1.0f64 / m as f64; m + 1];
+    let mut cur = vec![0.0f64; m + 1];
+    let mut log_total = 0.0f64;
+    for &res in dsq {
+        let emit_row = &model.msc[res as usize];
+        let mut sum = 0.0;
+        let mut v_sum = t.lit();
+        for k in 1..=m {
+            let v_p = t.fp_load(here!(F), &prev[k - 1]);
+            let v_e = t.fp_load(here!(F), &emit_row[k]);
+            let v_m = t.fp_mul(here!(F), &[v_p, v_e]);
+            let v_s = t.fp_op(here!(F), &[v_m]);
+            t.fp_store(here!(F), &cur[k], v_s);
+            // Emission scores are integer log-odds; use a cheap positive
+            // proxy so the pass stays in probability space.
+            let e = 1.0 + (emit_row[k].clamp(-1000, 1000) as f64) * 1e-4;
+            cur[k] = prev[k - 1] * e + prev[k] * 0.1;
+            v_sum = t.fp_op(here!(F), &[v_sum, v_s]);
+            sum += cur[k];
+        }
+        // Renormalize (the scaling step of a real forward pass).
+        let v_div = t.fp_div(here!(F), &[v_sum]);
+        let _ = v_div;
+        let scale = if sum > 0.0 { 1.0 / sum } else { 1.0 };
+        for k in 1..=m {
+            let v = t.fp_load(here!(F), &cur[k]);
+            let v2 = t.fp_mul(here!(F), &[v]);
+            t.fp_store(here!(F), &cur[k], v2);
+            cur[k] *= scale;
+        }
+        log_total += if sum > 0.0 { sum.ln() } else { 0.0 };
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    log_total
+}
+
+/// Workload of `hmmcalibrate`: score synthetic random sequences against a
+/// model, then fit an extreme-value distribution to the score sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HmmcalibrateConfig {
+    /// Model length.
+    pub model_len: usize,
+    /// Number of random sequences to score.
+    pub sample_count: usize,
+    /// Length of each random sequence.
+    pub sample_len: usize,
+    /// Input-generation seed.
+    pub seed: u64,
+}
+
+impl HmmcalibrateConfig {
+    /// Standard parameters for a workload scale.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (model_len, sample_count, sample_len) = match scale {
+            Scale::Test => (25, 8, 40),
+            Scale::Small => (40, 20, 70),
+            Scale::Medium => (60, 36, 110),
+            Scale::Large => (80, 48, 170),
+        };
+        Self { model_len, sample_count, sample_len, seed }
+    }
+}
+
+/// Runs the `hmmcalibrate` kernel and EVD fit.
+pub fn hmmcalibrate<T: Tracer>(t: &mut T, variant: Variant, cfg: &HmmcalibrateConfig) -> RunResult {
+    let model = Plan7Model::synthetic(cfg.model_len, cfg.seed);
+    let mut gen = SeqGen::new(cfg.seed ^ 0xca11b);
+
+    let mut ws = ViterbiWorkspace::new();
+    let mut scores = Vec::with_capacity(cfg.sample_count);
+    let mut checksum = 0u64;
+    for _ in 0..cfg.sample_count {
+        let seq = gen.random_protein(cfg.sample_len);
+        let score = viterbi(t, &model, &seq, &mut ws, variant);
+        scores.push(score as f64);
+        checksum = RunResult::fold(checksum, score as i64);
+    }
+    let fit = EvdFit::from_scores(&scores);
+    checksum = RunResult::fold(checksum, (fit.mu * 1e6) as i64);
+    checksum = RunResult::fold(checksum, (fit.lambda * 1e9) as i64);
+    RunResult { checksum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_trace::{consumers::InstrMix, NullTracer, Tape};
+
+    #[test]
+    fn hmmsearch_variants_agree() {
+        let cfg = HmmsearchConfig::at_scale(Scale::Test, 3);
+        let mut t = NullTracer::new();
+        let a = hmmsearch(&mut t, Variant::Original, &cfg);
+        let b = hmmsearch(&mut t, Variant::LoadTransformed, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hmmpfam_variants_agree() {
+        let cfg = HmmpfamConfig::at_scale(Scale::Test, 4);
+        let mut t = NullTracer::new();
+        let a = hmmpfam(&mut t, Variant::Original, &cfg);
+        let b = hmmpfam(&mut t, Variant::LoadTransformed, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hmmcalibrate_variants_agree() {
+        let cfg = HmmcalibrateConfig::at_scale(Scale::Test, 5);
+        let mut t = NullTracer::new();
+        let a = hmmcalibrate(&mut t, Variant::Original, &cfg);
+        let b = hmmcalibrate(&mut t, Variant::LoadTransformed, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let cfg = HmmsearchConfig::at_scale(Scale::Test, 7);
+        let mut t = NullTracer::new();
+        let a = hmmsearch(&mut t, Variant::Original, &cfg);
+        let b = hmmsearch(&mut t, Variant::Original, &cfg);
+        assert_eq!(a, b);
+        let cfg2 = HmmsearchConfig { seed: 8, ..cfg };
+        let c = hmmsearch(&mut t, Variant::Original, &cfg2);
+        assert_ne!(a, c, "different seeds should give different workloads");
+    }
+
+    #[test]
+    fn traced_and_native_results_match() {
+        let cfg = HmmsearchConfig::at_scale(Scale::Test, 9);
+        let mut null = NullTracer::new();
+        let native = hmmsearch(&mut null, Variant::Original, &cfg);
+        let mut tape = Tape::new(InstrMix::default());
+        let traced = hmmsearch(&mut tape, Variant::Original, &cfg);
+        assert_eq!(native, traced);
+        let (_, mix) = tape.finish();
+        assert!(mix.total() > 100_000, "test scale should still trace plenty: {}", mix.total());
+    }
+
+    #[test]
+    fn scales_grow_work() {
+        let mut sizes = Vec::new();
+        for scale in [Scale::Test, Scale::Small, Scale::Medium] {
+            let cfg = HmmsearchConfig::at_scale(scale, 1);
+            let mut tape = Tape::new(InstrMix::default());
+            hmmsearch(&mut tape, Variant::Original, &cfg);
+            let (_, mix) = tape.finish();
+            sizes.push(mix.total());
+        }
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+    }
+}

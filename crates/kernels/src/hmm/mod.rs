@@ -1,0 +1,15 @@
+//! The HMMER-derived kernels: `hmmsearch`, `hmmpfam`, `hmmcalibrate`.
+//!
+//! All three BioPerf programs spend almost all their cycles in the
+//! `P7Viterbi` dynamic program ([`viterbi()`](viterbi::viterbi)); they
+//! differ only in their
+//! drivers (what is scanned against what). The paper's Table 5 profile
+//! and Figure 6 transformation both target this kernel.
+
+pub mod drivers;
+pub mod viterbi;
+
+pub use drivers::{
+    hmmcalibrate, hmmpfam, hmmsearch, HmmcalibrateConfig, HmmpfamConfig, HmmsearchConfig,
+};
+pub use viterbi::{viterbi, ViterbiWorkspace};

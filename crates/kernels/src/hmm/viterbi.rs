@@ -1,0 +1,618 @@
+//! The `P7Viterbi` kernel in its two source shapes.
+//!
+//! [`viterbi_original`] mirrors BioPerf's `fast_algorithms.c` loop — the
+//! paper's Figure 6(a): each cell update is a chain of short `if`
+//! statements whose conditions load from two arrays and whose `then`
+//! paths store conditionally. Compiled, this is exactly the Figure 3
+//! pattern of tight load→compare→branch chains with intervening stores
+//! that block compiler hoisting.
+//!
+//! [`viterbi_transformed`] mirrors Figure 6(c): all loads of a cell are
+//! hoisted into independent temporaries at the top of the iteration, the
+//! guarded maximum updates become conditional moves, the bounds clamps
+//! become conditional moves, each result is stored exactly once, and the
+//! `k < M` guard around the insert-state block is removed by shortening
+//! the loop and duplicating the final iteration's match/delete code after
+//! the loop exit.
+//!
+//! Both variants compute bit-identical scores (verified against
+//! [`Plan7Model::reference_viterbi`]).
+//!
+//! [`Plan7Model::reference_viterbi`]: bioperf_bioseq::plan7::Plan7Model::reference_viterbi
+
+use bioperf_bioseq::plan7::{Plan7Model, INFTY};
+use bioperf_isa::here;
+use bioperf_trace::Tracer;
+
+use crate::registry::Variant;
+
+const NEG: i32 = -INFTY;
+
+/// Reusable DP rows for the Viterbi kernel.
+///
+/// Reusing the buffers across sequences keeps the working set stable, as
+/// HMMER's preallocated DP matrix does — important for faithful cache
+/// behaviour (the paper's "chunk that fits into L1" explanation).
+#[derive(Debug, Clone, Default)]
+pub struct ViterbiWorkspace {
+    mpp: Vec<i32>,
+    ipp: Vec<i32>,
+    dpp: Vec<i32>,
+    mc: Vec<i32>,
+    ic: Vec<i32>,
+    dc: Vec<i32>,
+}
+
+impl ViterbiWorkspace {
+    /// Creates an empty workspace; rows grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, m: usize) {
+        for row in [&mut self.mpp, &mut self.ipp, &mut self.dpp, &mut self.mc, &mut self.ic, &mut self.dc]
+        {
+            row.clear();
+            row.resize(m + 1, NEG);
+        }
+    }
+
+    fn swap_rows(&mut self) {
+        std::mem::swap(&mut self.mpp, &mut self.mc);
+        std::mem::swap(&mut self.ipp, &mut self.ic);
+        std::mem::swap(&mut self.dpp, &mut self.dc);
+    }
+}
+
+/// Scores `dsq` against `model` with the selected kernel variant.
+///
+/// Returns the Viterbi score in integer log-odds units; both variants
+/// return identical values.
+pub fn viterbi<T: Tracer>(
+    t: &mut T,
+    model: &Plan7Model,
+    dsq: &[u8],
+    ws: &mut ViterbiWorkspace,
+    variant: Variant,
+) -> i32 {
+    match variant {
+        Variant::Original => viterbi_original(t, model, dsq, ws),
+        Variant::LoadTransformed => viterbi_transformed(t, model, dsq, ws),
+    }
+}
+
+#[inline]
+fn clamp(x: i32) -> i32 {
+    if x < NEG {
+        NEG
+    } else {
+        x
+    }
+}
+
+/// Per-row special-state update (E, J, C, N, B), shared by both variants
+/// (the paper's transformation does not touch this code).
+///
+/// Returns `(xmn, xmb, xmj, xmc)` updated, with traced dataflow handles.
+#[allow(clippy::too_many_arguments)]
+fn special_states<T: Tracer>(
+    t: &mut T,
+    model: &Plan7Model,
+    ws: &ViterbiWorkspace,
+    xmn: i32,
+    xmj: i32,
+    xmc: i32,
+    v_state: [T::Val; 3],
+) -> (i32, i32, i32, i32, [T::Val; 4]) {
+    const F: &str = "p7_viterbi_specials";
+    let m = model.m;
+    let [v_xmn, v_xmj, v_xmc] = v_state;
+
+    // E state: max over k of mc[k] + esc[k]. A data-dependent maximum —
+    // its take-the-max branch is hard to predict early in the scan.
+    let mut xme = NEG;
+    let mut v_xme = t.lit();
+    for k in 1..=m {
+        let a = t.int_load(here!(F), &ws.mc[k]);
+        let b = t.int_load(here!(F), &model.esc[k]);
+        let v_sc = t.int_op(here!(F), &[a, b]);
+        let sc = ws.mc[k].saturating_add(model.esc[k]);
+        let v_cmp = t.int_op(here!(F), &[v_sc, v_xme]);
+        if t.branch(here!(F), &[v_cmp], sc > xme) {
+            xme = sc;
+            v_xme = v_sc;
+        }
+    }
+    xme = clamp(xme);
+
+    // J state.
+    let v_j1 = t.int_op(here!(F), &[v_xmj]);
+    let j1 = xmj.saturating_add(model.xtj_loop);
+    let v_j2 = t.int_op(here!(F), &[v_xme]);
+    let j2 = xme.saturating_add(model.xte_loop);
+    let v_cmp = t.int_op(here!(F), &[v_j1, v_j2]);
+    let v_xmj = t.select(here!(F), &[v_cmp, v_j1, v_j2], j2 > j1);
+    let xmj = clamp(j1.max(j2));
+
+    // C state.
+    let v_c1 = t.int_op(here!(F), &[v_xmc]);
+    let c1 = xmc.saturating_add(model.xtc_loop);
+    let v_c2 = t.int_op(here!(F), &[v_xme]);
+    let c2 = xme.saturating_add(model.xte_move);
+    let v_cmp = t.int_op(here!(F), &[v_c1, v_c2]);
+    let v_xmc = t.select(here!(F), &[v_cmp, v_c1, v_c2], c2 > c1);
+    let xmc = clamp(c1.max(c2));
+
+    // N state.
+    let v_xmn = t.int_op(here!(F), &[v_xmn]);
+    let xmn = clamp(xmn.saturating_add(model.xtn_loop));
+
+    // B state.
+    let v_b1 = t.int_op(here!(F), &[v_xmn]);
+    let b1 = xmn.saturating_add(model.xtn_move);
+    let v_b2 = t.int_op(here!(F), &[v_xmj]);
+    let b2 = xmj.saturating_add(model.xtj_move);
+    let v_cmp = t.int_op(here!(F), &[v_b1, v_b2]);
+    let v_xmb = t.select(here!(F), &[v_cmp, v_b1, v_b2], b2 > b1);
+    let xmb = clamp(b1.max(b2));
+
+    (xmn, xmb, xmj, xmc, [v_xmn, v_xmb, v_xmj, v_xmc])
+}
+
+/// The BioPerf source shape (paper Figure 6(a)).
+pub fn viterbi_original<T: Tracer>(
+    t: &mut T,
+    model: &Plan7Model,
+    dsq: &[u8],
+    ws: &mut ViterbiWorkspace,
+) -> i32 {
+    const F: &str = "p7_viterbi_original";
+    let m = model.m;
+    ws.reset(m);
+
+    let mut xmn = 0i32;
+    let mut xmb = clamp(xmn + model.xtn_move);
+    let mut xmj = NEG;
+    let mut xmc = NEG;
+    let mut v_xmn = t.lit();
+    let mut v_xmb = t.lit();
+    let mut v_xmj = t.lit();
+    let mut v_xmc = t.lit();
+
+    for i in 1..=dsq.len() {
+        let res = dsq[i - 1] as usize;
+        let ms = &model.msc[res];
+        let is = &model.isc[res];
+        ws.mc[0] = NEG;
+        ws.ic[0] = NEG;
+        ws.dc[0] = NEG;
+        let mut v_k = t.lit();
+
+        for k in 1..=m {
+            // ---- Box 1: match state ------------------------------------
+            // mc[k] = mpp[k-1] + tpmm[k-1];
+            let a = t.int_load(here!(F), &ws.mpp[k - 1]);
+            let b = t.int_load(here!(F), &model.tpmm[k - 1]);
+            let v_mck = t.int_op(here!(F), &[a, b]);
+            let mut mck = ws.mpp[k - 1].saturating_add(model.tpmm[k - 1]);
+            t.int_store(here!(F), &ws.mc[k], v_mck);
+            ws.mc[k] = mck;
+
+            // if ((sc = ip[k-1] + tpim[k-1]) > mc[k]) mc[k] = sc;
+            // First compare uses the register copy (paper Fig. 3, BB1).
+            let a = t.int_load(here!(F), &ws.ipp[k - 1]);
+            let b = t.int_load(here!(F), &model.tpim[k - 1]);
+            let v_sc = t.int_op(here!(F), &[a, b]);
+            let sc = ws.ipp[k - 1].saturating_add(model.tpim[k - 1]);
+            let v_cmp = t.int_op(here!(F), &[v_sc, v_mck]);
+            if t.branch(here!(F), &[v_cmp], sc > mck) {
+                t.int_store(here!(F), &ws.mc[k], v_sc);
+                mck = sc;
+                ws.mc[k] = sc;
+            }
+
+            // if ((sc = dpp[k-1] + tpdm[k-1]) > mc[k]) mc[k] = sc;
+            // The conditional store above forces a reload of mc[k]
+            // (the paper's "third load in BB3" that cannot be hoisted).
+            let a = t.int_load(here!(F), &ws.dpp[k - 1]);
+            let b = t.int_load(here!(F), &model.tpdm[k - 1]);
+            let v_sc = t.int_op(here!(F), &[a, b]);
+            let sc = ws.dpp[k - 1].saturating_add(model.tpdm[k - 1]);
+            let v_ml = t.int_load(here!(F), &ws.mc[k]);
+            let v_cmp = t.int_op(here!(F), &[v_sc, v_ml]);
+            if t.branch(here!(F), &[v_cmp], sc > mck) {
+                t.int_store(here!(F), &ws.mc[k], v_sc);
+                mck = sc;
+                ws.mc[k] = sc;
+            }
+
+            // if ((sc = xmb + bp[k]) > mc[k]) mc[k] = sc;
+            let b = t.int_load(here!(F), &model.bsc[k]);
+            let v_sc = t.int_op(here!(F), &[v_xmb, b]);
+            let sc = xmb.saturating_add(model.bsc[k]);
+            let v_ml = t.int_load(here!(F), &ws.mc[k]);
+            let v_cmp = t.int_op(here!(F), &[v_sc, v_ml]);
+            if t.branch(here!(F), &[v_cmp], sc > mck) {
+                t.int_store(here!(F), &ws.mc[k], v_sc);
+                mck = sc;
+                ws.mc[k] = sc;
+            }
+
+            // mc[k] += ms[k];
+            let v_ml = t.int_load(here!(F), &ws.mc[k]);
+            let v_ms = t.int_load(here!(F), &ms[k]);
+            let v_sum = t.int_op(here!(F), &[v_ml, v_ms]);
+            mck = mck.saturating_add(ms[k]);
+            t.int_store(here!(F), &ws.mc[k], v_sum);
+            ws.mc[k] = mck;
+            let v_mck = v_sum;
+
+            // if (mc[k] < -INFTY) mc[k] = -INFTY;   (bounds check, rarely taken)
+            let v_cmp = t.int_op(here!(F), &[v_mck]);
+            if t.branch(here!(F), &[v_cmp], mck < NEG) {
+                let v_neg = t.lit();
+                t.int_store(here!(F), &ws.mc[k], v_neg);
+                mck = NEG;
+                ws.mc[k] = NEG;
+            }
+            let _ = mck;
+
+            // ---- Box 2: delete state -----------------------------------
+            // dc[k] = dc[k-1] + tpdd[k-1];
+            let a = t.int_load(here!(F), &ws.dc[k - 1]);
+            let b = t.int_load(here!(F), &model.tpdd[k - 1]);
+            let v_dck = t.int_op(here!(F), &[a, b]);
+            let mut dck = ws.dc[k - 1].saturating_add(model.tpdd[k - 1]);
+            t.int_store(here!(F), &ws.dc[k], v_dck);
+            ws.dc[k] = dck;
+
+            // if ((sc = mc[k-1] + tpmd[k-1]) > dc[k]) dc[k] = sc;
+            let a = t.int_load(here!(F), &ws.mc[k - 1]);
+            let b = t.int_load(here!(F), &model.tpmd[k - 1]);
+            let v_sc = t.int_op(here!(F), &[a, b]);
+            let sc = ws.mc[k - 1].saturating_add(model.tpmd[k - 1]);
+            let v_cmp = t.int_op(here!(F), &[v_sc, v_dck]);
+            if t.branch(here!(F), &[v_cmp], sc > dck) {
+                t.int_store(here!(F), &ws.dc[k], v_sc);
+                dck = sc;
+                ws.dc[k] = sc;
+            }
+
+            // if (dc[k] < -INFTY) dc[k] = -INFTY;
+            let v_dl = t.int_load(here!(F), &ws.dc[k]);
+            let v_cmp = t.int_op(here!(F), &[v_dl]);
+            if t.branch(here!(F), &[v_cmp], dck < NEG) {
+                let v_neg = t.lit();
+                t.int_store(here!(F), &ws.dc[k], v_neg);
+                ws.dc[k] = NEG;
+            }
+
+            // ---- Box 3: insert state, guarded by k < M ------------------
+            let v_cmp = t.int_op(here!(F), &[v_k]);
+            if t.branch(here!(F), &[v_cmp], k < m) {
+                // ic[k] = mpp[k] + tpmi[k];
+                let a = t.int_load(here!(F), &ws.mpp[k]);
+                let b = t.int_load(here!(F), &model.tpmi[k]);
+                let v_ick = t.int_op(here!(F), &[a, b]);
+                let mut ick = ws.mpp[k].saturating_add(model.tpmi[k]);
+                t.int_store(here!(F), &ws.ic[k], v_ick);
+                ws.ic[k] = ick;
+
+                // if ((sc = ip[k] + tpii[k]) > ic[k]) ic[k] = sc;
+                let a = t.int_load(here!(F), &ws.ipp[k]);
+                let b = t.int_load(here!(F), &model.tpii[k]);
+                let v_sc = t.int_op(here!(F), &[a, b]);
+                let sc = ws.ipp[k].saturating_add(model.tpii[k]);
+                let v_cmp = t.int_op(here!(F), &[v_sc, v_ick]);
+                if t.branch(here!(F), &[v_cmp], sc > ick) {
+                    t.int_store(here!(F), &ws.ic[k], v_sc);
+                    ick = sc;
+                    ws.ic[k] = sc;
+                }
+
+                // ic[k] += is[k];
+                let v_il = t.int_load(here!(F), &ws.ic[k]);
+                let v_is = t.int_load(here!(F), &is[k]);
+                let v_sum = t.int_op(here!(F), &[v_il, v_is]);
+                ick = ick.saturating_add(is[k]);
+                t.int_store(here!(F), &ws.ic[k], v_sum);
+                ws.ic[k] = ick;
+
+                // if (ic[k] < -INFTY) ic[k] = -INFTY;
+                let v_cmp = t.int_op(here!(F), &[v_sum]);
+                if t.branch(here!(F), &[v_cmp], ick < NEG) {
+                    let v_neg = t.lit();
+                    t.int_store(here!(F), &ws.ic[k], v_neg);
+                    ws.ic[k] = NEG;
+                }
+            } else {
+                let v_neg = t.lit();
+                t.int_store(here!(F), &ws.ic[k], v_neg);
+                ws.ic[k] = NEG;
+            }
+
+            // Loop control: k++ and back-edge branch.
+            v_k = t.int_op(here!(F), &[v_k]);
+            t.branch(here!(F), &[v_k], k < m);
+        }
+
+        let (nxmn, nxmb, nxmj, nxmc, vs) =
+            special_states(t, model, ws, xmn, xmj, xmc, [v_xmn, v_xmj, v_xmc]);
+        xmn = nxmn;
+        xmb = nxmb;
+        xmj = nxmj;
+        xmc = nxmc;
+        [v_xmn, v_xmb, v_xmj, v_xmc] = vs;
+
+        ws.swap_rows();
+    }
+    let _ = (v_xmb, v_xmn, v_xmj);
+    xmc
+}
+
+/// One match/delete cell of the transformed kernel: every load hoisted
+/// into independent temporaries, every max/clamp a conditional move, one
+/// store per result. Called from the shortened loop and duplicated after
+/// the loop exit for `k = M` (the paper's epilogue duplication).
+fn match_delete_cell<T: Tracer>(
+    t: &mut T,
+    model: &Plan7Model,
+    ws: &mut ViterbiWorkspace,
+    res: usize,
+    k: usize,
+    xmb: i32,
+    v_xmb: T::Val,
+) {
+    const F: &str = "p7_viterbi_transformed_cell";
+    let res_row = &model.msc[res];
+
+    // 1.1 + 2.1: hoisted, mutually independent loads.
+    let a = t.int_load(here!(F), &ws.mpp[k - 1]);
+    let b = t.int_load(here!(F), &model.tpmm[k - 1]);
+    let v_t1 = t.int_op(here!(F), &[a, b]);
+    let t1 = ws.mpp[k - 1].saturating_add(model.tpmm[k - 1]);
+
+    let a = t.int_load(here!(F), &ws.ipp[k - 1]);
+    let b = t.int_load(here!(F), &model.tpim[k - 1]);
+    let v_t2 = t.int_op(here!(F), &[a, b]);
+    let t2 = ws.ipp[k - 1].saturating_add(model.tpim[k - 1]);
+
+    let a = t.int_load(here!(F), &ws.dpp[k - 1]);
+    let b = t.int_load(here!(F), &model.tpdm[k - 1]);
+    let v_t3 = t.int_op(here!(F), &[a, b]);
+    let t3 = ws.dpp[k - 1].saturating_add(model.tpdm[k - 1]);
+
+    let b = t.int_load(here!(F), &model.bsc[k]);
+    let v_t4 = t.int_op(here!(F), &[v_xmb, b]);
+    let t4 = xmb.saturating_add(model.bsc[k]);
+
+    let a = t.int_load(here!(F), &ws.dc[k - 1]);
+    let b = t.int_load(here!(F), &model.tpdd[k - 1]);
+    let v_t5 = t.int_op(here!(F), &[a, b]);
+    let t5 = ws.dc[k - 1].saturating_add(model.tpdd[k - 1]);
+
+    let a = t.int_load(here!(F), &ws.mc[k - 1]);
+    let b = t.int_load(here!(F), &model.tpmd[k - 1]);
+    let v_t6 = t.int_op(here!(F), &[a, b]);
+    let t6 = ws.mc[k - 1].saturating_add(model.tpmd[k - 1]);
+
+    // 1.2: maxes as conditional moves.
+    let v_c = t.int_op(here!(F), &[v_t1, v_t2]);
+    let v_m1 = t.select(here!(F), &[v_c, v_t1, v_t2], t2 > t1);
+    let m1 = t1.max(t2);
+    let v_c = t.int_op(here!(F), &[v_m1, v_t3]);
+    let v_m1 = t.select(here!(F), &[v_c, v_m1, v_t3], t3 > m1);
+    let m1 = m1.max(t3);
+    let v_c = t.int_op(here!(F), &[v_m1, v_t4]);
+    let v_m1 = t.select(here!(F), &[v_c, v_m1, v_t4], t4 > m1);
+    let m1 = m1.max(t4);
+
+    // 1.3: mc[k] = ms[k] + temp1, clamp via cmov, single store.
+    let v_ms = t.int_load(here!(F), &res_row[k]);
+    let v_sum = t.int_op(here!(F), &[v_m1, v_ms]);
+    let sum = m1.saturating_add(res_row[k]);
+    let v_c = t.int_op(here!(F), &[v_sum]);
+    let v_mck = t.select(here!(F), &[v_c, v_sum], sum < NEG);
+    let mck = clamp(sum);
+    t.int_store(here!(F), &ws.mc[k], v_mck);
+    ws.mc[k] = mck;
+
+    // 2.2 + 2.3: delete state via cmov, single store.
+    let v_c = t.int_op(here!(F), &[v_t5, v_t6]);
+    let v_m2 = t.select(here!(F), &[v_c, v_t5, v_t6], t6 > t5);
+    let m2 = t5.max(t6);
+    let v_c = t.int_op(here!(F), &[v_m2]);
+    let v_dck = t.select(here!(F), &[v_c, v_m2], m2 < NEG);
+    let dck = clamp(m2);
+    t.int_store(here!(F), &ws.dc[k], v_dck);
+    ws.dc[k] = dck;
+}
+
+/// The paper's load-scheduled source shape (Figure 6(c)).
+pub fn viterbi_transformed<T: Tracer>(
+    t: &mut T,
+    model: &Plan7Model,
+    dsq: &[u8],
+    ws: &mut ViterbiWorkspace,
+) -> i32 {
+    const F: &str = "p7_viterbi_transformed";
+    let m = model.m;
+    ws.reset(m);
+
+    let mut xmn = 0i32;
+    let mut xmb = clamp(xmn + model.xtn_move);
+    let mut xmj = NEG;
+    let mut xmc = NEG;
+    let mut v_xmn = t.lit();
+    let mut v_xmb = t.lit();
+    let mut v_xmj = t.lit();
+    let mut v_xmc = t.lit();
+
+    for i in 1..=dsq.len() {
+        let dsq_row = dsq[i - 1] as usize;
+        let is = &model.isc[dsq_row];
+        ws.mc[0] = NEG;
+        ws.ic[0] = NEG;
+        ws.dc[0] = NEG;
+        let mut v_k = t.lit();
+
+        // Loop shortened by one: the insert block runs unconditionally,
+        // its k < M guard gone (paper Fig. 6(c)).
+        for k in 1..m {
+            match_delete_cell(t, model, ws, dsq_row, k, xmb, v_xmb);
+
+            // 3.1: insert-state loads hoisted with the rest.
+            let a = t.int_load(here!(F), &ws.mpp[k]);
+            let b = t.int_load(here!(F), &model.tpmi[k]);
+            let v_t7 = t.int_op(here!(F), &[a, b]);
+            let t7 = ws.mpp[k].saturating_add(model.tpmi[k]);
+
+            let a = t.int_load(here!(F), &ws.ipp[k]);
+            let b = t.int_load(here!(F), &model.tpii[k]);
+            let v_t8 = t.int_op(here!(F), &[a, b]);
+            let t8 = ws.ipp[k].saturating_add(model.tpii[k]);
+
+            // 3.2 + 3.3: max and clamp via cmov, single store.
+            let v_c = t.int_op(here!(F), &[v_t7, v_t8]);
+            let v_m3 = t.select(here!(F), &[v_c, v_t7, v_t8], t8 > t7);
+            let m3 = t7.max(t8);
+            let v_is = t.int_load(here!(F), &is[k]);
+            let v_sum = t.int_op(here!(F), &[v_m3, v_is]);
+            let sum = m3.saturating_add(is[k]);
+            let v_c = t.int_op(here!(F), &[v_sum]);
+            let v_ick = t.select(here!(F), &[v_c, v_sum], sum < NEG);
+            t.int_store(here!(F), &ws.ic[k], v_ick);
+            ws.ic[k] = clamp(sum);
+
+            v_k = t.int_op(here!(F), &[v_k]);
+            t.branch(here!(F), &[v_k], k + 1 < m);
+        }
+
+        // Epilogue: the duplicated match/delete code for k = M.
+        match_delete_cell(t, model, ws, dsq_row, m, xmb, v_xmb);
+        let v_neg = t.lit();
+        t.int_store(here!(F), &ws.ic[m], v_neg);
+        ws.ic[m] = NEG;
+
+        let (nxmn, nxmb, nxmj, nxmc, vs) =
+            special_states(t, model, ws, xmn, xmj, xmc, [v_xmn, v_xmj, v_xmc]);
+        xmn = nxmn;
+        xmb = nxmb;
+        xmj = nxmj;
+        xmc = nxmc;
+        [v_xmn, v_xmb, v_xmj, v_xmc] = vs;
+
+        ws.swap_rows();
+    }
+    let _ = (v_xmb, v_xmn, v_xmj);
+    xmc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_bioseq::SeqGen;
+    use bioperf_trace::{consumers::InstrMix, NullTracer, Tape};
+
+    fn model_and_seqs() -> (Plan7Model, Vec<Vec<u8>>) {
+        let model = Plan7Model::synthetic(40, 17);
+        let mut gen = SeqGen::new(23);
+        let target = gen.random_protein(40);
+        let mut seqs = gen.protein_database(12, 20, 80, &target, 0.3);
+        seqs.push(Vec::new()); // empty sequence edge case
+        seqs.push(gen.random_protein(1));
+        (model, seqs)
+    }
+
+    #[test]
+    fn original_matches_reference() {
+        let (model, seqs) = model_and_seqs();
+        let mut ws = ViterbiWorkspace::new();
+        let mut t = NullTracer::new();
+        for s in &seqs {
+            assert_eq!(
+                viterbi_original(&mut t, &model, s, &mut ws),
+                model.reference_viterbi(s),
+                "len {}",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn transformed_matches_reference() {
+        let (model, seqs) = model_and_seqs();
+        let mut ws = ViterbiWorkspace::new();
+        let mut t = NullTracer::new();
+        for s in &seqs {
+            assert_eq!(
+                viterbi_transformed(&mut t, &model, s, &mut ws),
+                model.reference_viterbi(s),
+                "len {}",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn variants_agree_under_tape() {
+        let (model, seqs) = model_and_seqs();
+        let mut ws = ViterbiWorkspace::new();
+        for s in &seqs {
+            let mut tape_a = Tape::new(InstrMix::default());
+            let a = viterbi_original(&mut tape_a, &model, s, &mut ws);
+            let mut tape_b = Tape::new(InstrMix::default());
+            let b = viterbi_transformed(&mut tape_b, &model, s, &mut ws);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn transformed_executes_fewer_branches() {
+        let (model, seqs) = model_and_seqs();
+        let mut ws = ViterbiWorkspace::new();
+        let seq = &seqs[0];
+        let mut tape = Tape::new(InstrMix::default());
+        viterbi_original(&mut tape, &model, seq, &mut ws);
+        let (_, orig) = tape.finish();
+        let mut tape = Tape::new(InstrMix::default());
+        viterbi_transformed(&mut tape, &model, seq, &mut ws);
+        let (_, tr) = tape.finish();
+        assert!(
+            tr.cond_branches() * 2 < orig.cond_branches(),
+            "transformed {} vs original {} branches",
+            tr.cond_branches(),
+            orig.cond_branches()
+        );
+    }
+
+    #[test]
+    fn original_load_fraction_is_bioperf_like() {
+        // Figure 1: loads are roughly 30-40% of executed instructions in
+        // the hmm programs.
+        let (model, seqs) = model_and_seqs();
+        let mut ws = ViterbiWorkspace::new();
+        let mut tape = Tape::new(InstrMix::default());
+        for s in &seqs {
+            viterbi_original(&mut tape, &model, s, &mut ws);
+        }
+        let (_, mix) = tape.finish();
+        let f = mix.class_fraction(bioperf_isa::OpClass::Load);
+        assert!((0.25..0.50).contains(&f), "load fraction {f}");
+    }
+
+    #[test]
+    fn few_static_loads_cover_everything() {
+        // Figure 2's point: the kernel has only a handful of static loads.
+        let (model, seqs) = model_and_seqs();
+        let mut ws = ViterbiWorkspace::new();
+        let mut tape = Tape::new(bioperf_trace::consumers::LoadCounts::default());
+        for s in &seqs {
+            viterbi_original(&mut tape, &model, s, &mut ws);
+        }
+        let (program, counts) = tape.finish();
+        let static_loads = program.count_kind(bioperf_isa::OpKind::is_load);
+        assert!(static_loads < 80, "{static_loads} static loads");
+        assert!(counts.total() > 10_000);
+    }
+}

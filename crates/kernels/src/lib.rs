@@ -1,0 +1,43 @@
+//! Rust reimplementations of the nine BioPerf program kernels.
+//!
+//! Each module reimplements the dominant computational kernel of one
+//! BioPerf program, written against the [`Tracer`] instrumentation
+//! interface so the same source runs natively (with
+//! [`NullTracer`](bioperf_trace::NullTracer)) or as an instrumented
+//! "binary" (with [`Tape`](bioperf_trace::Tape)).
+//!
+//! The six programs the paper load-transforms exist in two source shapes:
+//!
+//! * [`Variant::Original`] — the BioPerf source structure, with the tight
+//!   load→compare→branch chains and conditional stores of the paper's
+//!   Figure 6(a)/Figure 8(a),
+//! * [`Variant::LoadTransformed`] — the paper's manual source-level load
+//!   scheduling (Figure 6(c)/Figure 8(b)): loads hoisted into independent
+//!   temporaries ahead of the guarding branches, conditional stores
+//!   replaced by conditional moves, guard branches eliminated by loop
+//!   restructuring.
+//!
+//! Both variants compute **bit-identical results** (the transformation is
+//! semantics-preserving); the test suites enforce this against the slow
+//! reference implementations in [`bioperf_bioseq`].
+//!
+//! The three remaining programs (`blast`, `fasta`, `promlk`) are
+//! characterized but not transformed, exactly as in the paper.
+//!
+//! [`Tracer`]: bioperf_trace::Tracer
+
+// The kernels deliberately use C-style indexed loops and multi-array
+// indexing: they mirror the BioPerf C sources statement by statement so
+// the traced instruction streams match the paper's machine-code figures.
+#![allow(clippy::needless_range_loop)]
+
+pub mod blast;
+pub mod clustalw;
+pub mod dnapenny;
+pub mod fasta;
+pub mod hmm;
+pub mod predator;
+pub mod promlk;
+pub mod registry;
+
+pub use registry::{transform_summary, ProgramId, RunResult, Scale, TransformSummary, Variant};

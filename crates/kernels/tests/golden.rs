@@ -1,0 +1,55 @@
+//! Golden result checksums: pin every program's Test-scale output so
+//! accidental semantic changes to a kernel (or to the synthetic input
+//! generators) are caught immediately.
+//!
+//! If a change to a kernel is *intended* to alter results, regenerate
+//! these constants and say why in the commit.
+
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_trace::NullTracer;
+
+const GOLDEN: [(ProgramId, u64); 9] = [
+    (ProgramId::Blast, 0x8f3e882f04454640),
+    (ProgramId::Clustalw, 0x3e648919dbb35beb),
+    (ProgramId::Dnapenny, 0x6bc77e00ce0a3150),
+    (ProgramId::Fasta, 0x3a1794f0faf22421),
+    (ProgramId::Hmmcalibrate, 0xca40b95d8b956b72),
+    (ProgramId::Hmmpfam, 0xb08b0ead6459b56a),
+    (ProgramId::Hmmsearch, 0xfe9c863ba570d3ab),
+    (ProgramId::Predator, 0x0fdeaa253444d3dd),
+    (ProgramId::Promlk, 0x3e053cfac1f6beec),
+];
+
+#[test]
+fn original_variants_match_golden_checksums() {
+    let mut t = NullTracer::new();
+    for (program, expected) in GOLDEN {
+        let r = registry::run(&mut t, program, Variant::Original, Scale::Test, 42);
+        assert_eq!(
+            r.checksum, expected,
+            "{program}: result changed (got 0x{:016x}); if intended, regenerate GOLDEN",
+            r.checksum
+        );
+    }
+}
+
+#[test]
+fn transformed_variants_match_the_same_checksums() {
+    // Semantics preservation pinned against the same constants.
+    let mut t = NullTracer::new();
+    for (program, expected) in GOLDEN {
+        if !program.is_transformable() {
+            continue;
+        }
+        let r = registry::run(&mut t, program, Variant::LoadTransformed, Scale::Test, 42);
+        assert_eq!(r.checksum, expected, "{program}: transformed variant diverged");
+    }
+}
+
+#[test]
+fn golden_table_covers_every_program() {
+    assert_eq!(GOLDEN.len(), ProgramId::ALL.len());
+    for p in ProgramId::ALL {
+        assert!(GOLDEN.iter().any(|(g, _)| *g == p), "{p} missing from GOLDEN");
+    }
+}

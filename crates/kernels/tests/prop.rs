@@ -1,0 +1,75 @@
+//! Property tests: the load transformation is semantics-preserving for
+//! arbitrary inputs, and the kernels match their reference
+//! implementations.
+
+use bioperf_bioseq::matrix::ScoringMatrix;
+use bioperf_bioseq::plan7::Plan7Model;
+use bioperf_bioseq::SeqGen;
+use bioperf_kernels::clustalw::{
+    forward_pass, forward_pass_reference, ForwardPassWorkspace, GapPenalties,
+};
+use bioperf_kernels::hmm::{viterbi, ViterbiWorkspace};
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_trace::NullTracer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both Viterbi variants equal the reference for arbitrary models and
+    /// sequences.
+    #[test]
+    fn viterbi_variants_match_reference(
+        m in 2usize..30,
+        seed in any::<u64>(),
+        len in 0usize..60,
+    ) {
+        let model = Plan7Model::synthetic(m, seed);
+        let mut gen = SeqGen::new(seed ^ 0xdead);
+        let seq = gen.random_protein(len);
+        let expected = model.reference_viterbi(&seq);
+        let mut ws = ViterbiWorkspace::new();
+        let mut t = NullTracer::new();
+        prop_assert_eq!(viterbi(&mut t, &model, &seq, &mut ws, Variant::Original), expected);
+        prop_assert_eq!(viterbi(&mut t, &model, &seq, &mut ws, Variant::LoadTransformed), expected);
+    }
+
+    /// Both forward-pass variants equal the reference for arbitrary
+    /// sequence pairs and gap penalties.
+    #[test]
+    fn forward_pass_variants_match_reference(
+        seed in any::<u64>(),
+        n in 0usize..50,
+        m in 0usize..50,
+        open in 1i32..20,
+        extend in 1i32..5,
+    ) {
+        let mut gen = SeqGen::new(seed);
+        let s1 = gen.random_protein(n);
+        let s2 = gen.random_protein(m);
+        let matrix = ScoringMatrix::blosum62();
+        let gap = GapPenalties { open, extend };
+        let expected = forward_pass_reference(&s1, &s2, &matrix, gap);
+        let mut ws = ForwardPassWorkspace::default();
+        let mut t = NullTracer::new();
+        prop_assert_eq!(
+            forward_pass(&mut t, &s1, &s2, &matrix, gap, &mut ws, Variant::Original),
+            expected
+        );
+        prop_assert_eq!(
+            forward_pass(&mut t, &s1, &s2, &matrix, gap, &mut ws, Variant::LoadTransformed),
+            expected
+        );
+    }
+
+    /// Every transformed program agrees across variants for arbitrary
+    /// seeds (checksum equality at test scale).
+    #[test]
+    fn whole_programs_agree_across_variants(seed in any::<u64>(), idx in 0usize..6) {
+        let program = ProgramId::TRANSFORMED[idx];
+        let mut t = NullTracer::new();
+        let a = registry::run(&mut t, program, Variant::Original, Scale::Test, seed);
+        let b = registry::run(&mut t, program, Variant::LoadTransformed, Scale::Test, seed);
+        prop_assert_eq!(a, b, "{} seed {}", program, seed);
+    }
+}

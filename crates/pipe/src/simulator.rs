@@ -1,0 +1,609 @@
+//! The trace-driven cycle simulator.
+
+use std::collections::VecDeque;
+
+use bioperf_branch::BranchProfiler;
+use bioperf_cache::{AccessKind, Hierarchy, HierarchyStats};
+use bioperf_isa::{MicroOp, OpKind, Program, VReg};
+use bioperf_trace::TraceConsumer;
+
+use crate::config::PlatformConfig;
+
+/// Ring sizes; both bound the span of "active" cycles / values, which is
+/// limited by the ROB size times the largest latency.
+const ISSUE_RING: usize = 1 << 12;
+const READY_RING: usize = 1 << 16;
+
+/// Where spilled values live: a small stack-like region that stays
+/// L1-resident, as real spill slots do.
+const SPILL_BASE: u64 = 0x7fff_0000_0000;
+const SPILL_SLOTS: u64 = 512;
+
+/// Results of simulating one trace on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed trace instructions (excludes inserted spill traffic).
+    pub instructions: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branches mispredicted by the platform predictor.
+    pub mispredicts: u64,
+    /// Spill stores inserted by the register-pressure model.
+    pub spill_stores: u64,
+    /// Reload loads inserted by the register-pressure model.
+    pub spill_reloads: u64,
+    /// Cache demand statistics.
+    pub cache: HierarchyStats,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Move-to-front LRU over virtual registers — the register-pressure
+/// model. Models a graph-coloring-free "spill at capacity" allocator:
+/// values pushed out of the architected register file must be reloaded
+/// before reuse.
+#[derive(Debug, Clone)]
+struct RegFile {
+    slots: Vec<u64>,
+    capacity: usize,
+}
+
+impl RegFile {
+    fn new(logical_regs: u32) -> Self {
+        // A few registers are permanently claimed for addressing,
+        // constants, and the stack/frame pointers.
+        let capacity = (logical_regs.saturating_sub(2)).max(2) as usize;
+        Self { slots: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Touches `v`; returns `true` if it was resident.
+    fn touch(&mut self, v: u64) -> bool {
+        if let Some(pos) = self.slots.iter().position(|&x| x == v) {
+            let val = self.slots.remove(pos);
+            self.slots.push(val);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `v`, returning an evicted value if the file was full.
+    fn insert(&mut self, v: u64) -> Option<u64> {
+        if self.touch(v) {
+            return None;
+        }
+        let evicted = if self.slots.len() == self.capacity { Some(self.slots.remove(0)) } else { None };
+        self.slots.push(v);
+        evicted
+    }
+}
+
+/// One op's timing in the recorded timeline (see
+/// [`CycleSim::with_timeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Static instruction.
+    pub sid: bioperf_isa::StaticId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Cycle the op was dispatched by the front end.
+    pub dispatch: u64,
+    /// Cycle the op issued to an execution unit.
+    pub issue: u64,
+    /// Cycle its result became available / it resolved.
+    pub complete: u64,
+    /// Whether this was a branch that mispredicted.
+    pub mispredicted: bool,
+}
+
+/// Trace-driven cycle-level model of one platform.
+///
+/// Plug it into a [`Tape`](bioperf_trace::Tape) (or feed it ops directly
+/// via [`TraceConsumer`]) and read the final [`SimResult`].
+#[derive(Debug, Clone)]
+pub struct CycleSim {
+    cfg: PlatformConfig,
+    hierarchy: Hierarchy,
+    predictor: BranchProfiler,
+    fp_load_extra: u64,
+
+    fetch_cycle: u64,
+    fetched_this_cycle: u32,
+    issue_ring: Vec<(u64, u32)>,
+    ready_ring: Vec<(u64, u64)>,
+    from_load_ring: Vec<bool>,
+    rob: VecDeque<u64>,
+    last_issue: u64,
+    regs: RegFile,
+
+    max_completion: u64,
+    instructions: u64,
+    branches: u64,
+    mispredicts: u64,
+    spill_stores: u64,
+    spill_reloads: u64,
+    timeline: Option<Vec<OpTiming>>,
+}
+
+/// Cap on recorded timeline entries; recording is for walkthroughs and
+/// debugging, not full runs.
+const TIMELINE_CAP: usize = 65_536;
+
+impl CycleSim {
+    /// Creates a simulator for one platform.
+    pub fn new(cfg: PlatformConfig) -> Self {
+        Self {
+            hierarchy: cfg.hierarchy(),
+            predictor: BranchProfiler::new(),
+            fp_load_extra: cfg.fp_load_latency.saturating_sub(cfg.int_load_latency),
+            fetch_cycle: 0,
+            fetched_this_cycle: 0,
+            issue_ring: vec![(u64::MAX, 0); ISSUE_RING],
+            ready_ring: vec![(u64::MAX, 0); READY_RING],
+            from_load_ring: vec![false; READY_RING],
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            last_issue: 0,
+            regs: RegFile::new(cfg.logical_regs),
+            max_completion: 0,
+            instructions: 0,
+            branches: 0,
+            mispredicts: 0,
+            spill_stores: 0,
+            spill_reloads: 0,
+            timeline: None,
+            cfg,
+        }
+    }
+
+    /// Enables per-op timeline recording (capped at 65 536 ops). Use for
+    /// short pedagogical traces like the Figure 3/4 walkthrough.
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = Some(Vec::new());
+        self
+    }
+
+    /// The recorded timeline, if enabled.
+    pub fn timeline(&self) -> Option<&[OpTiming]> {
+        self.timeline.as_deref()
+    }
+
+    /// The platform being simulated.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.cfg
+    }
+
+    /// Finalizes and returns the simulation result.
+    pub fn into_result(self) -> SimResult {
+        SimResult {
+            cycles: self.max_completion.max(self.fetch_cycle),
+            instructions: self.instructions,
+            branches: self.branches,
+            mispredicts: self.mispredicts,
+            spill_stores: self.spill_stores,
+            spill_reloads: self.spill_reloads,
+            cache: *self.hierarchy.stats(),
+        }
+    }
+
+    /// Running result snapshot (cheap; caches copied).
+    pub fn result(&self) -> SimResult {
+        SimResult {
+            cycles: self.max_completion.max(self.fetch_cycle),
+            instructions: self.instructions,
+            branches: self.branches,
+            mispredicts: self.mispredicts,
+            spill_stores: self.spill_stores,
+            spill_reloads: self.spill_reloads,
+            cache: *self.hierarchy.stats(),
+        }
+    }
+
+    /// Claims an issue slot at the first cycle ≥ `earliest` with
+    /// bandwidth available.
+    fn issue_at(&mut self, earliest: u64) -> u64 {
+        let mut c = earliest;
+        loop {
+            let slot = &mut self.issue_ring[(c as usize) & (ISSUE_RING - 1)];
+            if slot.0 != c {
+                *slot = (c, 0);
+            }
+            if slot.1 < self.cfg.issue_width {
+                slot.1 += 1;
+                return c;
+            }
+            c += 1;
+        }
+    }
+
+    fn ready_of(&self, v: VReg) -> Option<u64> {
+        let slot = self.ready_ring[(v.0 as usize) & (READY_RING - 1)];
+        (slot.0 == v.0).then_some(slot.1)
+    }
+
+    fn set_ready(&mut self, v: VReg, cycle: u64) {
+        self.ready_ring[(v.0 as usize) & (READY_RING - 1)] = (v.0, cycle);
+    }
+
+    fn mark_from_load(&mut self, v: VReg, from_load: bool) {
+        self.from_load_ring[(v.0 as usize) & (READY_RING - 1)] = from_load;
+    }
+
+    fn is_from_load(&self, v: VReg) -> bool {
+        self.from_load_ring[(v.0 as usize) & (READY_RING - 1)]
+    }
+
+    /// Advances the front end by one dispatch slot and returns the
+    /// dispatch cycle for the next op.
+    fn dispatch(&mut self) -> u64 {
+        if self.fetched_this_cycle >= self.cfg.fetch_width {
+            self.fetch_cycle += 1;
+            self.fetched_this_cycle = 0;
+        }
+        // ROB full: the front end stalls until the oldest op retires.
+        if self.rob.len() >= self.cfg.rob_size {
+            let head = self.rob.pop_front().expect("rob non-empty");
+            if head > self.fetch_cycle {
+                self.fetch_cycle = head;
+                self.fetched_this_cycle = 0;
+            }
+        }
+        self.fetched_this_cycle += 1;
+        self.fetch_cycle
+    }
+
+    /// Operand readiness, inserting a reload if the value was spilled out
+    /// of the architected register file.
+    fn src_ready(&mut self, src: VReg, dispatch: u64) -> u64 {
+        let Some(base) = self.ready_of(src) else {
+            // No recorded producer: an immediate or long-dead value.
+            return 0;
+        };
+        if self.regs.touch(src.0) {
+            return base;
+        }
+        // Spilled and reused: this value really generates spill code — a
+        // store at its eviction and a reload here. Both are real
+        // instructions consuming front-end and issue bandwidth; the
+        // reload additionally pays load (+ store-forwarding) latency.
+        // Values that die without a post-eviction use generate no spill
+        // code: the allocator keeps dead intermediates out of the file.
+        self.spill_reloads += 1;
+        // One front-end slot: the reload folds into its consumer as a
+        // memory operand on the register-scarce ISA where spills matter.
+        self.fetched_this_cycle += 1;
+        let (addr, extra) = if self.is_from_load(src) {
+            // The value came straight from a load: the allocator
+            // rematerializes it by repeating the load instead of storing
+            // it to a spill slot (no store, no forwarding stall).
+            (SPILL_BASE + (src.0 % SPILL_SLOTS) * 8, 0)
+        } else {
+            // A computed value must round-trip through a spill slot:
+            // one store plus a forwarded reload.
+            self.spill_stores += 1;
+            let addr = SPILL_BASE + (src.0 % SPILL_SLOTS) * 8;
+            self.hierarchy.access(addr, AccessKind::Store);
+            self.issue_at(dispatch);
+            (addr, self.cfg.spill_forward_extra)
+        };
+        let start = self.issue_at(dispatch.max(base));
+        let lat = self.hierarchy.access(addr, AccessKind::Load) + extra;
+        let ready = start + lat;
+        self.set_ready(src, ready);
+        self.regs.insert(src.0);
+        ready
+    }
+
+    /// Resolves a conditional branch (or a branch-realized select):
+    /// predicts, updates stats, and redirects the front end on a
+    /// misprediction.
+    fn resolve_branch(&mut self, op: &MicroOp, resolve: u64) -> bool {
+        self.branches += 1;
+        let correct = self.predictor.observe(op.sid, op.taken);
+        if !correct {
+            self.mispredicts += 1;
+            // Redirect: the front end restarts after the branch resolves —
+            // resolution delay (e.g. waiting on a load) adds directly to
+            // the misprediction cost.
+            let redirect = resolve + self.cfg.mispredict_penalty;
+            if redirect > self.fetch_cycle {
+                self.fetch_cycle = redirect;
+                self.fetched_this_cycle = 0;
+            }
+        }
+        !correct
+    }
+
+}
+
+impl TraceConsumer for CycleSim {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        self.instructions += 1;
+        let dispatch = self.dispatch();
+
+        let mut operands = 0u64;
+        for src in op.sources() {
+            operands = operands.max(self.src_ready(src, dispatch));
+        }
+        let mut earliest = dispatch.max(operands);
+        if self.cfg.in_order {
+            // Issue in program order: an op cannot issue before its elder.
+            earliest = earliest.max(self.last_issue);
+        }
+        let start = self.issue_at(earliest);
+        if self.cfg.in_order {
+            self.last_issue = start;
+        }
+
+        let mut mispredicted_now = false;
+        let completion = match op.kind {
+            OpKind::IntLoad | OpKind::FpLoad => {
+                let lat = self.hierarchy.access(op.addr.expect("loads carry addresses"), AccessKind::Load);
+                let extra = if op.kind == OpKind::FpLoad { self.fp_load_extra } else { 0 };
+                start + lat + extra
+            }
+            OpKind::IntStore | OpKind::FpStore => {
+                self.hierarchy.access(op.addr.expect("stores carry addresses"), AccessKind::Store);
+                start + 1
+            }
+            OpKind::CondBranch => {
+                let resolve = start + 1;
+                mispredicted_now = self.resolve_branch(op, resolve);
+                resolve
+            }
+            OpKind::CondMove if !self.cfg.if_conversion => {
+                // On platforms whose compiler/ISA cannot if-convert, the
+                // transformed code's select is really a compare-and-branch
+                // followed by a move: it predicts, can mispredict, and
+                // produces its value when it resolves.
+                let resolve = start + 1;
+                mispredicted_now = self.resolve_branch(op, resolve);
+                resolve
+            }
+            kind => start + self.cfg.op_latency(kind),
+        };
+
+        if let Some(tl) = self.timeline.as_mut() {
+            if tl.len() < TIMELINE_CAP {
+                tl.push(OpTiming {
+                    sid: op.sid,
+                    kind: op.kind,
+                    dispatch,
+                    issue: start,
+                    complete: completion,
+                    mispredicted: mispredicted_now,
+                });
+            }
+        }
+        if let Some(dst) = op.dst {
+            self.set_ready(dst, completion);
+            self.mark_from_load(dst, op.kind.is_load());
+            self.regs.insert(dst.0);
+        }
+        self.rob.push_back(completion);
+        if self.rob.len() > self.cfg.rob_size {
+            self.rob.pop_front();
+        }
+        if completion > self.max_completion {
+            self.max_completion = completion;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_isa::here;
+    use bioperf_trace::{Tape, Tracer};
+
+    fn sim(cfg: PlatformConfig, f: impl FnOnce(&mut Tape<CycleSim>)) -> SimResult {
+        let mut tape = Tape::new(CycleSim::new(cfg));
+        f(&mut tape);
+        let (_, sim) = tape.finish();
+        sim.into_result()
+    }
+
+    /// A dependent chain of ALU ops costs ~1 cycle each; independent ops
+    /// pack `issue_width` per cycle.
+    #[test]
+    fn dependent_chain_vs_independent_ops() {
+        let n = 10_000;
+        let dep = sim(PlatformConfig::alpha21264(), |t| {
+            let mut v = t.lit();
+            for _ in 0..n {
+                v = t.int_op(here!("chain"), &[v]);
+            }
+        });
+        let indep = sim(PlatformConfig::alpha21264(), |t| {
+            let a = t.lit();
+            for _ in 0..n {
+                t.int_op(here!("indep"), &[a]);
+            }
+        });
+        assert!(dep.cycles > (n as u64) * 9 / 10, "chain must serialize: {}", dep.cycles);
+        assert!(
+            indep.cycles < dep.cycles / 2,
+            "independent ops must overlap: {} vs {}",
+            indep.cycles,
+            dep.cycles
+        );
+    }
+
+    /// An L1-resident pointer chase costs the load-to-use latency per hop.
+    #[test]
+    fn load_latency_shows_on_dependent_loads() {
+        let cell = 42u64;
+        let n = 5_000u64;
+        let alpha = sim(PlatformConfig::alpha21264(), |t| {
+            let mut v = t.int_load(here!("chase"), &cell);
+            for _ in 0..n {
+                v = t.int_load_via(here!("chase"), &cell, v);
+            }
+        });
+        // 3 cycles per hop on Alpha.
+        assert!(alpha.cycles > n * 5 / 2, "expected ~3 cycles/hop, got {} total", alpha.cycles);
+
+        let ipf = sim(PlatformConfig::itanium2(), |t| {
+            let mut v = t.int_load(here!("chase"), &cell);
+            for _ in 0..n {
+                v = t.int_load_via(here!("chase"), &cell, v);
+            }
+        });
+        assert!(ipf.cycles < alpha.cycles, "1-cycle L1 must beat 3-cycle L1");
+    }
+
+    /// Random branches get mispredicted and cost the redirect penalty.
+    #[test]
+    fn mispredicted_branches_dominate_random_control_flow() {
+        // L1-resident working set so branch effects are not masked by
+        // memory misses; LCG outcomes so the history predictor cannot
+        // learn the pattern.
+        let xs: Vec<u64> = (0..64).collect();
+        let mut state = 0x1234_5678u64;
+        let mut rand_bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        let predictable = sim(PlatformConfig::alpha21264(), |t| {
+            for i in 0..4000usize {
+                let v = t.int_load(here!("pred"), &xs[i % 64]);
+                t.branch(here!("pred"), &[v], true);
+            }
+        });
+        let random = sim(PlatformConfig::alpha21264(), |t| {
+            for i in 0..4000usize {
+                let v = t.int_load(here!("rand"), &xs[i % 64]);
+                t.branch(here!("rand"), &[v], rand_bit());
+            }
+        });
+        assert!(
+            random.cycles > predictable.cycles * 2,
+            "random {} vs predictable {}",
+            random.cycles,
+            predictable.cycles
+        );
+        assert!(random.mispredict_rate() > 0.3);
+        assert!(predictable.mispredict_rate() < 0.02);
+    }
+
+    /// The paper's central mechanism: a load feeding a mispredicted
+    /// branch delays its resolution, inflating the effective penalty.
+    /// Hoisting the load (making the branch input ready earlier) must
+    /// recover cycles even though the branch stays unpredictable.
+    #[test]
+    fn load_to_branch_latency_adds_to_mispredict_cost() {
+        let xs: Vec<u64> = (0..4000).collect();
+        // Baseline: branch condition comes straight from a fresh load.
+        let tight = sim(PlatformConfig::alpha21264(), |t| {
+            for (i, x) in xs.iter().enumerate() {
+                let v = t.int_load(here!("tight"), x);
+                let c = t.int_op(here!("tight"), &[v]);
+                t.branch(here!("tight"), &[c], i % 3 == 0);
+            }
+        });
+        // Hoisted: the load for the *next* branch issues one iteration
+        // early, so the compare's input is ready when the branch arrives.
+        let hoisted = sim(PlatformConfig::alpha21264(), |t| {
+            let mut v = t.int_load(here!("hoist"), &xs[0]);
+            for (i, _) in xs.iter().enumerate().take(xs.len() - 1) {
+                let next = t.int_load(here!("hoist"), &xs[i + 1]);
+                let c = t.int_op(here!("hoist"), &[v]);
+                t.branch(here!("hoist"), &[c], i % 3 == 0);
+                v = next;
+            }
+        });
+        assert!(
+            hoisted.cycles < tight.cycles,
+            "hoisting must help: {} vs {}",
+            hoisted.cycles,
+            tight.cycles
+        );
+    }
+
+    /// Register pressure: with only 8 logical registers, keeping many
+    /// values live inserts spill traffic; with 128 it does not.
+    #[test]
+    fn register_pressure_spills_on_pentium4_only() {
+        let work = |t: &mut Tape<CycleSim>| {
+            let xs = vec![7u64; 64];
+            for _ in 0..200 {
+                // 16 simultaneously-live temporaries.
+                let temps: Vec<_> = (0..16).map(|i| t.int_load(here!("temps"), &xs[i])).collect();
+                let mut acc = t.lit();
+                for v in &temps {
+                    acc = t.int_op(here!("temps"), &[acc, *v]);
+                }
+            }
+        };
+        let p4 = sim(PlatformConfig::pentium4(), work);
+        let ipf = sim(PlatformConfig::itanium2(), work);
+        assert!(p4.spill_reloads > 0, "P4 must spill");
+        assert_eq!(ipf.spill_reloads, 0, "128 registers never spill here");
+    }
+
+    /// In-order issue serializes behind a stalled elder; out-of-order
+    /// does not.
+    #[test]
+    fn in_order_exposes_stalls_more() {
+        let work = |t: &mut Tape<CycleSim>| {
+            let cell = 3u64;
+            for _ in 0..2000 {
+                let v = t.int_load(here!("io"), &cell);
+                let w = t.int_op(here!("io"), &[v]); // dependent: waits for load
+                let _ = t.int_op(here!("io"), &[w]);
+                // Independent work that OOO can slide under the load.
+                let a = t.lit();
+                for _ in 0..3 {
+                    t.int_op(here!("io"), &[a]);
+                }
+            }
+        };
+        let mut ooo_cfg = PlatformConfig::alpha21264();
+        ooo_cfg.int_load_latency = 3;
+        let ooo = sim(ooo_cfg, work);
+        let mut io_cfg = PlatformConfig::alpha21264();
+        io_cfg.in_order = true;
+        let io = sim(io_cfg, work);
+        assert!(io.cycles >= ooo.cycles, "in-order {} vs ooo {}", io.cycles, ooo.cycles);
+    }
+
+    #[test]
+    fn empty_trace_is_zero_cycles() {
+        let r = sim(PlatformConfig::alpha21264(), |_| {});
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn regfile_lru_semantics() {
+        let mut rf = RegFile::new(6); // capacity 4
+        assert_eq!(rf.insert(1), None);
+        assert_eq!(rf.insert(2), None);
+        assert_eq!(rf.insert(3), None);
+        assert_eq!(rf.insert(4), None);
+        assert!(rf.touch(1)); // 1 becomes MRU
+        assert_eq!(rf.insert(5), Some(2), "2 is now LRU");
+        assert!(!rf.touch(2));
+        assert!(rf.touch(1));
+    }
+}

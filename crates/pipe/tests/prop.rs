@@ -1,0 +1,123 @@
+//! Property tests: timing-model invariants for arbitrary traces.
+
+use bioperf_isa::here;
+use bioperf_pipe::{CycleSim, PlatformConfig};
+use bioperf_trace::{Tape, Tracer};
+use proptest::prelude::*;
+
+/// A little random-trace generator: each element is one op choice.
+#[derive(Debug, Clone, Copy)]
+enum TraceOp {
+    Load(u16),
+    Store(u16),
+    Alu,
+    DependentAlu,
+    Branch(bool),
+}
+
+fn trace_op() -> impl Strategy<Value = TraceOp> {
+    prop_oneof![
+        (any::<u16>()).prop_map(TraceOp::Load),
+        (any::<u16>()).prop_map(TraceOp::Store),
+        Just(TraceOp::Alu),
+        Just(TraceOp::DependentAlu),
+        any::<bool>().prop_map(TraceOp::Branch),
+    ]
+}
+
+fn run_trace(cfg: PlatformConfig, ops: &[TraceOp], mem: &[u64]) -> bioperf_pipe::SimResult {
+    let mut tape = Tape::new(CycleSim::new(cfg));
+    let mut last = tape.lit();
+    for op in ops {
+        match *op {
+            TraceOp::Load(a) => {
+                last = tape.int_load(here!("prop"), &mem[a as usize % mem.len()]);
+            }
+            TraceOp::Store(a) => {
+                tape.int_store(here!("prop"), &mem[a as usize % mem.len()], last);
+            }
+            TraceOp::Alu => {
+                tape.int_op(here!("prop"), &[]);
+            }
+            TraceOp::DependentAlu => {
+                last = tape.int_op(here!("prop"), &[last]);
+            }
+            TraceOp::Branch(taken) => {
+                tape.branch(here!("prop"), &[last], taken);
+            }
+        }
+    }
+    let (_, sim) = tape.finish();
+    sim.into_result()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cycles are bounded below by front-end bandwidth and above by a
+    /// worst-case serial execution.
+    #[test]
+    fn cycles_are_bounded(ops in prop::collection::vec(trace_op(), 1..400)) {
+        let mem = vec![0u64; 1 << 16];
+        let cfg = PlatformConfig::alpha21264();
+        let r = run_trace(cfg, &ops, &mem);
+        let n = ops.len() as u64;
+        prop_assert_eq!(r.instructions, n);
+        prop_assert!(r.cycles >= n / cfg.fetch_width as u64, "faster than the front end");
+        // Worst case: every op fully serialized at memory latency plus
+        // every branch mispredicted.
+        let worst = n * (3 + 8 + 72) + r.mispredicts * (cfg.mispredict_penalty + 4) + 64;
+        prop_assert!(r.cycles <= worst, "{} > {}", r.cycles, worst);
+    }
+
+    /// Raising the L1 latency never makes a trace faster.
+    #[test]
+    fn slower_l1_never_helps(ops in prop::collection::vec(trace_op(), 1..300)) {
+        let mem = vec![0u64; 1 << 16];
+        let mut fast = PlatformConfig::alpha21264();
+        fast.int_load_latency = 1;
+        let mut slow = PlatformConfig::alpha21264();
+        slow.int_load_latency = 5;
+        let rf = run_trace(fast, &ops, &mem);
+        let rs = run_trace(slow, &ops, &mem);
+        prop_assert!(rs.cycles >= rf.cycles, "slow {} < fast {}", rs.cycles, rf.cycles);
+    }
+
+    /// Branch and misprediction counts are consistent.
+    #[test]
+    fn branch_accounting(ops in prop::collection::vec(trace_op(), 1..300)) {
+        let mem = vec![0u64; 1 << 16];
+        let r = run_trace(PlatformConfig::pentium4(), &ops, &mem);
+        let branches = ops.iter().filter(|o| matches!(o, TraceOp::Branch(_))).count() as u64;
+        prop_assert_eq!(r.branches, branches);
+        prop_assert!(r.mispredicts <= r.branches);
+    }
+
+    /// IPC never exceeds the fetch width on any platform.
+    #[test]
+    fn ipc_respects_width(ops in prop::collection::vec(trace_op(), 16..300)) {
+        let mem = vec![0u64; 1 << 16];
+        for cfg in PlatformConfig::all() {
+            let r = run_trace(cfg, &ops, &mem);
+            prop_assert!(
+                r.ipc() <= cfg.fetch_width as f64 + 1e-9,
+                "{}: ipc {}",
+                cfg.name,
+                r.ipc()
+            );
+        }
+    }
+
+    /// The in-order core is never faster than the out-of-order core with
+    /// the same resources.
+    #[test]
+    fn in_order_is_never_faster(ops in prop::collection::vec(trace_op(), 1..250)) {
+        let mem = vec![0u64; 1 << 16];
+        let ooo = PlatformConfig::alpha21264();
+        let mut io = ooo;
+        io.in_order = true;
+        let r_ooo = run_trace(ooo, &ops, &mem);
+        let r_io = run_trace(io, &ops, &mem);
+        prop_assert!(r_io.cycles >= r_ooo.cycles, "in-order {} < ooo {}", r_io.cycles, r_ooo.cycles);
+    }
+}

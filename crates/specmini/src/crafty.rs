@@ -1,0 +1,393 @@
+//! A crafty-like chess workload: 0x88 move generation, perft search, and
+//! piece-square evaluation.
+//!
+//! Move generation branches per piece type into separate code paths, each
+//! with its own board and table loads — dynamic loads spread across many
+//! more static sites than a bio kernel, but fewer than `vortex`/`gcc`
+//! (crafty is the most concentrated of the paper's three SPEC curves).
+
+use bioperf_isa::{here, SrcLoc};
+use bioperf_trace::Tracer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{fold, SpecScale};
+
+const EMPTY: i8 = 0;
+const PAWN: i8 = 1;
+const KNIGHT: i8 = 2;
+const BISHOP: i8 = 3;
+const ROOK: i8 = 4;
+const QUEEN: i8 = 5;
+const KING: i8 = 6;
+
+/// A 0x88 board: 128 cells, the high nibble bit flags off-board squares.
+#[derive(Debug, Clone)]
+struct Board {
+    sq: [i8; 128],
+    psq: [[i32; 128]; 7],
+}
+
+#[inline]
+fn off_board(s: i32) -> bool {
+    s & 0x88 != 0
+}
+
+impl Board {
+    fn initial(rng: &mut StdRng) -> Self {
+        let mut sq = [EMPTY; 128];
+        let back = [ROOK, KNIGHT, BISHOP, QUEEN, KING, BISHOP, KNIGHT, ROOK];
+        for (f, &p) in back.iter().enumerate() {
+            sq[f] = p;
+            sq[0x70 + f] = -p;
+            sq[0x10 + f] = PAWN;
+            sq[0x60 + f] = -PAWN;
+        }
+        // Piece-square tables with mild random texture (crafty's tables
+        // are large constant arrays — the loads are what matter).
+        let mut psq = [[0i32; 128]; 7];
+        for table in psq.iter_mut() {
+            for (s, v) in table.iter_mut().enumerate() {
+                if !off_board(s as i32) {
+                    *v = rng.gen_range(-20..20);
+                }
+            }
+        }
+        Self { sq, psq }
+    }
+
+    /// Scrambles the position with a few random pseudo-legal moves so
+    /// different seeds search different trees.
+    fn scramble(&mut self, rng: &mut StdRng, plies: usize) {
+        let mut side = 1i8;
+        for _ in 0..plies {
+            let mut moves = Vec::new();
+            let mut t = bioperf_trace::NullTracer::new();
+            generate_moves(&mut t, self, side, &mut moves);
+            if moves.is_empty() {
+                break;
+            }
+            let (from, to) = moves[rng.gen_range(0..moves.len())];
+            self.sq[to as usize] = self.sq[from as usize];
+            self.sq[from as usize] = EMPTY;
+            side = -side;
+        }
+    }
+}
+
+/// Synthesized static site for one (piece kind, direction, slot) clone.
+/// Crafty's move generator is heavily specialised per piece and ray
+/// direction; each specialisation's loads are distinct static loads.
+fn site(piece: usize, dir: usize, slot: u32) -> SrcLoc {
+    SrcLoc::new(
+        "crafty_movegen.rs",
+        3000 + (piece as u32) * 512 + (dir as u32) * 16 + slot,
+        1,
+        "crafty_movegen",
+    )
+}
+
+const KNIGHT_DELTAS: [i32; 8] = [33, 31, 18, 14, -33, -31, -18, -14];
+const KING_DELTAS: [i32; 8] = [1, -1, 16, -16, 17, 15, -17, -15];
+const BISHOP_DIRS: [i32; 4] = [17, 15, -17, -15];
+const ROOK_DIRS: [i32; 4] = [1, -1, 16, -16];
+
+/// Generates pseudo-legal moves for `side`, dispatching to a per-piece
+/// code path (each with its own static loads, as in crafty).
+fn generate_moves<T: Tracer>(t: &mut T, b: &Board, side: i8, out: &mut Vec<(i32, i32)>) {
+    const F: &str = "crafty_genmoves";
+    for from in 0..128i32 {
+        if off_board(from) {
+            continue;
+        }
+        let v_p = t.int_load(here!(F), &b.sq[from as usize]);
+        let p = b.sq[from as usize];
+        let v_cmp = t.int_op(here!(F), &[v_p]);
+        if !t.branch(here!(F), &[v_cmp], p != EMPTY && (p > 0) == (side > 0)) {
+            continue;
+        }
+        match p.abs() {
+            PAWN => pawn_moves(t, b, from, side, out),
+            KNIGHT => leaper_moves_knight(t, b, from, side, out),
+            BISHOP => slider_moves_bishop(t, b, from, side, out),
+            ROOK => slider_moves_rook(t, b, from, side, out),
+            QUEEN => {
+                slider_moves_bishop(t, b, from, side, out);
+                slider_moves_rook(t, b, from, side, out);
+            }
+            _ => leaper_moves_king(t, b, from, side, out),
+        }
+    }
+}
+
+fn pawn_moves<T: Tracer>(t: &mut T, b: &Board, from: i32, side: i8, out: &mut Vec<(i32, i32)>) {
+    const F: &str = "crafty_pawn";
+    let dir = if side > 0 { 16 } else { -16 };
+    let fwd = from + dir;
+    if !off_board(fwd) {
+        let v = t.int_load(here!(F), &b.sq[fwd as usize]);
+        let v_cmp = t.int_op(here!(F), &[v]);
+        if t.branch(here!(F), &[v_cmp], b.sq[fwd as usize] == EMPTY) {
+            out.push((from, fwd));
+        }
+    }
+    for cap_dir in [dir + 1, dir - 1] {
+        let to = from + cap_dir;
+        if off_board(to) {
+            continue;
+        }
+        let v = t.int_load(here!(F), &b.sq[to as usize]);
+        let target = b.sq[to as usize];
+        let v_cmp = t.int_op(here!(F), &[v]);
+        if t.branch(here!(F), &[v_cmp], target != EMPTY && (target > 0) != (side > 0)) {
+            out.push((from, to));
+        }
+    }
+}
+
+fn leaper_moves_knight<T: Tracer>(t: &mut T, b: &Board, from: i32, side: i8, out: &mut Vec<(i32, i32)>) {
+    // One fully unrolled clone per knight direction (as crafty's
+    // generated move tables are).
+    for (i, &d) in KNIGHT_DELTAS.iter().enumerate() {
+        let v_d = t.int_load(site(KNIGHT as usize, i, 0), &KNIGHT_DELTAS[i]);
+        let to = from + d;
+        if off_board(to) {
+            continue;
+        }
+        let v = t.int_load_via(site(KNIGHT as usize, i, 1), &b.sq[to as usize], v_d);
+        let target = b.sq[to as usize];
+        let v_cmp = t.int_op(site(KNIGHT as usize, i, 2), &[v]);
+        if t.branch(site(KNIGHT as usize, i, 3), &[v_cmp], target == EMPTY || (target > 0) != (side > 0)) {
+            out.push((from, to));
+        }
+    }
+}
+
+fn leaper_moves_king<T: Tracer>(t: &mut T, b: &Board, from: i32, side: i8, out: &mut Vec<(i32, i32)>) {
+    for (i, &d) in KING_DELTAS.iter().enumerate() {
+        let v_d = t.int_load(site(KING as usize, i, 0), &KING_DELTAS[i]);
+        let to = from + d;
+        if off_board(to) {
+            continue;
+        }
+        let v = t.int_load_via(site(KING as usize, i, 1), &b.sq[to as usize], v_d);
+        let target = b.sq[to as usize];
+        let v_cmp = t.int_op(site(KING as usize, i, 2), &[v]);
+        if t.branch(site(KING as usize, i, 3), &[v_cmp], target == EMPTY || (target > 0) != (side > 0)) {
+            out.push((from, to));
+        }
+    }
+}
+
+fn slider_moves_bishop<T: Tracer>(t: &mut T, b: &Board, from: i32, side: i8, out: &mut Vec<(i32, i32)>) {
+    for (i, &d) in BISHOP_DIRS.iter().enumerate() {
+        let v_d = t.int_load(site(BISHOP as usize, i, 0), &BISHOP_DIRS[i]);
+        let mut to = from + d;
+        let mut v_sq = v_d;
+        loop {
+            if off_board(to) {
+                break;
+            }
+            v_sq = t.int_load_via(site(BISHOP as usize, i, 1), &b.sq[to as usize], v_sq);
+            let target = b.sq[to as usize];
+            let v_cmp = t.int_op(site(BISHOP as usize, i, 2), &[v_sq]);
+            if t.branch(site(BISHOP as usize, i, 3), &[v_cmp], target == EMPTY) {
+                out.push((from, to));
+                to += d;
+                continue;
+            }
+            let v_cmp = t.int_op(site(BISHOP as usize, i, 4), &[v_sq]);
+            if t.branch(site(BISHOP as usize, i, 5), &[v_cmp], (target > 0) != (side > 0)) {
+                out.push((from, to));
+            }
+            break;
+        }
+    }
+}
+
+fn slider_moves_rook<T: Tracer>(t: &mut T, b: &Board, from: i32, side: i8, out: &mut Vec<(i32, i32)>) {
+    for (i, &d) in ROOK_DIRS.iter().enumerate() {
+        let v_d = t.int_load(site(ROOK as usize, i, 0), &ROOK_DIRS[i]);
+        let mut to = from + d;
+        let mut v_sq = v_d;
+        loop {
+            if off_board(to) {
+                break;
+            }
+            v_sq = t.int_load_via(site(ROOK as usize, i, 1), &b.sq[to as usize], v_sq);
+            let target = b.sq[to as usize];
+            let v_cmp = t.int_op(site(ROOK as usize, i, 2), &[v_sq]);
+            if t.branch(site(ROOK as usize, i, 3), &[v_cmp], target == EMPTY) {
+                out.push((from, to));
+                to += d;
+                continue;
+            }
+            let v_cmp = t.int_op(site(ROOK as usize, i, 4), &[v_sq]);
+            if t.branch(site(ROOK as usize, i, 5), &[v_cmp], (target > 0) != (side > 0)) {
+                out.push((from, to));
+            }
+            break;
+        }
+    }
+}
+
+/// Static-exchange-free evaluation: material plus piece-square terms.
+fn evaluate<T: Tracer>(t: &mut T, b: &Board) -> i32 {
+    const F: &str = "crafty_evaluate";
+    const VALUES: [i32; 7] = [0, 100, 320, 330, 500, 900, 20000];
+    let mut score = 0i32;
+    let mut v_score = t.lit();
+    for s in 0..128usize {
+        if off_board(s as i32) {
+            continue;
+        }
+        let v_p = t.int_load(here!(F), &b.sq[s]);
+        let p = b.sq[s];
+        let v_cmp = t.int_op(here!(F), &[v_p]);
+        if !t.branch(here!(F), &[v_cmp], p != EMPTY) {
+            continue;
+        }
+        let kind = p.unsigned_abs() as usize;
+        // Per-(piece kind, rank) evaluation clone: crafty's evaluation is
+        // specialised per piece type with rank-dependent terms (passed
+        // pawns, seventh-rank rooks, …) — each specialisation's loads are
+        // distinct static loads.
+        let rank = s >> 4;
+        let v_val = t.int_load_via(site(kind, 9 + rank, 0), &VALUES[kind], v_p);
+        let v_psq = t.int_load_via(site(kind, 9 + rank, 1), &b.psq[kind][s], v_p);
+        let term = VALUES[kind] + b.psq[kind][s];
+        let v_t = t.int_op(site(kind, 9 + rank, 2), &[v_val, v_psq]);
+        v_score = t.int_op(site(kind, 9 + rank, 3), &[v_score, v_t]);
+        score += if p > 0 { term } else { -term };
+    }
+    score
+}
+
+/// Search bookkeeping: crafty's history heuristic table, updated per
+/// move tried (per-piece-kind clone sites).
+#[derive(Debug)]
+struct History {
+    counts: Vec<u32>,
+}
+
+impl History {
+    fn new() -> Self {
+        Self { counts: vec![0; 128 * 128] }
+    }
+
+    fn bump<T: Tracer>(&mut self, t: &mut T, piece: usize, from: i32, to: i32) {
+        let idx = (from as usize) * 128 + to as usize;
+        let v = t.int_load(site(piece, 25, 0), &self.counts[idx]);
+        let v2 = t.int_op(site(piece, 25, 1), &[v]);
+        t.int_store(site(piece, 25, 2), &self.counts[idx], v2);
+        self.counts[idx] += 1;
+    }
+}
+
+/// Perft-style search: counts nodes, accumulates evaluations, and keeps
+/// crafty-style history counters.
+fn perft<T: Tracer>(
+    t: &mut T,
+    b: &mut Board,
+    history: &mut History,
+    side: i8,
+    depth: u32,
+    checksum: &mut u64,
+) -> u64 {
+    if depth == 0 {
+        let e = evaluate(t, b);
+        *checksum = fold(*checksum, e as i64);
+        return 1;
+    }
+    let mut moves = Vec::new();
+    generate_moves(t, b, side, &mut moves);
+    let mut nodes = 0;
+    for (from, to) in moves {
+        let captured = b.sq[to as usize];
+        if captured.abs() == KING {
+            continue; // king capture ends the line
+        }
+        let piece = b.sq[from as usize].unsigned_abs() as usize;
+        history.bump(t, piece, from, to);
+        b.sq[to as usize] = b.sq[from as usize];
+        b.sq[from as usize] = EMPTY;
+        nodes += perft(t, b, history, -side, depth - 1, checksum);
+        b.sq[from as usize] = b.sq[to as usize];
+        b.sq[to as usize] = captured;
+    }
+    nodes
+}
+
+/// Runs the crafty-like workload.
+pub fn run<T: Tracer>(t: &mut T, scale: SpecScale, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut checksum = 0u64;
+    let mut history = History::new();
+    for game in 0..scale.factor {
+        let mut board = Board::initial(&mut rng);
+        board.scramble(&mut rng, 6 + game % 5);
+        let nodes = perft(t, &mut board, &mut history, 1, 3, &mut checksum);
+        checksum = fold(checksum, nodes as i64);
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_trace::NullTracer;
+
+    #[test]
+    fn initial_position_has_twenty_pawn_and_knight_moves() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = Board::initial(&mut rng);
+        let mut t = NullTracer::new();
+        let mut moves = Vec::new();
+        generate_moves(&mut t, &b, 1, &mut moves);
+        // 16 pawn moves (8 single, 0 double: no double-push modeled) + 4 knight.
+        assert_eq!(moves.len(), 12);
+    }
+
+    #[test]
+    fn evaluation_is_symmetric_at_start() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = Board::initial(&mut rng);
+        // Zero the random psq texture to isolate material symmetry.
+        b.psq = [[0; 128]; 7];
+        let mut t = NullTracer::new();
+        assert_eq!(evaluate(&mut t, &b), 0);
+    }
+
+    #[test]
+    fn perft_counts_grow_with_depth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = Board::initial(&mut rng);
+        let mut t = NullTracer::new();
+        let mut cs = 0u64;
+        let mut h = History::new();
+        let d1 = perft(&mut t, &mut b, &mut h, 1, 1, &mut cs);
+        let d2 = perft(&mut t, &mut b, &mut h, 1, 2, &mut cs);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn history_counts_every_tried_move() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = Board::initial(&mut rng);
+        let mut t = NullTracer::new();
+        let mut cs = 0u64;
+        let mut h = History::new();
+        perft(&mut t, &mut b, &mut h, 1, 1, &mut cs);
+        let total: u32 = h.counts.iter().sum();
+        assert!(total > 0, "depth-1 perft tries moves");
+    }
+
+    #[test]
+    fn off_board_mask_matches_0x88_convention() {
+        assert!(!off_board(0x00));
+        assert!(!off_board(0x77));
+        assert!(off_board(0x78));
+        assert!(off_board(0x80));
+        assert!(off_board(-1));
+    }
+}

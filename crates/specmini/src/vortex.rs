@@ -1,0 +1,191 @@
+//! A vortex-like object-database workload.
+//!
+//! Vortex's dynamic loads are spread over hundreds of static sites: every
+//! record type has its own access/validation/update code. We model that
+//! faithfully by giving each of the `NTYPES` record types its own
+//! synthesized static-instruction identities (one handler "clone" per
+//! type, as a large C program would have), executing a Zipf-distributed
+//! transaction mix over hash-indexed object stores.
+
+use bioperf_isa::SrcLoc;
+use bioperf_trace::Tracer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{fold, SpecScale};
+
+const NTYPES: usize = 40;
+const FIELDS: usize = 6;
+const BUCKETS: usize = 256;
+
+/// Synthesized static-instruction site for one handler clone.
+///
+/// `vortex`'s handler code is generated per record type; each clone's
+/// instructions are distinct static instructions. `line` encodes
+/// (type, operation) so every clone interns separately.
+fn site(ty: usize, op: u32) -> SrcLoc {
+    SrcLoc::new("vortex_handlers.rs", 1000 + (ty as u32) * 64 + op, 1, "vortex_handler")
+}
+
+/// One typed object store with an intrusive hash index.
+#[derive(Debug, Clone)]
+struct Store {
+    /// Flattened records: `FIELDS` u64 fields each.
+    fields: Vec<u64>,
+    /// Key per record.
+    keys: Vec<u64>,
+    /// Hash chain heads per bucket.
+    heads: Vec<i32>,
+    /// Next pointers per record.
+    next: Vec<i32>,
+}
+
+impl Store {
+    fn new() -> Self {
+        Self { fields: Vec::new(), keys: Vec::new(), heads: vec![-1; BUCKETS], next: Vec::new() }
+    }
+
+    fn insert(&mut self, key: u64, seed_fields: u64) {
+        let rec = self.keys.len();
+        self.keys.push(key);
+        self.next.push(self.heads[(key as usize) % BUCKETS]);
+        self.heads[(key as usize) % BUCKETS] = rec as i32;
+        for f in 0..FIELDS {
+            self.fields.push(seed_fields.rotate_left(f as u32) ^ key);
+        }
+    }
+}
+
+/// Traced lookup in a typed store: hash-chain walk with per-type sites.
+fn lookup<T: Tracer>(t: &mut T, store: &Store, ty: usize, key: u64) -> Option<usize> {
+    let bucket = (key as usize) % BUCKETS;
+    let mut v_p = t.int_load(site(ty, 0), &store.heads[bucket]);
+    let mut p = store.heads[bucket];
+    loop {
+        if !t.branch(site(ty, 1), &[v_p], p >= 0) {
+            return None;
+        }
+        let rec = p as usize;
+        let v_key = t.int_load_via(site(ty, 2), &store.keys[rec], v_p);
+        let v_cmp = t.int_op(site(ty, 3), &[v_key]);
+        if t.branch(site(ty, 4), &[v_cmp], store.keys[rec] == key) {
+            return Some(rec);
+        }
+        v_p = t.int_load_via(site(ty, 5), &store.next[rec], v_p);
+        p = store.next[rec];
+    }
+}
+
+/// Traced field read + validation, one site pair per (type, field).
+fn read_fields<T: Tracer>(t: &mut T, store: &Store, ty: usize, rec: usize) -> u64 {
+    let mut acc = 0u64;
+    let mut v_acc = t.lit();
+    for f in 0..FIELDS {
+        let idx = rec * FIELDS + f;
+        let v = t.int_load(site(ty, 8 + 2 * f as u32), &store.fields[idx]);
+        v_acc = t.int_op(site(ty, 9 + 2 * f as u32), &[v_acc, v]);
+        acc = acc.wrapping_add(store.fields[idx].rotate_left(f as u32));
+    }
+    acc
+}
+
+/// Traced field update, one site per (type, field slot).
+fn update_field<T: Tracer>(t: &mut T, store: &mut Store, ty: usize, rec: usize, f: usize, delta: u64) {
+    let idx = rec * FIELDS + f;
+    let v_old = t.int_load(site(ty, 24 + f as u32), &store.fields[idx]);
+    let v_new = t.int_op(site(ty, 30 + f as u32), &[v_old]);
+    t.int_store(site(ty, 36 + f as u32), &store.fields[idx], v_new);
+    store.fields[idx] = store.fields[idx].wrapping_add(delta);
+}
+
+/// Runs the vortex-like transaction mix.
+pub fn run<T: Tracer>(t: &mut T, scale: SpecScale, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stores: Vec<Store> = (0..NTYPES).map(|_| Store::new()).collect();
+
+    // Populate: a few hundred records per type.
+    for (ty, store) in stores.iter_mut().enumerate() {
+        let count = 100 + (ty * 13) % 200;
+        for k in 0..count {
+            store.insert((k as u64) * 7919 + ty as u64, rng.gen());
+        }
+    }
+
+    // Zipf-ish type popularity: type weight ∝ 1/(rank+1).
+    let weights: Vec<f64> = (0..NTYPES).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let mut checksum = 0u64;
+    let txns = 4_000 * scale.factor;
+    for _ in 0..txns {
+        // Pick a type by popularity.
+        let mut x = rng.gen_range(0.0..total_w);
+        let mut ty = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                ty = i;
+                break;
+            }
+            x -= w;
+        }
+        let store_len = stores[ty].keys.len();
+        let key = (rng.gen_range(0..store_len * 2) as u64) * 7919 / 2 + ty as u64;
+        match lookup(t, &stores[ty], ty, key) {
+            Some(rec) => {
+                let acc = read_fields(t, &stores[ty], ty, rec);
+                checksum = fold(checksum, acc as i64);
+                if rng.gen_bool(0.3) {
+                    let f = rng.gen_range(0..FIELDS);
+                    update_field(t, &mut stores[ty], ty, rec, f, acc | 1);
+                }
+            }
+            None => {
+                checksum = fold(checksum, -1);
+                if rng.gen_bool(0.1) {
+                    stores[ty].insert(key, checksum);
+                }
+            }
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioperf_trace::NullTracer;
+
+    #[test]
+    fn lookup_finds_inserted_keys() {
+        let mut s = Store::new();
+        s.insert(42, 7);
+        s.insert(42 + BUCKETS as u64, 8); // same bucket
+        let mut t = NullTracer::new();
+        assert!(lookup(&mut t, &s, 0, 42).is_some());
+        assert!(lookup(&mut t, &s, 0, 42 + BUCKETS as u64).is_some());
+        assert!(lookup(&mut t, &s, 0, 43).is_none());
+    }
+
+    #[test]
+    fn update_changes_read_accumulator() {
+        let mut s = Store::new();
+        s.insert(1, 99);
+        let mut t = NullTracer::new();
+        let before = read_fields(&mut t, &s, 0, 0);
+        update_field(&mut t, &mut s, 0, 0, 2, 5);
+        let after = read_fields(&mut t, &s, 0, 0);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn sites_are_distinct_per_type() {
+        assert_ne!(site(0, 1), site(1, 1));
+        assert_ne!(site(3, 0), site(3, 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut t = NullTracer::new();
+        assert_eq!(run(&mut t, SpecScale::TEST, 9), run(&mut t, SpecScale::TEST, 9));
+    }
+}

@@ -1,0 +1,266 @@
+//! Basic built-in trace consumers.
+
+use bioperf_isa::{MicroOp, OpClass, Program};
+
+use crate::tracer::TraceConsumer;
+
+/// Instruction-mix counter: the data behind the paper's Figure 1 (loads /
+/// stores / conditional branches / other as a fraction of all executed
+/// instructions) and Table 1 (total count and floating-point fraction).
+///
+/// # Example
+///
+/// ```
+/// use bioperf_isa::here;
+/// use bioperf_trace::{consumers::InstrMix, Tape, Tracer};
+///
+/// let mut tape = Tape::new(InstrMix::default());
+/// let v = tape.fp_load(here!("f"), &1.0f64);
+/// tape.fp_op(here!("f"), &[v, v]);
+/// let (_, mix) = tape.finish();
+/// assert_eq!(mix.total(), 2);
+/// assert!((mix.fp_fraction() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    loads: u64,
+    stores: u64,
+    cond_branches: u64,
+    other: u64,
+    fp: u64,
+    fp_loads: u64,
+}
+
+impl InstrMix {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total executed instructions observed.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.cond_branches + self.other
+    }
+
+    /// Executed loads (integer + floating-point).
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Executed stores.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Executed conditional branches.
+    pub fn cond_branches(&self) -> u64 {
+        self.cond_branches
+    }
+
+    /// Executed instructions outside the three reported classes.
+    pub fn other(&self) -> u64 {
+        self.other
+    }
+
+    /// Executed floating-point instructions (including FP loads/stores,
+    /// matching the paper's Table 1 accounting).
+    pub fn fp(&self) -> u64 {
+        self.fp
+    }
+
+    /// Executed floating-point loads (the paper reports these for
+    /// hmmpfam/predator/promlk in Section 2).
+    pub fn fp_loads(&self) -> u64 {
+        self.fp_loads
+    }
+
+    /// Count for one Figure 1 class.
+    pub fn class(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::Load => self.loads,
+            OpClass::Store => self.stores,
+            OpClass::CondBranch => self.cond_branches,
+            OpClass::Other => self.other,
+        }
+    }
+
+    /// Fraction of executed instructions in `class` (0 if empty trace).
+    pub fn class_fraction(&self, class: OpClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.class(class) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of executed instructions that are floating-point.
+    pub fn fp_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.fp as f64 / total as f64
+        }
+    }
+
+    /// Merges another counter into this one (used when a program is traced
+    /// in several phases).
+    pub fn merge(&mut self, other: &InstrMix) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.cond_branches += other.cond_branches;
+        self.other += other.other;
+        self.fp += other.fp;
+        self.fp_loads += other.fp_loads;
+    }
+}
+
+impl TraceConsumer for InstrMix {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        match op.kind.class() {
+            OpClass::Load => self.loads += 1,
+            OpClass::Store => self.stores += 1,
+            OpClass::CondBranch => self.cond_branches += 1,
+            OpClass::Other => self.other += 1,
+        }
+        if op.kind.is_fp() {
+            self.fp += 1;
+            if op.kind.is_load() {
+                self.fp_loads += 1;
+            }
+        }
+    }
+}
+
+/// Per-static-load dynamic execution counter — the raw data for the
+/// paper's Figure 2 cumulative-coverage curves.
+///
+/// Indexable by [`StaticId`]; ids that never executed report zero.
+///
+/// [`StaticId`]: bioperf_isa::StaticId
+#[derive(Debug, Clone, Default)]
+pub struct LoadCounts {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LoadCounts {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dynamic executions of the static load `sid` (zero if never seen).
+    pub fn count(&self, sid: bioperf_isa::StaticId) -> u64 {
+        self.counts.get(sid.index()).copied().unwrap_or(0)
+    }
+
+    /// Total dynamic loads observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-static-load counts sorted descending — the Figure 2 ranking.
+    pub fn sorted_desc(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.counts.iter().copied().filter(|&c| c > 0).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Number of distinct static loads that executed at least once.
+    pub fn active_static_loads(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+impl TraceConsumer for LoadCounts {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        if !op.kind.is_load() {
+            return;
+        }
+        let idx = op.sid.index();
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tape, Tracer};
+    use bioperf_isa::here;
+
+    #[test]
+    fn mix_counts_every_class() {
+        let x = 0u64;
+        let f = 0.0f64;
+        let mut t = Tape::new(InstrMix::default());
+        let a = t.int_load(here!("f"), &x);
+        let b = t.fp_load(here!("f"), &f);
+        t.int_store(here!("f"), &x, a);
+        t.branch(here!("f"), &[a], true);
+        t.fp_op(here!("f"), &[b, b]);
+        t.jump(here!("f"));
+        let (_, mix) = t.finish();
+        assert_eq!(mix.total(), 6);
+        assert_eq!(mix.loads(), 2);
+        assert_eq!(mix.stores(), 1);
+        assert_eq!(mix.cond_branches(), 1);
+        assert_eq!(mix.other(), 2);
+        assert_eq!(mix.fp(), 2);
+        assert_eq!(mix.fp_loads(), 1);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let x = 0u64;
+        let mut t = Tape::new(InstrMix::default());
+        for _ in 0..7 {
+            let v = t.int_load(here!("f"), &x);
+            t.int_op(here!("f"), &[v]);
+        }
+        let (_, mix) = t.finish();
+        let sum: f64 = OpClass::ALL.iter().map(|&c| mix.class_fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mix_has_zero_fractions() {
+        let mix = InstrMix::new();
+        assert_eq!(mix.total(), 0);
+        assert_eq!(mix.class_fraction(OpClass::Load), 0.0);
+        assert_eq!(mix.fp_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let x = 0u64;
+        let mut t = Tape::new(InstrMix::default());
+        t.int_load(here!("f"), &x);
+        let (_, a) = t.finish();
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.loads(), 2);
+    }
+
+    #[test]
+    fn load_counts_rank_hot_loads() {
+        let xs = [0u64; 4];
+        let mut t = Tape::new(LoadCounts::default());
+        for _ in 0..10 {
+            t.int_load(here!("hot"), &xs[0]);
+        }
+        t.int_load(here!("cold"), &xs[1]);
+        // A non-load must not be counted.
+        let v = t.lit();
+        t.int_op(here!("alu"), &[v]);
+        let (_, lc) = t.finish();
+        assert_eq!(lc.total(), 11);
+        assert_eq!(lc.active_static_loads(), 2);
+        assert_eq!(lc.sorted_desc(), vec![10, 1]);
+    }
+}

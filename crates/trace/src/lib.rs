@@ -1,0 +1,54 @@
+//! Taped-execution instrumentation — the study's ATOM substitute.
+//!
+//! The original paper instruments Alpha binaries with the ATOM toolkit:
+//! every executed instruction invokes analysis callbacks. We achieve the
+//! same observability by writing the BioPerf kernels against the
+//! [`Tracer`] trait: every load, store, ALU operation, and branch of the
+//! hot code is both *executed natively* (the kernel computes its real
+//! result in Rust) and *recorded* as a [`MicroOp`](bioperf_isa::MicroOp) carrying
+//! static-instruction identity and SSA dataflow.
+//!
+//! Two tracer implementations exist:
+//!
+//! * [`Tape`] — records the stream and feeds it to a [`TraceConsumer`]
+//!   (instruction-mix counters, cache simulator, branch predictors,
+//!   dependence detectors, the timing model). This is the "instrumented
+//!   binary".
+//! * [`NullTracer`] — every method is an inlined no-op; kernels
+//!   monomorphized against it run at native speed. This is the
+//!   "uninstrumented binary" used for wall-clock benchmarking.
+//!
+//! # Example
+//!
+//! ```
+//! use bioperf_isa::here;
+//! use bioperf_trace::{consumers::InstrMix, Tape, Tracer};
+//!
+//! fn kernel<T: Tracer>(t: &mut T, xs: &[i64]) -> i64 {
+//!     let mut sum = 0;
+//!     let mut acc = t.lit();
+//!     for x in xs {
+//!         let v = t.int_load(here!("kernel"), x);
+//!         acc = t.int_op(here!("kernel"), &[acc, v]);
+//!         sum += *x;
+//!     }
+//!     sum
+//! }
+//!
+//! let mut tape = Tape::new(InstrMix::default());
+//! let sum = kernel(&mut tape, &[1, 2, 3]);
+//! assert_eq!(sum, 6);
+//! let (program, mix) = tape.finish();
+//! assert_eq!(mix.loads(), 3);
+//! assert_eq!(program.count_kind(bioperf_isa::OpKind::is_load), 1);
+//! ```
+
+pub mod consumers;
+pub mod replay;
+pub mod tape;
+pub mod tracer;
+
+pub use consumers::InstrMix;
+pub use replay::{Recorder, Recording};
+pub use tape::Tape;
+pub use tracer::{NullTracer, TraceConsumer, Tracer};

@@ -1,0 +1,209 @@
+//! Trace recording and replay.
+//!
+//! Characterizing one program on four platform models naively re-executes
+//! the kernel once per consumer. [`Recording`] captures the micro-op
+//! stream (and the static program) once; [`Recording::replay`] feeds it
+//! to any number of consumers afterwards — the ATOM analog of saving a
+//! trace file.
+
+use bioperf_isa::{MicroOp, Program};
+
+use crate::tracer::TraceConsumer;
+
+/// Default cap on recorded ops (~40 bytes each; 64M ops ≈ 2.5 GB is past
+/// any reasonable in-memory trace).
+pub const DEFAULT_CAPACITY: usize = 64 << 20;
+
+/// A trace consumer that records the stream for later replay.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_isa::here;
+/// use bioperf_trace::{consumers::InstrMix, replay::Recorder, Tape, Tracer};
+///
+/// let mut tape = Tape::new(Recorder::new());
+/// let x = 5u64;
+/// let v = tape.int_load(here!("k"), &x);
+/// tape.int_op(here!("k"), &[v]);
+/// let (program, recorder) = tape.finish();
+/// let recording = recorder.into_recording(program);
+///
+/// let mut mix = InstrMix::default();
+/// recording.replay(&mut mix);
+/// assert_eq!(mix.total(), 2);
+/// let mut mix2 = InstrMix::default();
+/// recording.replay(&mut mix2); // replay as many times as needed
+/// assert_eq!(mix, mix2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    ops: Vec<MicroOp>,
+    capacity: usize,
+    overflowed: bool,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a recorder that keeps at most `capacity` ops; the rest of
+    /// the stream is counted but dropped (check [`overflowed`]).
+    ///
+    /// [`overflowed`]: Recorder::overflowed
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { ops: Vec::new(), capacity, overflowed: false }
+    }
+
+    /// Whether the trace exceeded the capacity (the recording is then a
+    /// prefix of the full run).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Ops recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Pairs the recorded ops with their static program.
+    pub fn into_recording(self, program: Program) -> Recording {
+        Recording { ops: self.ops, program, complete: !self.overflowed }
+    }
+}
+
+impl TraceConsumer for Recorder {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        if self.ops.len() < self.capacity {
+            self.ops.push(*op);
+        } else {
+            self.overflowed = true;
+        }
+    }
+}
+
+/// A captured trace: the dynamic op stream plus the static program.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    ops: Vec<MicroOp>,
+    program: Program,
+    complete: bool,
+}
+
+impl Recording {
+    /// The static program the ops refer to.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of recorded dynamic ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the recording is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether the whole run was captured (false if the recorder
+    /// overflowed its capacity).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Feeds the recorded stream (and a final `finish`) to a consumer.
+    pub fn replay<C: TraceConsumer>(&self, consumer: &mut C) {
+        for op in &self.ops {
+            consumer.consume(op, &self.program);
+        }
+        consumer.finish(&self.program);
+    }
+
+    /// Iterates over the recorded ops.
+    pub fn iter(&self) -> impl Iterator<Item = &MicroOp> {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consumers::InstrMix;
+    use crate::{Tape, Tracer};
+    use bioperf_isa::here;
+
+    fn small_recording(n: usize) -> Recording {
+        let x = 3u64;
+        let mut tape = Tape::new(Recorder::new());
+        for i in 0..n {
+            let v = tape.int_load(here!("k"), &x);
+            tape.branch(here!("k"), &[v], i % 2 == 0);
+        }
+        let (program, rec) = tape.finish();
+        rec.into_recording(program)
+    }
+
+    #[test]
+    fn replay_reproduces_the_stream() {
+        let rec = small_recording(50);
+        assert_eq!(rec.len(), 100);
+        assert!(rec.is_complete());
+        let mut a = InstrMix::default();
+        rec.replay(&mut a);
+        let mut b = InstrMix::default();
+        rec.replay(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.loads(), 50);
+        assert_eq!(a.cond_branches(), 50);
+    }
+
+    #[test]
+    fn capacity_overflow_is_flagged() {
+        let x = 1u64;
+        let mut tape = Tape::new(Recorder::with_capacity(10));
+        for _ in 0..20 {
+            tape.int_load(here!("k"), &x);
+        }
+        let (program, rec) = tape.finish();
+        assert!(rec.overflowed());
+        let recording = rec.into_recording(program);
+        assert_eq!(recording.len(), 10);
+        assert!(!recording.is_complete());
+    }
+
+    #[test]
+    fn recorded_ops_preserve_identity_and_outcome() {
+        let rec = small_recording(4);
+        let branches: Vec<bool> = rec
+            .iter()
+            .filter(|op| op.kind.is_cond_branch())
+            .map(|op| op.taken)
+            .collect();
+        assert_eq!(branches, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn empty_recording_replays_cleanly() {
+        let tape = Tape::new(Recorder::new());
+        let (program, rec) = tape.finish();
+        let recording = rec.into_recording(program);
+        assert!(recording.is_empty());
+        let mut mix = InstrMix::default();
+        recording.replay(&mut mix);
+        assert_eq!(mix.total(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests for consumer composition and the tape's dataflow
+//! guarantees.
+
+use bioperf_isa::{here, MicroOp, OpKind, Program};
+use bioperf_trace::consumers::{InstrMix, LoadCounts};
+use bioperf_trace::{Recorder, Tape, TraceConsumer, Tracer};
+
+/// A consumer that asserts SSA discipline: every destination vreg is
+/// defined exactly once.
+#[derive(Default)]
+struct SsaChecker {
+    seen: std::collections::HashSet<u64>,
+    finished: bool,
+}
+
+impl TraceConsumer for SsaChecker {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        if let Some(dst) = op.dst {
+            assert!(self.seen.insert(dst.0), "vreg {dst} defined twice");
+        }
+        for src in op.sources() {
+            // A source must have been defined earlier or be a literal
+            // (literals never appear as sources of recorded ops unless
+            // created by lit(), which has no producer — both fine).
+            let _ = src;
+        }
+    }
+    fn finish(&mut self, _program: &Program) {
+        self.finished = true;
+    }
+}
+
+fn drive<C: TraceConsumer>(consumer: C) -> (Program, C) {
+    let xs = vec![1u64; 32];
+    let mut tape = Tape::new(consumer);
+    for i in 0..200usize {
+        let a = tape.int_load(here!("w"), &xs[i % 32]);
+        let b = tape.int_load(here!("w"), &xs[(i * 3) % 32]);
+        let c = tape.int_op(here!("w"), &[a, b]);
+        let s = tape.select(here!("w"), &[c, a, b], i % 2 == 0);
+        tape.int_store(here!("w"), &xs[i % 32], s);
+        tape.branch(here!("w"), &[c], i % 5 == 0);
+    }
+    tape.finish()
+}
+
+#[test]
+fn ssa_discipline_holds() {
+    let (_, checker) = drive(SsaChecker::default());
+    assert!(checker.finished, "finish must be called");
+    assert_eq!(checker.seen.len(), 200 * 4, "loads, alu, selects define vregs");
+}
+
+#[test]
+fn composed_consumers_see_identical_streams() {
+    let (_, (mix_a, counts_a)) = drive((InstrMix::default(), LoadCounts::default()));
+    let (program, recorder) = drive(Recorder::new());
+    let recording = recorder.into_recording(program);
+    let mut mix_b = InstrMix::default();
+    let mut counts_b = LoadCounts::default();
+    recording.replay(&mut (&mut mix_b, &mut counts_b));
+    assert_eq!(mix_a, mix_b);
+    assert_eq!(counts_a.total(), counts_b.total());
+    assert_eq!(counts_a.sorted_desc(), counts_b.sorted_desc());
+}
+
+#[test]
+fn six_way_tuple_fan_out_compiles_and_runs() {
+    let consumers = (
+        InstrMix::default(),
+        InstrMix::default(),
+        LoadCounts::default(),
+        LoadCounts::default(),
+        InstrMix::default(),
+        LoadCounts::default(),
+    );
+    let (_, (a, b, c, d, e, f)) = drive(consumers);
+    assert_eq!(a, b);
+    assert_eq!(a, e);
+    assert_eq!(c.total(), d.total());
+    assert_eq!(c.total(), f.total());
+}
+
+#[test]
+fn selects_record_their_outcome_in_the_stream() {
+    let (_, recorder) = drive(Recorder::new());
+    let recording = recorder.into_recording(Program::new());
+    let outcomes: Vec<bool> = recording
+        .iter()
+        .filter(|op| op.kind == OpKind::CondMove)
+        .map(|op| op.taken)
+        .collect();
+    assert_eq!(outcomes.len(), 200);
+    assert!(outcomes.iter().step_by(2).all(|&t| t), "even iterations select true");
+    assert!(outcomes.iter().skip(1).step_by(2).all(|&t| !t));
+}
+
+#[test]
+fn program_is_shared_across_consumers() {
+    let (program, _) = drive(InstrMix::default());
+    // One call site per operation kind in `drive`.
+    assert_eq!(program.len(), 6);
+    assert_eq!(program.count_kind(OpKind::is_load), 2);
+    assert_eq!(program.count_kind(|k| k == OpKind::CondMove), 1);
+}

@@ -1,0 +1,41 @@
+//! Cache explorer: sweep L1 geometry and latency for one program and
+//! watch the paper's Table 2 story emerge — miss rates stay tiny across
+//! configurations, so AMAT tracks the hit latency almost exactly.
+//!
+//! ```sh
+//! cargo run --release --example cache_explorer
+//! ```
+
+use bioperf_loadchar::cache::{CacheConfig, CacheSim, Hierarchy, LatencyConfig};
+use bioperf_loadchar::kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_loadchar::trace::Tape;
+
+fn run_with(l1_kb: u64, ways: u32, l1_lat: u64) -> (f64, f64) {
+    let hierarchy = Hierarchy::new(
+        CacheConfig::new(l1_kb * 1024, ways, 64),
+        CacheConfig::new(4 * 1024 * 1024, 1, 64),
+        LatencyConfig { l1: l1_lat, l2: 5, memory: 72 },
+    );
+    let mut tape = Tape::new(CacheSim::new(hierarchy));
+    registry::run(&mut tape, ProgramId::Hmmsearch, Variant::Original, Scale::Small, 42);
+    let (_, sim) = tape.finish();
+    let h = sim.into_hierarchy();
+    (h.stats().l1.load_miss_ratio(), h.amat())
+}
+
+fn main() {
+    println!("hmmsearch on varying L1 data caches (L2: 4 MB direct-mapped):\n");
+    println!("{:<22} {:>14} {:>10}", "L1 configuration", "L1 miss rate", "AMAT");
+    for (kb, ways) in [(8, 1), (16, 2), (32, 2), (64, 2), (128, 4)] {
+        let (miss, amat) = run_with(kb, ways, 3);
+        println!("{:<22} {:>13.3}% {:>9.2}", format!("{kb} KB {ways}-way, 3 cyc"), miss * 100.0, amat);
+    }
+    println!();
+    for lat in [1, 2, 3, 4] {
+        let (_, amat) = run_with(64, 2, lat);
+        println!("{:<22} {:>14} {:>9.2}", format!("64 KB 2-way, {lat} cyc"), "", amat);
+    }
+    println!("\nExpected shape: miss rates stay well under 2% even at 8 KB (the working");
+    println!("set is chunked), so AMAT ≈ the configured hit latency — the paper's");
+    println!("argument for why the *hit* latency, not misses, is what matters here.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: characterize one BioPerf program and print the paper's
+//! headline facts about it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bioperf_loadchar::core::characterize::characterize_program;
+use bioperf_loadchar::isa::OpClass;
+use bioperf_loadchar::kernels::{ProgramId, Scale};
+
+fn main() {
+    let program = ProgramId::Hmmsearch;
+    println!("characterizing {program} (class-B-like synthetic input)...\n");
+    let r = characterize_program(program, Scale::Small, 42);
+
+    println!("instruction mix:");
+    for class in OpClass::ALL {
+        println!("  {class:<14} {:5.1}%", r.mix.class_fraction(class) * 100.0);
+    }
+
+    println!("\nstatic vs dynamic loads:");
+    println!("  {} static loads produced {} dynamic loads", r.static_loads, r.mix.loads());
+    println!("  the 10 hottest cover {:.1}%", r.coverage.coverage_at(10) * 100.0);
+    println!("  the 80 hottest cover {:.1}%", r.coverage.coverage_at(80) * 100.0);
+
+    println!("\ncache behaviour (Alpha 21264 reference hierarchy):");
+    println!("  L1 local load miss rate {:.2}%", r.cache.l1.load_miss_ratio() * 100.0);
+    println!("  average memory access time {:.2} cycles (L1 hit costs 3)", r.amat);
+
+    println!("\nwhy the L1 hit latency still hurts:");
+    println!(
+        "  {:.1}% of loads feed a conditional branch through a tight chain",
+        r.sequences.load_to_branch_fraction() * 100.0
+    );
+    println!(
+        "  those branches mispredict {:.1}% of the time",
+        r.sequences.sequence_branch_misprediction_rate() * 100.0
+    );
+    println!(
+        "  {:.1}% of loads start dependent chains right after a hard-to-predict branch",
+        r.sequences.loads_after_hard_branch_fraction() * 100.0
+    );
+
+    println!("\nhottest loads (the paper's Table 5 for this run):");
+    for load in r.hot_loads.iter().take(5) {
+        println!(
+            "  {:>5}  freq {:5.2}%  L1 miss {:5.2}%  fed-branch mispredict {:5.1}%  {}",
+            load.sid.to_string(),
+            load.frequency * 100.0,
+            load.l1_miss_rate * 100.0,
+            load.branch_misprediction_rate * 100.0,
+            load.loc
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # bioperf-loadchar
+//!
+//! A full Rust reproduction of *"Load Instruction Characterization and
+//! Acceleration of the BioPerf Programs"* (Ratanaworabhan & Burtscher,
+//! IISWC 2006): the nine BioPerf kernels in original and load-transformed
+//! source shapes, an ATOM-style taped-execution instrumentation layer,
+//! cache / branch-predictor / processor timing models for the paper's
+//! four evaluation platforms, and the characterization analyses behind
+//! every table and figure.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`isa`] — micro-op model, static-instruction identity, dataflow,
+//! * [`trace`] — the [`Tracer`](trace::Tracer) instrumentation interface,
+//!   recording [`Tape`](trace::Tape) and no-op
+//!   [`NullTracer`](trace::NullTracer),
+//! * [`cache`] — set-associative cache hierarchy simulator,
+//! * [`branch`] — per-static-branch hybrid predictor,
+//! * [`pipe`] — out-of-order / in-order platform timing models,
+//! * [`bioseq`] — sequences, scoring matrices, profile HMMs, phylogeny,
+//! * [`kernels`] — the nine BioPerf program kernels,
+//! * [`specmini`] — SPEC CPU2000-like comparison workloads,
+//! * [`core`] — characterization passes and the evaluation harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bioperf_loadchar::core::characterize::characterize_program;
+//! use bioperf_loadchar::kernels::{ProgramId, Scale};
+//!
+//! let report = characterize_program(ProgramId::Hmmsearch, Scale::Test, 42);
+//! // The paper's headline facts hold even at test scale:
+//! assert!(report.cache.l1.load_miss_ratio() < 0.02, "loads almost always hit L1");
+//! assert!(report.coverage.coverage_at(80) > 0.9, "a few static loads cover everything");
+//! assert!(report.sequences.load_to_branch_fraction() > 0.5, "loads feed branches");
+//! ```
+
+pub use bioperf_bioseq as bioseq;
+pub use bioperf_branch as branch;
+pub use bioperf_cache as cache;
+pub use bioperf_core as core;
+pub use bioperf_isa as isa;
+pub use bioperf_kernels as kernels;
+pub use bioperf_pipe as pipe;
+pub use bioperf_specmini as specmini;
+pub use bioperf_trace as trace;

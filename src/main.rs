@@ -1,0 +1,168 @@
+//! `bioperf-loadchar` — command-line front end to the reproduction.
+//!
+//! ```text
+//! bioperf-loadchar list
+//! bioperf-loadchar characterize <program> [scale]
+//! bioperf-loadchar candidates   <program> [scale]
+//! bioperf-loadchar coverage     <program> [scale]
+//! bioperf-loadchar evaluate     <program> [scale]
+//! ```
+
+use std::process::ExitCode;
+
+use bioperf_core::candidates::{find_candidates, CandidateCriteria};
+use bioperf_core::characterize::characterize_program;
+use bioperf_core::evaluate::{evaluate_program, EvalMatrix};
+use bioperf_core::report::{pct, pct2, TextTable};
+use bioperf_isa::OpClass;
+use bioperf_kernels::{ProgramId, Scale};
+use bioperf_pipe::PlatformConfig;
+
+const SEED: u64 = 42;
+
+fn usage() -> ExitCode {
+    eprintln!("bioperf-loadchar — IISWC 2006 BioPerf load-characterization reproduction");
+    eprintln!();
+    eprintln!("usage:");
+    eprintln!("  bioperf-loadchar list");
+    eprintln!("  bioperf-loadchar characterize <program> [test|small|medium|large]");
+    eprintln!("  bioperf-loadchar candidates   <program> [scale]");
+    eprintln!("  bioperf-loadchar coverage     <program> [scale]");
+    eprintln!("  bioperf-loadchar evaluate     <program> [scale]");
+    eprintln!();
+    eprintln!("programs: blast clustalw dnapenny fasta hmmcalibrate hmmpfam hmmsearch");
+    eprintln!("          predator promlk   (evaluate: the six transformed programs only)");
+    ExitCode::FAILURE
+}
+
+fn parse_scale(arg: Option<&str>) -> Option<Scale> {
+    match arg {
+        None => Some(Scale::Small),
+        Some("test") => Some(Scale::Test),
+        Some("small") => Some(Scale::Small),
+        Some("medium") => Some(Scale::Medium),
+        Some("large") => Some(Scale::Large),
+        Some(_) => None,
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    let mut table = TextTable::new(&["program", "area", "transformed"]);
+    let area = |p: ProgramId| match p {
+        ProgramId::Blast | ProgramId::Clustalw | ProgramId::Fasta => "sequence analysis",
+        ProgramId::Dnapenny | ProgramId::Promlk => "molecular phylogeny",
+        ProgramId::Hmmcalibrate | ProgramId::Hmmpfam | ProgramId::Hmmsearch => "sequence analysis (HMM)",
+        ProgramId::Predator => "protein structure",
+    };
+    for p in ProgramId::ALL {
+        table.row_owned(vec![
+            p.name().to_string(),
+            area(p).to_string(),
+            if p.is_transformable() { "yes".into() } else { "no (characterized only)".into() },
+        ]);
+    }
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_characterize(program: ProgramId, scale: Scale) -> ExitCode {
+    let r = characterize_program(program, scale, SEED);
+    println!("{program} at {scale:?} scale (seed {SEED}):\n");
+    println!("instruction mix ({} total):", r.mix.total());
+    for class in OpClass::ALL {
+        println!("  {class:<14} {}", pct(r.mix.class_fraction(class)));
+    }
+    println!("  floating-point {}", pct(r.mix.fp_fraction()));
+    println!("\nloads:");
+    println!("  static loads            {}", r.static_loads);
+    println!("  coverage of hottest 80  {}", pct(r.coverage.coverage_at(80)));
+    println!("  L1 local miss rate      {}", pct2(r.cache.l1.load_miss_ratio()));
+    println!("  AMAT                    {:.2} cycles", r.amat);
+    println!("\nsequences:");
+    println!("  load→branch             {}", pct(r.sequences.load_to_branch_fraction()));
+    println!("  their mispredict rate   {}", pct(r.sequences.sequence_branch_misprediction_rate()));
+    println!("  load after hard branch  {}", pct(r.sequences.loads_after_hard_branch_fraction()));
+    ExitCode::SUCCESS
+}
+
+fn cmd_candidates(program: ProgramId, scale: Scale) -> ExitCode {
+    let r = characterize_program(program, scale, SEED);
+    let cands = find_candidates(&r, CandidateCriteria::default());
+    if cands.is_empty() {
+        println!("{program}: no scheduling candidates found");
+        return ExitCode::SUCCESS;
+    }
+    let mut table = TextTable::new(&["location", "pattern", "freq", "fed mispredict", "score"]);
+    for c in &cands {
+        table.row_owned(vec![
+            format!("{}:{}", c.loc.function, c.loc.line),
+            c.reason.to_string(),
+            pct(c.frequency),
+            pct(c.fed_branch_misprediction_rate),
+            format!("{:.4}", c.score),
+        ]);
+    }
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_coverage(program: ProgramId, scale: Scale) -> ExitCode {
+    let r = characterize_program(program, scale, SEED);
+    println!("{program}: {} static loads, {} dynamic loads", r.static_loads, r.mix.loads());
+    for rank in [1usize, 2, 5, 10, 20, 40, 80] {
+        let cov = r.coverage.coverage_at(rank);
+        let bar = "#".repeat((cov * 50.0) as usize);
+        println!("  top {rank:>3}: {:>6}  {bar}", pct(cov));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_evaluate(program: ProgramId, scale: Scale) -> ExitCode {
+    if !program.is_transformable() {
+        eprintln!("{program} has no load-transformed variant (paper Section 3.3)");
+        return ExitCode::FAILURE;
+    }
+    let mut table =
+        TextTable::new(&["platform", "original (cycles)", "transformed", "speedup"]);
+    for platform in PlatformConfig::all() {
+        if !EvalMatrix::cell_applicable(program, platform.name) {
+            table.row_owned(vec![platform.name.into(), "n.a.".into(), "n.a.".into(), "n.a.".into()]);
+            continue;
+        }
+        let cell = evaluate_program(program, platform, scale, SEED);
+        table.row_owned(vec![
+            platform.name.to_string(),
+            cell.original.cycles.to_string(),
+            cell.transformed.cycles.to_string(),
+            format!("{:+.1}%", (cell.speedup() - 1.0) * 100.0),
+        ]);
+    }
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("list") => cmd_list(),
+        Some(cmd @ ("characterize" | "candidates" | "coverage" | "evaluate")) => {
+            let Some(program) = it.next().and_then(ProgramId::from_name) else {
+                eprintln!("error: expected a program name");
+                return usage();
+            };
+            let Some(scale) = parse_scale(it.next()) else {
+                eprintln!("error: unknown scale");
+                return usage();
+            };
+            match cmd {
+                "characterize" => cmd_characterize(program, scale),
+                "candidates" => cmd_candidates(program, scale),
+                "coverage" => cmd_coverage(program, scale),
+                "evaluate" => cmd_evaluate(program, scale),
+                _ => unreachable!("matched above"),
+            }
+        }
+        _ => usage(),
+    }
+}

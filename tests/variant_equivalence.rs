@@ -1,0 +1,56 @@
+//! The load transformation must be semantics-preserving: for every
+//! transformed program, the Original and LoadTransformed variants must
+//! produce bit-identical results — natively, under full tracing, and
+//! under cycle simulation (the consumer must never affect results).
+
+use bioperf_loadchar::core::Characterizer;
+use bioperf_loadchar::kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_loadchar::pipe::{CycleSim, PlatformConfig};
+use bioperf_loadchar::trace::{NullTracer, Tape};
+
+#[test]
+fn all_transformed_programs_agree_across_variants() {
+    for program in ProgramId::TRANSFORMED {
+        for seed in [1, 7, 42] {
+            let mut t = NullTracer::new();
+            let a = registry::run(&mut t, program, Variant::Original, Scale::Test, seed);
+            let b = registry::run(&mut t, program, Variant::LoadTransformed, Scale::Test, seed);
+            assert_eq!(a, b, "{program} seed {seed}: transformation changed results");
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    for program in ProgramId::ALL {
+        let mut null = NullTracer::new();
+        let native = registry::run(&mut null, program, Variant::Original, Scale::Test, 5);
+
+        let mut tape = Tape::new(Characterizer::new());
+        let traced = registry::run(&mut tape, program, Variant::Original, Scale::Test, 5);
+        assert_eq!(native, traced, "{program}: characterizer perturbed results");
+
+        let mut sim = Tape::new(CycleSim::new(PlatformConfig::alpha21264()));
+        let simulated = registry::run(&mut sim, program, Variant::Original, Scale::Test, 5);
+        assert_eq!(native, simulated, "{program}: cycle simulation perturbed results");
+    }
+}
+
+#[test]
+fn runs_are_seed_deterministic() {
+    for program in ProgramId::ALL {
+        let mut t = NullTracer::new();
+        let a = registry::run(&mut t, program, Variant::Original, Scale::Test, 123);
+        let b = registry::run(&mut t, program, Variant::Original, Scale::Test, 123);
+        assert_eq!(a, b, "{program}: same seed must reproduce");
+        let c = registry::run(&mut t, program, Variant::Original, Scale::Test, 124);
+        assert_ne!(a, c, "{program}: different seeds should differ");
+    }
+}
+
+#[test]
+#[should_panic(expected = "no load-transformed variant")]
+fn untransformed_programs_reject_the_transformed_variant() {
+    let mut t = NullTracer::new();
+    registry::run(&mut t, ProgramId::Blast, Variant::LoadTransformed, Scale::Test, 1);
+}
