@@ -2,7 +2,7 @@
 //! other) of the nine BioPerf applications.
 
 use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
-use bioperf_core::characterize::characterize_program;
+use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct, TextTable};
 use bioperf_isa::OpClass;
 use bioperf_kernels::{ProgramId, Scale};
@@ -13,8 +13,7 @@ fn main() {
 
     let mut table = TextTable::new(&["program", "loads", "stores", "cond branches", "other"]);
     let mut sums = [0.0f64; 4];
-    for program in ProgramId::ALL {
-        let r = characterize_program(program, scale, REPRO_SEED);
+    for (program, r) in characterize_all(scale, REPRO_SEED, 0) {
         let fr: Vec<f64> = OpClass::ALL.iter().map(|&c| r.mix.class_fraction(c)).collect();
         for (s, f) in sums.iter_mut().zip(&fr) {
             *s += f;

@@ -4,16 +4,15 @@
 
 use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
 use bioperf_core::candidates::{find_candidates, CandidateCriteria};
-use bioperf_core::characterize::characterize_program;
+use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct, pct2, TextTable};
-use bioperf_kernels::{ProgramId, Scale};
+use bioperf_kernels::Scale;
 
 fn main() {
     let scale = scale_from_args(Scale::Small);
     banner("Section 3 workflow: ranked load-scheduling candidates per program", scale);
 
-    for program in ProgramId::ALL {
-        let report = characterize_program(program, scale, REPRO_SEED);
+    for (program, report) in characterize_all(scale, REPRO_SEED, 0) {
         let candidates = find_candidates(&report, CandidateCriteria::default());
         println!(
             "{} — {} candidate static loads (of {} total):",

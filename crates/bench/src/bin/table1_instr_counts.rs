@@ -1,9 +1,9 @@
 //! Table 1: executed instruction counts and floating-point percentage.
 
 use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
-use bioperf_core::characterize::characterize_program;
+use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct2, TextTable};
-use bioperf_kernels::{ProgramId, Scale};
+use bioperf_kernels::Scale;
 
 fn main() {
     let scale = scale_from_args(Scale::Medium);
@@ -11,8 +11,7 @@ fn main() {
 
     let mut table =
         TextTable::new(&["program", "instructions (M)", "floating-point", "fp loads"]);
-    for program in ProgramId::ALL {
-        let r = characterize_program(program, scale, REPRO_SEED);
+    for (program, r) in characterize_all(scale, REPRO_SEED, 0) {
         table.row_owned(vec![
             program.name().to_string(),
             format!("{:.2}", r.mix.total() as f64 / 1e6),

@@ -3,7 +3,7 @@
 
 use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
 use bioperf_cache::{CacheConfig, LatencyConfig};
-use bioperf_core::characterize::characterize_program;
+use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct2, pct3, TextTable};
 use bioperf_kernels::{ProgramId, Scale};
 
@@ -23,8 +23,7 @@ fn main() {
     let (mut s1, mut s2, mut so, mut sa) = (0.0, 0.0, 0.0, 0.0);
     let (mut g1, mut g2) = (0.0f64, 0.0f64);
     let n = ProgramId::ALL.len() as f64;
-    for program in ProgramId::ALL {
-        let r = characterize_program(program, scale, REPRO_SEED);
+    for (program, r) in characterize_all(scale, REPRO_SEED, 0) {
         let m1 = r.cache.l1.load_miss_ratio();
         let m2 = r.cache.l2.load_miss_ratio();
         let overall = r.cache.overall_load_memory_ratio();

@@ -2,9 +2,9 @@
 //! branches) and loads right after hard-to-predict branches.
 
 use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
-use bioperf_core::characterize::characterize_program;
+use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct, TextTable};
-use bioperf_kernels::{ProgramId, Scale};
+use bioperf_kernels::Scale;
 
 fn main() {
     let scale = scale_from_args(Scale::Medium);
@@ -17,8 +17,7 @@ fn main() {
         "load after hard branch",
         "overall mispredict",
     ]);
-    for program in ProgramId::ALL {
-        let r = characterize_program(program, scale, REPRO_SEED);
+    for (program, r) in characterize_all(scale, REPRO_SEED, 0) {
         let s = r.sequences;
         table.row_owned(vec![
             program.name().to_string(),

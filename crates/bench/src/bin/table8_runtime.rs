@@ -2,7 +2,7 @@
 //! load-transformed programs on the four platform models.
 
 use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
-use bioperf_core::evaluate::EvalMatrix;
+use bioperf_core::orchestrate::evaluate_all;
 use bioperf_core::report::TextTable;
 use bioperf_kernels::{ProgramId, Scale};
 use bioperf_pipe::PlatformConfig;
@@ -11,7 +11,7 @@ fn main() {
     let scale = scale_from_args(Scale::Large);
     banner("Table 8: simulated cycles, original vs load-transformed", scale);
 
-    let matrix = EvalMatrix::run(scale, REPRO_SEED);
+    let matrix = evaluate_all(scale, REPRO_SEED, 0);
     let platforms: Vec<&str> = PlatformConfig::all().iter().map(|p| p.name).collect();
 
     let mut header = vec!["program", "variant"];

@@ -113,6 +113,12 @@ impl ScoringMatrix {
         self.scores[a as usize * n + b as usize]
     }
 
+    /// The full dense score table (row-major, `size × size`). Traced
+    /// kernels declare it as one address-normalization region.
+    pub fn data(&self) -> &[i32] {
+        &self.scores
+    }
+
     /// The full row for residue `a` — kernels index this directly in hot
     /// loops.
     #[inline]

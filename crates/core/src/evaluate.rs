@@ -2,7 +2,7 @@
 
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
 use bioperf_pipe::{CycleSim, PlatformConfig, SimResult};
-use bioperf_trace::{Recorder, Recording, Tape};
+use bioperf_trace::Tape;
 
 /// One (program, platform) cell of Table 8: both variants simulated.
 #[derive(Debug, Clone, Copy)]
@@ -52,36 +52,12 @@ impl EvalMatrix {
     /// Each (program, variant) is executed once and its trace recorded;
     /// the four platform models then replay the recording — four
     /// simulations per kernel execution instead of four re-executions.
+    ///
+    /// This is the sequential entry point; it delegates to
+    /// [`crate::orchestrate::evaluate_all`] with one worker, which the
+    /// parallel callers also use, so both paths share one implementation.
     pub fn run(scale: Scale, seed: u64) -> Self {
-        let mut cells = Vec::new();
-        for program in ProgramId::TRANSFORMED {
-            let record = |variant: Variant| -> Recording {
-                let mut tape = Tape::new(Recorder::new());
-                registry::run(&mut tape, program, variant, scale, seed);
-                let (static_program, rec) = tape.finish();
-                assert!(!rec.overflowed(), "{program}: trace exceeded the recorder capacity");
-                rec.into_recording(static_program)
-            };
-            let original = record(Variant::Original);
-            let transformed = record(Variant::LoadTransformed);
-            for platform in PlatformConfig::all() {
-                if !Self::cell_applicable(program, platform.name) {
-                    continue;
-                }
-                let sim = |recording: &Recording| -> SimResult {
-                    let mut core = CycleSim::new(platform);
-                    recording.replay(&mut core);
-                    core.into_result()
-                };
-                cells.push(EvalCell {
-                    program,
-                    platform: platform.name,
-                    original: sim(&original),
-                    transformed: sim(&transformed),
-                });
-            }
-        }
-        Self { cells }
+        crate::orchestrate::evaluate_all(scale, seed, 1)
     }
 
     /// Cells for one platform, in program order.

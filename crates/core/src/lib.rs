@@ -19,6 +19,12 @@
 //! * [`evaluate`] — the performance-evaluation harness: runs Original vs
 //!   LoadTransformed kernels through the four platform timing models
 //!   (Tables 7/8, Figure 9).
+//! * [`orchestrate`] — the parallel experiment runner: executes each
+//!   instrumented kernel *once* (a tuple fan-out feeds the characterizer
+//!   and a replay recorder simultaneously), replays recordings through
+//!   the platform models via a `FanOut` of simulators, and schedules the
+//!   per-program jobs on a scoped worker pool with results in job order
+//!   — `--jobs 1` and `--jobs N` produce identical output.
 //! * [`report`] — plain-text table formatting used by the `bioperf-bench`
 //!   binaries that regenerate every table and figure.
 //!
@@ -39,6 +45,7 @@ pub mod characterize;
 pub mod coverage;
 pub mod evaluate;
 pub mod loadchar;
+pub mod orchestrate;
 pub mod report;
 
 pub use candidates::{find_candidates, CandidateCriteria, TransformCandidate};
@@ -46,3 +53,4 @@ pub use characterize::{characterize_program, Characterizer, CharacterizationRepo
 pub use coverage::LoadCoverage;
 pub use evaluate::{evaluate_program, EvalCell, EvalMatrix};
 pub use loadchar::{HotLoad, LoadBranchAnalysis, SequenceSummary};
+pub use orchestrate::{characterize_all, evaluate_all, run_jobs, run_suite, SuiteConfig, SuiteResult};

@@ -1,0 +1,332 @@
+//! Parallel single-trace experiment orchestration.
+//!
+//! The paper's experiments decompose into independent jobs — one per
+//! (program) for characterization, one per (program) for the Table 8
+//! runtime evaluation — and each job needs the kernel executed *once*:
+//!
+//! * A characterization job runs the instrumented kernel with a tuple
+//!   fan-out `(Characterizer, Recorder)`, so one execution feeds the
+//!   instruction-mix/coverage/cache/sequence passes **and** captures the
+//!   trace for replay.
+//! * An evaluation job replays each captured trace through every
+//!   applicable platform model in a single pass over the recording,
+//!   using a [`FanOut`] of [`CycleSim`]s (the consumer count is dynamic
+//!   — dnapenny has no Itanium cell — which is exactly what `FanOut`
+//!   handles and a tuple cannot).
+//!
+//! Jobs run on a [`std::thread::scope`] worker pool ([`run_jobs`]); the
+//! result vector is indexed by job, not by completion order, so the
+//! orchestrated output is identical for any worker count. Combined with
+//! address normalization (see `bioperf_trace::normalize`) this makes the
+//! whole suite deterministic: `--jobs 1` and `--jobs N` produce
+//! byte-identical reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_pipe::{CycleSim, PlatformConfig, SimResult};
+use bioperf_trace::{FanOut, Recorder, Recording, Tape};
+
+use crate::characterize::{CharacterizationReport, Characterizer};
+use crate::evaluate::{EvalCell, EvalMatrix};
+
+/// Runs `jobs` closures on up to `threads` workers and returns their
+/// results *in job order* (result `i` is job `i`'s output, regardless of
+/// which worker finished when).
+///
+/// `threads == 1` degenerates to a plain sequential map with no thread
+/// machinery at all, so a single-job run is bit-for-bit the reference
+/// execution that parallel runs are compared against.
+///
+/// # Panics
+///
+/// Propagates a panic from any job once all workers have stopped.
+pub fn run_jobs<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("each job index is claimed once");
+                let out = job();
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("scope joined every worker"))
+        .collect()
+}
+
+/// Worker count to use when the caller passes `0` ("auto").
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Configuration for [`run_suite`].
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Workload scale for every job.
+    pub scale: Scale,
+    /// Seed for every job (the suite is deterministic in it).
+    pub seed: u64,
+    /// Worker threads; `0` means [`default_jobs`].
+    pub jobs: usize,
+}
+
+/// Everything the full suite produces: the nine characterization
+/// reports (in [`ProgramId::ALL`] order) and the Table 8 evaluation
+/// matrix (program-major in [`ProgramId::TRANSFORMED`] order).
+#[derive(Debug)]
+pub struct SuiteResult {
+    /// Scale the suite ran at.
+    pub scale: Scale,
+    /// Seed the suite ran with.
+    pub seed: u64,
+    /// One characterization report per program, in `ProgramId::ALL` order.
+    pub reports: Vec<(ProgramId, CharacterizationReport)>,
+    /// The runtime-evaluation matrix (Tables 7–8, Figure 9).
+    pub eval: EvalMatrix,
+}
+
+/// Output of one per-program suite job.
+struct ProgramResult {
+    report: CharacterizationReport,
+    /// Table 8 cells for this program; empty for the three programs the
+    /// paper characterized but did not transform.
+    cells: Vec<EvalCell>,
+}
+
+/// Replays one recording through every applicable platform model in a
+/// single pass over the trace.
+fn simulate_platforms(program: ProgramId, recording: &Recording) -> Vec<(&'static str, SimResult)> {
+    let platforms: Vec<PlatformConfig> = PlatformConfig::all()
+        .into_iter()
+        .filter(|p| EvalMatrix::cell_applicable(program, p.name))
+        .collect();
+    let mut fan: FanOut<CycleSim> = platforms.iter().map(|&p| CycleSim::new(p)).collect();
+    recording.replay(&mut fan);
+    platforms.iter().zip(fan.into_inner()).map(|(p, sim)| (p.name, sim.into_result())).collect()
+}
+
+/// Executes the load-transformed variant once and captures its trace.
+fn record_variant(program: ProgramId, variant: Variant, scale: Scale, seed: u64) -> Recording {
+    let mut tape = Tape::new(Recorder::new());
+    registry::run(&mut tape, program, variant, scale, seed);
+    let (static_program, rec) = tape.finish();
+    assert!(!rec.overflowed(), "{program}: trace exceeded the recorder capacity");
+    rec.into_recording(static_program)
+}
+
+/// One suite job: characterize `program` from a single instrumented
+/// execution and, if it has a load-transformed variant, produce its
+/// Table 8 cells by replaying the captured traces.
+fn run_program(program: ProgramId, scale: Scale, seed: u64) -> ProgramResult {
+    if !program.is_transformable() {
+        let report = crate::characterize::characterize_program(program, scale, seed);
+        return ProgramResult { report, cells: Vec::new() };
+    }
+
+    // Single original-variant execution: the tuple consumer fans the op
+    // stream out to the characterizer and the replay recorder at once.
+    let mut tape = Tape::new((Characterizer::new(), Recorder::new()));
+    registry::run(&mut tape, program, Variant::Original, scale, seed);
+    let (static_program, (characterizer, rec)) = tape.finish();
+    assert!(!rec.overflowed(), "{program}: trace exceeded the recorder capacity");
+    let original = rec.into_recording(static_program.clone());
+    let report = characterizer.into_report(static_program, 10);
+
+    let transformed = record_variant(program, Variant::LoadTransformed, scale, seed);
+
+    let orig_sims = simulate_platforms(program, &original);
+    let trans_sims = simulate_platforms(program, &transformed);
+    let cells = orig_sims
+        .into_iter()
+        .zip(trans_sims)
+        .map(|((platform, original), (platform_t, transformed))| {
+            debug_assert_eq!(platform, platform_t);
+            EvalCell { program, platform, original, transformed }
+        })
+        .collect();
+    ProgramResult { report, cells }
+}
+
+/// Runs the nine-program characterization suite and the six-program ×
+/// four-platform runtime evaluation as one parallel job set.
+pub fn run_suite(cfg: SuiteConfig) -> SuiteResult {
+    let threads = if cfg.jobs == 0 { default_jobs() } else { cfg.jobs };
+    let jobs: Vec<_> = ProgramId::ALL
+        .into_iter()
+        .map(|program| move || run_program(program, cfg.scale, cfg.seed))
+        .collect();
+    let results = run_jobs(jobs, threads);
+
+    let mut reports = Vec::with_capacity(ProgramId::ALL.len());
+    let mut per_program: Vec<(ProgramId, Vec<EvalCell>)> = Vec::new();
+    for (program, result) in ProgramId::ALL.into_iter().zip(results) {
+        reports.push((program, result.report));
+        per_program.push((program, result.cells));
+    }
+    // Emit Table 8 cells program-major in the paper's (TRANSFORMED)
+    // order, independent of ALL's ordering.
+    let mut cells = Vec::new();
+    for program in ProgramId::TRANSFORMED {
+        if let Some((_, c)) = per_program.iter_mut().find(|(p, _)| *p == program) {
+            cells.append(c);
+        }
+    }
+    SuiteResult { scale: cfg.scale, seed: cfg.seed, reports, eval: EvalMatrix { cells } }
+}
+
+/// Characterizes every program in parallel; results in
+/// [`ProgramId::ALL`] order. The parallel backend behind the
+/// table/figure binaries that loop over all nine programs.
+pub fn characterize_all(
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+) -> Vec<(ProgramId, CharacterizationReport)> {
+    let threads = if jobs == 0 { default_jobs() } else { jobs };
+    let work: Vec<_> = ProgramId::ALL
+        .into_iter()
+        .map(|program| move || crate::characterize::characterize_program(program, scale, seed))
+        .collect();
+    ProgramId::ALL.into_iter().zip(run_jobs(work, threads)).collect()
+}
+
+/// Runs the Table 8 evaluation in parallel: per program, each variant is
+/// executed once and its recording replayed through the platform models.
+/// Cell order matches [`EvalMatrix::run`].
+pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> EvalMatrix {
+    let threads = if jobs == 0 { default_jobs() } else { jobs };
+    let work: Vec<_> = ProgramId::TRANSFORMED
+        .into_iter()
+        .map(|program| {
+            move || {
+                let original = record_variant(program, Variant::Original, scale, seed);
+                let transformed = record_variant(program, Variant::LoadTransformed, scale, seed);
+                let orig_sims = simulate_platforms(program, &original);
+                let trans_sims = simulate_platforms(program, &transformed);
+                orig_sims
+                    .into_iter()
+                    .zip(trans_sims)
+                    .map(|((platform, original), (_, transformed))| EvalCell {
+                        program,
+                        platform,
+                        original,
+                        transformed,
+                    })
+                    .collect::<Vec<_>>()
+            }
+        })
+        .collect();
+    let cells = run_jobs(work, threads).into_iter().flatten().collect();
+    EvalMatrix { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_jobs_preserves_job_order() {
+        let jobs: Vec<_> = (0..32).map(|i| move || i * 10).collect();
+        let seq = run_jobs(jobs, 1);
+        let jobs: Vec<_> = (0..32).map(|i| move || i * 10).collect();
+        let par = run_jobs(jobs, 8);
+        assert_eq!(seq, par);
+        assert_eq!(seq, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_jobs_handles_more_threads_than_jobs() {
+        let jobs: Vec<_> = (0..3).map(|i| move || i).collect();
+        assert_eq!(run_jobs(jobs, 64), vec![0, 1, 2]);
+        let none: Vec<Box<dyn FnOnce() -> i32 + Send>> = Vec::new();
+        assert!(run_jobs(none, 4).is_empty());
+    }
+
+    #[test]
+    fn single_trace_job_matches_direct_characterization() {
+        // The tuple fan-out execution inside a suite job must produce the
+        // same characterization as a dedicated characterization run.
+        let direct =
+            crate::characterize::characterize_program(ProgramId::Hmmsearch, Scale::Test, 7);
+        let job = run_program(ProgramId::Hmmsearch, Scale::Test, 7);
+        assert_eq!(direct.mix, job.report.mix);
+        assert_eq!(direct.cache, job.report.cache);
+        assert_eq!(direct.sequences.loads_to_branch, job.report.sequences.loads_to_branch);
+        assert!(!job.cells.is_empty());
+    }
+
+    #[test]
+    fn replayed_platform_sims_match_direct_execution() {
+        // Record-once + FanOut replay must equal running the kernel
+        // directly into each platform model.
+        let direct = crate::evaluate::evaluate_program(
+            ProgramId::Predator,
+            PlatformConfig::alpha21264(),
+            Scale::Test,
+            5,
+        );
+        let recording = record_variant(ProgramId::Predator, Variant::Original, Scale::Test, 5);
+        let sims = simulate_platforms(ProgramId::Predator, &recording);
+        let (_, alpha) = sims
+            .iter()
+            .find(|(name, _)| *name == PlatformConfig::alpha21264().name)
+            .expect("alpha cell");
+        assert_eq!(alpha.cycles, direct.original.cycles);
+        assert_eq!(alpha.instructions, direct.original.instructions);
+    }
+
+    #[test]
+    fn parallel_suite_equals_sequential_suite() {
+        let seq = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1 });
+        let par = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4 });
+        assert_eq!(seq.reports.len(), par.reports.len());
+        for ((pa, a), (pb, b)) in seq.reports.iter().zip(&par.reports) {
+            assert_eq!(pa, pb);
+            assert_eq!(a.mix, b.mix, "{pa}");
+            assert_eq!(a.cache, b.cache, "{pa}: cache stats must not depend on worker count");
+            assert_eq!(a.amat, b.amat, "{pa}");
+        }
+        assert_eq!(seq.eval.cells.len(), par.eval.cells.len());
+        // 6 programs x 4 platforms - 1 n.a. cell, like EvalMatrix::run.
+        assert_eq!(seq.eval.cells.len(), 23);
+        for (a, b) in seq.eval.cells.iter().zip(&par.eval.cells) {
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.platform, b.platform);
+            assert_eq!(a.original.cycles, b.original.cycles);
+            assert_eq!(a.transformed.cycles, b.transformed.cycles);
+        }
+    }
+
+    #[test]
+    fn evaluate_all_matches_eval_matrix_run() {
+        let a = EvalMatrix::run(Scale::Test, 2);
+        let b = evaluate_all(Scale::Test, 2, 3);
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.program, y.program);
+            assert_eq!(x.platform, y.platform);
+            assert_eq!(x.original.cycles, y.original.cycles);
+            assert_eq!(x.transformed.cycles, y.transformed.cycles);
+        }
+    }
+}

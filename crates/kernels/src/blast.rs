@@ -101,7 +101,14 @@ pub fn blast<T: Tracer>(t: &mut T, cfg: &BlastConfig) -> RunResult {
     // position per diagonal is stored and reloaded on every hit.
     let ndiags = cfg.query_len + cfg.seq_max + 1;
     let mut last_hit = vec![-1i64; ndiags];
+    // Declare the working arrays for address normalization.
+    t.region(here!(F), &query);
+    t.region(here!(F), &index.head);
+    t.region(here!(F), &index.next);
+    t.region(here!(F), &index.pos);
+    t.region(here!(F), &last_hit);
     for subject in &db {
+        t.region(here!(F), subject);
         last_hit.iter_mut().for_each(|d| *d = -1);
         let mut best_hit = 0i32;
         let mut v_best = t.lit();

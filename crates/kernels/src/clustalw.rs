@@ -345,11 +345,24 @@ pub fn run<T: Tracer>(t: &mut T, variant: Variant, scale: Scale, seed: u64) -> R
 /// Full clustalw pipeline: all-pairs forward passes → distance matrix →
 /// neighbor-joining guide tree → progressive consensus alignment.
 pub fn clustalw<T: Tracer>(t: &mut T, variant: Variant, cfg: &ClustalwConfig) -> RunResult {
+    const F: &str = "clustalw_driver";
     let mut gen = SeqGen::new(cfg.seed);
     let family = gen.protein_family(cfg.seq_count, cfg.seq_len, 0.35);
     let matrix = ScoringMatrix::blosum62();
     let gap = GapPenalties { open: 10, extend: 1 };
     let mut ws = ForwardPassWorkspace::default();
+
+    // Pre-size the scoring rows to the longest sequence (consensus merges
+    // never exceed the family length) so the rows keep one allocation —
+    // and one normalization region — across every forward pass.
+    ws.hh.resize(cfg.seq_len + 1, 0);
+    ws.dd.resize(cfg.seq_len + 1, 0);
+    t.region(here!(F), &ws.hh);
+    t.region(here!(F), &ws.dd);
+    t.region(here!(F), matrix.data());
+    for s in &family {
+        t.region(here!(F), s);
+    }
 
     // Stage 1: pairwise alignment (the dominant stage).
     let n = family.len();
@@ -389,8 +402,13 @@ pub fn clustalw<T: Tracer>(t: &mut T, variant: Variant, cfg: &ClustalwConfig) ->
         variant: Variant,
         checksum: &mut u64,
     ) -> Vec<u8> {
+        const F: &str = "clustalw_consensus";
         match tree {
-            GuideTree::Leaf(i) => family[*i].clone(),
+            GuideTree::Leaf(i) => {
+                let leaf = family[*i].clone();
+                t.region(here!(F), &leaf);
+                leaf
+            }
             GuideTree::Node(l, r) => {
                 let cl = consensus(t, l, family, matrix, gap, ws, variant, checksum);
                 let cr = consensus(t, r, family, matrix, gap, ws, variant, checksum);
@@ -405,6 +423,7 @@ pub fn clustalw<T: Tracer>(t: &mut T, variant: Variant, cfg: &ClustalwConfig) ->
                         *m = s;
                     }
                 }
+                t.region(here!(F), &merged);
                 merged
             }
         }

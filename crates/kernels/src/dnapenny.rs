@@ -151,6 +151,22 @@ struct SearchState {
     visited: u64,
 }
 
+/// Preallocated per-depth row storage, mirroring PHYLIP's practice of
+/// allocating all tree-node state up front: `levels[d]` holds the `d`
+/// join rows of a partial tree over the first `d` species. Allocating
+/// (and address-declaring) every row once in the driver keeps the search
+/// loop allocation-free, so its cache behaviour reflects the algorithm
+/// rather than allocator churn.
+struct Workspace {
+    levels: Vec<Vec<StateRow>>,
+}
+
+impl Workspace {
+    fn new(species: usize, sites: usize) -> Self {
+        Self { levels: (0..=species).map(|d| vec![vec![0u8; sites]; d]).collect() }
+    }
+}
+
 /// Exhaustive stepwise-addition branch-and-bound search.
 ///
 /// Trees over species `0..n` are built by adding species `k` to every
@@ -158,17 +174,20 @@ struct SearchState {
 /// vector of "join rows" (internal-node Fitch sets); adding to an edge is
 /// approximated by joining against the corresponding row — a compact
 /// formulation that preserves dnapenny's compute shape (repeated bounded
-/// Fitch passes over all sites) and its pruning behaviour.
+/// Fitch passes over all sites) and its pruning behaviour. The rows of
+/// the partial tree at depth `d` live in `ws.levels[d]`; joining against
+/// edge `e` writes the candidate ancestor row directly into the next
+/// level's storage.
 fn search<T: Tracer>(
     t: &mut T,
     st: &mut SearchState,
-    rows: Vec<StateRow>,
+    ws: &mut Workspace,
+    depth: usize,
     steps: u32,
-    next_species: usize,
     variant: Variant,
 ) {
     st.visited += 1;
-    if next_species == st.species.len() {
+    if depth == st.species.len() {
         if steps < st.best {
             st.best = steps;
             st.optimal_count = 1;
@@ -177,25 +196,26 @@ fn search<T: Tracer>(
         }
         return;
     }
-    let new_leaf = st.species[next_species].clone();
-    for edge in 0..rows.len() {
-        let mut anc = vec![0u8; new_leaf.len()];
+    for edge in 0..depth {
+        let (cur, rest) = ws.levels.split_at_mut(depth + 1);
+        let rows = &cur[depth];
+        let next = &mut rest[0];
         let outcome = match variant {
             Variant::Original => fitch_join_original(
                 t,
                 &rows[edge],
-                &new_leaf,
+                &st.species[depth],
                 &st.weight,
-                &mut anc,
+                &mut next[edge],
                 steps,
                 st.best,
             ),
             Variant::LoadTransformed => fitch_join_transformed(
                 t,
                 &rows[edge],
-                &new_leaf,
+                &st.species[depth],
                 &st.weight,
-                &mut anc,
+                &mut next[edge],
                 steps,
                 st.best,
             ),
@@ -203,10 +223,13 @@ fn search<T: Tracer>(
         match outcome {
             FitchOutcome::Abandoned => {}
             FitchOutcome::Steps(s) => {
-                let mut next_rows = rows.clone();
-                next_rows[edge] = anc;
-                next_rows.push(new_leaf.clone());
-                search(t, st, next_rows, s, next_species + 1, variant);
+                for i in 0..depth {
+                    if i != edge {
+                        next[i].copy_from_slice(&rows[i]);
+                    }
+                }
+                next[depth].copy_from_slice(&st.species[depth]);
+                search(t, st, ws, depth + 1, s, variant);
             }
         }
     }
@@ -256,8 +279,24 @@ pub fn dnapenny<T: Tracer>(t: &mut T, variant: Variant, cfg: &DnapennyConfig) ->
         optimal_count: 0,
         visited: 0,
     };
-    let initial = vec![st.species[0].clone(), st.species[1].clone()];
-    search(t, &mut st, initial, 0, 2, variant);
+    // Declare every working array for address normalization, once: the
+    // weights, the species rows, and the preallocated per-depth node
+    // storage the search writes into (PHYLIP allocates its tree nodes up
+    // front the same way).
+    const F: &str = "dnapenny_driver";
+    t.region(here!(F), &st.weight);
+    for s in &st.species {
+        t.region(here!(F), s);
+    }
+    let mut ws = Workspace::new(cfg.species, cfg.sites);
+    for level in &ws.levels {
+        for row in level {
+            t.region(here!(F), row);
+        }
+    }
+    ws.levels[2][0].copy_from_slice(&st.species[0]);
+    ws.levels[2][1].copy_from_slice(&st.species[1]);
+    search(t, &mut st, &mut ws, 2, 0, variant);
 
     let mut checksum = RunResult::fold(0, st.best as i64);
     checksum = RunResult::fold(checksum, st.optimal_count as i64);

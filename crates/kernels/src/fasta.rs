@@ -84,7 +84,14 @@ pub fn fasta<T: Tracer>(t: &mut T, cfg: &FastaConfig) -> RunResult {
     let mut diag = vec![0i32; ndiags];
     let mut checksum = 0u64;
 
+    // Declare the working arrays for address normalization.
+    t.region(here!(F), &query);
+    t.region(here!(F), &index.head);
+    t.region(here!(F), &index.next);
+    t.region(here!(F), &diag);
+    t.region(here!(F), matrix.data());
     for subject in &db {
+        t.region(here!(F), subject);
         // Stage 1: diagonal hit accumulation.
         diag.iter_mut().for_each(|d| *d = 0);
         for j in 0..subject.len().saturating_sub(KTUP - 1) {
@@ -153,6 +160,8 @@ fn banded_sw<T: Tracer>(
     let m = subject.len();
     let mut prev = vec![0i32; m + 1];
     let mut cur = vec![0i32; m + 1];
+    t.region(here!(F), &prev);
+    t.region(here!(F), &cur);
     let mut best = 0i32;
     let mut v_best = t.lit();
     let gap = 6i32;

@@ -50,6 +50,10 @@ pub fn hmmsearch<T: Tracer>(t: &mut T, variant: Variant, cfg: &HmmsearchConfig) 
     let db = gen.protein_database(cfg.db_count, cfg.seq_min, cfg.seq_max, &target, 0.25);
 
     let mut ws = ViterbiWorkspace::new();
+    ws.declare_regions(t, &model);
+    for seq in &db {
+        t.region(here!("hmmsearch_driver"), seq);
+    }
     let mut checksum = 0u64;
     let mut scores = Vec::with_capacity(db.len());
     for seq in &db {
@@ -111,6 +115,12 @@ pub fn hmmpfam<T: Tracer>(t: &mut T, variant: Variant, cfg: &HmmpfamConfig) -> R
     let queries: Vec<Vec<u8>> = (0..cfg.query_count).map(|_| gen.random_protein(cfg.query_len)).collect();
 
     let mut ws = ViterbiWorkspace::new();
+    for model in &library {
+        ws.declare_regions(t, model);
+    }
+    for query in &queries {
+        t.region(here!("hmmpfam_driver"), query);
+    }
     let mut checksum = 0u64;
     for query in &queries {
         // hmmpfam reports the best-matching models per query.
@@ -140,6 +150,8 @@ fn forward_rescore<T: Tracer>(t: &mut T, model: &Plan7Model, dsq: &[u8]) -> f64 
     let m = model.m;
     let mut prev = vec![1.0f64 / m as f64; m + 1];
     let mut cur = vec![0.0f64; m + 1];
+    t.region(here!(F), &prev);
+    t.region(here!(F), &cur);
     let mut log_total = 0.0f64;
     for &res in dsq {
         let emit_row = &model.msc[res as usize];
@@ -207,10 +219,12 @@ pub fn hmmcalibrate<T: Tracer>(t: &mut T, variant: Variant, cfg: &HmmcalibrateCo
     let mut gen = SeqGen::new(cfg.seed ^ 0xca11b);
 
     let mut ws = ViterbiWorkspace::new();
+    ws.declare_regions(t, &model);
     let mut scores = Vec::with_capacity(cfg.sample_count);
     let mut checksum = 0u64;
     for _ in 0..cfg.sample_count {
         let seq = gen.random_protein(cfg.sample_len);
+        t.region(here!("hmmcalibrate_driver"), &seq);
         let score = viterbi(t, &model, &seq, &mut ws, variant);
         scores.push(score as f64);
         checksum = RunResult::fold(checksum, score as i64);

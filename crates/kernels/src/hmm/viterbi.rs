@@ -62,6 +62,36 @@ impl ViterbiWorkspace {
         std::mem::swap(&mut self.ipp, &mut self.ic);
         std::mem::swap(&mut self.dpp, &mut self.dc);
     }
+
+    /// Sizes the DP rows for `model` and declares them — together with
+    /// the model's score arrays — as address-normalization regions.
+    ///
+    /// Drivers call this once before a scan so the rows keep a single
+    /// allocation (and a single region) across every scored sequence;
+    /// later `reset` calls with the same model length never reallocate.
+    pub fn declare_regions<T: Tracer>(&mut self, t: &mut T, model: &Plan7Model) {
+        const F: &str = "p7_viterbi_regions";
+        self.reset(model.m);
+        for row in [&self.mpp, &self.ipp, &self.dpp, &self.mc, &self.ic, &self.dc] {
+            t.region(here!(F), row);
+        }
+        for v in [
+            &model.tpmm,
+            &model.tpmi,
+            &model.tpmd,
+            &model.tpim,
+            &model.tpii,
+            &model.tpdm,
+            &model.tpdd,
+            &model.bsc,
+            &model.esc,
+        ] {
+            t.region(here!(F), v);
+        }
+        for row in model.msc.iter().chain(model.isc.iter()) {
+            t.region(here!(F), row);
+        }
+    }
 }
 
 /// Scores `dsq` against `model` with the selected kernel variant.

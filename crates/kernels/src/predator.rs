@@ -124,6 +124,18 @@ pub fn predator<T: Tracer>(t: &mut T, variant: Variant, cfg: &PredatorConfig) ->
     let mut propensity: Vec<f64> = (0..cfg.cols).map(|c| va[c] as f64 / 100.0).collect();
     let mut smoothed: Vec<f64> = vec![0.0; cfg.cols];
 
+    // Declare the working arrays for address normalization.
+    {
+        const F: &str = "prdfali_driver";
+        t.region(here!(F), &lists.head);
+        t.region(here!(F), &lists.col);
+        t.region(here!(F), &lists.next);
+        t.region(here!(F), &va);
+        t.region(here!(F), &dp);
+        t.region(here!(F), &propensity);
+        t.region(here!(F), &smoothed);
+    }
+
     let mut checksum = 0u64;
     for pass in 0..cfg.passes {
         let (pi, pj) = (pass as i32, (pass as i32) * 3);

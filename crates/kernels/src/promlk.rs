@@ -106,6 +106,14 @@ pub fn promlk<T: Tracer>(t: &mut T, cfg: &PromlkConfig) -> RunResult {
         })
         .collect();
 
+    // Declare the stable working arrays for address normalization.
+    for row in &matrix {
+        t.region(here!(F), row);
+    }
+    for site_cl in &leaf_cl {
+        t.region(here!(F), site_cl);
+    }
+
     let mut checksum = 0u64;
     let mut best_ll = f64::NEG_INFINITY;
     for iter in 0..cfg.iterations {
@@ -148,6 +156,9 @@ pub fn promlk<T: Tracer>(t: &mut T, cfg: &PromlkConfig) -> RunResult {
 
         let t_edge = 0.05 + 0.05 * iter as f64;
         let p = jc_matrix(t_edge);
+        // The transition matrix lives on the stack; declare it so its
+        // (run-dependent) frame address normalizes deterministically.
+        t.region(here!(F), &p[..]);
 
         // Conditional likelihoods for internal nodes, bottom-up.
         let mut internal_cl: Vec<Vec<[f64; NSTATES]>> = Vec::with_capacity(tree.joins.len());
@@ -157,6 +168,7 @@ pub fn promlk<T: Tracer>(t: &mut T, cfg: &PromlkConfig) -> RunResult {
             let right = if rc < tree.n_leaves { &leaf_cl[rc] } else { &internal_cl[rc - tree.n_leaves] };
 
             let mut node = vec![[0.0f64; NSTATES]; cfg.sites];
+            t.region(here!(F), &node);
             let mut v_site = t.lit();
             for site in 0..cfg.sites {
                 // Site-loop control and indexing (integer).

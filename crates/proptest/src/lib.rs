@@ -1,0 +1,159 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace ships
+//! this small self-contained replacement. It implements the surface the
+//! repository's property tests use — the [`proptest!`] macro,
+//! [`prop_assert!`]/[`prop_assert_eq!`], range and tuple strategies,
+//! [`prelude::any`], `prop::collection::vec`, `prop::bool::ANY`,
+//! [`strategy::Just`], [`prop_oneof!`], and `prop_map` — with two
+//! deliberate simplifications:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the panic
+//!   message (every generated argument is formatted into it), but no
+//!   minimization pass runs.
+//! * **Deterministic seeding.** Cases derive from a fixed per-test seed
+//!   (an FNV hash of the test's module path and name), so failures
+//!   reproduce exactly on every run and machine.
+//!
+//! The default case count is 64 (upstream defaults to 256); tests that
+//! need a different budget say so with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The `prop::` module tree (`prop::collection::vec`, `prop::bool::ANY`).
+    pub mod prop {
+        /// Collection strategies.
+        pub mod collection {
+            pub use crate::strategy::vec;
+        }
+        /// Boolean strategies.
+        pub mod bool {
+            pub use crate::strategy::BOOL_ANY as ANY;
+        }
+    }
+}
+
+/// FNV-1a over a string — the per-test deterministic seed.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $($(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $arg = ($strat).generate(&mut __rng);)+
+                let __inputs = format!(
+                    concat!("case {} of {}: ", $(stringify!($arg), " = {:?}, ",)+ ""),
+                    __case, __cfg.cases, $(&$arg,)+
+                );
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(panic) = __outcome {
+                    eprintln!("proptest failure inputs: {__inputs}");
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        })*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u8..7, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn tuples_and_oneof_compose(
+            pair in (0u16..100, prop::bool::ANY),
+            choice in prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)],
+        ) {
+            prop_assert!(pair.0 < 100);
+            prop_assert!(matches!(choice, 1 | 2 | 5 | 6));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(13))]
+
+        /// The configured case budget reaches the body.
+        #[test]
+        fn config_is_honored(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn fnv_distinguishes_names() {
+        assert_ne!(super::fnv("a::b"), super::fnv("a::c"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Test configuration and the deterministic case RNG.
+
+/// The generator property tests draw from.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Creates the deterministic RNG for one named test.
+///
+/// Seeding from the test's fully qualified name keeps each test's case
+/// stream independent of every other test and identical across runs.
+pub fn rng_for(test_name: &str) -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(crate::fnv(test_name))
+}
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the kernel-heavy suites fast
+        // while still exercising a broad input space.
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_rngs_are_reproducible_and_distinct() {
+        use rand::Rng;
+        let mut a = rng_for("crate::test_a");
+        let mut b = rng_for("crate::test_a");
+        let mut c = rng_for("crate::test_b");
+        let (x, y, z) = (a.gen::<u64>(), b.gen::<u64>(), c.gen::<u64>());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn default_config_has_cases() {
+        assert!(ProptestConfig::default().cases >= 32);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace ships
+//! this small self-contained replacement implementing exactly the surface
+//! the reproduction uses: [`rngs::StdRng`], [`SeedableRng`]
+//! (`seed_from_u64` / `from_seed`), and the [`Rng`] methods `gen`,
+//! `gen_range`, and `gen_bool`.
+//!
+//! The generator is xoshiro256\*\* seeded through SplitMix64 — a
+//! different stream than upstream `StdRng` (ChaCha12), so synthetic
+//! workloads differ in *content* from builds against real `rand`, but
+//! every draw is a pure function of the seed: identical `(seed, call
+//! sequence)` pairs produce identical data on every run, machine, and
+//! thread. That reproducibility is all the harness relies on.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-width byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanded via SplitMix64 (the
+    /// same convention upstream `rand` documents).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: seed expander (and a fine standalone 64-bit generator).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Core entropy source: everything in [`Rng`] derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling helpers layered over [`RngCore`] — the `rand::Rng` analog.
+pub trait Rng: RngCore {
+    /// A uniformly random value of a [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Converts 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable uniformly from 64 random bits (the `Standard`
+/// distribution analog).
+pub trait Standard {
+    /// Maps 64 uniform bits to a uniform value.
+    fn sample(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> Self {
+        unit_f64(bits)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(bits: u64) -> Self {
+        ((bits >> 40) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform sampler over an interval (the `SampleUniform`
+/// analog). The single blanket [`SampleRange`] impl over `Range<T>` /
+/// `RangeInclusive<T>` keeps type inference identical to upstream
+/// `rand` (`base * rng.gen_range(0.7..1.3)` infers `f64`).
+pub trait SampleUniform: PartialOrd + Copy {
+    /// A uniform sample from `[start, end)`.
+    fn sample_half_open(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self;
+
+    /// A uniform sample from `[start, end]`.
+    fn sample_inclusive(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                let span = (end as i128 - start as i128) as u128;
+                let off = (u128::from(next()) * span) >> 64;
+                (start as i128 + off as i128) as $t
+            }
+
+            fn sample_inclusive(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (u128::from(next()) * span) >> 64;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                let x = start + <$t as Standard>::sample(next()) * (end - start);
+                // Floating rounding can land exactly on `end`; stay half-open.
+                if x >= end { start } else { x }
+            }
+
+            fn sample_inclusive(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                start + <$t as Standard>::sample(next()) * (end - start)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Ranges a uniform sample can be drawn from (the `SampleRange` analog).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample using the supplied bit source.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_half_open(self.start, self.end, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range called with empty range");
+        T::sample_inclusive(start, end, next)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256\*\*.
+    ///
+    /// Small, fast, and statistically strong; **not** cryptographic and
+    /// **not** stream-compatible with upstream `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *w = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let av: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-20..20);
+            assert!((-20..20).contains(&v));
+            let u = r.gen_range(0usize..7);
+            assert!(u < 7);
+            let f = r.gen_range(0.7f64..1.3);
+            assert!((0.7..1.3).contains(&f));
+            let i = r.gen_range(3u8..=5);
+            assert!((3..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((0.22..0.28).contains(&rate), "rate {rate}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        assert!(super::unit_f64(u64::MAX) < 1.0);
+        assert_eq!(super::unit_f64(0), 0.0);
+    }
+}

@@ -87,10 +87,15 @@ fn site(piece: usize, dir: usize, slot: u32) -> SrcLoc {
     )
 }
 
-const KNIGHT_DELTAS: [i32; 8] = [33, 31, 18, 14, -33, -31, -18, -14];
-const KING_DELTAS: [i32; 8] = [1, -1, 16, -16, 17, 15, -17, -15];
-const BISHOP_DIRS: [i32; 4] = [17, 15, -17, -15];
-const ROOK_DIRS: [i32; 4] = [1, -1, 16, -16];
+// `static`, not `const`: the move generator records loads *from* these
+// tables, so they need one stable address to declare to the
+// address-normalization pass (a `const` would be re-materialised as a
+// temporary at every borrow site).
+static KNIGHT_DELTAS: [i32; 8] = [33, 31, 18, 14, -33, -31, -18, -14];
+static KING_DELTAS: [i32; 8] = [1, -1, 16, -16, 17, 15, -17, -15];
+static BISHOP_DIRS: [i32; 4] = [17, 15, -17, -15];
+static ROOK_DIRS: [i32; 4] = [1, -1, 16, -16];
+static VALUES: [i32; 7] = [0, 100, 320, 330, 500, 900, 20000];
 
 /// Generates pseudo-legal moves for `side`, dispatching to a per-piece
 /// code path (each with its own static loads, as in crafty).
@@ -234,7 +239,6 @@ fn slider_moves_rook<T: Tracer>(t: &mut T, b: &Board, from: i32, side: i8, out: 
 /// Static-exchange-free evaluation: material plus piece-square terms.
 fn evaluate<T: Tracer>(t: &mut T, b: &Board) -> i32 {
     const F: &str = "crafty_evaluate";
-    const VALUES: [i32; 7] = [0, 100, 320, 330, 500, 900, 20000];
     let mut score = 0i32;
     let mut v_score = t.lit();
     for s in 0..128usize {
@@ -320,12 +324,24 @@ fn perft<T: Tracer>(
 
 /// Runs the crafty-like workload.
 pub fn run<T: Tracer>(t: &mut T, scale: SpecScale, seed: u64) -> u64 {
+    const F: &str = "crafty_driver";
     let mut rng = StdRng::seed_from_u64(seed);
     let mut checksum = 0u64;
     let mut history = History::new();
+    t.region(here!(F), &KNIGHT_DELTAS);
+    t.region(here!(F), &KING_DELTAS);
+    t.region(here!(F), &BISHOP_DIRS);
+    t.region(here!(F), &ROOK_DIRS);
+    t.region(here!(F), &VALUES);
+    t.region(here!(F), &history.counts);
     for game in 0..scale.factor {
         let mut board = Board::initial(&mut rng);
         board.scramble(&mut rng, 6 + game % 5);
+        // One region for the whole board struct (sq + psq) so the
+        // in-struct layout survives normalization; each game's board is a
+        // fresh position, so re-declaring (fresh slot, cold lines) models
+        // a newly set-up board faithfully.
+        t.region_raw(here!(F), (&board as *const Board).cast::<u8>(), std::mem::size_of::<Board>());
         let nodes = perft(t, &mut board, &mut history, 1, 3, &mut checksum);
         checksum = fold(checksum, nodes as i64);
     }

@@ -135,10 +135,16 @@ fn const_fold<T: Tracer>(t: &mut T, arena: &mut Arena, root: usize) -> usize {
 
 /// Value-numbering CSE pass with a chained hash table, per-opcode sites.
 fn cse<T: Tracer>(t: &mut T, arena: &Arena, root: usize) -> (usize, usize) {
+    const F: &str = "gcc_cse";
     const HASH: usize = 512;
     let mut heads = vec![-1i32; HASH];
     let mut entries: Vec<(usize, usize, usize, i32)> = Vec::new(); // (op,l,r,next)
     let mut value_of = vec![usize::MAX; arena.nodes.len()];
+    // The entry pool grows while traced (one push per distinct Bin);
+    // reserve the worst case so it never moves, then declare the regions.
+    entries.reserve(arena.nodes.len());
+    t.region(here!(F), &heads);
+    t.region_raw(here!(F), entries.as_ptr(), entries.capacity());
     let mut hits = 0usize;
     let mut numbered = 0usize;
 
@@ -363,9 +369,11 @@ fn parse<T: Tracer>(t: &mut T, tokens: &[Token], pos: &mut usize, arena: &mut Ar
 
 /// Runs the gcc-like compilation workload.
 pub fn run<T: Tracer>(t: &mut T, scale: SpecScale, seed: u64) -> u64 {
+    const F: &str = "gcc_driver";
     let mut rng = StdRng::seed_from_u64(seed);
     let nvars = 8;
     let vars: Vec<i64> = (0..nvars).map(|_| rng.gen_range(-100..100)).collect();
+    t.region(here!(F), &vars);
 
     let mut checksum = 0u64;
     let functions = 250 * scale.factor;
@@ -375,13 +383,19 @@ pub fn run<T: Tracer>(t: &mut T, scale: SpecScale, seed: u64) -> u64 {
         let gen_root = gen_expr(&mut rng, &mut gen_arena, 9, nvars);
         let mut text = String::new();
         unparse(&gen_arena, gen_root, &mut text);
+        t.region(here!(F), text.as_bytes());
         let tokens = tokenize(t, &text);
+        t.region(here!(F), &tokens);
         let mut arena = Arena::default();
         let mut pos = 0;
         let root = parse(t, &tokens, &mut pos, &mut arena);
         debug_assert_eq!(pos, tokens.len(), "parser must consume all tokens");
 
-        // Middle end and back end.
+        // Middle end and back end: const folding pushes at most one node
+        // per existing node, so one reservation pins the arena in place
+        // for the whole traced middle end.
+        arena.nodes.reserve(arena.nodes.len() + 1);
+        t.region_raw(here!(F), arena.nodes.as_ptr(), arena.nodes.capacity());
         let folded = const_fold(t, &mut arena, root);
         let (hits, numbered) = cse(t, &arena, folded);
         let value = emit_eval(t, &arena, folded, &vars);

@@ -56,6 +56,21 @@ impl Store {
     }
 }
 
+/// Declares one store's arrays to the address-normalization pass.
+///
+/// The growable vecs are declared over *capacity*, not length, so pushes
+/// that stay within capacity land inside the declared region. The caller
+/// re-declares after any insert that reallocates; `Vec`'s growth policy
+/// makes the capacity sequence a deterministic function of the push
+/// sequence, so re-declaration points are run-invariant.
+fn declare_store<T: Tracer>(t: &mut T, store: &Store, ty: usize) {
+    let loc = site(ty, 63);
+    t.region_raw(loc, store.fields.as_ptr(), store.fields.capacity());
+    t.region_raw(loc, store.keys.as_ptr(), store.keys.capacity());
+    t.region(loc, &store.heads);
+    t.region_raw(loc, store.next.as_ptr(), store.next.capacity());
+}
+
 /// Traced lookup in a typed store: hash-chain walk with per-type sites.
 fn lookup<T: Tracer>(t: &mut T, store: &Store, ty: usize, key: u64) -> Option<usize> {
     let bucket = (key as usize) % BUCKETS;
@@ -111,6 +126,10 @@ pub fn run<T: Tracer>(t: &mut T, scale: SpecScale, seed: u64) -> u64 {
         }
     }
 
+    for (ty, store) in stores.iter().enumerate() {
+        declare_store(t, store, ty);
+    }
+
     // Zipf-ish type popularity: type weight ∝ 1/(rank+1).
     let weights: Vec<f64> = (0..NTYPES).map(|i| 1.0 / (i + 1) as f64).collect();
     let total_w: f64 = weights.iter().sum();
@@ -142,7 +161,12 @@ pub fn run<T: Tracer>(t: &mut T, scale: SpecScale, seed: u64) -> u64 {
             None => {
                 checksum = fold(checksum, -1);
                 if rng.gen_bool(0.1) {
-                    stores[ty].insert(key, checksum);
+                    let s = &mut stores[ty];
+                    let caps = (s.fields.capacity(), s.keys.capacity(), s.next.capacity());
+                    s.insert(key, checksum);
+                    if caps != (s.fields.capacity(), s.keys.capacity(), s.next.capacity()) {
+                        declare_store(t, s, ty);
+                    }
                 }
             }
         }

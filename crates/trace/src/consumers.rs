@@ -133,6 +133,92 @@ impl TraceConsumer for InstrMix {
     }
 }
 
+/// Broadcasts one op stream to N consumers — trace once, analyze many.
+///
+/// The consumer tuples handle a fixed, statically-known set of analyses;
+/// `FanOut` handles a set assembled at runtime. With the default
+/// `Box<dyn TraceConsumer>` element type the set is heterogeneous:
+///
+/// ```
+/// use bioperf_isa::here;
+/// use bioperf_trace::{consumers::{FanOut, InstrMix, LoadCounts}, Tape, Tracer};
+///
+/// let mut fan = FanOut::new();
+/// fan.push(Box::new(InstrMix::default()) as Box<dyn bioperf_trace::TraceConsumer>);
+/// fan.push(Box::new(LoadCounts::default()));
+/// let mut tape = Tape::new(fan);
+/// tape.int_load(here!("f"), &3u64);
+/// let (_, fan) = tape.finish();
+/// assert_eq!(fan.len(), 2);
+/// ```
+///
+/// Every consumer sees every op, in program order, exactly once; `finish`
+/// reaches each consumer exactly once. Used by the experiment
+/// orchestrator so a single kernel execution feeds the characterizer, the
+/// replay recorder, and coverage counting simultaneously.
+#[derive(Debug, Default)]
+pub struct FanOut<C = Box<dyn TraceConsumer>> {
+    consumers: Vec<C>,
+}
+
+impl<C: TraceConsumer> FanOut<C> {
+    /// Creates an empty fan-out.
+    pub fn new() -> Self {
+        Self { consumers: Vec::new() }
+    }
+
+    /// Adds a consumer; it sees only ops recorded after this call.
+    pub fn push(&mut self, consumer: C) {
+        self.consumers.push(consumer);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, consumer: C) -> Self {
+        self.push(consumer);
+        self
+    }
+
+    /// Number of attached consumers.
+    pub fn len(&self) -> usize {
+        self.consumers.len()
+    }
+
+    /// Whether no consumer is attached.
+    pub fn is_empty(&self) -> bool {
+        self.consumers.is_empty()
+    }
+
+    /// Borrows consumer `i` (insertion order).
+    pub fn get(&self, i: usize) -> Option<&C> {
+        self.consumers.get(i)
+    }
+
+    /// Returns the consumers in insertion order.
+    pub fn into_inner(self) -> Vec<C> {
+        self.consumers
+    }
+}
+
+impl<C: TraceConsumer> FromIterator<C> for FanOut<C> {
+    fn from_iter<I: IntoIterator<Item = C>>(iter: I) -> Self {
+        Self { consumers: iter.into_iter().collect() }
+    }
+}
+
+impl<C: TraceConsumer> TraceConsumer for FanOut<C> {
+    fn consume(&mut self, op: &MicroOp, program: &Program) {
+        for c in &mut self.consumers {
+            c.consume(op, program);
+        }
+    }
+
+    fn finish(&mut self, program: &Program) {
+        for c in &mut self.consumers {
+            c.finish(program);
+        }
+    }
+}
+
 /// Per-static-load dynamic execution counter — the raw data for the
 /// paper's Figure 2 cumulative-coverage curves.
 ///
@@ -245,6 +331,39 @@ mod tests {
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.loads(), 2);
+    }
+
+    #[test]
+    fn fan_out_feeds_every_consumer_the_whole_stream() {
+        let xs = [0u64; 4];
+        let fan: FanOut<InstrMix> = (0..3).map(|_| InstrMix::default()).collect();
+        let mut t = Tape::new(fan);
+        for x in &xs {
+            let v = t.int_load(here!("f"), x);
+            t.int_op(here!("f"), &[v]);
+        }
+        let (_, fan) = t.finish();
+        let mixes = fan.into_inner();
+        assert_eq!(mixes.len(), 3);
+        for m in &mixes {
+            assert_eq!(m.total(), 8, "every consumer sees the full stream");
+            assert_eq!(m.loads(), 4);
+        }
+        assert_eq!(mixes[0], mixes[1]);
+        assert_eq!(mixes[1], mixes[2]);
+    }
+
+    #[test]
+    fn fan_out_of_boxed_consumers_is_heterogeneous() {
+        let x = 0u64;
+        let fan = FanOut::new()
+            .with(Box::new(InstrMix::default()) as Box<dyn crate::TraceConsumer>)
+            .with(Box::new(LoadCounts::default()));
+        assert!(!fan.is_empty());
+        let mut t = Tape::new(fan);
+        t.int_load(here!("f"), &x);
+        let (_, fan) = t.finish();
+        assert_eq!(fan.len(), 2);
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   monomorphized against it run at native speed. This is the
 //!   "uninstrumented binary" used for wall-clock benchmarking.
 //!
+//! [`Tape`] normalizes every recorded effective address (see
+//! [`normalize`]) so traces — and everything derived from them, cache
+//! miss counts included — are bit-identical across runs. [`Tape::raw`]
+//! opts out. Need one kernel execution to feed several analyses? Wrap
+//! them in a [`FanOut`] (or a consumer tuple) instead of re-tracing.
+//!
 //! # Example
 //!
 //! ```
@@ -44,11 +50,13 @@
 //! ```
 
 pub mod consumers;
+pub mod normalize;
 pub mod replay;
 pub mod tape;
 pub mod tracer;
 
-pub use consumers::InstrMix;
+pub use consumers::{FanOut, InstrMix};
+pub use normalize::{AddressNormalizer, NormalizerStats};
 pub use replay::{Recorder, Recording};
 pub use tape::Tape;
 pub use tracer::{NullTracer, TraceConsumer, Tracer};

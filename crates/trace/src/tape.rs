@@ -2,6 +2,7 @@
 
 use bioperf_isa::{MicroOp, OpKind, Program, SrcLoc, VReg, MAX_SRCS};
 
+use crate::normalize::{AddressNormalizer, NormalizerStats};
 use crate::tracer::{TraceConsumer, Tracer};
 
 /// Handle to a traced SSA value (a virtual register).
@@ -21,6 +22,12 @@ impl Val {
 ///
 /// Equivalent to running an ATOM-instrumented binary: the consumer plays
 /// the role of the analysis routine linked into the binary.
+///
+/// By default every recorded effective address passes through an
+/// [`AddressNormalizer`], so the emitted stream — and any cache
+/// statistics computed from it — is bit-identical across runs regardless
+/// of allocator placement or ASLR. [`Tape::raw`] opts out and records
+/// true process addresses.
 ///
 /// # Example
 ///
@@ -42,12 +49,33 @@ pub struct Tape<C> {
     consumer: C,
     next_vreg: u64,
     ops_emitted: u64,
+    normalizer: Option<AddressNormalizer>,
 }
 
 impl<C: TraceConsumer> Tape<C> {
-    /// Creates a tape streaming into `consumer`.
+    /// Creates a tape streaming into `consumer`, with deterministic
+    /// address normalization on.
     pub fn new(consumer: C) -> Self {
-        Self { program: Program::new(), consumer, next_vreg: 0, ops_emitted: 0 }
+        Self {
+            program: Program::new(),
+            consumer,
+            next_vreg: 0,
+            ops_emitted: 0,
+            normalizer: Some(AddressNormalizer::new()),
+        }
+    }
+
+    /// Creates a tape recording raw process addresses (no normalization).
+    ///
+    /// Useful for inspecting the kernel's true memory layout; raw traces
+    /// are *not* reproducible across runs.
+    pub fn raw(consumer: C) -> Self {
+        Self { normalizer: None, ..Self::new(consumer) }
+    }
+
+    /// Address-normalization diagnostics, or `None` for a raw tape.
+    pub fn normalizer_stats(&self) -> Option<NormalizerStats> {
+        self.normalizer.as_ref().map(|n| n.stats())
     }
 
     /// Number of dynamic micro-ops emitted so far.
@@ -95,17 +123,27 @@ impl<C: TraceConsumer> Tape<C> {
         out
     }
 
+    fn effective_addr<T>(&mut self, addr: &T) -> u64 {
+        let raw = addr as *const T as u64;
+        match &mut self.normalizer {
+            Some(n) => n.normalize(raw, std::mem::size_of::<T>() as u64),
+            None => raw,
+        }
+    }
+
     fn record_load<T>(&mut self, loc: SrcLoc, kind: OpKind, addr: &T, base: Option<Val>) -> Val {
         let sid = self.program.intern(kind, loc);
         let dst = self.fresh();
-        let op = MicroOp::load(sid, kind, dst, addr as *const T as u64, base.map(|b| b.0));
+        let ea = self.effective_addr(addr);
+        let op = MicroOp::load(sid, kind, dst, ea, base.map(|b| b.0));
         self.emit(op);
         Val(dst)
     }
 
     fn record_store<T>(&mut self, loc: SrcLoc, kind: OpKind, addr: &T, value: Val) {
         let sid = self.program.intern(kind, loc);
-        let op = MicroOp::store(sid, kind, Some(value.0), addr as *const T as u64);
+        let ea = self.effective_addr(addr);
+        let op = MicroOp::store(sid, kind, Some(value.0), ea);
         self.emit(op);
     }
 }
@@ -177,6 +215,18 @@ impl<C: TraceConsumer> Tracer for Tape<C> {
         };
         self.emit(op);
     }
+
+    fn region<T>(&mut self, _loc: SrcLoc, data: &[T]) {
+        if let Some(n) = &mut self.normalizer {
+            n.register(data.as_ptr() as u64, std::mem::size_of_val(data) as u64);
+        }
+    }
+
+    fn region_raw<T>(&mut self, _loc: SrcLoc, base: *const T, elems: usize) {
+        if let Some(n) = &mut self.normalizer {
+            n.register(base as u64, (elems * std::mem::size_of::<T>()) as u64);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -209,12 +259,50 @@ mod tests {
     }
 
     #[test]
-    fn loads_record_true_addresses() {
+    fn raw_tape_records_true_addresses() {
         let xs = [5u64, 6, 7];
-        let mut t = Tape::new(Collect::default());
+        let mut t = Tape::raw(Collect::default());
         t.int_load(here!("f"), &xs[2]);
         let (_, ops) = t.finish();
         assert_eq!(ops.0[0].addr, Some(&xs[2] as *const u64 as u64));
+        assert!(Tape::raw(Collect::default()).normalizer_stats().is_none());
+    }
+
+    #[test]
+    fn normalized_addresses_preserve_array_layout() {
+        let xs = [5u64, 6, 7];
+        let mut t = Tape::new(Collect::default());
+        t.region(here!("f"), &xs);
+        for x in &xs {
+            t.int_load(here!("f"), x);
+        }
+        let stats = t.normalizer_stats().unwrap();
+        assert_eq!(stats.registered_regions, 1);
+        assert_eq!(stats.fallback_regions, 0);
+        let (_, ops) = t.finish();
+        let a: Vec<u64> = ops.0.iter().map(|op| op.addr.unwrap()).collect();
+        assert_eq!(a[1] - a[0], 8);
+        assert_eq!(a[2] - a[1], 8);
+        assert_ne!(a[0], &xs[0] as *const u64 as u64, "addresses are virtual");
+    }
+
+    #[test]
+    fn normalized_streams_are_allocation_invariant() {
+        // The same logical trace over two *different* heap allocations
+        // emits bit-identical address streams.
+        let run = || {
+            let xs: Vec<u64> = (0..64).collect();
+            let mut t = Tape::new(Collect::default());
+            t.region(here!("f"), &xs);
+            for i in [0usize, 63, 7, 7, 31] {
+                t.int_load(here!("f"), &xs[i]);
+            }
+            let (_, ops) = t.finish();
+            ops.0.iter().map(|op| op.addr.unwrap()).collect::<Vec<u64>>()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -125,6 +125,26 @@ pub trait Tracer {
     /// call/return of a traced helper).
     fn jump(&mut self, loc: SrcLoc);
 
+    /// Declares `data`'s backing memory as one contiguous working array.
+    ///
+    /// Kernels call this right after allocating (or re-sizing) each hot
+    /// array. It emits no micro-op; it feeds the address-normalization
+    /// pass (see [`normalize`](crate::normalize)) so traced addresses are
+    /// independent of where the allocator placed the array. The default
+    /// is a no-op, so `NullTracer` and custom tracers compile it away.
+    #[inline]
+    fn region<T>(&mut self, _loc: SrcLoc, _data: &[T]) {}
+
+    /// Like [`region`](Tracer::region), but declares `elems` elements
+    /// starting at `base` without requiring an initialized slice.
+    ///
+    /// For buffers that *grow while traced* (an arena, a hash-table entry
+    /// pool): reserve the worst-case capacity first, then declare the
+    /// whole reserved range so later pushes never move the buffer out of
+    /// its region. The pointer is never dereferenced.
+    #[inline]
+    fn region_raw<T>(&mut self, _loc: SrcLoc, _base: *const T, _elems: usize) {}
+
     /// Single-cycle integer ALU op (add/sub/compare/logic).
     #[inline]
     fn int_op(&mut self, loc: SrcLoc, srcs: &[Self::Val]) -> Self::Val {

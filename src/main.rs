@@ -6,6 +6,7 @@
 //! bioperf-loadchar candidates   <program> [scale]
 //! bioperf-loadchar coverage     <program> [scale]
 //! bioperf-loadchar evaluate     <program> [scale]
+//! bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>]
 //! ```
 
 use std::process::ExitCode;
@@ -13,6 +14,7 @@ use std::process::ExitCode;
 use bioperf_core::candidates::{find_candidates, CandidateCriteria};
 use bioperf_core::characterize::characterize_program;
 use bioperf_core::evaluate::{evaluate_program, EvalMatrix};
+use bioperf_core::orchestrate::{run_suite, SuiteConfig};
 use bioperf_core::report::{pct, pct2, TextTable};
 use bioperf_isa::OpClass;
 use bioperf_kernels::{ProgramId, Scale};
@@ -29,6 +31,11 @@ fn usage() -> ExitCode {
     eprintln!("  bioperf-loadchar candidates   <program> [scale]");
     eprintln!("  bioperf-loadchar coverage     <program> [scale]");
     eprintln!("  bioperf-loadchar evaluate     <program> [scale]");
+    eprintln!("  bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>]");
+    eprintln!();
+    eprintln!("suite runs the whole study — nine characterizations plus the 6-program ×");
+    eprintln!("4-platform runtime evaluation — on a worker pool (--jobs 0 = all cores).");
+    eprintln!("Output is identical for every worker count.");
     eprintln!();
     eprintln!("programs: blast clustalw dnapenny fasta hmmcalibrate hmmpfam hmmsearch");
     eprintln!("          predator promlk   (evaluate: the six transformed programs only)");
@@ -141,11 +148,79 @@ fn cmd_evaluate(program: ProgramId, scale: Scale) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_suite(scale: Scale, jobs: usize, seed: u64) -> ExitCode {
+    let suite = run_suite(SuiteConfig { scale, seed, jobs });
+
+    println!("BioPerf load-characterization suite ({scale:?} scale, seed {seed})\n");
+    let mut table =
+        TextTable::new(&["program", "loads", "L1 local", "AMAT", "cov@80", "load→branch"]);
+    for (program, r) in &suite.reports {
+        table.row_owned(vec![
+            program.name().to_string(),
+            pct(r.mix.class_fraction(OpClass::Load)),
+            pct2(r.cache.l1.load_miss_ratio()),
+            format!("{:.2}", r.amat),
+            pct(r.coverage.coverage_at(80)),
+            pct(r.sequences.load_to_branch_fraction()),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\nruntime evaluation (simulated cycles, original → load-transformed):\n");
+    let platforms: Vec<&str> = PlatformConfig::all().iter().map(|p| p.name).collect();
+    let mut header = vec!["program"];
+    header.extend(platforms.iter());
+    let mut table = TextTable::new(&header);
+    for program in ProgramId::TRANSFORMED {
+        let mut row = vec![program.name().to_string()];
+        for platform in &platforms {
+            let cell = suite
+                .eval
+                .cells
+                .iter()
+                .find(|c| c.program == program && c.platform == *platform);
+            row.push(match cell {
+                None => "n.a.".to_string(),
+                Some(c) => format!("{:+.1}%", (c.speedup() - 1.0) * 100.0),
+            });
+        }
+        table.row_owned(row);
+    }
+    print!("{}", table.render());
+
+    println!("\nharmonic-mean speedups:");
+    for platform in &platforms {
+        println!("  {platform:<16} {:.3}x", suite.eval.harmonic_mean_speedup(platform));
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_suite_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<(Scale, usize, u64)> {
+    let (mut scale, mut jobs, mut seed) = (Scale::Test, 0usize, SEED);
+    while let Some(flag) = it.next() {
+        let value = it.next()?;
+        match flag {
+            "--scale" => scale = parse_scale(Some(value))?,
+            "--jobs" => jobs = value.parse().ok()?,
+            "--seed" => seed = value.parse().ok()?,
+            _ => return None,
+        }
+    }
+    Some((scale, jobs, seed))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("list") => cmd_list(),
+        Some("suite") => {
+            let Some((scale, jobs, seed)) = parse_suite_args(it) else {
+                eprintln!("error: bad suite arguments");
+                return usage();
+            };
+            cmd_suite(scale, jobs, seed)
+        }
         Some(cmd @ ("characterize" | "candidates" | "coverage" | "evaluate")) => {
             let Some(program) = it.next().and_then(ProgramId::from_name) else {
                 eprintln!("error: expected a program name");
