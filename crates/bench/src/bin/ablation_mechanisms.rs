@@ -11,7 +11,7 @@
 //!   claim: the benefit comes from hiding the multi-cycle hit latency),
 //! * **misprediction penalty** — a hypothetical free redirect.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::evaluate::evaluate_program;
 use bioperf_core::report::TextTable;
 use bioperf_kernels::{ProgramId, Scale};
@@ -22,7 +22,8 @@ fn speedup(program: ProgramId, platform: PlatformConfig, scale: Scale) -> f64 {
 }
 
 fn main() {
-    let scale = scale_from_args(Scale::Small);
+    let args = bench_args("ablation_mechanisms", Scale::Small);
+    let scale = args.scale;
     banner("Ablation: which modeled mechanism carries the speedup", scale);
     let program = ProgramId::Hmmsearch;
     println!("program: {program}\n");
@@ -52,6 +53,11 @@ fn main() {
     table.row_owned(row("free mispredicts (penalty 0)", &|c| c.mispredict_penalty = 0));
     table.row_owned(row("double mispredict penalty", &|c| c.mispredict_penalty *= 2));
     println!("{}", table.render());
+
+    let mut json = JsonReport::new("ablation_mechanisms", Some(scale));
+    json.table("mechanisms", &table);
+    json.note("speedup of the transformed hmmsearch under each model tweak");
+    json.write_if_requested(&args);
 
     println!("Reading guide:");
     println!(" * forcing if-conversion ON lifts the PowerPC/Pentium 4 to Alpha-like gains,");

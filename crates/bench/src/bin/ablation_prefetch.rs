@@ -9,7 +9,7 @@
 //! AMAT side by side with the speedup the source transformation achieves
 //! on the Alpha model.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_cache::{alpha21264_hierarchy, CacheSim, Prefetcher};
 use bioperf_core::evaluate::evaluate_program;
 use bioperf_core::report::{pct2, TextTable};
@@ -27,7 +27,8 @@ fn miss_and_amat(program: ProgramId, scale: Scale, policy: Prefetcher) -> (f64, 
 }
 
 fn main() {
-    let scale = scale_from_args(Scale::Small);
+    let args = bench_args("ablation_prefetch", Scale::Small);
+    let scale = args.scale;
     banner("Ablation: prefetching vs the source transformation", scale);
 
     let mut table = TextTable::new(&[
@@ -60,4 +61,9 @@ fn main() {
     println!("AMAT by hundredths of a cycle — while the source transformation, which");
     println!("attacks the *hit* latency's interaction with branches, gains whole");
     println!("percents to factors. Misses are not the problem; the paper's point.");
+
+    let mut json = JsonReport::new("ablation_prefetch", Some(scale));
+    json.table("prefetch", &table);
+    json.note("prefetchers cannot recover what the source transformation recovers");
+    json.write_if_requested(&args);
 }

@@ -1,0 +1,144 @@
+//! The full-suite metric snapshot: runs the nine-program
+//! characterization plus the Table 8 evaluation and writes every paper
+//! metric series, raw simulator event counter, and phase timing as one
+//! JSON document (`BENCH_suite.json` at the repository root; CI
+//! regenerates and schema-checks it on every push).
+//!
+//! `--check` mode does not run anything: it parses an existing document
+//! and verifies its schema shape, failing with exit status 1 on drift —
+//! the guard CI runs against the committed artifact.
+
+use std::path::PathBuf;
+
+use bioperf_bench::{banner, usage as usage_line, REPRO_SEED, USAGE_EXIT};
+use bioperf_core::orchestrate::{run_suite, SuiteConfig, SUITE_SCHEMA};
+use bioperf_kernels::Scale;
+use bioperf_metrics::{json, Json};
+
+const ARTIFACT: &str = "bench_suite";
+
+fn usage() -> String {
+    format!(
+        "{} [--jobs <n>] [--out <path>] [--check]",
+        usage_line(ARTIFACT, true).trim_end_matches(" [--json <path>]")
+    )
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("{ARTIFACT}: {msg}");
+    eprintln!("{}", usage());
+    std::process::exit(USAGE_EXIT);
+}
+
+struct Args {
+    scale: Scale,
+    jobs: usize,
+    out: PathBuf,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed =
+        Args { scale: Scale::Test, jobs: 0, out: PathBuf::from("BENCH_suite.json"), check: false };
+    let mut scale_seen = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        std::process::exit(0);
+    }
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => parsed.jobs = n,
+                None => bail("--jobs needs a number"),
+            },
+            "--out" => match it.next() {
+                Some(path) if !path.is_empty() => parsed.out = PathBuf::from(path),
+                _ => bail("--out needs a file path"),
+            },
+            "--check" => parsed.check = true,
+            s if s.starts_with('-') => bail(&format!("unknown option '{s}'")),
+            s => {
+                if scale_seen {
+                    bail(&format!("unexpected extra argument '{s}'"));
+                }
+                match Scale::from_name(s) {
+                    Some(scale) => parsed.scale = scale,
+                    None => bail(&format!("unknown scale '{s}' (use test|small|medium|large)")),
+                }
+                scale_seen = true;
+            }
+        }
+    }
+    parsed
+}
+
+/// The schema invariants `--check` pins (and the `bench_suite_schema`
+/// test re-checks against the committed artifact).
+fn check_document(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SUITE_SCHEMA) {
+        return Err(format!("schema tag is not {SUITE_SCHEMA:?}"));
+    }
+    if doc.keys() != vec!["schema", "run", "deterministic"] {
+        return Err(format!("unexpected top-level keys {:?}", doc.keys()));
+    }
+    let run = doc.get("run").ok_or("missing run section")?;
+    for key in ["jobs", "workers", "jobs_per_worker", "timings"] {
+        if run.get(key).is_none() {
+            return Err(format!("run section is missing {key:?}"));
+        }
+    }
+    let det = doc.get("deterministic").ok_or("missing deterministic section")?;
+    if det.keys() != vec!["config", "counters", "gauges", "histograms"] {
+        return Err(format!("unexpected deterministic keys {:?}", det.keys()));
+    }
+    let config = det.get("config").ok_or("missing config")?;
+    for key in ["scale", "seed", "programs", "eval_cells"] {
+        if config.get(key).is_none() {
+            return Err(format!("config is missing {key:?}"));
+        }
+    }
+    if config.get("programs").and_then(Json::as_u64) != Some(9) {
+        return Err("config.programs is not 9".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.check {
+        let text = std::fs::read_to_string(&args.out)
+            .unwrap_or_else(|e| bail(&format!("reading {}: {e}", args.out.display())));
+        let doc = json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{ARTIFACT}: {} does not parse: {e}", args.out.display());
+            std::process::exit(1);
+        });
+        if let Err(msg) = check_document(&doc) {
+            eprintln!("{ARTIFACT}: {}: {msg}", args.out.display());
+            std::process::exit(1);
+        }
+        println!("{}: schema ok ({SUITE_SCHEMA})", args.out.display());
+        return;
+    }
+
+    banner("Suite metric snapshot: paper series + simulator events + timings", args.scale);
+    let suite = run_suite(SuiteConfig {
+        scale: args.scale,
+        seed: REPRO_SEED,
+        jobs: args.jobs,
+        metrics: true,
+    });
+    let doc = suite.to_json();
+    check_document(&doc).expect("freshly generated suite document must satisfy its own schema");
+    std::fs::write(&args.out, doc.render_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out.display()));
+    println!(
+        "wrote {} ({} programs, {} eval cells, {} metric series)",
+        args.out.display(),
+        suite.reports.len(),
+        suite.eval.cells.len(),
+        suite.metrics.len()
+    );
+}

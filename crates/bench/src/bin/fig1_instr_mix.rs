@@ -1,14 +1,15 @@
 //! Figure 1: instruction profile (loads / stores / conditional branches /
 //! other) of the nine BioPerf applications.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct, TextTable};
 use bioperf_isa::OpClass;
 use bioperf_kernels::{ProgramId, Scale};
 
 fn main() {
-    let scale = scale_from_args(Scale::Medium);
+    let args = bench_args("fig1_instr_mix", Scale::Medium);
+    let scale = args.scale;
     banner("Figure 1: instruction mix of the BioPerf applications", scale);
 
     let mut table = TextTable::new(&["program", "loads", "stores", "cond branches", "other"]);
@@ -36,4 +37,9 @@ fn main() {
     ]);
     println!("{}", table.render());
     println!("Paper shape: loads average ~30% of executed instructions across the suite.");
+
+    let mut json = JsonReport::new("fig1_instr_mix", Some(scale));
+    json.table("figure1", &table);
+    json.note("loads average ~30% of executed instructions across the suite");
+    json.write_if_requested(&args);
 }

@@ -2,7 +2,7 @@
 //! static loads — three BioPerf programs against three SPEC-like
 //! comparison workloads.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::report::{pct, TextTable};
 use bioperf_core::LoadCoverage;
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
@@ -28,7 +28,8 @@ fn spec_coverage(program: SpecProgram, scale: SpecScale) -> (String, LoadCoverag
 }
 
 fn main() {
-    let scale = scale_from_args(Scale::Medium);
+    let args = bench_args("fig2_load_coverage", Scale::Medium);
+    let scale = args.scale;
     banner("Figure 2: cumulative load coverage vs. ranked static loads", scale);
     let spec_scale = if scale >= Scale::Medium { SpecScale::MEDIUM } else { SpecScale::TEST };
 
@@ -64,4 +65,10 @@ fn main() {
     println!("{}", statics.render());
     println!("Paper shape: ~80 static loads cover >90% of the BioPerf programs' dynamic");
     println!("loads, while the same count covers far less of the SPEC-like programs.");
+
+    let mut json = JsonReport::new("fig2_load_coverage", Some(scale));
+    json.table("coverage", &table);
+    json.table("static_loads", &statics);
+    json.note("~80 static loads cover >90% of the BioPerf programs' dynamic loads");
+    json.write_if_requested(&args);
 }

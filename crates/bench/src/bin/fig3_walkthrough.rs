@@ -8,8 +8,9 @@
 //! Alpha timing model with timeline recording, and prints per-op
 //! dispatch/issue/complete cycles for both shapes.
 
-use bioperf_bench::banner;
+use bioperf_bench::{banner, bench_args_no_scale, JsonReport};
 use bioperf_isa::here;
+use bioperf_metrics::Json;
 use bioperf_kernels::Scale;
 use bioperf_pipe::{CycleSim, PlatformConfig};
 use bioperf_trace::{Tape, Tracer};
@@ -113,6 +114,7 @@ fn run(label: &str, f: impl Fn(&mut Tape<CycleSim>, &[i64; 8], bool, bool)) -> u
 }
 
 fn main() {
+    let args = bench_args_no_scale("fig3_walkthrough");
     banner("Figures 3-5: pipeline walkthrough of the load→branch pathology", Scale::Test);
     let orig = run("Figure 3: original (loads behind hard branches)", original_iteration);
     let hoisted = run("Figure 5: hoisted (loads first, branches become selects)", hoisted_iteration);
@@ -120,6 +122,18 @@ fn main() {
         "hoisting speedup on this snippet: {:+.1}%",
         (orig as f64 / hoisted as f64 - 1.0) * 100.0
     );
+
+    let mut json = JsonReport::new("fig3_walkthrough", None);
+    json.value(
+        "summary",
+        Json::object(vec![
+            ("original_cycles", Json::U64(orig)),
+            ("hoisted_cycles", Json::U64(hoisted)),
+            ("speedup", Json::F64(orig as f64 / hoisted as f64)),
+        ]),
+    );
+    json.note("cycle totals of the Figure 3 vs Figure 5 snippet on the Alpha model");
+    json.write_if_requested(&args);
     println!("\nThe original shape resolves its branches only after a 3-cycle L1 hit plus");
     println!("an add and a compare, so every misprediction redirect is charged that much");
     println!("later — and the loads fetched after the redirect start from an empty window.");

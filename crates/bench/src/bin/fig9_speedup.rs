@@ -1,14 +1,15 @@
 //! Figure 9: speedup of the load-transformed code over the original, per
 //! program and platform, with harmonic means.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::orchestrate::evaluate_all;
 use bioperf_core::report::TextTable;
 use bioperf_kernels::{ProgramId, Scale};
 use bioperf_pipe::PlatformConfig;
 
 fn main() {
-    let scale = scale_from_args(Scale::Large);
+    let args = bench_args("fig9_speedup", Scale::Large);
+    let scale = args.scale;
     banner("Figure 9: speedup of load-transformed over original code", scale);
 
     let matrix = evaluate_all(scale, REPRO_SEED, 0);
@@ -40,4 +41,9 @@ fn main() {
     println!("Itanium +12.7% — with hmmsearch peaking at +92% on the Alpha. Expected shape:");
     println!("the hmm programs dominate, the Alpha benefits most, the register-scarce");
     println!("2-cycle-L1 Pentium 4 benefits least, and the in-order Itanium still gains.");
+
+    let mut json = JsonReport::new("fig9_speedup", Some(scale));
+    json.table("figure9", &table);
+    json.note("paper harmonic means: Alpha +25.4%, PowerPC +15.1%, P4 +4.3%, Itanium +12.7%");
+    json.write_if_requested(&args);
 }

@@ -2,16 +2,18 @@
 //! the problem load sequences, and print ranked source-level scheduling
 //! candidates with the metrics the authors used to pick theirs.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::candidates::{find_candidates, CandidateCriteria};
 use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct, pct2, TextTable};
 use bioperf_kernels::Scale;
 
 fn main() {
-    let scale = scale_from_args(Scale::Small);
+    let args = bench_args("find_candidates", Scale::Small);
+    let scale = args.scale;
     banner("Section 3 workflow: ranked load-scheduling candidates per program", scale);
 
+    let mut json = JsonReport::new("find_candidates", Some(scale));
     for (program, report) in characterize_all(scale, REPRO_SEED, 0) {
         let candidates = find_candidates(&report, CandidateCriteria::default());
         println!(
@@ -45,8 +47,12 @@ fn main() {
             ]);
         }
         println!("{}", table.render());
+        json.table(program.name(), &table);
     }
     println!("Paper shape: the hmm programs yield the most candidates (their Table 6 rows");
     println!("considered 14-19 loads); promlk yields few or none. Every candidate hits L1");
     println!("almost always — the latency being scheduled around is the *hit* latency.");
+
+    json.note("the hmm programs yield the most candidates; promlk few or none");
+    json.write_if_requested(&args);
 }

@@ -1,12 +1,13 @@
 //! Table 1: executed instruction counts and floating-point percentage.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct2, TextTable};
 use bioperf_kernels::Scale;
 
 fn main() {
-    let scale = scale_from_args(Scale::Medium);
+    let args = bench_args("table1_instr_counts", Scale::Medium);
+    let scale = args.scale;
     banner("Table 1: executed instructions and floating-point fraction", scale);
 
     let mut table =
@@ -23,4 +24,9 @@ fn main() {
     println!("Paper shape: only hmmpfam, predator, and promlk execute significant FP work;");
     println!("promlk is the outlier at ~65% FP. Absolute counts are scaled down from the");
     println!("paper's 20-894 billion (see EXPERIMENTS.md).");
+
+    let mut json = JsonReport::new("table1_instr_counts", Some(scale));
+    json.table("table1", &table);
+    json.note("counts are scaled down from the paper's 20-894 billion");
+    json.write_if_requested(&args);
 }

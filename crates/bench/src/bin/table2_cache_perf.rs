@@ -1,14 +1,15 @@
 //! Tables 2 and 3: cache performance of each application under the
 //! paper's reference hierarchy.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_cache::{CacheConfig, LatencyConfig};
 use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct2, pct3, TextTable};
 use bioperf_kernels::{ProgramId, Scale};
 
 fn main() {
-    let scale = scale_from_args(Scale::Medium);
+    let args = bench_args("table2_cache_perf", Scale::Medium);
+    let scale = args.scale;
     banner("Table 2: cache performance (local miss rates and AMAT)", scale);
 
     let lat = LatencyConfig::alpha21264();
@@ -58,4 +59,9 @@ fn main() {
     println!("{}", table.render());
     println!("Paper shape: L1 local load miss rates ≪ 2%, overall memory rate ~0.03%,");
     println!("so AMAT sits within a few percent of the 3-cycle L1 hit latency.");
+
+    let mut json = JsonReport::new("table2_cache_perf", Some(scale));
+    json.table("table2", &table);
+    json.note("L1 local load miss rates well under 2%; AMAT near the L1 hit latency");
+    json.write_if_requested(&args);
 }

@@ -1,13 +1,14 @@
 //! Table 4: load→branch sequences (with the misprediction rate of their
 //! branches) and loads right after hard-to-predict branches.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::orchestrate::characterize_all;
 use bioperf_core::report::{pct, TextTable};
 use bioperf_kernels::Scale;
 
 fn main() {
-    let scale = scale_from_args(Scale::Medium);
+    let args = bench_args("table4_sequences", Scale::Medium);
+    let scale = args.scale;
     banner("Table 4: load-to-branch sequences and loads after hard branches", scale);
 
     let mut table = TextTable::new(&[
@@ -30,4 +31,9 @@ fn main() {
     println!("{}", table.render());
     println!("Paper shape: the hmm programs top both columns (>90% load→branch, >55%");
     println!("after-hard-branch); promlk is lowest; sequence branches mispredict at 6-20%.");
+
+    let mut json = JsonReport::new("table4_sequences", Some(scale));
+    json.table("table4", &table);
+    json.note("the hmm programs top both sequence columns; promlk is lowest");
+    json.write_if_requested(&args);
 }

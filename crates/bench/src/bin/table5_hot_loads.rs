@@ -1,13 +1,14 @@
 //! Table 5: profile of the most frequently executed loads in hmmsearch,
 //! mapped back to source.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::characterize::characterize_program;
 use bioperf_core::report::{pct, pct2, TextTable};
 use bioperf_kernels::{ProgramId, Scale};
 
 fn main() {
-    let scale = scale_from_args(Scale::Medium);
+    let args = bench_args("table5_hot_loads", Scale::Medium);
+    let scale = args.scale;
     banner("Table 5: hot-load profile of hmmsearch", scale);
 
     let r = characterize_program(ProgramId::Hmmsearch, scale, REPRO_SEED);
@@ -39,4 +40,12 @@ fn main() {
     println!("Paper shape: the hot loads sit in P7Viterbi's match-state IF conditions,");
     println!("hit L1 almost always (<0.1% misses), yet feed branches that mispredict");
     println!("at 10-40%. The paper's rows map to fast_algorithms.c:132-136.");
+
+    let mut json = JsonReport::new("table5_hot_loads", Some(scale));
+    json.table("table5", &table);
+    json.note(&format!(
+        "{} static loads cover {} dynamic loads in total",
+        r.static_loads, r.sequences.total_loads
+    ));
+    json.write_if_requested(&args);
 }

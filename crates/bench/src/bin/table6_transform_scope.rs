@@ -1,10 +1,11 @@
 //! Table 6: static scope of the source-level load transformations.
 
-use bioperf_bench::banner;
+use bioperf_bench::{banner, bench_args_no_scale, JsonReport};
 use bioperf_core::report::TextTable;
 use bioperf_kernels::{transform_summary, Scale};
 
 fn main() {
+    let args = bench_args_no_scale("table6_transform_scope");
     banner("Table 6: static loads and source lines involved in the transformations", Scale::Test);
 
     let mut table = TextTable::new(&["program", "static loads considered", "lines of code involved"]);
@@ -19,4 +20,9 @@ fn main() {
     println!("Paper shape: the transformations are tiny — between 1 and 19 static loads");
     println!("and 5-32 source lines per program; blast, fasta, and promlk offered no");
     println!("source-level scheduling opportunity and are not transformed.");
+
+    let mut json = JsonReport::new("table6_transform_scope", None);
+    json.table("table6", &table);
+    json.note("blast, fasta, and promlk are not transformed");
+    json.write_if_requested(&args);
 }

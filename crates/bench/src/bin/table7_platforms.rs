@@ -1,11 +1,12 @@
 //! Table 7: the four modeled evaluation platforms.
 
-use bioperf_bench::banner;
+use bioperf_bench::{banner, bench_args_no_scale, JsonReport};
 use bioperf_core::report::TextTable;
 use bioperf_kernels::Scale;
 use bioperf_pipe::PlatformConfig;
 
 fn main() {
+    let args = bench_args_no_scale("table7_platforms");
     banner("Table 7: evaluation platform models", Scale::Test);
 
     let mut table = TextTable::new(&[
@@ -43,4 +44,9 @@ fn main() {
     println!("table omits use the machines' published microarchitecture values (see");
     println!("EXPERIMENTS.md). 'if-conversion' reflects whether that platform's ISA and");
     println!("paper-era compiler realize selects as conditional moves.");
+
+    let mut json = JsonReport::new("table7_platforms", None);
+    json.table("table7", &table);
+    json.note("cache geometry and L1 latencies follow the paper's Table 7");
+    json.write_if_requested(&args);
 }

@@ -1,14 +1,15 @@
 //! Table 8: simulated runtime (cycles) of the original and
 //! load-transformed programs on the four platform models.
 
-use bioperf_bench::{banner, scale_from_args, REPRO_SEED};
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
 use bioperf_core::orchestrate::evaluate_all;
 use bioperf_core::report::TextTable;
 use bioperf_kernels::{ProgramId, Scale};
 use bioperf_pipe::PlatformConfig;
 
 fn main() {
-    let scale = scale_from_args(Scale::Large);
+    let args = bench_args("table8_runtime", Scale::Large);
+    let scale = args.scale;
     banner("Table 8: simulated cycles, original vs load-transformed", scale);
 
     let matrix = evaluate_all(scale, REPRO_SEED, 0);
@@ -45,4 +46,9 @@ fn main() {
     println!("The paper reports wall-clock seconds on real machines; this reproduction");
     println!("reports simulated cycles on the Table 7 models. Compare shapes, not units.");
     println!("Run fig9_speedup for the speedups and harmonic means.");
+
+    let mut json = JsonReport::new("table8_runtime", Some(scale));
+    json.table("table8", &table);
+    json.note("simulated cycles on the Table 7 models, not wall-clock seconds");
+    json.write_if_requested(&args);
 }

@@ -19,29 +19,187 @@
 //! | `ablation_mechanisms` | (extension) which modeled mechanism carries the speedup |
 //! | `ablation_predictor` | (extension) no-aliasing vs realistic predictors |
 //! | `ablation_prefetch` | (extension) prefetching vs the source transformation |
+//! | `bench_suite` | the full-suite metric snapshot (`BENCH_suite.json`) |
 //!
-//! All binaries accept an optional workload scale argument
-//! (`test`, `small`, `medium`, `large`; default `medium` for
-//! characterization and `large` for the runtime evaluation).
+//! # Command line
+//!
+//! Every binary takes an optional workload scale (`test`, `small`,
+//! `medium`, `large`) plus `--json <path>` to additionally write the
+//! printed tables as a machine-readable JSON twin ([`JsonReport`]).
+//! Unknown or malformed arguments are rejected with a usage message and
+//! exit status 2 — they are never silently ignored, so a typo'd scale
+//! cannot masquerade as a finished default-scale run.
 
+use std::path::PathBuf;
+
+use bioperf_core::report::TextTable;
 use bioperf_kernels::Scale;
+use bioperf_metrics::Json;
 
 /// Seed used by every reproduction run (fixed for repeatability).
 pub const REPRO_SEED: u64 = 42;
 
-/// Parses the first CLI argument as a workload scale.
+/// Schema tag of the table binaries' `--json` documents.
+pub const TABLE_SCHEMA: &str = "bioperf-table/v1";
+
+/// Exit status for rejected command lines (mirrors `EX_USAGE`-style
+/// conventions: distinct from both success and runtime panics).
+pub const USAGE_EXIT: i32 = 2;
+
+/// Parsed command line of a table/figure binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Workload scale (the binary's default unless overridden).
+    pub scale: Scale,
+    /// Where to write the JSON twin, if `--json` was given.
+    pub json: Option<PathBuf>,
+}
+
+/// The usage string printed on rejected command lines and `--help`.
+pub fn usage(artifact: &str, takes_scale: bool) -> String {
+    if takes_scale {
+        format!("usage: {artifact} [test|small|medium|large] [--json <path>]")
+    } else {
+        format!("usage: {artifact} [--json <path>]")
+    }
+}
+
+/// Pure argument parser behind [`bench_args`]; `argv` excludes the
+/// program name. Kept separate so tests can exercise every rejection
+/// path without spawning processes.
+pub fn parse_bench_args(
+    argv: &[String],
+    default: Scale,
+    takes_scale: bool,
+) -> Result<BenchArgs, String> {
+    let mut parsed = BenchArgs { scale: default, json: None };
+    let mut scale_seen = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => {
+                if parsed.json.is_some() {
+                    return Err("duplicate --json".into());
+                }
+                match it.next() {
+                    Some(path) if !path.is_empty() => parsed.json = Some(PathBuf::from(path)),
+                    _ => return Err("--json needs a file path".into()),
+                }
+            }
+            s if s.starts_with('-') => return Err(format!("unknown option '{s}'")),
+            s => {
+                if !takes_scale {
+                    return Err(format!("unexpected argument '{s}'"));
+                }
+                if scale_seen {
+                    return Err(format!("unexpected extra argument '{s}'"));
+                }
+                parsed.scale = Scale::from_name(s)
+                    .ok_or_else(|| format!("unknown scale '{s}' (use test|small|medium|large)"))?;
+                scale_seen = true;
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+/// Parses the process command line for a scale-taking binary; prints
+/// usage and exits with status [`USAGE_EXIT`] on a malformed command
+/// line, and with status 0 on `--help`.
+pub fn bench_args(artifact: &str, default: Scale) -> BenchArgs {
+    bench_args_with(artifact, default, true)
+}
+
+/// [`bench_args`] for binaries with a fixed workload (table 6/7, the
+/// Figure 3 walkthrough): any positional argument is rejected.
+pub fn bench_args_no_scale(artifact: &str) -> BenchArgs {
+    bench_args_with(artifact, Scale::Test, false)
+}
+
+fn bench_args_with(artifact: &str, default: Scale, takes_scale: bool) -> BenchArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage(artifact, takes_scale));
+        std::process::exit(0);
+    }
+    match parse_bench_args(&argv, default, takes_scale) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{artifact}: {msg}");
+            eprintln!("{}", usage(artifact, takes_scale));
+            std::process::exit(USAGE_EXIT);
+        }
+    }
+}
+
+/// The machine-readable twin of a binary's printed tables.
 ///
-/// # Panics
-///
-/// Panics with a usage message on an unknown scale name.
-pub fn scale_from_args(default: Scale) -> Scale {
-    match std::env::args().nth(1).as_deref() {
-        None => default,
-        Some("test") => Scale::Test,
-        Some("small") => Scale::Small,
-        Some("medium") => Scale::Medium,
-        Some("large") => Scale::Large,
-        Some(other) => panic!("unknown scale '{other}' (use test|small|medium|large)"),
+/// Collects the same [`TextTable`]s the binary prints (cell-for-cell —
+/// the JSON holds the exact rendered strings) plus free-form notes, and
+/// writes them as one pretty-printed document when the user asked for
+/// `--json`.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    artifact: String,
+    scale: Option<Scale>,
+    tables: Vec<(String, Json)>,
+    notes: Vec<String>,
+}
+
+impl JsonReport {
+    /// A report for one named artifact at one scale. Pass `None` for the
+    /// fixed-workload binaries.
+    pub fn new(artifact: &str, scale: Option<Scale>) -> Self {
+        Self { artifact: artifact.to_string(), scale, tables: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Adds a printed table under `name`.
+    pub fn table(&mut self, name: &str, table: &TextTable) {
+        self.tables.push((name.to_string(), table.to_json()));
+    }
+
+    /// Adds an arbitrary pre-built JSON value under `name` (for artifacts
+    /// with non-tabular parts, like the walkthrough timelines).
+    pub fn value(&mut self, name: &str, value: Json) {
+        self.tables.push((name.to_string(), value));
+    }
+
+    /// Adds a free-form note (the "Paper shape: …" trailer lines).
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_string());
+    }
+
+    /// The full document: schema/artifact/scale/seed header, then the
+    /// tables in print order, then the notes.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", Json::str(TABLE_SCHEMA)),
+            ("artifact", Json::str(self.artifact.clone())),
+            (
+                "scale",
+                self.scale.map_or(Json::Null, |s| Json::str(s.name())),
+            ),
+            ("seed", Json::U64(REPRO_SEED)),
+            ("tables", Json::Object(self.tables.clone())),
+            (
+                "notes",
+                Json::Array(self.notes.iter().map(|n| Json::str(n.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the document to the `--json` path, if one was requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (the binaries have no
+    /// recovery path; a missing artifact must fail loudly).
+    pub fn write_if_requested(&self, args: &BenchArgs) {
+        if let Some(path) = &args.json {
+            std::fs::write(path, self.to_json().render_pretty())
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("wrote {}", path.display());
+        }
     }
 }
 
@@ -56,10 +214,65 @@ pub fn banner(artifact: &str, scale: Scale) {
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
-    fn default_scale_used_without_args() {
-        // Tests run with extra harness args; just verify the constant.
-        assert_eq!(REPRO_SEED, 42);
-        let _ = Scale::Medium;
+    fn empty_command_line_keeps_the_default() {
+        let a = parse_bench_args(&[], Scale::Medium, true).unwrap();
+        assert_eq!(a, BenchArgs { scale: Scale::Medium, json: None });
+    }
+
+    #[test]
+    fn scale_and_json_parse_in_either_order() {
+        let a = parse_bench_args(&argv(&["small", "--json", "out.json"]), Scale::Medium, true)
+            .unwrap();
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("out.json")));
+        let b = parse_bench_args(&argv(&["--json", "out.json", "small"]), Scale::Medium, true)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_command_lines_are_rejected_not_ignored() {
+        for bad in [
+            vec!["huge"],                    // unknown scale
+            vec!["test", "small"],           // two scales
+            vec!["--jsn", "x"],              // misspelled option
+            vec!["--json"],                  // missing value
+            vec!["--json", "a", "--json", "b"], // duplicate
+        ] {
+            assert!(
+                parse_bench_args(&argv(&bad), Scale::Medium, true).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_workload_binaries_reject_positional_args() {
+        assert!(parse_bench_args(&argv(&["test"]), Scale::Test, false).is_err());
+        let a = parse_bench_args(&argv(&["--json", "x.json"]), Scale::Test, false).unwrap();
+        assert!(a.json.is_some());
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut t = TextTable::new(&["program", "loads"]);
+        t.row(&["blast", "30.1%"]);
+        let mut r = JsonReport::new("fig1_instr_mix", Some(Scale::Test));
+        r.table("figure1", &t);
+        r.note("loads average ~30%");
+        let j = r.to_json();
+        assert_eq!(j.keys(), vec!["schema", "artifact", "scale", "seed", "tables", "notes"]);
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some(TABLE_SCHEMA));
+        assert_eq!(j.get("scale").and_then(Json::as_str), Some("test"));
+        let table = j.get("tables").and_then(|t| t.get("figure1")).expect("table");
+        assert_eq!(table.get("columns").expect("columns").render(), "[\"program\",\"loads\"]");
+        // The document round-trips through the in-workspace parser.
+        let parsed = bioperf_metrics::json::parse(&j.render_pretty()).unwrap();
+        assert_eq!(parsed, j);
     }
 }

@@ -1,6 +1,7 @@
 //! Two-level hierarchy with per-level demand statistics and AMAT.
 
 use bioperf_isa::{MicroOp, Program};
+use bioperf_metrics::{MetricSet, Sink};
 use bioperf_trace::TraceConsumer;
 
 use crate::cache::Cache;
@@ -99,6 +100,7 @@ pub struct Hierarchy {
     latencies: LatencyConfig,
     stats: HierarchyStats,
     prefetch: PrefetchEngine,
+    metrics: Sink,
 }
 
 impl Hierarchy {
@@ -111,7 +113,23 @@ impl Hierarchy {
             latencies,
             stats: HierarchyStats::default(),
             prefetch: PrefetchEngine::new(Prefetcher::None, block),
+            metrics: Sink::null(),
         }
+    }
+
+    /// Switches on event-metric collection (service-level counters and a
+    /// latency histogram per demand access). Off by default: the access
+    /// path then pays exactly one predictable branch per event — the
+    /// metrics layer's zero-cost-when-off contract.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Sink::collecting();
+        self
+    }
+
+    /// Takes the collected event metrics (empty if collection is off),
+    /// leaving collection in its current mode.
+    pub fn take_metrics(&mut self) -> MetricSet {
+        self.metrics.take()
     }
 
     /// Attaches an L1 prefetcher (prefetched blocks fill L1 directly;
@@ -146,6 +164,22 @@ impl Hierarchy {
     /// Performs a demand access, returning the servicing level and the
     /// total latency in cycles.
     pub fn access_detailed(&mut self, addr: u64, kind: AccessKind) -> (ServicedBy, u64) {
+        let (level, latency) = self.access_inner(addr, kind);
+        if self.metrics.enabled() {
+            self.metrics.add(
+                match level {
+                    ServicedBy::L1 => "serviced_l1",
+                    ServicedBy::L2 => "serviced_l2",
+                    ServicedBy::Memory => "serviced_memory",
+                },
+                1,
+            );
+            self.metrics.record("access_latency_cycles", latency);
+        }
+        (level, latency)
+    }
+
+    fn access_inner(&mut self, addr: u64, kind: AccessKind) -> (ServicedBy, u64) {
         let is_store = kind == AccessKind::Store;
         match kind {
             AccessKind::Load => self.stats.l1.load_accesses += 1,
@@ -226,6 +260,17 @@ impl CacheSim {
     /// Wraps a hierarchy for trace consumption.
     pub fn new(hierarchy: Hierarchy) -> Self {
         Self { hierarchy }
+    }
+
+    /// Switches on event-metric collection in the wrapped hierarchy.
+    pub fn with_metrics(mut self) -> Self {
+        self.hierarchy = self.hierarchy.with_metrics();
+        self
+    }
+
+    /// Takes the wrapped hierarchy's collected event metrics.
+    pub fn take_metrics(&mut self) -> bioperf_metrics::MetricSet {
+        self.hierarchy.take_metrics()
     }
 
     /// The wrapped hierarchy.
@@ -357,5 +402,40 @@ mod tests {
             "chunked access should almost always hit: {}",
             h.stats().l1.load_miss_ratio()
         );
+    }
+
+    #[test]
+    fn event_metrics_match_demand_stats() {
+        let mut h = small_hierarchy().with_metrics();
+        for i in 0..64u64 {
+            h.access(i * 8, AccessKind::Load);
+        }
+        for i in 0..64u64 {
+            h.access(i * 8, AccessKind::Load);
+        }
+        let m = h.take_metrics();
+        let total = m.counter("serviced_l1").unwrap_or(0)
+            + m.counter("serviced_l2").unwrap_or(0)
+            + m.counter("serviced_memory").unwrap_or(0);
+        assert_eq!(total, h.stats().l1.load_accesses);
+        let lat = m.histogram("access_latency_cycles").expect("latency histogram");
+        assert_eq!(lat.count(), total);
+        assert_eq!(lat.min(), Some(3), "L1 hits cost the 3-cycle hit latency");
+        // take_metrics drained the set but left collection on.
+        h.access(0, AccessKind::Load);
+        assert_eq!(h.take_metrics().counter("serviced_l1"), Some(1));
+    }
+
+    #[test]
+    fn metrics_off_collects_nothing_and_changes_nothing() {
+        let mut plain = small_hierarchy();
+        let mut instrumented = small_hierarchy().with_metrics();
+        for i in 0..512u64 {
+            plain.access(i * 64, AccessKind::Load);
+            instrumented.access(i * 64, AccessKind::Load);
+        }
+        assert_eq!(plain.stats(), instrumented.stats(), "metrics must not perturb simulation");
+        assert!(plain.take_metrics().is_empty());
+        assert!(!instrumented.take_metrics().is_empty());
     }
 }

@@ -1,8 +1,9 @@
 //! The one-pass program characterizer (Figures 1–2, Tables 1–5).
 
 use bioperf_cache::{alpha21264_hierarchy, CacheSim, HierarchyStats};
-use bioperf_isa::{MicroOp, Program};
+use bioperf_isa::{MicroOp, OpClass, Program};
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_metrics::MetricSet;
 use bioperf_trace::{consumers::InstrMix, Tape, TraceConsumer};
 
 use crate::coverage::LoadCoverage;
@@ -34,9 +35,19 @@ impl Characterizer {
         }
     }
 
+    /// Like [`new`](Self::new), but with event-metric collection switched
+    /// on in the cache simulation; the collected events come back in
+    /// [`CharacterizationReport::events`].
+    pub fn with_metrics() -> Self {
+        let mut c = Self::new();
+        c.cache = c.cache.map(CacheSim::with_metrics);
+        c
+    }
+
     /// Finalizes into a report.
     pub fn into_report(self, program: Program, hot_load_rows: usize) -> CharacterizationReport {
-        let cache = self.cache.expect("cache sim present").into_hierarchy();
+        let mut cache = self.cache.expect("cache sim present").into_hierarchy();
+        let events = cache.take_metrics();
         let amat = cache.amat();
         let hot_loads = self.analysis.hot_loads(hot_load_rows, &program);
         CharacterizationReport {
@@ -50,6 +61,7 @@ impl Characterizer {
             load_stats: self.analysis.all_load_stats().to_vec(),
             static_loads: program.count_kind(bioperf_isa::OpKind::is_load),
             program,
+            events,
         }
     }
 }
@@ -88,12 +100,54 @@ pub struct CharacterizationReport {
     pub static_loads: usize,
     /// The traced static program (for source mapping).
     pub program: Program,
+    /// Raw event metrics from the cache simulation (empty unless the
+    /// characterizer was built with [`Characterizer::with_metrics`]).
+    pub events: MetricSet,
 }
 
 impl CharacterizationReport {
     /// Per-static-load statistics for one load (zeros if never traced).
     pub fn analysis_load_stats(&self, sid: bioperf_isa::StaticId) -> crate::loadchar::LoadStats {
         self.load_stats.get(sid.index()).copied().unwrap_or_default()
+    }
+
+    /// Exports every metric the paper's characterization tables report —
+    /// the Figure 1 mix, Figure 2 coverage, Table 2 cache behaviour, and
+    /// the Table 4 sequence fractions — as named series under `prefix`
+    /// (conventionally `char/<program>/`).
+    pub fn export_metrics(&self, out: &mut MetricSet, prefix: &str) {
+        let c = |name: &str| format!("{prefix}{name}");
+        // Figure 1 / Table 1: instruction mix.
+        out.counter_add(&c("instructions"), self.mix.total());
+        out.counter_add(&c("dynamic_loads"), self.mix.loads());
+        out.counter_add(&c("dynamic_stores"), self.mix.stores());
+        out.counter_add(&c("cond_branches"), self.mix.cond_branches());
+        out.gauge_set(&c("load_fraction"), self.mix.class_fraction(OpClass::Load));
+        out.gauge_set(&c("store_fraction"), self.mix.class_fraction(OpClass::Store));
+        out.gauge_set(&c("branch_fraction"), self.mix.class_fraction(OpClass::CondBranch));
+        out.gauge_set(&c("fp_fraction"), self.mix.fp_fraction());
+        // Figure 2: static-load coverage.
+        out.counter_add(&c("static_loads"), self.static_loads as u64);
+        out.gauge_set(&c("coverage_top10"), self.coverage.coverage_at(10));
+        out.gauge_set(&c("coverage_top80"), self.coverage.coverage_at(80));
+        // Tables 2/3: cache miss rates and AMAT.
+        out.counter_add(&c("l1_load_misses"), self.cache.l1.load_misses);
+        out.counter_add(&c("l2_load_misses"), self.cache.l2.load_misses);
+        out.gauge_set(&c("l1_load_miss_rate"), self.cache.l1.load_miss_ratio());
+        out.gauge_set(&c("l2_load_miss_rate"), self.cache.l2.load_miss_ratio());
+        out.gauge_set(&c("overall_memory_rate"), self.cache.overall_load_memory_ratio());
+        out.gauge_set(&c("amat_cycles"), self.amat);
+        // Table 4: load↔branch sequences.
+        out.gauge_set(&c("load_to_branch_fraction"), self.sequences.load_to_branch_fraction());
+        out.gauge_set(
+            &c("sequence_branch_mispredict_rate"),
+            self.sequences.sequence_branch_misprediction_rate(),
+        );
+        out.gauge_set(
+            &c("load_after_hard_branch_fraction"),
+            self.sequences.loads_after_hard_branch_fraction(),
+        );
+        out.gauge_set(&c("branch_mispredict_rate"), self.overall_branch_misprediction_rate);
     }
 }
 

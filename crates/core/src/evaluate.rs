@@ -1,6 +1,7 @@
 //! The performance-evaluation harness (Tables 7–8, Figure 9).
 
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_metrics::MetricSet;
 use bioperf_pipe::{CycleSim, PlatformConfig, SimResult};
 use bioperf_trace::Tape;
 
@@ -73,6 +74,37 @@ impl EvalMatrix {
             return 1.0;
         }
         cells.len() as f64 / cells.iter().map(|c| 1.0 / c.speedup()).sum::<f64>()
+    }
+
+    /// Exports the Table 8 / Figure 9 numbers as named series under
+    /// `prefix` (conventionally `eval/`): per (program, platform) cell
+    /// the simulated cycle and instruction counts of both variants plus
+    /// the speedup, and per platform the harmonic-mean speedup.
+    pub fn export_metrics(&self, out: &mut MetricSet, prefix: &str) {
+        for cell in &self.cells {
+            let c = |name: &str| {
+                format!("{prefix}{}/{}/{name}", cell.program.name(), cell.platform)
+            };
+            out.counter_add(&c("original_cycles"), cell.original.cycles);
+            out.counter_add(&c("transformed_cycles"), cell.transformed.cycles);
+            out.counter_add(&c("original_instructions"), cell.original.instructions);
+            out.counter_add(&c("transformed_instructions"), cell.transformed.instructions);
+            out.counter_add(&c("original_mispredicts"), cell.original.mispredicts);
+            out.counter_add(&c("transformed_mispredicts"), cell.transformed.mispredicts);
+            out.gauge_set(&c("speedup"), cell.speedup());
+        }
+        let mut platforms: Vec<&str> = Vec::new();
+        for cell in &self.cells {
+            if !platforms.contains(&cell.platform) {
+                platforms.push(cell.platform);
+            }
+        }
+        for platform in platforms {
+            out.gauge_set(
+                &format!("{prefix}harmonic_mean/{platform}"),
+                self.harmonic_mean_speedup(platform),
+            );
+        }
     }
 }
 

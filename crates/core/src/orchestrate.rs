@@ -25,11 +25,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_metrics::{Json, MetricSet, Timings};
 use bioperf_pipe::{CycleSim, PlatformConfig, SimResult};
 use bioperf_trace::{FanOut, Recorder, Recording, Tape};
 
 use crate::characterize::{CharacterizationReport, Characterizer};
 use crate::evaluate::{EvalCell, EvalMatrix};
+
+/// Schema tag of the suite's emitted JSON documents (`suite --metrics`,
+/// `BENCH_suite.json`); bump on breaking shape changes.
+pub const SUITE_SCHEMA: &str = "bioperf-suite/v1";
 
 /// Runs `jobs` closures on up to `threads` workers and returns their
 /// results *in job order* (result `i` is job `i`'s output, regardless of
@@ -88,6 +93,11 @@ pub struct SuiteConfig {
     pub seed: u64,
     /// Worker threads; `0` means [`default_jobs`].
     pub jobs: usize,
+    /// Collect raw event metrics inside the cache/pipeline simulators.
+    /// The paper-metric series and the phase timings are always
+    /// collected; this switch only controls the per-access event sinks,
+    /// which are the part with a (small) hot-loop cost.
+    pub metrics: bool,
 }
 
 /// Everything the full suite produces: the nine characterization
@@ -99,10 +109,59 @@ pub struct SuiteResult {
     pub scale: Scale,
     /// Seed the suite ran with.
     pub seed: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
     /// One characterization report per program, in `ProgramId::ALL` order.
     pub reports: Vec<(ProgramId, CharacterizationReport)>,
     /// The runtime-evaluation matrix (Tables 7–8, Figure 9).
     pub eval: EvalMatrix,
+    /// Every deterministic metric series: the paper metrics exported from
+    /// the reports and the evaluation matrix, plus (when
+    /// [`SuiteConfig::metrics`] was set) the simulators' raw event
+    /// counters and histograms. Identical for every worker count.
+    pub metrics: MetricSet,
+    /// Wall-clock span timings per program × phase — non-deterministic by
+    /// nature and therefore kept out of [`Self::deterministic_json`].
+    pub timings: Timings,
+}
+
+impl SuiteResult {
+    /// The deterministic section of the suite document: run
+    /// configuration (scale, seed — but *not* worker count) plus every
+    /// metric series, names sorted. Byte-identical across worker counts;
+    /// the `suite_determinism` integration test compares exactly these
+    /// bytes for `--jobs 1` vs `--jobs 4`.
+    pub fn deterministic_json(&self) -> Json {
+        let mut entries = vec![(
+            "config".to_string(),
+            Json::object(vec![
+                ("scale", Json::str(self.scale.name())),
+                ("seed", Json::U64(self.seed)),
+                ("programs", Json::U64(self.reports.len() as u64)),
+                ("eval_cells", Json::U64(self.eval.cells.len() as u64)),
+            ]),
+        )];
+        entries.extend(self.metrics.to_json_entries());
+        Json::Object(entries)
+    }
+
+    /// The full suite document: `schema`, a non-deterministic `run`
+    /// section (worker count, pool utilization, wall-clock timings), and
+    /// the [`deterministic`](Self::deterministic_json) section.
+    pub fn to_json(&self) -> Json {
+        let jobs = self.reports.len() as u64;
+        let run = Json::object(vec![
+            ("jobs", Json::U64(jobs)),
+            ("workers", Json::U64(self.workers as u64)),
+            ("jobs_per_worker", Json::F64(jobs as f64 / self.workers.max(1) as f64)),
+            ("timings", self.timings.to_json()),
+        ]);
+        Json::object(vec![
+            ("schema", Json::str(SUITE_SCHEMA)),
+            ("run", run),
+            ("deterministic", self.deterministic_json()),
+        ])
+    }
 }
 
 /// Output of one per-program suite job.
@@ -111,18 +170,38 @@ struct ProgramResult {
     /// Table 8 cells for this program; empty for the three programs the
     /// paper characterized but did not transform.
     cells: Vec<EvalCell>,
+    /// Raw simulator events, already namespaced `events/<program>/…`
+    /// (empty unless event collection was requested).
+    events: MetricSet,
+    /// This job's wall-clock phase spans.
+    timings: Timings,
 }
 
 /// Replays one recording through every applicable platform model in a
-/// single pass over the trace.
-fn simulate_platforms(program: ProgramId, recording: &Recording) -> Vec<(&'static str, SimResult)> {
+/// single pass over the trace; with `events` set, each simulator also
+/// returns its raw event metrics.
+fn simulate_platforms(
+    program: ProgramId,
+    recording: &Recording,
+    events: bool,
+) -> Vec<(&'static str, SimResult, MetricSet)> {
     let platforms: Vec<PlatformConfig> = PlatformConfig::all()
         .into_iter()
         .filter(|p| EvalMatrix::cell_applicable(program, p.name))
         .collect();
-    let mut fan: FanOut<CycleSim> = platforms.iter().map(|&p| CycleSim::new(p)).collect();
+    let mut fan: FanOut<CycleSim> = platforms
+        .iter()
+        .map(|&p| if events { CycleSim::new(p).with_metrics() } else { CycleSim::new(p) })
+        .collect();
     recording.replay(&mut fan);
-    platforms.iter().zip(fan.into_inner()).map(|(p, sim)| (p.name, sim.into_result())).collect()
+    platforms
+        .iter()
+        .zip(fan.into_inner())
+        .map(|(p, mut sim)| {
+            let m = sim.take_metrics();
+            (p.name, sim.into_result(), m)
+        })
+        .collect()
 }
 
 /// Executes the load-transformed variant once and captures its trace.
@@ -136,35 +215,63 @@ fn record_variant(program: ProgramId, variant: Variant, scale: Scale, seed: u64)
 
 /// One suite job: characterize `program` from a single instrumented
 /// execution and, if it has a load-transformed variant, produce its
-/// Table 8 cells by replaying the captured traces.
-fn run_program(program: ProgramId, scale: Scale, seed: u64) -> ProgramResult {
+/// Table 8 cells by replaying the captured traces. Every phase runs
+/// under a wall-clock span (`<program>/trace`, `/characterize`,
+/// `/replay`); with `events` set the simulators also collect raw event
+/// metrics, namespaced `events/<program>/…`.
+fn run_program(program: ProgramId, scale: Scale, seed: u64, events: bool) -> ProgramResult {
+    let name = program.name();
+    let mut timings = Timings::new();
+    let mut metrics = MetricSet::new();
+    let characterizer =
+        if events { Characterizer::with_metrics() } else { Characterizer::new() };
+
     if !program.is_transformable() {
-        let report = crate::characterize::characterize_program(program, scale, seed);
-        return ProgramResult { report, cells: Vec::new() };
+        let mut tape = Tape::new(characterizer);
+        timings.time(&format!("{name}/trace"), || {
+            registry::run(&mut tape, program, Variant::Original, scale, seed);
+        });
+        let (static_program, characterizer) = tape.finish();
+        let report = timings
+            .time(&format!("{name}/characterize"), || characterizer.into_report(static_program, 10));
+        metrics.merge_prefixed(&format!("events/{name}/cache/"), &report.events);
+        return ProgramResult { report, cells: Vec::new(), events: metrics, timings };
     }
 
     // Single original-variant execution: the tuple consumer fans the op
     // stream out to the characterizer and the replay recorder at once.
-    let mut tape = Tape::new((Characterizer::new(), Recorder::new()));
-    registry::run(&mut tape, program, Variant::Original, scale, seed);
+    let mut tape = Tape::new((characterizer, Recorder::new()));
+    timings.time(&format!("{name}/trace"), || {
+        registry::run(&mut tape, program, Variant::Original, scale, seed);
+    });
     let (static_program, (characterizer, rec)) = tape.finish();
     assert!(!rec.overflowed(), "{program}: trace exceeded the recorder capacity");
     let original = rec.into_recording(static_program.clone());
-    let report = characterizer.into_report(static_program, 10);
+    let report = timings
+        .time(&format!("{name}/characterize"), || characterizer.into_report(static_program, 10));
+    metrics.merge_prefixed(&format!("events/{name}/cache/"), &report.events);
 
-    let transformed = record_variant(program, Variant::LoadTransformed, scale, seed);
+    let transformed = timings.time(&format!("{name}/trace"), || {
+        record_variant(program, Variant::LoadTransformed, scale, seed)
+    });
 
-    let orig_sims = simulate_platforms(program, &original);
-    let trans_sims = simulate_platforms(program, &transformed);
+    let (orig_sims, trans_sims) = timings.time(&format!("{name}/replay"), || {
+        (
+            simulate_platforms(program, &original, events),
+            simulate_platforms(program, &transformed, events),
+        )
+    });
     let cells = orig_sims
         .into_iter()
         .zip(trans_sims)
-        .map(|((platform, original), (platform_t, transformed))| {
+        .map(|((platform, original, ev_o), (platform_t, transformed, ev_t))| {
             debug_assert_eq!(platform, platform_t);
+            metrics.merge_prefixed(&format!("events/{name}/{platform}/original/"), &ev_o);
+            metrics.merge_prefixed(&format!("events/{name}/{platform}/transformed/"), &ev_t);
             EvalCell { program, platform, original, transformed }
         })
         .collect();
-    ProgramResult { report, cells }
+    ProgramResult { report, cells, events: metrics, timings }
 }
 
 /// Runs the nine-program characterization suite and the six-program ×
@@ -173,13 +280,19 @@ pub fn run_suite(cfg: SuiteConfig) -> SuiteResult {
     let threads = if cfg.jobs == 0 { default_jobs() } else { cfg.jobs };
     let jobs: Vec<_> = ProgramId::ALL
         .into_iter()
-        .map(|program| move || run_program(program, cfg.scale, cfg.seed))
+        .map(|program| move || run_program(program, cfg.scale, cfg.seed, cfg.metrics))
         .collect();
     let results = run_jobs(jobs, threads);
 
+    // Merge per-job outputs in job order, so the merged metric set is the
+    // same whatever order the workers finished in.
     let mut reports = Vec::with_capacity(ProgramId::ALL.len());
     let mut per_program: Vec<(ProgramId, Vec<EvalCell>)> = Vec::new();
+    let mut metrics = MetricSet::new();
+    let mut timings = Timings::new();
     for (program, result) in ProgramId::ALL.into_iter().zip(results) {
+        metrics.merge(&result.events);
+        timings.merge(&result.timings);
         reports.push((program, result.report));
         per_program.push((program, result.cells));
     }
@@ -191,7 +304,13 @@ pub fn run_suite(cfg: SuiteConfig) -> SuiteResult {
             cells.append(c);
         }
     }
-    SuiteResult { scale: cfg.scale, seed: cfg.seed, reports, eval: EvalMatrix { cells } }
+    let eval = EvalMatrix { cells };
+    // The paper-metric series are always exported, events switch or not.
+    for (program, report) in &reports {
+        report.export_metrics(&mut metrics, &format!("char/{}/", program.name()));
+    }
+    eval.export_metrics(&mut metrics, "eval/");
+    SuiteResult { scale: cfg.scale, seed: cfg.seed, workers: threads, reports, eval, metrics, timings }
 }
 
 /// Characterizes every program in parallel; results in
@@ -221,12 +340,12 @@ pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> EvalMatrix {
             move || {
                 let original = record_variant(program, Variant::Original, scale, seed);
                 let transformed = record_variant(program, Variant::LoadTransformed, scale, seed);
-                let orig_sims = simulate_platforms(program, &original);
-                let trans_sims = simulate_platforms(program, &transformed);
+                let orig_sims = simulate_platforms(program, &original, false);
+                let trans_sims = simulate_platforms(program, &transformed, false);
                 orig_sims
                     .into_iter()
                     .zip(trans_sims)
-                    .map(|((platform, original), (_, transformed))| EvalCell {
+                    .map(|((platform, original, _), (_, transformed, _))| EvalCell {
                         program,
                         platform,
                         original,
@@ -268,7 +387,7 @@ mod tests {
         // same characterization as a dedicated characterization run.
         let direct =
             crate::characterize::characterize_program(ProgramId::Hmmsearch, Scale::Test, 7);
-        let job = run_program(ProgramId::Hmmsearch, Scale::Test, 7);
+        let job = run_program(ProgramId::Hmmsearch, Scale::Test, 7, false);
         assert_eq!(direct.mix, job.report.mix);
         assert_eq!(direct.cache, job.report.cache);
         assert_eq!(direct.sequences.loads_to_branch, job.report.sequences.loads_to_branch);
@@ -286,10 +405,10 @@ mod tests {
             5,
         );
         let recording = record_variant(ProgramId::Predator, Variant::Original, Scale::Test, 5);
-        let sims = simulate_platforms(ProgramId::Predator, &recording);
-        let (_, alpha) = sims
+        let sims = simulate_platforms(ProgramId::Predator, &recording, false);
+        let (_, alpha, _) = sims
             .iter()
-            .find(|(name, _)| *name == PlatformConfig::alpha21264().name)
+            .find(|(name, _, _)| *name == PlatformConfig::alpha21264().name)
             .expect("alpha cell");
         assert_eq!(alpha.cycles, direct.original.cycles);
         assert_eq!(alpha.instructions, direct.original.instructions);
@@ -297,8 +416,8 @@ mod tests {
 
     #[test]
     fn parallel_suite_equals_sequential_suite() {
-        let seq = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1 });
-        let par = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4 });
+        let seq = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1, metrics: true });
+        let par = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4, metrics: true });
         assert_eq!(seq.reports.len(), par.reports.len());
         for ((pa, a), (pb, b)) in seq.reports.iter().zip(&par.reports) {
             assert_eq!(pa, pb);
@@ -315,6 +434,41 @@ mod tests {
             assert_eq!(a.original.cycles, b.original.cycles);
             assert_eq!(a.transformed.cycles, b.transformed.cycles);
         }
+        // The whole deterministic JSON section — config, paper metrics,
+        // raw simulator events — must be byte-identical across worker
+        // counts. Timings live in the `run` section and are excluded.
+        assert_eq!(seq.deterministic_json().render(), par.deterministic_json().render());
+    }
+
+    #[test]
+    fn suite_json_has_expected_shape() {
+        let suite = run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: false });
+        let doc = suite.to_json();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SUITE_SCHEMA));
+        assert_eq!(doc.keys(), vec!["schema", "run", "deterministic"]);
+        let det = doc.get("deterministic").expect("deterministic section");
+        assert_eq!(det.keys(), vec!["config", "counters", "gauges", "histograms"]);
+        let config = det.get("config").expect("config");
+        assert_eq!(config.get("scale").and_then(Json::as_str), Some("test"));
+        assert_eq!(config.get("seed").and_then(Json::as_u64), Some(3));
+        assert_eq!(config.get("programs").and_then(Json::as_u64), Some(9));
+        assert_eq!(config.get("eval_cells").and_then(Json::as_u64), Some(23));
+        // Paper series are exported even with event metrics off.
+        let counters = det.get("counters").expect("counters");
+        assert!(counters.get("char/hmmsearch/instructions").is_some());
+        let gauges = det.get("gauges").expect("gauges");
+        assert!(gauges.get("eval/harmonic_mean/Alpha 21264").is_some());
+        // Raw simulator events only appear when asked for.
+        assert!(counters.keys().iter().all(|k| !k.starts_with("events/")));
+        let with_events =
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: true });
+        let doc = with_events.to_json();
+        let counters = doc.get("deterministic").and_then(|d| d.get("counters")).expect("counters");
+        assert!(counters.get("events/hmmsearch/cache/serviced_l1").is_some());
+        // Round-trips through the in-crate parser.
+        let text = doc.render_pretty();
+        let parsed = bioperf_metrics::json::parse(&text).expect("suite JSON parses");
+        assert_eq!(parsed.render(), doc.render());
     }
 
     #[test]

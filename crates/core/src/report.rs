@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use bioperf_metrics::Json;
+
 /// A simple fixed-width text table with a header row.
 ///
 /// # Example
@@ -72,6 +74,19 @@ impl TextTable {
         }
         out
     }
+
+    /// The table as JSON: `{"columns": […], "rows": [[…], …]}`, every
+    /// cell the exact string the text rendering shows — the
+    /// machine-readable twin of [`render`](Self::render).
+    pub fn to_json(&self) -> Json {
+        let strs = |cells: &[String]| {
+            Json::Array(cells.iter().map(|c| Json::str(c.clone())).collect())
+        };
+        Json::object(vec![
+            ("columns", strs(&self.header)),
+            ("rows", Json::Array(self.rows.iter().map(|r| strs(r)).collect())),
+        ])
+    }
 }
 
 /// Formats a ratio as a percentage with one decimal (`0.254` → `25.4%`).
@@ -126,6 +141,14 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = TextTable::new(&["a", "b"]);
         t.row(&["only one"]);
+    }
+
+    #[test]
+    fn table_json_mirrors_text_cells() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a", "25.4%"]);
+        let j = t.to_json();
+        assert_eq!(j.render(), "{\"columns\":[\"name\",\"value\"],\"rows\":[[\"a\",\"25.4%\"]]}");
     }
 
     #[test]

@@ -52,6 +52,23 @@ impl Scale {
             Scale::Large => 48,
         }
     }
+
+    /// The lowercase CLI / JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
+    /// Parses a CLI / JSON scale name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        [Scale::Test, Scale::Small, Scale::Medium, Scale::Large]
+            .into_iter()
+            .find(|s| s.name() == name)
+    }
 }
 
 /// The nine studied BioPerf programs.

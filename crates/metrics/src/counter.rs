@@ -1,0 +1,104 @@
+//! Monotonic counters and last-write gauges.
+
+/// A monotonically increasing event counter.
+///
+/// Merging two counters adds their totals, so counters accumulated in
+/// parallel shards combine into exactly the sequential total regardless
+/// of merge order or grouping (the property tests pin this down).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds `n` events (saturating; a counter never wraps backwards).
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// The accumulated total.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Folds another counter's events into this one.
+    pub fn merge(&mut self, other: Counter) {
+        self.add(other.0);
+    }
+}
+
+/// A point-in-time measurement: the last value written wins.
+///
+/// Gauges record *derived* quantities (rates, means, ratios) that are
+/// recomputed rather than accumulated, so merging keeps the other shard's
+/// value only if this one was never set — suite-level code sets each
+/// gauge exactly once, making merge order immaterial in practice.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge(Option<f64>);
+
+impl Gauge {
+    /// An unset gauge.
+    pub fn new() -> Self {
+        Self(None)
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&mut self, v: f64) {
+        self.0 = Some(v);
+    }
+
+    /// The current value (`0.0` if never set).
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0.unwrap_or(0.0)
+    }
+
+    /// Whether the gauge was ever set.
+    pub fn is_set(self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Takes the other gauge's value if this one is unset.
+    pub fn merge(&mut self, other: Gauge) {
+        if self.0.is_none() {
+            self.0 = other.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_saturates() {
+        let mut c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_last_write_wins_and_merge_fills_gaps() {
+        let mut g = Gauge::new();
+        assert!(!g.is_set());
+        g.set(1.5);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        let mut unset = Gauge::new();
+        unset.merge(g);
+        assert_eq!(unset.get(), 2.5);
+        let mut set = Gauge::new();
+        set.set(9.0);
+        set.merge(g);
+        assert_eq!(set.get(), 9.0);
+    }
+}

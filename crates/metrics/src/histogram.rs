@@ -1,0 +1,164 @@
+//! A mergeable log-scale histogram over `u64` samples.
+
+use crate::json::Json;
+
+/// Bucket count: one zero bucket plus one per power of two up to 2⁶³.
+const BUCKETS: usize = 65;
+
+/// A base-2 log-scale histogram.
+///
+/// Bucket `0` holds the sample `0`; bucket `i ≥ 1` holds samples in
+/// `[2^(i-1), 2^i)`. Cache latencies, cycle counts, and queue depths span
+/// orders of magnitude, so exponential buckets give useful shape at a
+/// fixed 65-slot footprint — and because buckets are positional,
+/// [`merge`](LogHistogram::merge) is plain element-wise addition:
+/// commutative, associative, and count-preserving (the property tests
+/// exercise all three).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index a sample falls into.
+    #[inline]
+    pub fn bucket_of(sample: u64) -> usize {
+        match sample {
+            0 => 0,
+            s => 1 + s.ilog2() as usize,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        self.buckets[Self::bucket_of(sample)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(sample);
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in one bucket.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Folds another histogram into this one (element-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// JSON form: summary fields plus the non-empty buckets as
+    /// `[bucket_index, count]` pairs (sparse, deterministic order).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Array(vec![Json::U64(i as u64), Json::U64(c)]))
+            .collect();
+        Json::object(vec![
+            ("count", Json::U64(self.count)),
+            ("sum", Json::U64(self.sum)),
+            ("min", Json::U64(self.min().unwrap_or(0))),
+            ("max", Json::U64(self.max)),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_updates_summary() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.min(), None);
+        h.record(3);
+        h.record(100);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 103);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.bucket(7), 1); // 100 ∈ [64, 128)
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = LogHistogram::new();
+        a.record(1);
+        let mut b = LogHistogram::new();
+        b.record(1);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket(1), 2);
+        assert_eq!(a.max(), Some(9));
+    }
+}

@@ -1,0 +1,150 @@
+//! Scoped wall-clock span timers.
+//!
+//! Spans measure the pipeline's phases (per program × phase: trace,
+//! characterize, replay, …). Durations are wall-clock and therefore
+//! **non-deterministic**: they belong in the `run` section of emitted
+//! documents, never in the deterministic section that byte-identical
+//! comparisons run against.
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Aggregated timings for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across them.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Named span timings, mergeable across parallel jobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timings {
+    spans: Vec<(String, SpanStats)>,
+}
+
+impl Timings {
+    /// An empty timing set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any span completed.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Times `f` under `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Records an already-measured duration under `name`.
+    pub fn record(&mut self, name: &str, d: Duration) {
+        let stats = match self.spans.iter().position(|(n, _)| n == name) {
+            Some(i) => &mut self.spans[i].1,
+            None => {
+                self.spans.push((name.to_string(), SpanStats::default()));
+                &mut self.spans.last_mut().expect("just pushed").1
+            }
+        };
+        stats.record(d);
+    }
+
+    /// Stats for one span name.
+    pub fn span(&self, name: &str) -> Option<SpanStats> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
+    }
+
+    /// Folds another timing set into this one.
+    pub fn merge(&mut self, other: &Timings) {
+        for (name, stats) in &other.spans {
+            match self.spans.iter().position(|(n, _)| n == name) {
+                Some(i) => self.spans[i].1.merge(stats),
+                None => self.spans.push((name.clone(), *stats)),
+            }
+        }
+    }
+
+    /// JSON object keyed by span name (sorted), each value carrying
+    /// `count` / `total_ns` / `max_ns`.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<&(String, SpanStats)> = self.spans.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Object(
+            pairs
+                .into_iter()
+                .map(|(name, s)| {
+                    (
+                        name.clone(),
+                        Json::object(vec![
+                            ("count", Json::U64(s.count)),
+                            ("total_ns", Json::U64(s.total_ns)),
+                            ("max_ns", Json::U64(s.max_ns)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_the_closure_value_and_records() {
+        let mut t = Timings::new();
+        let v = t.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        let s = t.span("work").expect("recorded");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_ns, s.total_ns);
+    }
+
+    #[test]
+    fn merge_aggregates_by_name() {
+        let mut a = Timings::new();
+        a.record("x", Duration::from_nanos(10));
+        let mut b = Timings::new();
+        b.record("x", Duration::from_nanos(30));
+        b.record("y", Duration::from_nanos(5));
+        a.merge(&b);
+        let x = a.span("x").expect("x");
+        assert_eq!(x.count, 2);
+        assert_eq!(x.total_ns, 40);
+        assert_eq!(x.max_ns, 30);
+        assert!(a.span("y").is_some());
+    }
+
+    #[test]
+    fn json_is_sorted() {
+        let mut t = Timings::new();
+        t.record("b", Duration::from_nanos(1));
+        t.record("a", Duration::from_nanos(1));
+        assert_eq!(t.to_json().keys(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Golden tests for the JSON emitter: exact expected bytes for escaping
+//! and key order, and round-trips through the minimal parser.
+
+use bioperf_metrics::json::{parse, Json};
+use bioperf_metrics::MetricSet;
+
+#[test]
+fn escapes_quotes_backslashes_and_control_characters() {
+    let cases: [(&str, &str); 6] = [
+        ("plain", "\"plain\""),
+        ("say \"hi\"", "\"say \\\"hi\\\"\""),
+        ("back\\slash", "\"back\\\\slash\""),
+        ("tab\there\nnewline\rcr", "\"tab\\there\\nnewline\\rcr\""),
+        ("bell\u{7}bs\u{8}ff\u{c}esc\u{1b}", "\"bell\\u0007bs\\bff\\fesc\\u001b\""),
+        ("unicode é ∆ 🧬", "\"unicode é ∆ 🧬\""),
+    ];
+    for (input, expected) in cases {
+        assert_eq!(Json::str(input).render(), expected, "input {input:?}");
+    }
+}
+
+#[test]
+fn every_control_character_round_trips() {
+    for code in 0u32..0x20 {
+        let c = char::from_u32(code).expect("control char");
+        let original = Json::str(format!("a{c}b"));
+        let text = original.render();
+        assert_eq!(parse(&text).expect("parses"), original, "control char {code:#x}");
+    }
+}
+
+#[test]
+fn key_order_is_insertion_order_and_deterministic() {
+    let build = || {
+        Json::object(vec![
+            ("zeta", Json::U64(1)),
+            ("alpha", Json::U64(2)),
+            ("mid", Json::object(vec![("b", Json::Null), ("a", Json::Bool(false))])),
+        ])
+    };
+    let expected = "{\"zeta\":1,\"alpha\":2,\"mid\":{\"b\":null,\"a\":false}}";
+    assert_eq!(build().render(), expected);
+    // Two identical constructions emit identical bytes, compact and pretty.
+    assert_eq!(build().render(), build().render());
+    assert_eq!(build().render_pretty(), build().render_pretty());
+}
+
+#[test]
+fn golden_document_renders_exactly() {
+    let doc = Json::object(vec![
+        ("schema", Json::str("bioperf-suite/v1")),
+        ("count", Json::U64(12)),
+        ("rate", Json::F64(0.25)),
+        ("whole", Json::F64(3.0)),
+        ("items", Json::Array(vec![Json::U64(1), Json::str("two"), Json::Null])),
+    ]);
+    assert_eq!(
+        doc.render(),
+        "{\"schema\":\"bioperf-suite/v1\",\"count\":12,\"rate\":0.25,\
+         \"whole\":3.0,\"items\":[1,\"two\",null]}"
+    );
+    assert_eq!(
+        doc.render_pretty(),
+        "{\n  \"schema\": \"bioperf-suite/v1\",\n  \"count\": 12,\n  \"rate\": 0.25,\n  \
+         \"whole\": 3.0,\n  \"items\": [\n    1,\n    \"two\",\n    null\n  ]\n}\n"
+    );
+}
+
+#[test]
+fn nested_document_round_trips_through_the_parser() {
+    let doc = Json::object(vec![
+        ("empty_obj", Json::Object(Vec::new())),
+        ("empty_arr", Json::Array(Vec::new())),
+        ("nested", Json::object(vec![("deep", Json::Array(vec![Json::F64(1.5), Json::U64(u64::MAX)]))])),
+        ("text", Json::str("line1\nline2\t\"quoted\" \\ done")),
+    ]);
+    for text in [doc.render(), doc.render_pretty()] {
+        assert_eq!(parse(&text).expect("parses"), doc);
+    }
+}
+
+#[test]
+fn integers_and_floats_stay_distinct_through_round_trip() {
+    let doc = Json::Array(vec![Json::U64(7), Json::F64(7.0)]);
+    let parsed = parse(&doc.render()).expect("parses");
+    assert_eq!(parsed, doc);
+    let Json::Array(items) = parsed else { panic!("array") };
+    assert!(matches!(items[0], Json::U64(7)));
+    assert!(matches!(items[1], Json::F64(v) if v == 7.0));
+}
+
+#[test]
+fn metric_set_json_round_trips_and_sorts() {
+    let mut m = MetricSet::new();
+    m.counter_add("z/count", 3);
+    m.counter_add("a/count", 1);
+    m.gauge_set("mid/rate", 0.125);
+    m.histogram_record("lat", 0);
+    m.histogram_record("lat", 100);
+    let json = m.to_json();
+    assert_eq!(json.keys(), vec!["counters", "gauges", "histograms"]);
+    assert_eq!(json.get("counters").expect("counters").keys(), vec!["a/count", "z/count"]);
+    let round = parse(&json.render_pretty()).expect("parses");
+    assert_eq!(round, json);
+    let hist = round.get("histograms").and_then(|h| h.get("lat")).expect("lat");
+    assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+    assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(100));
+}

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use bioperf_branch::BranchProfiler;
 use bioperf_cache::{AccessKind, Hierarchy, HierarchyStats};
 use bioperf_isa::{MicroOp, OpKind, Program, VReg};
+use bioperf_metrics::{MetricSet, Sink};
 use bioperf_trace::TraceConsumer;
 
 use crate::config::PlatformConfig;
@@ -143,6 +144,7 @@ pub struct CycleSim {
     spill_stores: u64,
     spill_reloads: u64,
     timeline: Option<Vec<OpTiming>>,
+    metrics: Sink,
 }
 
 /// Cap on recorded timeline entries; recording is for walkthroughs and
@@ -171,8 +173,30 @@ impl CycleSim {
             spill_stores: 0,
             spill_reloads: 0,
             timeline: None,
+            metrics: Sink::null(),
             cfg,
         }
+    }
+
+    /// Switches on event-metric collection: per-op dispatch-to-complete
+    /// latency histograms in the pipeline plus the cache hierarchy's
+    /// service counters. Off by default; the per-op cost is then a single
+    /// predictable branch (the metrics layer's zero-cost-when-off
+    /// contract).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Sink::collecting();
+        self.hierarchy = self.hierarchy.with_metrics();
+        self
+    }
+
+    /// Takes the collected event metrics — pipeline events under `pipe/`,
+    /// cache events under `cache/` — leaving collection in its current
+    /// mode. Empty when collection is off.
+    pub fn take_metrics(&mut self) -> MetricSet {
+        let mut out = MetricSet::new();
+        out.merge_prefixed("pipe/", &self.metrics.take());
+        out.merge_prefixed("cache/", &self.hierarchy.take_metrics());
+        out
     }
 
     /// Enables per-op timeline recording (capped at 65 536 ops). Use for
@@ -406,6 +430,13 @@ impl TraceConsumer for CycleSim {
         if completion > self.max_completion {
             self.max_completion = completion;
         }
+        if self.metrics.enabled() {
+            self.metrics.record("op_latency_cycles", completion - dispatch);
+            self.metrics.record("issue_delay_cycles", start - dispatch);
+            if mispredicted_now {
+                self.metrics.add("mispredict_redirects", 1);
+            }
+        }
     }
 }
 
@@ -592,6 +623,35 @@ mod tests {
         assert_eq!(r.cycles, 0);
         assert_eq!(r.instructions, 0);
         assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn event_metrics_do_not_perturb_timing() {
+        let work = |t: &mut Tape<CycleSim>| {
+            let cell = 9u64;
+            for i in 0..2000 {
+                let v = t.int_load(here!("m"), &cell);
+                let c = t.int_op(here!("m"), &[v]);
+                t.branch(here!("m"), &[c], i % 7 == 0);
+            }
+        };
+        let plain = sim(PlatformConfig::alpha21264(), work);
+        let mut tape = Tape::new(CycleSim::new(PlatformConfig::alpha21264()).with_metrics());
+        work(&mut tape);
+        let (_, mut instrumented) = tape.finish();
+        let m = instrumented.take_metrics();
+        let r = instrumented.into_result();
+        assert_eq!(r, plain, "metrics collection must not change the simulation");
+        let lat = m.histogram("pipe/op_latency_cycles").expect("op latency histogram");
+        assert_eq!(lat.count(), r.instructions);
+        assert_eq!(m.counter("pipe/mispredict_redirects"), Some(r.mispredicts));
+        let serviced = m.counter("cache/serviced_l1").unwrap_or(0)
+            + m.counter("cache/serviced_l2").unwrap_or(0)
+            + m.counter("cache/serviced_memory").unwrap_or(0);
+        assert_eq!(serviced, r.cache.l1.load_accesses + r.cache.l1.store_accesses);
+        // And a plain simulator yields no metrics at all.
+        let mut off = CycleSim::new(PlatformConfig::alpha21264());
+        assert!(off.take_metrics().is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! bioperf-loadchar candidates   <program> [scale]
 //! bioperf-loadchar coverage     <program> [scale]
 //! bioperf-loadchar evaluate     <program> [scale]
-//! bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>]
+//! bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>] [--metrics <out.json>]
 //! ```
 
 use std::process::ExitCode;
@@ -32,10 +32,13 @@ fn usage() -> ExitCode {
     eprintln!("  bioperf-loadchar coverage     <program> [scale]");
     eprintln!("  bioperf-loadchar evaluate     <program> [scale]");
     eprintln!("  bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>]");
+    eprintln!("                         [--metrics <out.json>]");
     eprintln!();
     eprintln!("suite runs the whole study — nine characterizations plus the 6-program ×");
     eprintln!("4-platform runtime evaluation — on a worker pool (--jobs 0 = all cores).");
-    eprintln!("Output is identical for every worker count.");
+    eprintln!("Output is identical for every worker count. --metrics additionally writes");
+    eprintln!("every paper metric, raw simulator event, and phase timing as JSON; its");
+    eprintln!("\"deterministic\" section is byte-identical for every --jobs value.");
     eprintln!();
     eprintln!("programs: blast clustalw dnapenny fasta hmmcalibrate hmmpfam hmmsearch");
     eprintln!("          predator promlk   (evaluate: the six transformed programs only)");
@@ -148,8 +151,10 @@ fn cmd_evaluate(program: ProgramId, scale: Scale) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_suite(scale: Scale, jobs: usize, seed: u64) -> ExitCode {
-    let suite = run_suite(SuiteConfig { scale, seed, jobs });
+fn cmd_suite(scale: Scale, jobs: usize, seed: u64, metrics: Option<&str>) -> ExitCode {
+    // Raw event collection (the only part with a hot-loop cost) is only
+    // switched on when the caller asked for the JSON snapshot.
+    let suite = run_suite(SuiteConfig { scale, seed, jobs, metrics: metrics.is_some() });
 
     println!("BioPerf load-characterization suite ({scale:?} scale, seed {seed})\n");
     let mut table =
@@ -192,21 +197,37 @@ fn cmd_suite(scale: Scale, jobs: usize, seed: u64) -> ExitCode {
     for platform in &platforms {
         println!("  {platform:<16} {:.3}x", suite.eval.harmonic_mean_speedup(platform));
     }
+
+    if let Some(path) = metrics {
+        if let Err(e) = std::fs::write(path, suite.to_json().render_pretty()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {path} ({} metric series)", suite.metrics.len());
+    }
     ExitCode::SUCCESS
 }
 
-fn parse_suite_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<(Scale, usize, u64)> {
-    let (mut scale, mut jobs, mut seed) = (Scale::Test, 0usize, SEED);
+struct SuiteArgs<'a> {
+    scale: Scale,
+    jobs: usize,
+    seed: u64,
+    metrics: Option<&'a str>,
+}
+
+fn parse_suite_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<SuiteArgs<'a>> {
+    let mut parsed = SuiteArgs { scale: Scale::Test, jobs: 0, seed: SEED, metrics: None };
     while let Some(flag) = it.next() {
         let value = it.next()?;
         match flag {
-            "--scale" => scale = parse_scale(Some(value))?,
-            "--jobs" => jobs = value.parse().ok()?,
-            "--seed" => seed = value.parse().ok()?,
+            "--scale" => parsed.scale = parse_scale(Some(value))?,
+            "--jobs" => parsed.jobs = value.parse().ok()?,
+            "--seed" => parsed.seed = value.parse().ok()?,
+            "--metrics" => parsed.metrics = Some(value),
             _ => return None,
         }
     }
-    Some((scale, jobs, seed))
+    Some(parsed)
 }
 
 fn main() -> ExitCode {
@@ -215,11 +236,11 @@ fn main() -> ExitCode {
     match it.next() {
         Some("list") => cmd_list(),
         Some("suite") => {
-            let Some((scale, jobs, seed)) = parse_suite_args(it) else {
+            let Some(suite_args) = parse_suite_args(it) else {
                 eprintln!("error: bad suite arguments");
                 return usage();
             };
-            cmd_suite(scale, jobs, seed)
+            cmd_suite(suite_args.scale, suite_args.jobs, suite_args.seed, suite_args.metrics)
         }
         Some(cmd @ ("characterize" | "candidates" | "coverage" | "evaluate")) => {
             let Some(program) = it.next().and_then(ProgramId::from_name) else {
