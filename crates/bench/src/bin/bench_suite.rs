@@ -84,7 +84,7 @@ fn check_document(doc: &Json) -> Result<(), String> {
         return Err(format!("unexpected top-level keys {:?}", doc.keys()));
     }
     let run = doc.get("run").ok_or("missing run section")?;
-    for key in ["jobs", "workers", "jobs_per_worker", "timings"] {
+    for key in ["jobs", "workers", "jobs_per_worker", "replayed_ops", "ops_per_sec", "timings"] {
         if run.get(key).is_none() {
             return Err(format!("run section is missing {key:?}"));
         }
@@ -129,6 +129,10 @@ fn main() {
         seed: REPRO_SEED,
         jobs: args.jobs,
         metrics: true,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("{ARTIFACT}: {e}");
+        std::process::exit(1);
     });
     let doc = suite.to_json();
     check_document(&doc).expect("freshly generated suite document must satisfy its own schema");

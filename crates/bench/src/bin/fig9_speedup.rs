@@ -12,7 +12,10 @@ fn main() {
     let scale = args.scale;
     banner("Figure 9: speedup of load-transformed over original code", scale);
 
-    let matrix = evaluate_all(scale, REPRO_SEED, 0);
+    let matrix = evaluate_all(scale, REPRO_SEED, 0).unwrap_or_else(|e| {
+        eprintln!("fig9_speedup: {e}");
+        std::process::exit(1);
+    });
     let platforms: Vec<&str> = PlatformConfig::all().iter().map(|p| p.name).collect();
 
     let mut header = vec!["program"];

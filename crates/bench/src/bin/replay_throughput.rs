@@ -1,0 +1,71 @@
+//! Replay-throughput smoke benchmark: records one heavy trace and
+//! replays it through every platform model, reporting Mops/s per
+//! platform and the packed encoding's bytes/op. CI runs this in release
+//! mode and posts the table to the job summary; it is the quick answer
+//! to "did a change regress the replay hot loop?".
+
+use std::time::Instant;
+
+use bioperf_bench::{banner, bench_args, JsonReport, REPRO_SEED};
+use bioperf_core::report::TextTable;
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_metrics::Json;
+use bioperf_pipe::{CycleSim, PlatformConfig};
+use bioperf_trace::{Recorder, Tape};
+
+fn main() {
+    let args = bench_args("replay_throughput", Scale::Small);
+    let scale = args.scale;
+    banner("Replay throughput: packed-trace decode + cycle simulation", scale);
+
+    let program = ProgramId::Hmmsearch;
+    let mut tape = Tape::new(Recorder::new());
+    let start = Instant::now();
+    registry::run(&mut tape, program, Variant::Original, scale, REPRO_SEED);
+    let record_secs = start.elapsed().as_secs_f64();
+    let (static_program, rec) = tape.finish();
+    if rec.overflowed() {
+        eprintln!("replay_throughput: {program} trace exceeded the recorder capacity");
+        std::process::exit(1);
+    }
+    let recording = rec.into_recording(static_program);
+    let ops = recording.len() as u64;
+    println!(
+        "{program}: {ops} ops recorded in {record_secs:.2}s, {:.1} bytes/op packed\n",
+        recording.bytes_per_op()
+    );
+
+    let mut table = TextTable::new(&["platform", "replay (s)", "Mops/s", "cycles"]);
+    let mut json = JsonReport::new("replay_throughput", Some(scale));
+    let mut total_secs = 0.0;
+    for platform in PlatformConfig::all() {
+        let mut sim = CycleSim::new(platform);
+        let start = Instant::now();
+        recording.replay(&mut sim);
+        let secs = start.elapsed().as_secs_f64();
+        total_secs += secs;
+        let result = sim.into_result();
+        let mops = ops as f64 / secs / 1e6;
+        table.row_owned(vec![
+            platform.name.to_string(),
+            format!("{secs:.3}"),
+            format!("{mops:.1}"),
+            result.cycles.to_string(),
+        ]);
+        json.value(&format!("mops_per_sec/{}", platform.name), Json::F64(mops));
+    }
+    let total_mops = ops as f64 * PlatformConfig::all().len() as f64 / total_secs / 1e6;
+    table.row_owned(vec![
+        "total".to_string(),
+        format!("{total_secs:.3}"),
+        format!("{total_mops:.1}"),
+        String::new(),
+    ]);
+    println!("{}", table.render());
+
+    json.value("ops", Json::U64(ops));
+    json.value("bytes_per_op", Json::F64(recording.bytes_per_op()));
+    json.value("mops_per_sec/total", Json::F64(total_mops));
+    json.note("one hmmsearch recording replayed once per platform model");
+    json.write_if_requested(&args);
+}

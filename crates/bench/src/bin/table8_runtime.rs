@@ -12,7 +12,10 @@ fn main() {
     let scale = args.scale;
     banner("Table 8: simulated cycles, original vs load-transformed", scale);
 
-    let matrix = evaluate_all(scale, REPRO_SEED, 0);
+    let matrix = evaluate_all(scale, REPRO_SEED, 0).unwrap_or_else(|e| {
+        eprintln!("table8_runtime: {e}");
+        std::process::exit(1);
+    });
     let platforms: Vec<&str> = PlatformConfig::all().iter().map(|p| p.name).collect();
 
     let mut header = vec!["program", "variant"];

@@ -59,6 +59,7 @@ impl EvalMatrix {
     /// parallel callers also use, so both paths share one implementation.
     pub fn run(scale: Scale, seed: u64) -> Self {
         crate::orchestrate::evaluate_all(scale, seed, 1)
+            .unwrap_or_else(|e| panic!("evaluation failed: {e}"))
     }
 
     /// Cells for one platform, in program order.

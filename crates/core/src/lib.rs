@@ -53,4 +53,6 @@ pub use characterize::{characterize_program, Characterizer, CharacterizationRepo
 pub use coverage::LoadCoverage;
 pub use evaluate::{evaluate_program, EvalCell, EvalMatrix};
 pub use loadchar::{HotLoad, LoadBranchAnalysis, SequenceSummary};
-pub use orchestrate::{characterize_all, evaluate_all, run_jobs, run_suite, SuiteConfig, SuiteResult};
+pub use orchestrate::{
+    characterize_all, evaluate_all, run_jobs, run_suite, SuiteConfig, SuiteError, SuiteResult,
+};

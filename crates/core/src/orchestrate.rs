@@ -1,33 +1,37 @@
 //! Parallel single-trace experiment orchestration.
 //!
-//! The paper's experiments decompose into independent jobs — one per
-//! (program) for characterization, one per (program) for the Table 8
-//! runtime evaluation — and each job needs the kernel executed *once*:
+//! The paper's experiments decompose into independent jobs, scheduled in
+//! two waves on a [`std::thread::scope`] worker pool ([`run_jobs`]):
 //!
-//! * A characterization job runs the instrumented kernel with a tuple
-//!   fan-out `(Characterizer, Recorder)`, so one execution feeds the
-//!   instruction-mix/coverage/cache/sequence passes **and** captures the
-//!   trace for replay.
-//! * An evaluation job replays each captured trace through every
-//!   applicable platform model in a single pass over the recording,
-//!   using a [`FanOut`] of [`CycleSim`]s (the consumer count is dynamic
-//!   — dnapenny has no Itanium cell — which is exactly what `FanOut`
-//!   handles and a tuple cannot).
+//! * **Prepare** (one job per program): the instrumented kernel runs
+//!   *once* with a tuple fan-out `(Characterizer, Recorder)`, so a single
+//!   execution feeds the instruction-mix/coverage/cache/sequence passes
+//!   **and** captures the packed trace; transformable programs also
+//!   record their load-transformed variant.
+//! * **Replay** (one job per program × variant × platform): each Table 8
+//!   platform pass is its own shard over the [`Arc`]-shared recording,
+//!   so the 23-cell evaluation load-balances across workers instead of
+//!   serializing up to 8 platform passes inside one program job.
 //!
-//! Jobs run on a [`std::thread::scope`] worker pool ([`run_jobs`]); the
-//! result vector is indexed by job, not by completion order, so the
-//! orchestrated output is identical for any worker count. Combined with
-//! address normalization (see `bioperf_trace::normalize`) this makes the
-//! whole suite deterministic: `--jobs 1` and `--jobs N` produce
-//! byte-identical reports.
+//! Result vectors are indexed by job, not by completion order, and the
+//! shard→cell merge walks a fixed enumeration, so the orchestrated
+//! output is identical for any worker count. Combined with address
+//! normalization (see `bioperf_trace::normalize`) this makes the whole
+//! suite deterministic: `--jobs 1` and `--jobs N` produce byte-identical
+//! reports.
+//!
+//! Trace-capacity overflow surfaces as a typed [`SuiteError`] (the
+//! `suite` CLI reports it and exits 1) rather than a panic.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
 use bioperf_metrics::{Json, MetricSet, Timings};
 use bioperf_pipe::{CycleSim, PlatformConfig, SimResult};
-use bioperf_trace::{FanOut, Recorder, Recording, Tape};
+use bioperf_trace::{replay::DEFAULT_CAPACITY, Recorder, Recording, Tape};
 
 use crate::characterize::{CharacterizationReport, Characterizer};
 use crate::evaluate::{EvalCell, EvalMatrix};
@@ -35,6 +39,37 @@ use crate::evaluate::{EvalCell, EvalMatrix};
 /// Schema tag of the suite's emitted JSON documents (`suite --metrics`,
 /// `BENCH_suite.json`); bump on breaking shape changes.
 pub const SUITE_SCHEMA: &str = "bioperf-suite/v1";
+
+/// A typed orchestration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteError {
+    /// A kernel emitted more ops than the recorder could hold, so the
+    /// captured trace is a prefix and every replay-derived number would
+    /// be wrong.
+    TraceOverflow {
+        /// Program whose trace overflowed.
+        program: ProgramId,
+        /// Variant being recorded.
+        variant: Variant,
+        /// Ops captured before the recorder hit its capacity.
+        captured: usize,
+    },
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::TraceOverflow { program, variant, captured } => write!(
+                f,
+                "{program} ({}): trace exceeded the recorder capacity after {captured} ops; \
+                 rerun at a smaller scale",
+                variant.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
 
 /// Runs `jobs` closures on up to `threads` workers and returns their
 /// results *in job order* (result `i` is job `i`'s output, regardless of
@@ -100,6 +135,60 @@ pub struct SuiteConfig {
     pub metrics: bool,
 }
 
+/// Wall-clock replay throughput, aggregated over the suite's replay
+/// shards. Non-deterministic by nature: reported in the JSON `run`
+/// section (`run/ops_per_sec/…`), never in the deterministic section.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayThroughput {
+    /// Ops decoded and simulated across all shards (each platform pass
+    /// counts its recording's ops once).
+    pub replayed_ops: u64,
+    /// Total replay wall-clock across shards (CPU-seconds of replay, not
+    /// elapsed time: shards overlap on the pool).
+    pub seconds: f64,
+    /// Per-platform `(name, ops, seconds)` in [`PlatformConfig::all`]
+    /// order.
+    pub per_platform: Vec<(&'static str, u64, f64)>,
+}
+
+impl ReplayThroughput {
+    fn add(&mut self, platform: &'static str, ops: u64, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        self.replayed_ops += ops;
+        self.seconds += secs;
+        if let Some(slot) = self.per_platform.iter_mut().find(|(name, _, _)| *name == platform) {
+            slot.1 += ops;
+            slot.2 += secs;
+        } else {
+            self.per_platform.push((platform, ops, secs));
+        }
+    }
+
+    /// Aggregate replay throughput in ops per second (0 if nothing ran).
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.replayed_ops as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The `run/ops_per_sec` gauge object: one entry per platform plus
+    /// the `total` aggregate.
+    fn to_json(&self) -> Json {
+        let mut entries: Vec<(String, Json)> = self
+            .per_platform
+            .iter()
+            .map(|(name, ops, secs)| {
+                let rate = if *secs > 0.0 { *ops as f64 / secs } else { 0.0 };
+                (name.to_string(), Json::F64(rate))
+            })
+            .collect();
+        entries.push(("total".to_string(), Json::F64(self.ops_per_sec())));
+        Json::Object(entries)
+    }
+}
+
 /// Everything the full suite produces: the nine characterization
 /// reports (in [`ProgramId::ALL`] order) and the Table 8 evaluation
 /// matrix (program-major in [`ProgramId::TRANSFORMED`] order).
@@ -111,6 +200,9 @@ pub struct SuiteResult {
     pub seed: u64,
     /// Worker threads actually used.
     pub workers: usize,
+    /// Jobs scheduled on the pool across both waves: one prepare job per
+    /// program plus one replay shard per (program, variant, platform).
+    pub jobs: usize,
     /// One characterization report per program, in `ProgramId::ALL` order.
     pub reports: Vec<(ProgramId, CharacterizationReport)>,
     /// The runtime-evaluation matrix (Tables 7–8, Figure 9).
@@ -123,6 +215,8 @@ pub struct SuiteResult {
     /// Wall-clock span timings per program × phase — non-deterministic by
     /// nature and therefore kept out of [`Self::deterministic_json`].
     pub timings: Timings,
+    /// Replay-shard throughput (wall-clock; `run` section only).
+    pub replay: ReplayThroughput,
 }
 
 impl SuiteResult {
@@ -146,14 +240,16 @@ impl SuiteResult {
     }
 
     /// The full suite document: `schema`, a non-deterministic `run`
-    /// section (worker count, pool utilization, wall-clock timings), and
-    /// the [`deterministic`](Self::deterministic_json) section.
+    /// section (worker count, pool utilization, replay throughput,
+    /// wall-clock timings), and the
+    /// [`deterministic`](Self::deterministic_json) section.
     pub fn to_json(&self) -> Json {
-        let jobs = self.reports.len() as u64;
         let run = Json::object(vec![
-            ("jobs", Json::U64(jobs)),
+            ("jobs", Json::U64(self.jobs as u64)),
             ("workers", Json::U64(self.workers as u64)),
-            ("jobs_per_worker", Json::F64(jobs as f64 / self.workers.max(1) as f64)),
+            ("jobs_per_worker", Json::F64(self.jobs as f64 / self.workers.max(1) as f64)),
+            ("replayed_ops", Json::U64(self.replay.replayed_ops)),
+            ("ops_per_sec", self.replay.to_json()),
             ("timings", self.timings.to_json()),
         ]);
         Json::object(vec![
@@ -164,67 +260,78 @@ impl SuiteResult {
     }
 }
 
-/// Output of one per-program suite job.
-struct ProgramResult {
+/// Both captured traces of one transformable program, shared with the
+/// replay shards.
+struct ProgramRecordings {
+    original: Arc<Recording>,
+    transformed: Arc<Recording>,
+}
+
+/// Output of one per-program prepare job.
+struct PreparedProgram {
     report: CharacterizationReport,
-    /// Table 8 cells for this program; empty for the three programs the
-    /// paper characterized but did not transform.
-    cells: Vec<EvalCell>,
-    /// Raw simulator events, already namespaced `events/<program>/…`
+    /// Characterization events, already namespaced `events/<name>/cache/…`
     /// (empty unless event collection was requested).
     events: MetricSet,
     /// This job's wall-clock phase spans.
     timings: Timings,
+    /// Captured traces; `None` for the three programs the paper
+    /// characterized but did not transform.
+    recordings: Option<ProgramRecordings>,
 }
 
-/// Replays one recording through every applicable platform model in a
-/// single pass over the trace; with `events` set, each simulator also
-/// returns its raw event metrics.
-fn simulate_platforms(
-    program: ProgramId,
-    recording: &Recording,
-    events: bool,
-) -> Vec<(&'static str, SimResult, MetricSet)> {
-    let platforms: Vec<PlatformConfig> = PlatformConfig::all()
+/// Output of one replay shard: a single platform pass over one
+/// recording.
+struct ShardOutput {
+    result: SimResult,
+    /// Raw simulator events (un-namespaced; empty unless requested).
+    events: MetricSet,
+    ops: u64,
+    elapsed: Duration,
+}
+
+/// The platform models applicable to `program`, in
+/// [`PlatformConfig::all`] order (dnapenny has no Itanium cell).
+fn applicable_platforms(program: ProgramId) -> Vec<PlatformConfig> {
+    PlatformConfig::all()
         .into_iter()
         .filter(|p| EvalMatrix::cell_applicable(program, p.name))
-        .collect();
-    let mut fan: FanOut<CycleSim> = platforms
-        .iter()
-        .map(|&p| if events { CycleSim::new(p).with_metrics() } else { CycleSim::new(p) })
-        .collect();
-    recording.replay(&mut fan);
-    platforms
-        .iter()
-        .zip(fan.into_inner())
-        .map(|(p, mut sim)| {
-            let m = sim.take_metrics();
-            (p.name, sim.into_result(), m)
-        })
         .collect()
 }
 
-/// Executes the load-transformed variant once and captures its trace.
-fn record_variant(program: ProgramId, variant: Variant, scale: Scale, seed: u64) -> Recording {
-    let mut tape = Tape::new(Recorder::new());
+/// Executes one variant once and captures its trace.
+fn record_variant(
+    program: ProgramId,
+    variant: Variant,
+    scale: Scale,
+    seed: u64,
+    capacity: usize,
+) -> Result<Recording, SuiteError> {
+    let mut tape = Tape::new(Recorder::with_capacity(capacity));
     registry::run(&mut tape, program, variant, scale, seed);
     let (static_program, rec) = tape.finish();
-    assert!(!rec.overflowed(), "{program}: trace exceeded the recorder capacity");
-    rec.into_recording(static_program)
+    if rec.overflowed() {
+        return Err(SuiteError::TraceOverflow { program, variant, captured: rec.len() });
+    }
+    Ok(rec.into_recording(static_program))
 }
 
-/// One suite job: characterize `program` from a single instrumented
-/// execution and, if it has a load-transformed variant, produce its
-/// Table 8 cells by replaying the captured traces. Every phase runs
-/// under a wall-clock span (`<program>/trace`, `/characterize`,
-/// `/replay`); with `events` set the simulators also collect raw event
-/// metrics, namespaced `events/<program>/…`.
-fn run_program(program: ProgramId, scale: Scale, seed: u64, events: bool) -> ProgramResult {
+/// One prepare job: characterize `program` from a single instrumented
+/// execution and, if it has a load-transformed variant, capture both
+/// variants' traces for the replay shards. Every phase runs under a
+/// wall-clock span (`<program>/trace`, `/characterize`); with `events`
+/// set the characterizer also collects raw cache events, namespaced
+/// `events/<program>/cache/…`.
+fn prepare_program(
+    program: ProgramId,
+    scale: Scale,
+    seed: u64,
+    events: bool,
+) -> Result<PreparedProgram, SuiteError> {
     let name = program.name();
     let mut timings = Timings::new();
     let mut metrics = MetricSet::new();
-    let characterizer =
-        if events { Characterizer::with_metrics() } else { Characterizer::new() };
+    let characterizer = if events { Characterizer::with_metrics() } else { Characterizer::new() };
 
     if !program.is_transformable() {
         let mut tape = Tape::new(characterizer);
@@ -235,7 +342,7 @@ fn run_program(program: ProgramId, scale: Scale, seed: u64, events: bool) -> Pro
         let report = timings
             .time(&format!("{name}/characterize"), || characterizer.into_report(static_program, 10));
         metrics.merge_prefixed(&format!("events/{name}/cache/"), &report.events);
-        return ProgramResult { report, cells: Vec::new(), events: metrics, timings };
+        return Ok(PreparedProgram { report, events: metrics, timings, recordings: None });
     }
 
     // Single original-variant execution: the tuple consumer fans the op
@@ -245,63 +352,159 @@ fn run_program(program: ProgramId, scale: Scale, seed: u64, events: bool) -> Pro
         registry::run(&mut tape, program, Variant::Original, scale, seed);
     });
     let (static_program, (characterizer, rec)) = tape.finish();
-    assert!(!rec.overflowed(), "{program}: trace exceeded the recorder capacity");
-    let original = rec.into_recording(static_program.clone());
+    if rec.overflowed() {
+        return Err(SuiteError::TraceOverflow {
+            program,
+            variant: Variant::Original,
+            captured: rec.len(),
+        });
+    }
+    let original = Arc::new(rec.into_recording(static_program.clone()));
     let report = timings
         .time(&format!("{name}/characterize"), || characterizer.into_report(static_program, 10));
     metrics.merge_prefixed(&format!("events/{name}/cache/"), &report.events);
 
     let transformed = timings.time(&format!("{name}/trace"), || {
-        record_variant(program, Variant::LoadTransformed, scale, seed)
-    });
+        record_variant(program, Variant::LoadTransformed, scale, seed, DEFAULT_CAPACITY)
+    })?;
+    Ok(PreparedProgram {
+        report,
+        events: metrics,
+        timings,
+        recordings: Some(ProgramRecordings { original, transformed: Arc::new(transformed) }),
+    })
+}
 
-    let (orig_sims, trans_sims) = timings.time(&format!("{name}/replay"), || {
-        (
-            simulate_platforms(program, &original, events),
-            simulate_platforms(program, &transformed, events),
-        )
-    });
-    let cells = orig_sims
-        .into_iter()
-        .zip(trans_sims)
-        .map(|((platform, original, ev_o), (platform_t, transformed, ev_t))| {
-            debug_assert_eq!(platform, platform_t);
-            metrics.merge_prefixed(&format!("events/{name}/{platform}/original/"), &ev_o);
-            metrics.merge_prefixed(&format!("events/{name}/{platform}/transformed/"), &ev_t);
-            EvalCell { program, platform, original, transformed }
-        })
-        .collect();
-    ProgramResult { report, cells, events: metrics, timings }
+/// Replays one recording through one platform model, timing the pass.
+fn replay_shard(recording: &Recording, platform: PlatformConfig, events: bool) -> ShardOutput {
+    let mut sim =
+        if events { CycleSim::new(platform).with_metrics() } else { CycleSim::new(platform) };
+    let start = Instant::now();
+    recording.replay(&mut sim);
+    let elapsed = start.elapsed();
+    let events = sim.take_metrics();
+    ShardOutput { result: sim.into_result(), events, ops: recording.len() as u64, elapsed }
+}
+
+/// One program's shard-merged replay output.
+#[derive(Default)]
+struct ProgramReplay {
+    /// Table 8 cells, platform-major in [`PlatformConfig::all`] order.
+    cells: Vec<EvalCell>,
+    /// Simulator events, namespaced
+    /// `events/<name>/<platform>/{original|transformed}/…`.
+    events: MetricSet,
+}
+
+/// Shard-merged output of the replay wave.
+struct ShardedReplay {
+    /// Aligned with the `recorded` input (one entry per program).
+    per_program: Vec<ProgramReplay>,
+    /// `<name>/replay` spans, one per shard.
+    timings: Timings,
+    throughput: ReplayThroughput,
+    /// Shards scheduled.
+    shards: usize,
+}
+
+/// The replay wave: one shard per (program, variant, platform),
+/// scheduled together on the pool so platform passes of different
+/// programs load-balance. The shard enumeration — program (input order)
+/// × platform ([`PlatformConfig::all`] order) × variant (original
+/// first) — is fixed, and outputs are merged by walking the same
+/// enumeration, so results are identical for any worker count.
+fn replay_sharded(
+    recorded: &[(ProgramId, ProgramRecordings)],
+    threads: usize,
+    events: bool,
+) -> ShardedReplay {
+    let mut jobs = Vec::new();
+    for (program, recs) in recorded {
+        for platform in applicable_platforms(*program) {
+            for rec in [&recs.original, &recs.transformed] {
+                let rec = Arc::clone(rec);
+                jobs.push(move || replay_shard(&rec, platform, events));
+            }
+        }
+    }
+    let shards = jobs.len();
+    let outputs = run_jobs(jobs, threads);
+
+    let mut per_program = Vec::with_capacity(recorded.len());
+    let mut timings = Timings::new();
+    let mut throughput = ReplayThroughput::default();
+    let mut out = outputs.into_iter();
+    for (program, _) in recorded {
+        let name = program.name();
+        let mut merged = ProgramReplay::default();
+        for platform in applicable_platforms(*program) {
+            let original = out.next().expect("one shard per enumeration slot");
+            let transformed = out.next().expect("one shard per enumeration slot");
+            for shard in [&original, &transformed] {
+                timings.record(&format!("{name}/replay"), shard.elapsed);
+                throughput.add(platform.name, shard.ops, shard.elapsed);
+            }
+            merged
+                .events
+                .merge_prefixed(&format!("events/{name}/{}/original/", platform.name), &original.events);
+            merged.events.merge_prefixed(
+                &format!("events/{name}/{}/transformed/", platform.name),
+                &transformed.events,
+            );
+            merged.cells.push(EvalCell {
+                program: *program,
+                platform: platform.name,
+                original: original.result,
+                transformed: transformed.result,
+            });
+        }
+        per_program.push(merged);
+    }
+    ShardedReplay { per_program, timings, throughput, shards }
 }
 
 /// Runs the nine-program characterization suite and the six-program ×
-/// four-platform runtime evaluation as one parallel job set.
-pub fn run_suite(cfg: SuiteConfig) -> SuiteResult {
+/// four-platform runtime evaluation as two parallel job waves: per-
+/// program prepare jobs, then per-(program, variant, platform) replay
+/// shards over the shared recordings.
+pub fn run_suite(cfg: SuiteConfig) -> Result<SuiteResult, SuiteError> {
     let threads = if cfg.jobs == 0 { default_jobs() } else { cfg.jobs };
+
+    // Wave 1: trace + characterize + record, one job per program.
     let jobs: Vec<_> = ProgramId::ALL
         .into_iter()
-        .map(|program| move || run_program(program, cfg.scale, cfg.seed, cfg.metrics))
+        .map(|program| move || prepare_program(program, cfg.scale, cfg.seed, cfg.metrics))
         .collect();
     let results = run_jobs(jobs, threads);
 
     // Merge per-job outputs in job order, so the merged metric set is the
     // same whatever order the workers finished in.
     let mut reports = Vec::with_capacity(ProgramId::ALL.len());
-    let mut per_program: Vec<(ProgramId, Vec<EvalCell>)> = Vec::new();
+    let mut recorded: Vec<(ProgramId, ProgramRecordings)> = Vec::new();
     let mut metrics = MetricSet::new();
     let mut timings = Timings::new();
     for (program, result) in ProgramId::ALL.into_iter().zip(results) {
-        metrics.merge(&result.events);
-        timings.merge(&result.timings);
-        reports.push((program, result.report));
-        per_program.push((program, result.cells));
+        let prepared = result?;
+        metrics.merge(&prepared.events);
+        timings.merge(&prepared.timings);
+        reports.push((program, prepared.report));
+        if let Some(recordings) = prepared.recordings {
+            recorded.push((program, recordings));
+        }
+    }
+
+    // Wave 2: replay shards across all programs at once.
+    let replay = replay_sharded(&recorded, threads, cfg.metrics);
+    timings.merge(&replay.timings);
+    for merged in &replay.per_program {
+        metrics.merge(&merged.events);
     }
     // Emit Table 8 cells program-major in the paper's (TRANSFORMED)
     // order, independent of ALL's ordering.
     let mut cells = Vec::new();
     for program in ProgramId::TRANSFORMED {
-        if let Some((_, c)) = per_program.iter_mut().find(|(p, _)| *p == program) {
-            cells.append(c);
+        if let Some(i) = recorded.iter().position(|(p, _)| *p == program) {
+            cells.extend(replay.per_program[i].cells.iter().copied());
         }
     }
     let eval = EvalMatrix { cells };
@@ -310,7 +513,17 @@ pub fn run_suite(cfg: SuiteConfig) -> SuiteResult {
         report.export_metrics(&mut metrics, &format!("char/{}/", program.name()));
     }
     eval.export_metrics(&mut metrics, "eval/");
-    SuiteResult { scale: cfg.scale, seed: cfg.seed, workers: threads, reports, eval, metrics, timings }
+    Ok(SuiteResult {
+        scale: cfg.scale,
+        seed: cfg.seed,
+        workers: threads,
+        jobs: reports.len() + replay.shards,
+        reports,
+        eval,
+        metrics,
+        timings,
+        replay: replay.throughput,
+    })
 }
 
 /// Characterizes every program in parallel; results in
@@ -330,33 +543,40 @@ pub fn characterize_all(
 }
 
 /// Runs the Table 8 evaluation in parallel: per program, each variant is
-/// executed once and its recording replayed through the platform models.
-/// Cell order matches [`EvalMatrix::run`].
-pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> EvalMatrix {
+/// executed once (wave 1), then every platform pass runs as its own
+/// replay shard over the shared recordings (wave 2). Cell order matches
+/// [`EvalMatrix::run`].
+pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> Result<EvalMatrix, SuiteError> {
     let threads = if jobs == 0 { default_jobs() } else { jobs };
     let work: Vec<_> = ProgramId::TRANSFORMED
         .into_iter()
         .map(|program| {
-            move || {
-                let original = record_variant(program, Variant::Original, scale, seed);
-                let transformed = record_variant(program, Variant::LoadTransformed, scale, seed);
-                let orig_sims = simulate_platforms(program, &original, false);
-                let trans_sims = simulate_platforms(program, &transformed, false);
-                orig_sims
-                    .into_iter()
-                    .zip(trans_sims)
-                    .map(|((platform, original, _), (_, transformed, _))| EvalCell {
+            move || -> Result<ProgramRecordings, SuiteError> {
+                Ok(ProgramRecordings {
+                    original: Arc::new(record_variant(
                         program,
-                        platform,
-                        original,
-                        transformed,
-                    })
-                    .collect::<Vec<_>>()
+                        Variant::Original,
+                        scale,
+                        seed,
+                        DEFAULT_CAPACITY,
+                    )?),
+                    transformed: Arc::new(record_variant(
+                        program,
+                        Variant::LoadTransformed,
+                        scale,
+                        seed,
+                        DEFAULT_CAPACITY,
+                    )?),
+                })
             }
         })
         .collect();
-    let cells = run_jobs(work, threads).into_iter().flatten().collect();
-    EvalMatrix { cells }
+    let mut recorded = Vec::with_capacity(ProgramId::TRANSFORMED.len());
+    for (program, result) in ProgramId::TRANSFORMED.into_iter().zip(run_jobs(work, threads)) {
+        recorded.push((program, result?));
+    }
+    let replay = replay_sharded(&recorded, threads, false);
+    Ok(EvalMatrix { cells: replay.per_program.into_iter().flat_map(|p| p.cells).collect() })
 }
 
 #[cfg(test)]
@@ -383,20 +603,23 @@ mod tests {
 
     #[test]
     fn single_trace_job_matches_direct_characterization() {
-        // The tuple fan-out execution inside a suite job must produce the
-        // same characterization as a dedicated characterization run.
+        // The tuple fan-out execution inside a prepare job must produce
+        // the same characterization as a dedicated characterization run,
+        // and capture both variants' traces for the replay shards.
         let direct =
             crate::characterize::characterize_program(ProgramId::Hmmsearch, Scale::Test, 7);
-        let job = run_program(ProgramId::Hmmsearch, Scale::Test, 7, false);
+        let job = prepare_program(ProgramId::Hmmsearch, Scale::Test, 7, false).expect("prepare");
         assert_eq!(direct.mix, job.report.mix);
         assert_eq!(direct.cache, job.report.cache);
         assert_eq!(direct.sequences.loads_to_branch, job.report.sequences.loads_to_branch);
-        assert!(!job.cells.is_empty());
+        let recordings = job.recordings.expect("hmmsearch is transformable");
+        assert!(!recordings.original.is_empty());
+        assert!(!recordings.transformed.is_empty());
     }
 
     #[test]
     fn replayed_platform_sims_match_direct_execution() {
-        // Record-once + FanOut replay must equal running the kernel
+        // Record-once + shard replay must equal running the kernel
         // directly into each platform model.
         let direct = crate::evaluate::evaluate_program(
             ProgramId::Predator,
@@ -404,20 +627,37 @@ mod tests {
             Scale::Test,
             5,
         );
-        let recording = record_variant(ProgramId::Predator, Variant::Original, Scale::Test, 5);
-        let sims = simulate_platforms(ProgramId::Predator, &recording, false);
-        let (_, alpha, _) = sims
-            .iter()
-            .find(|(name, _, _)| *name == PlatformConfig::alpha21264().name)
-            .expect("alpha cell");
-        assert_eq!(alpha.cycles, direct.original.cycles);
-        assert_eq!(alpha.instructions, direct.original.instructions);
+        let recording =
+            record_variant(ProgramId::Predator, Variant::Original, Scale::Test, 5, DEFAULT_CAPACITY)
+                .expect("record");
+        let shard = replay_shard(&recording, PlatformConfig::alpha21264(), false);
+        assert_eq!(shard.result.cycles, direct.original.cycles);
+        assert_eq!(shard.result.instructions, direct.original.instructions);
+        assert_eq!(shard.ops, recording.len() as u64);
+    }
+
+    #[test]
+    fn trace_overflow_is_a_typed_error_not_a_panic() {
+        let err = record_variant(ProgramId::Hmmsearch, Variant::Original, Scale::Test, 42, 10)
+            .expect_err("10-op capacity must overflow");
+        match &err {
+            SuiteError::TraceOverflow { program, variant, captured } => {
+                assert_eq!(*program, ProgramId::Hmmsearch);
+                assert_eq!(*variant, Variant::Original);
+                assert_eq!(*captured, 10);
+            }
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("hmmsearch"), "{msg}");
+        assert!(msg.contains("capacity"), "{msg}");
     }
 
     #[test]
     fn parallel_suite_equals_sequential_suite() {
-        let seq = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1, metrics: true });
-        let par = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4, metrics: true });
+        let seq = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1, metrics: true })
+            .expect("suite");
+        let par = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4, metrics: true })
+            .expect("suite");
         assert_eq!(seq.reports.len(), par.reports.len());
         for ((pa, a), (pb, b)) in seq.reports.iter().zip(&par.reports) {
             assert_eq!(pa, pb);
@@ -436,16 +676,31 @@ mod tests {
         }
         // The whole deterministic JSON section — config, paper metrics,
         // raw simulator events — must be byte-identical across worker
-        // counts. Timings live in the `run` section and are excluded.
+        // counts. Timings and throughput live in the `run` section and
+        // are excluded.
         assert_eq!(seq.deterministic_json().render(), par.deterministic_json().render());
+        // Both runs scheduled the same job set: 9 prepare + 46 shards.
+        assert_eq!(seq.jobs, par.jobs);
+        assert_eq!(seq.jobs, 9 + 46);
+        assert_eq!(seq.replay.replayed_ops, par.replay.replayed_ops);
     }
 
     #[test]
     fn suite_json_has_expected_shape() {
-        let suite = run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: false });
+        let suite = run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: false })
+            .expect("suite");
         let doc = suite.to_json();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SUITE_SCHEMA));
         assert_eq!(doc.keys(), vec!["schema", "run", "deterministic"]);
+        let run = doc.get("run").expect("run section");
+        assert_eq!(
+            run.keys(),
+            vec!["jobs", "workers", "jobs_per_worker", "replayed_ops", "ops_per_sec", "timings"]
+        );
+        let rates = run.get("ops_per_sec").expect("throughput gauges");
+        assert!(rates.get("total").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        assert!(rates.get("Alpha 21264").is_some());
+        assert!(run.get("replayed_ops").and_then(Json::as_u64).unwrap_or(0) > 0);
         let det = doc.get("deterministic").expect("deterministic section");
         assert_eq!(det.keys(), vec!["config", "counters", "gauges", "histograms"]);
         let config = det.get("config").expect("config");
@@ -461,7 +716,8 @@ mod tests {
         // Raw simulator events only appear when asked for.
         assert!(counters.keys().iter().all(|k| !k.starts_with("events/")));
         let with_events =
-            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: true });
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: true })
+                .expect("suite");
         let doc = with_events.to_json();
         let counters = doc.get("deterministic").and_then(|d| d.get("counters")).expect("counters");
         assert!(counters.get("events/hmmsearch/cache/serviced_l1").is_some());
@@ -474,7 +730,7 @@ mod tests {
     #[test]
     fn evaluate_all_matches_eval_matrix_run() {
         let a = EvalMatrix::run(Scale::Test, 2);
-        let b = evaluate_all(Scale::Test, 2, 3);
+        let b = evaluate_all(Scale::Test, 2, 3).expect("evaluate");
         assert_eq!(a.cells.len(), b.cells.len());
         for (x, y) in a.cells.iter().zip(&b.cells) {
             assert_eq!(x.program, y.program);

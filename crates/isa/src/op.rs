@@ -54,6 +54,42 @@ pub enum OpKind {
 }
 
 impl OpKind {
+    /// Every kind, in [`code`](OpKind::code) order.
+    pub const ALL: [OpKind; 12] = [
+        OpKind::IntLoad,
+        OpKind::FpLoad,
+        OpKind::IntStore,
+        OpKind::FpStore,
+        OpKind::CondBranch,
+        OpKind::Jump,
+        OpKind::IntAlu,
+        OpKind::CondMove,
+        OpKind::IntMul,
+        OpKind::FpAlu,
+        OpKind::FpMul,
+        OpKind::FpDiv,
+    ];
+
+    /// Compact numeric code of this kind (0..12, fits in 4 bits). The
+    /// packed trace encoding stores kinds by code; [`from_code`]
+    /// inverts it.
+    ///
+    /// [`from_code`]: OpKind::from_code
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](OpKind::code); `None` for out-of-range codes.
+    #[inline]
+    pub const fn from_code(code: u8) -> Option<OpKind> {
+        if (code as usize) < Self::ALL.len() {
+            Some(Self::ALL[code as usize])
+        } else {
+            None
+        }
+    }
+
     /// Whether this operation reads memory.
     #[inline]
     pub fn is_load(self) -> bool {
@@ -296,6 +332,17 @@ mod tests {
         assert!(b.taken);
         assert!(b.kind.is_cond_branch());
         assert_eq!(b.dst, None);
+    }
+
+    #[test]
+    fn kind_codes_round_trip_and_fit_four_bits() {
+        for (i, k) in OpKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.code() as usize, i);
+            assert!(k.code() < 16, "codes must fit the packed 4-bit field");
+            assert_eq!(OpKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(OpKind::from_code(OpKind::ALL.len() as u8), None);
+        assert_eq!(OpKind::from_code(u8::MAX), None);
     }
 
     #[test]

@@ -81,6 +81,14 @@ impl Json {
         }
     }
 
+    /// The value as `f64` (floats only; integers keep their own type).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The value as `&str`, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -42,7 +42,9 @@
 //! ```
 
 pub mod config;
+pub mod regfile;
 pub mod simulator;
 
 pub use config::{OpLatencies, PlatformConfig};
+pub use regfile::RegFile;
 pub use simulator::{CycleSim, OpTiming, SimResult};

@@ -9,6 +9,7 @@ use bioperf_metrics::{MetricSet, Sink};
 use bioperf_trace::TraceConsumer;
 
 use crate::config::PlatformConfig;
+use crate::regfile::RegFile;
 
 /// Ring sizes; both bound the span of "active" cycles / values, which is
 /// limited by the ROB size times the largest latency.
@@ -56,46 +57,6 @@ impl SimResult {
         } else {
             self.mispredicts as f64 / self.branches as f64
         }
-    }
-}
-
-/// Move-to-front LRU over virtual registers — the register-pressure
-/// model. Models a graph-coloring-free "spill at capacity" allocator:
-/// values pushed out of the architected register file must be reloaded
-/// before reuse.
-#[derive(Debug, Clone)]
-struct RegFile {
-    slots: Vec<u64>,
-    capacity: usize,
-}
-
-impl RegFile {
-    fn new(logical_regs: u32) -> Self {
-        // A few registers are permanently claimed for addressing,
-        // constants, and the stack/frame pointers.
-        let capacity = (logical_regs.saturating_sub(2)).max(2) as usize;
-        Self { slots: Vec::with_capacity(capacity), capacity }
-    }
-
-    /// Touches `v`; returns `true` if it was resident.
-    fn touch(&mut self, v: u64) -> bool {
-        if let Some(pos) = self.slots.iter().position(|&x| x == v) {
-            let val = self.slots.remove(pos);
-            self.slots.push(val);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Inserts `v`, returning an evicted value if the file was full.
-    fn insert(&mut self, v: u64) -> Option<u64> {
-        if self.touch(v) {
-            return None;
-        }
-        let evicted = if self.slots.len() == self.capacity { Some(self.slots.remove(0)) } else { None };
-        self.slots.push(v);
-        evicted
     }
 }
 
@@ -654,16 +615,4 @@ mod tests {
         assert!(off.take_metrics().is_empty());
     }
 
-    #[test]
-    fn regfile_lru_semantics() {
-        let mut rf = RegFile::new(6); // capacity 4
-        assert_eq!(rf.insert(1), None);
-        assert_eq!(rf.insert(2), None);
-        assert_eq!(rf.insert(3), None);
-        assert_eq!(rf.insert(4), None);
-        assert!(rf.touch(1)); // 1 becomes MRU
-        assert_eq!(rf.insert(5), Some(2), "2 is now LRU");
-        assert!(!rf.touch(2));
-        assert!(rf.touch(1));
-    }
 }

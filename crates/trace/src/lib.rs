@@ -51,12 +51,14 @@
 
 pub mod consumers;
 pub mod normalize;
+pub mod packed;
 pub mod replay;
 pub mod tape;
 pub mod tracer;
 
 pub use consumers::{FanOut, InstrMix};
 pub use normalize::{AddressNormalizer, NormalizerStats};
+pub use packed::PackedStream;
 pub use replay::{Recorder, Recording};
 pub use tape::Tape;
 pub use tracer::{NullTracer, TraceConsumer, Tracer};

@@ -5,14 +5,20 @@
 //! stream (and the static program) once; [`Recording::replay`] feeds it
 //! to any number of consumers afterwards — the ATOM analog of saving a
 //! trace file.
+//!
+//! The stream is stored in the packed fixed-width encoding of
+//! [`crate::packed`] (~12–20 bytes per op instead of the 88-byte
+//! [`MicroOp`]), and replay decodes it streaming into one reused
+//! `MicroOp` — the unpacked vector never exists.
 
 use bioperf_isa::{MicroOp, Program};
 
+use crate::packed::PackedStream;
 use crate::tracer::TraceConsumer;
 
-/// Default cap on recorded ops (~40 bytes each; 64M ops ≈ 2.5 GB is past
-/// any reasonable in-memory trace).
-pub const DEFAULT_CAPACITY: usize = 64 << 20;
+/// Default cap on recorded ops (packed, ~16 bytes each; 256M ops ≈ 4 GB
+/// is past any reasonable in-memory trace).
+pub const DEFAULT_CAPACITY: usize = 256 << 20;
 
 /// A trace consumer that records the stream for later replay.
 ///
@@ -38,7 +44,7 @@ pub const DEFAULT_CAPACITY: usize = 64 << 20;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Recorder {
-    ops: Vec<MicroOp>,
+    stream: PackedStream,
     capacity: usize,
     overflowed: bool,
 }
@@ -60,7 +66,7 @@ impl Recorder {
     ///
     /// [`overflowed`]: Recorder::overflowed
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { ops: Vec::new(), capacity, overflowed: false }
+        Self { stream: PackedStream::new(), capacity, overflowed: false }
     }
 
     /// Whether the trace exceeded the capacity (the recording is then a
@@ -71,34 +77,35 @@ impl Recorder {
 
     /// Ops recorded so far.
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.stream.len()
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.stream.is_empty()
     }
 
     /// Pairs the recorded ops with their static program.
     pub fn into_recording(self, program: Program) -> Recording {
-        Recording { ops: self.ops, program, complete: !self.overflowed }
+        Recording { stream: self.stream, program, complete: !self.overflowed }
     }
 }
 
 impl TraceConsumer for Recorder {
     fn consume(&mut self, op: &MicroOp, _program: &Program) {
-        if self.ops.len() < self.capacity {
-            self.ops.push(*op);
+        if self.stream.len() < self.capacity {
+            self.stream.push(op);
         } else {
             self.overflowed = true;
         }
     }
 }
 
-/// A captured trace: the dynamic op stream plus the static program.
+/// A captured trace: the packed dynamic op stream plus the static
+/// program.
 #[derive(Debug, Clone)]
 pub struct Recording {
-    ops: Vec<MicroOp>,
+    stream: PackedStream,
     program: Program,
     complete: bool,
 }
@@ -111,12 +118,12 @@ impl Recording {
 
     /// Number of recorded dynamic ops.
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.stream.len()
     }
 
     /// Whether the recording is empty.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.stream.is_empty()
     }
 
     /// Whether the whole run was captured (false if the recorder
@@ -125,17 +132,27 @@ impl Recording {
         self.complete
     }
 
-    /// Feeds the recorded stream (and a final `finish`) to a consumer.
+    /// Bytes held by the packed encoding (see
+    /// [`PackedStream::payload_bytes`]).
+    pub fn payload_bytes(&self) -> usize {
+        self.stream.payload_bytes()
+    }
+
+    /// Average encoded bytes per op.
+    pub fn bytes_per_op(&self) -> f64 {
+        self.stream.bytes_per_op()
+    }
+
+    /// Feeds the recorded stream (and a final `finish`) to a consumer,
+    /// decoding into a single reused op — no unpacked vector exists.
     pub fn replay<C: TraceConsumer>(&self, consumer: &mut C) {
-        for op in &self.ops {
-            consumer.consume(op, &self.program);
-        }
+        self.stream.for_each(|op| consumer.consume(op, &self.program));
         consumer.finish(&self.program);
     }
 
-    /// Iterates over the recorded ops.
-    pub fn iter(&self) -> impl Iterator<Item = &MicroOp> {
-        self.ops.iter()
+    /// Iterates over the recorded ops, decoded by value.
+    pub fn iter(&self) -> impl Iterator<Item = MicroOp> + '_ {
+        self.stream.iter()
     }
 }
 
@@ -194,6 +211,35 @@ mod tests {
             .map(|op| op.taken)
             .collect();
         assert_eq!(branches, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn packed_recording_matches_unpacked_stream() {
+        // The equivalence layer: record through (Vec collect, Recorder)
+        // simultaneously and require decode == the original stream.
+        #[derive(Default)]
+        struct Collect(Vec<MicroOp>);
+        impl TraceConsumer for Collect {
+            fn consume(&mut self, op: &MicroOp, _p: &Program) {
+                self.0.push(*op);
+            }
+        }
+
+        let xs: Vec<u64> = (0..64).collect();
+        let mut tape = Tape::new((Collect::default(), Recorder::new()));
+        let mut acc = tape.lit();
+        for (i, x) in xs.iter().enumerate() {
+            let v = tape.int_load(here!("k"), x);
+            acc = tape.int_op(here!("k"), &[acc, v]);
+            let sel = tape.select(here!("k"), &[acc, v], i % 2 == 0);
+            tape.fp_store(here!("k"), x, sel);
+            tape.branch(here!("k"), &[sel], i % 3 == 0);
+        }
+        let (program, (collect, rec)) = tape.finish();
+        let recording = rec.into_recording(program);
+        let decoded: Vec<MicroOp> = recording.iter().collect();
+        assert_eq!(decoded, collect.0);
+        assert!(recording.bytes_per_op() <= 24.0, "got {}", recording.bytes_per_op());
     }
 
     #[test]

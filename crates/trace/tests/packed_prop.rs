@@ -1,0 +1,136 @@
+//! Property test: the packed trace encoding round-trips *arbitrary* op
+//! sequences, not just the well-behaved streams the tape emits.
+//!
+//! Each generated op descriptor independently picks its destination
+//! discipline (none / sequential-SSA / post-`lit`-gap / fully random),
+//! source discipline per slot (none / near backward reference / random
+//! far value / zero-distance self reference), and address presence — so
+//! every encoder path (implicit dst, dst exception table, 16-bit deltas,
+//! far-source table, SoA address array) is exercised against the decoder.
+
+use bioperf_isa::{MicroOp, OpKind, StaticId, VReg, MAX_SRCS};
+use bioperf_trace::packed::PackedStream;
+use proptest::prelude::*;
+
+/// One op descriptor: `(kind, taken)`, `(dst_mode, dst_value)`, three
+/// `(src_mode, src_value)` slots, `(has_addr, addr)`.
+type OpSpec = ((usize, bool), (u8, u64), Vec<(u8, u64)>, (bool, u64));
+
+fn op_spec() -> impl Strategy<Value = OpSpec> {
+    (
+        (0..OpKind::ALL.len(), prop::bool::ANY),
+        (0..4u8, any::<u64>()),
+        prop::collection::vec((0..4u8, any::<u64>()), 3..4),
+        (prop::bool::ANY, any::<u64>()),
+    )
+}
+
+/// Materializes descriptors into a `MicroOp` stream, tracking the SSA
+/// counter the tape would have used so "near" sources really are near.
+fn build_ops(specs: &[OpSpec]) -> Vec<MicroOp> {
+    let mut ops = Vec::with_capacity(specs.len());
+    let mut next_vreg = 0u64;
+    for (i, ((kind_idx, taken), (dst_mode, dst_value), src_specs, (has_addr, addr))) in
+        specs.iter().enumerate()
+    {
+        let base = next_vreg;
+        let mut srcs = [None; MAX_SRCS];
+        for (slot, (src_mode, src_value)) in src_specs.iter().enumerate().take(MAX_SRCS) {
+            srcs[slot] = match src_mode {
+                0 => None,
+                // A near backward reference, delta within u16 range.
+                1 if base > 0 => {
+                    let span = base.min(u64::from(u16::MAX));
+                    Some(VReg(base - 1 - (src_value % span.max(1)).min(span - 1)))
+                }
+                1 => None,
+                // An arbitrary (usually far / not-yet-produced) value.
+                2 => Some(VReg(*src_value)),
+                // Zero-distance self reference: unencodable as a near
+                // delta, must take the far path.
+                _ => Some(VReg(base)),
+            };
+        }
+        let dst = match dst_mode {
+            0 => None,
+            // Sequential SSA: exactly what the tape emits.
+            1 => {
+                let v = next_vreg;
+                next_vreg = next_vreg.wrapping_add(1);
+                Some(VReg(v))
+            }
+            // A lit()-style gap: a vreg was claimed with no producing op.
+            2 => {
+                next_vreg = next_vreg.wrapping_add(1);
+                let v = next_vreg;
+                next_vreg = next_vreg.wrapping_add(1);
+                Some(VReg(v))
+            }
+            // Fully random destination, counter resynchronizes after it.
+            _ => {
+                next_vreg = dst_value.wrapping_add(1);
+                Some(VReg(*dst_value))
+            }
+        };
+        ops.push(MicroOp {
+            sid: StaticId::from_raw(i as u32 % 97),
+            kind: OpKind::ALL[*kind_idx],
+            dst,
+            srcs,
+            addr: has_addr.then_some(*addr),
+            taken: *taken,
+        });
+    }
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packed_encoding_round_trips_arbitrary_streams(
+        specs in prop::collection::vec(op_spec(), 0..200),
+    ) {
+        let ops = build_ops(&specs);
+        let mut stream = PackedStream::new();
+        for op in &ops {
+            stream.push(op);
+        }
+        prop_assert_eq!(stream.len(), ops.len());
+
+        let mut decoded = Vec::with_capacity(ops.len());
+        stream.for_each(|op| decoded.push(*op));
+        prop_assert_eq!(&decoded, &ops);
+
+        let via_iter: Vec<MicroOp> = stream.iter().collect();
+        prop_assert_eq!(&via_iter, &ops);
+    }
+
+    #[test]
+    fn tape_shaped_streams_stay_within_the_byte_budget(
+        specs in prop::collection::vec(op_spec(), 1..200),
+    ) {
+        // Restrict destinations to the sequential-SSA discipline (what
+        // real tapes produce): the fixed 12-byte record plus at most one
+        // u64 address must stay ≤ 24 bytes/op even with every op a
+        // memory op.
+        let mut well_formed = specs.clone();
+        for spec in &mut well_formed {
+            if spec.1 .0 > 1 {
+                spec.1 .0 = 1;
+            }
+            for src in &mut spec.2 {
+                if src.0 > 1 {
+                    src.0 = 1;
+                }
+            }
+        }
+        let ops = build_ops(&well_formed);
+        let mut stream = PackedStream::new();
+        for op in &ops {
+            stream.push(op);
+        }
+        prop_assert!(stream.far_entries() == 0);
+        prop_assert!(stream.bytes_per_op() <= 24.0, "got {}", stream.bytes_per_op());
+    }
+}

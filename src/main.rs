@@ -154,7 +154,13 @@ fn cmd_evaluate(program: ProgramId, scale: Scale) -> ExitCode {
 fn cmd_suite(scale: Scale, jobs: usize, seed: u64, metrics: Option<&str>) -> ExitCode {
     // Raw event collection (the only part with a hot-loop cost) is only
     // switched on when the caller asked for the JSON snapshot.
-    let suite = run_suite(SuiteConfig { scale, seed, jobs, metrics: metrics.is_some() });
+    let suite = match run_suite(SuiteConfig { scale, seed, jobs, metrics: metrics.is_some() }) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("suite: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("BioPerf load-characterization suite ({scale:?} scale, seed {seed})\n");
     let mut table =

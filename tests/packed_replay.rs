@@ -1,0 +1,47 @@
+//! End-to-end pin for the packed trace encoding: a fresh suite run —
+//! whose every replay decodes packed 12-byte records back into micro-ops
+//! — must reproduce the committed `BENCH_suite.json` deterministic
+//! section byte-for-byte, and real recordings must hold to the ≤ 24
+//! bytes/op budget the encoding was built for.
+
+use bioperf_core::orchestrate::{run_suite, SuiteConfig};
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_metrics::json;
+use bioperf_trace::{Recorder, Tape};
+
+/// Seed the committed artifact was generated with (`REPRO_SEED`).
+const SEED: u64 = 42;
+
+#[test]
+fn packed_replay_reproduces_the_committed_deterministic_section() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_suite.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_suite.json is committed");
+    let committed = json::parse(&text).expect("committed artifact parses");
+    let committed_det = committed.get("deterministic").expect("deterministic section");
+
+    let suite = run_suite(SuiteConfig { scale: Scale::Test, seed: SEED, jobs: 2, metrics: true })
+        .expect("suite");
+    // Compact renders compared as strings: every simulated cycle count,
+    // cache statistic, and histogram bucket must match the pre-packed
+    // artifact exactly.
+    assert_eq!(
+        suite.deterministic_json().render(),
+        committed_det.render(),
+        "packed replay must be bit-identical to the committed suite results"
+    );
+}
+
+#[test]
+fn real_recordings_stay_within_the_byte_budget() {
+    // ~96 bytes/op before packing (88-byte MicroOp + Vec growth); the
+    // acceptance bar is ≤ 24 bytes/op on real traces.
+    for program in [ProgramId::Hmmsearch, ProgramId::Clustalw, ProgramId::Dnapenny] {
+        let mut tape = Tape::new(Recorder::new());
+        registry::run(&mut tape, program, Variant::Original, Scale::Test, SEED);
+        let (static_program, rec) = tape.finish();
+        let recording = rec.into_recording(static_program);
+        assert!(!recording.is_empty());
+        let per_op = recording.bytes_per_op();
+        assert!(per_op <= 24.0, "{program}: {per_op:.2} bytes/op exceeds the budget");
+    }
+}

@@ -16,8 +16,8 @@ fn config(jobs: usize) -> SuiteConfig {
 
 #[test]
 fn suite_results_and_metrics_json_are_worker_count_independent() {
-    let seq = run_suite(config(1));
-    let par = run_suite(config(4));
+    let seq = run_suite(config(1)).expect("suite");
+    let par = run_suite(config(4)).expect("suite");
 
     // Structured results agree…
     assert_eq!(seq.reports.len(), par.reports.len());
@@ -55,8 +55,8 @@ fn suite_results_and_metrics_json_are_worker_count_independent() {
 fn event_metrics_switch_changes_events_not_results() {
     // metrics=false must not change any simulated number — only drop the
     // raw `events/` series from the output.
-    let with = run_suite(config(2));
-    let without = run_suite(SuiteConfig { metrics: false, ..config(2) });
+    let with = run_suite(config(2)).expect("suite");
+    let without = run_suite(SuiteConfig { metrics: false, ..config(2) }).expect("suite");
     for ((pa, a), (_, b)) in with.reports.iter().zip(&without.reports) {
         assert_eq!(a.cache, b.cache, "{pa}: cache stats must not depend on event collection");
     }
