@@ -129,6 +129,7 @@ fn main() {
         seed: REPRO_SEED,
         jobs: args.jobs,
         metrics: true,
+        trace_cap: 0,
     })
     .unwrap_or_else(|e| {
         eprintln!("{ARTIFACT}: {e}");

@@ -29,6 +29,7 @@
 
 pub mod aliased;
 pub mod counter;
+pub mod inject;
 pub mod predictor;
 pub mod profiler;
 

@@ -105,7 +105,7 @@ impl Hybrid {
     pub fn update(&mut self, history: u64, taken: bool) {
         let bi = self.bimodal.predict();
         let hi = self.history.predict(history);
-        if bi != hi {
+        if bi != hi && !crate::inject::active(crate::inject::CHOOSER_STALE) {
             // Train the chooser toward the correct component.
             self.chooser.train(hi == taken);
         }

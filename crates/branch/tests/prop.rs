@@ -1,7 +1,8 @@
 //! Property tests: predictor statistics stay consistent for arbitrary
-//! branch streams.
+//! branch streams, and the shared-table [`AliasedHybrid`] handles
+//! index aliasing under adversarial PC streams correctly.
 
-use bioperf_branch::{BranchProfiler, Hybrid, SatCounter};
+use bioperf_branch::{AliasedHybrid, BranchProfiler, Hybrid, SatCounter};
 use bioperf_isa::StaticId;
 use proptest::prelude::*;
 
@@ -63,5 +64,105 @@ proptest! {
             h = (h << 1) | o as u64;
         }
         prop_assert_eq!(p.predict(history), p.predict(history));
+    }
+}
+
+proptest! {
+    /// Stats account for every observed branch, whatever the aliasing.
+    #[test]
+    fn aliased_stats_account_every_branch(
+        bits in 0u32..12,
+        stream in prop::collection::vec((0u32..1 << 16, prop::bool::ANY), 0..400),
+    ) {
+        let mut p = AliasedHybrid::new(bits);
+        for &(b, taken) in &stream {
+            p.observe(StaticId::from_raw(b), taken);
+        }
+        prop_assert_eq!(p.executions(), stream.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&p.misprediction_rate()));
+    }
+
+    /// With zero-bit (single-entry) tables every PC aliases onto the same
+    /// entry, so the predictor must be completely PC-blind: replacing all
+    /// static ids with a single id cannot change a single prediction.
+    #[test]
+    fn fully_aliased_tables_are_pc_blind(
+        stream in prop::collection::vec((0u32..1 << 16, prop::bool::ANY), 1..300),
+    ) {
+        let mut varied = AliasedHybrid::new(0);
+        let mut collapsed = AliasedHybrid::new(0);
+        for &(b, taken) in &stream {
+            let a = varied.observe(StaticId::from_raw(b), taken);
+            let c = collapsed.observe(StaticId::from_raw(0), taken);
+            prop_assert_eq!(a, c, "0-bit tables must ignore the PC");
+        }
+        prop_assert_eq!(varied.misprediction_rate(), collapsed.misprediction_rate());
+    }
+
+    /// The tables are indexed by `pc_hash(sid) & mask` with an odd
+    /// multiplicative hash, so static ids congruent modulo the table size
+    /// alias onto identical bimodal, gshare, and chooser entries: the
+    /// predictor cannot tell such a stream from the same stream on a
+    /// single id.
+    #[test]
+    fn congruent_ids_alias_onto_the_same_entries(
+        bits in 0u32..8,
+        s in 0u32..1 << 8,
+        multiples in prop::collection::vec(0u32..16, 1..200),
+        outcomes in prop::collection::vec(prop::bool::ANY, 1..200),
+    ) {
+        let size = 1u32 << bits;
+        let mut aliased = AliasedHybrid::new(bits);
+        let mut single = AliasedHybrid::new(bits);
+        for (&m, &taken) in multiples.iter().zip(&outcomes) {
+            let a = aliased.observe(StaticId::from_raw(s + m * size), taken);
+            let b = single.observe(StaticId::from_raw(s), taken);
+            prop_assert_eq!(a, b, "ids congruent mod {} must be indistinguishable", size);
+        }
+    }
+
+    /// Same-direction streams converge despite arbitrary aliasing: every
+    /// table entry is only ever trained toward the one direction, so each
+    /// touched entry can mispredict at most twice (its two weak states).
+    #[test]
+    fn uniform_streams_converge_despite_aliasing(
+        direction in prop::bool::ANY,
+        sids in prop::collection::vec(0u32..32, 64..1500),
+    ) {
+        let mut p = AliasedHybrid::new(10);
+        let mut wrong = 0u64;
+        for &b in &sids {
+            if !p.observe(StaticId::from_raw(b), direction) {
+                wrong += 1;
+            }
+        }
+        let distinct = {
+            let mut seen = [false; 32];
+            for &b in &sids {
+                seen[b as usize] = true;
+            }
+            seen.iter().filter(|&&x| x).count() as u64
+        };
+        // 2 weak states × (≤ distinct bimodal entries, plus ≤ distinct
+        // + 10 gshare entries — the masked history saturates within 10
+        // observations of a constant direction).
+        prop_assert!(wrong <= 4 * distinct + 20, "{wrong} wrong with {distinct} ids");
+    }
+
+    /// Replaying a stream into a fresh predictor reproduces every
+    /// prediction and the final rate exactly.
+    #[test]
+    fn aliased_predictor_is_deterministic(
+        bits in 0u32..10,
+        stream in prop::collection::vec((0u32..64, prop::bool::ANY), 1..300),
+    ) {
+        let mut a = AliasedHybrid::new(bits);
+        let mut b = AliasedHybrid::new(bits);
+        for &(s, taken) in &stream {
+            let x = a.observe(StaticId::from_raw(s), taken);
+            let y = b.observe(StaticId::from_raw(s), taken);
+            prop_assert_eq!(x, y);
+        }
+        prop_assert_eq!(a.misprediction_rate(), b.misprediction_rate());
     }
 }

@@ -77,7 +77,9 @@ impl Cache {
         let set_lines = &mut self.lines[base..base + ways];
 
         if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.last_use = self.clock;
+            if !crate::inject::active(crate::inject::LRU_TOUCH) {
+                line.last_use = self.clock;
+            }
             if is_store {
                 match self.config.write_policy {
                     WritePolicy::WriteBackAllocate => line.dirty = true,
@@ -110,7 +112,9 @@ impl Cache {
         set_lines[victim_idx] = Line {
             tag,
             valid: true,
-            dirty: is_store && self.config.write_policy == WritePolicy::WriteBackAllocate,
+            dirty: is_store
+                && self.config.write_policy == WritePolicy::WriteBackAllocate
+                && !crate::inject::active(crate::inject::DIRTY_WRITEBACK),
             last_use: self.clock,
         };
         AccessResult { hit: false, writeback }

@@ -24,6 +24,7 @@
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
+pub mod inject;
 pub mod prefetch;
 
 pub use cache::{AccessResult, Cache};

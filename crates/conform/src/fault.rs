@@ -1,0 +1,179 @@
+//! The catalogue of injectable faults (mutation testing for the fuzzer).
+//!
+//! A conformance harness is only trustworthy if it *would* catch the bug
+//! classes it claims to cover. Each [`FaultId`] names one realistic,
+//! subtle mutation compiled into an optimized crate behind that crate's
+//! `conform-inject` cargo feature (this crate's default `inject` feature
+//! turns them all on). [`arm`] activates exactly one process-wide;
+//! [`disarm`] restores correct behavior. The mutation tests in
+//! `tests/inject.rs` assert the fuzzer detects every catalogued fault
+//! within its [`budget`](FaultId::budget) of cases, and the `conform
+//! --inject <fault>` CLI mode does the same from the command line.
+//!
+//! Faults are armed through a per-crate atomic, so arming happens-before
+//! any worker thread spawned afterwards; the orchestrator arms before
+//! fanning out and disarms after joining.
+
+use std::fmt;
+
+/// One catalogued seeded bug in an optimized component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultId {
+    /// L1/L2 hits stop refreshing the line's LRU stamp, so replacement
+    /// degrades toward FIFO.
+    CacheLruTouch,
+    /// Store-miss fills forget the dirty bit, so their eventual eviction
+    /// emits no writeback.
+    CacheDirtyWriteback,
+    /// The packed encoder shortens near source deltas ≥ 2 by one,
+    /// re-linking a source to a younger producer.
+    PackedSrcDelta,
+    /// The packed encoder advances its SSA counter by one on far
+    /// destinations instead of resynchronizing to the written vreg.
+    PackedSsaResync,
+    /// Mispredicted branches stop redirecting the front end (the flush
+    /// is dropped), erasing the misprediction penalty.
+    PipeDroppedFlush,
+    /// The register file evicts the most recently used value instead of
+    /// the least.
+    RegfileEvictMru,
+    /// Touching a resident register no longer moves it to MRU, so LRU
+    /// order goes stale.
+    RegfileTouchStale,
+    /// The hybrid predictor's chooser stops training, freezing component
+    /// selection at its cold state.
+    BranchChooserStale,
+}
+
+impl FaultId {
+    /// Every catalogued fault, in reporting order.
+    pub const ALL: [FaultId; 8] = [
+        FaultId::CacheLruTouch,
+        FaultId::CacheDirtyWriteback,
+        FaultId::PackedSrcDelta,
+        FaultId::PackedSsaResync,
+        FaultId::PipeDroppedFlush,
+        FaultId::RegfileEvictMru,
+        FaultId::RegfileTouchStale,
+        FaultId::BranchChooserStale,
+    ];
+
+    /// Stable CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultId::CacheLruTouch => "cache-lru-touch",
+            FaultId::CacheDirtyWriteback => "cache-dirty-writeback",
+            FaultId::PackedSrcDelta => "packed-src-delta",
+            FaultId::PackedSsaResync => "packed-ssa-resync",
+            FaultId::PipeDroppedFlush => "pipe-dropped-flush",
+            FaultId::RegfileEvictMru => "regfile-evict-mru",
+            FaultId::RegfileTouchStale => "regfile-touch-stale",
+            FaultId::BranchChooserStale => "branch-chooser-stale",
+        }
+    }
+
+    /// Inverse of [`name`](FaultId::name).
+    pub fn parse(s: &str) -> Option<FaultId> {
+        Self::ALL.into_iter().find(|f| f.name() == s)
+    }
+
+    /// One-line description for CLI listings.
+    pub fn describe(self) -> &'static str {
+        match self {
+            FaultId::CacheLruTouch => "cache hits stop refreshing LRU order",
+            FaultId::CacheDirtyWriteback => "store-miss fills lose the dirty bit",
+            FaultId::PackedSrcDelta => "encoder shortens near source deltas by one",
+            FaultId::PackedSsaResync => "encoder skips SSA counter resync on far dsts",
+            FaultId::PipeDroppedFlush => "mispredict redirects are dropped",
+            FaultId::RegfileEvictMru => "register file evicts MRU instead of LRU",
+            FaultId::RegfileTouchStale => "register touches stop updating LRU order",
+            FaultId::BranchChooserStale => "hybrid chooser stops training",
+        }
+    }
+
+    /// Fuzz-case budget within which the harness must detect this fault
+    /// (asserted by `tests/inject.rs`; measured detection indices are
+    /// recorded in `EXPERIMENTS.md` and sit well under these bounds).
+    pub fn budget(self) -> u64 {
+        match self {
+            // Codec faults corrupt almost any stream with sources/gaps.
+            FaultId::PackedSrcDelta => 32,
+            FaultId::PackedSsaResync => 32,
+            // Mispredicts are frequent; the first redirect-worthy one
+            // exposes the dropped flush.
+            FaultId::PipeDroppedFlush => 128,
+            // Needs a full set plus a hit-reordered eviction.
+            FaultId::CacheLruTouch => 256,
+            // Needs a store-miss fill that is later evicted.
+            FaultId::CacheDirtyWriteback => 256,
+            // Needs the register file at capacity (1 in 4 cases runs the
+            // 8-register Pentium 4).
+            FaultId::RegfileEvictMru => 256,
+            FaultId::RegfileTouchStale => 256,
+            // Needs a branch where the trained chooser would switch
+            // components; patterned branch modes make these common.
+            FaultId::BranchChooserStale => 1024,
+        }
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the fault hooks were compiled in (the `inject` feature).
+/// Without them, [`arm`] is a no-op and mutation mode cannot work.
+pub fn injection_compiled() -> bool {
+    cfg!(feature = "inject")
+}
+
+/// Arms exactly `fault`, disarming everything else first. Process-wide;
+/// arm before spawning workers so the store happens-before their reads.
+pub fn arm(fault: FaultId) {
+    disarm();
+    match fault {
+        FaultId::CacheLruTouch => bioperf_cache::inject::set(bioperf_cache::inject::LRU_TOUCH),
+        FaultId::CacheDirtyWriteback => {
+            bioperf_cache::inject::set(bioperf_cache::inject::DIRTY_WRITEBACK)
+        }
+        FaultId::PackedSrcDelta => bioperf_trace::inject::set(bioperf_trace::inject::SRC_DELTA),
+        FaultId::PackedSsaResync => bioperf_trace::inject::set(bioperf_trace::inject::SSA_RESYNC),
+        FaultId::PipeDroppedFlush => bioperf_pipe::inject::set(bioperf_pipe::inject::DROPPED_FLUSH),
+        FaultId::RegfileEvictMru => {
+            bioperf_pipe::inject::set(bioperf_pipe::inject::REGFILE_EVICT_MRU)
+        }
+        FaultId::RegfileTouchStale => {
+            bioperf_pipe::inject::set(bioperf_pipe::inject::REGFILE_TOUCH_STALE)
+        }
+        FaultId::BranchChooserStale => {
+            bioperf_branch::inject::set(bioperf_branch::inject::CHOOSER_STALE)
+        }
+    }
+}
+
+/// Disarms every fault in every instrumented crate.
+pub fn disarm() {
+    bioperf_cache::inject::set(bioperf_cache::inject::NONE);
+    bioperf_trace::inject::set(bioperf_trace::inject::NONE);
+    bioperf_pipe::inject::set(bioperf_pipe::inject::NONE);
+    bioperf_branch::inject::set(bioperf_branch::inject::NONE);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for f in FaultId::ALL {
+            assert_eq!(FaultId::parse(f.name()), Some(f));
+            assert!(seen.insert(f.name()), "duplicate name {f}");
+            assert!(f.budget() > 0);
+            assert!(!f.describe().is_empty());
+        }
+        assert_eq!(FaultId::parse("no-such-fault"), None);
+    }
+}

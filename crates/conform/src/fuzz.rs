@@ -1,0 +1,507 @@
+//! Seeded adversarial stream generation and differential checking.
+//!
+//! [`generate_stream`] derives a micro-op stream from a single `u64`
+//! seed, biased toward the optimized implementations' hard cases:
+//!
+//! * SSA-counter gaps (`lit()`-style claimed-but-unproduced vregs) and
+//!   wild destination resyncs, which exercise the packed codec's far-dst
+//!   side table and counter resynchronization;
+//! * delta-0 / future / `u64::MAX` source references, which exercise the
+//!   far-src path and the ready-ring sentinel;
+//! * set-conflict address ladders, a hot page, spill-slot collisions,
+//!   and near-overflow bases, which exercise LRU victim selection,
+//!   dirty-writeback propagation, and address wraparound;
+//! * per-branch outcome patterns (biased / alternating / random), which
+//!   exercise every hybrid-predictor component and mispredict-flush
+//!   interleavings.
+//!
+//! [`check_stream`] replays one stream through every optimized
+//! implementation and its reference twin, diffing per-op events and
+//! final statistics; [`run_case`] adds deterministic per-case seeding,
+//! platform rotation, and removal-based counterexample shrinking.
+
+use bioperf_branch::BranchProfiler;
+use bioperf_cache::AccessKind;
+use bioperf_isa::{MicroOp, OpKind, Program, StaticId, VReg, MAX_SRCS};
+use bioperf_pipe::{CycleSim, PlatformConfig, RegFile};
+use bioperf_trace::packed::PackedStream;
+use bioperf_trace::TraceConsumer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::RefHierarchy;
+use crate::pipeline::RefPipeline;
+use crate::predictor::RefPredictor;
+use crate::regfile::RefRegFile;
+
+/// The simulator's spill-slot region; generated addresses deliberately
+/// collide with it so spill traffic and demand traffic interleave.
+const SPILL_BASE: u64 = 0x7fff_0000_0000;
+const SPILL_SLOTS: u64 = 512;
+
+/// Predicate evaluations spent shrinking one failing stream.
+const SHRINK_BUDGET: usize = 2000;
+
+/// One observed disagreement between an optimized implementation and its
+/// reference model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which differential check failed: `codec`, `cache`, `regfile`,
+    /// `predictor`, or `pipeline`.
+    pub component: &'static str,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(component: &'static str, detail: String) -> Self {
+        Self { component, detail }
+    }
+}
+
+/// A divergence together with its shrunk witness stream.
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    /// Failing check on the shrunk stream.
+    pub component: &'static str,
+    /// Mismatch description on the shrunk stream.
+    pub detail: String,
+    /// Minimal (under removal shrinking) op stream that still diverges.
+    pub ops: Vec<MicroOp>,
+}
+
+/// Outcome of one fuzz case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Case index within the run.
+    pub index: u64,
+    /// Derived stream seed (reproduce with `generate_stream(seed)`).
+    pub seed: u64,
+    /// Platform the case ran on.
+    pub platform: &'static str,
+    /// Generated stream length.
+    pub ops: usize,
+    /// The divergence, if any check failed.
+    pub divergence: Option<CounterExample>,
+}
+
+/// Derives the stream seed of case `index` from the run's base seed
+/// (SplitMix64-style mix, so consecutive indices decorrelate).
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The platform case `index` runs on (round-robin over the Table 7
+/// machines, so every fourth case stresses each configuration).
+pub fn platform_for_case(index: u64) -> PlatformConfig {
+    PlatformConfig::all()[(index % 4) as usize]
+}
+
+/// Generates the adversarial op stream for one seed.
+pub fn generate_stream(seed: u64) -> Vec<MicroOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = rng.gen_range(16usize..160);
+    let mut ops = Vec::with_capacity(len);
+
+    // SSA state mirroring the tape's monotone vreg allocation.
+    let mut counter: u64 = 0;
+    let mut produced: Vec<u64> = Vec::new();
+
+    // Per-static-branch outcome behavior.
+    let n_sids = rng.gen_range(1u32..10);
+    let modes: Vec<u8> = (0..n_sids).map(|_| rng.gen_range(0u8..4)).collect();
+    let mut alternators = vec![false; n_sids as usize];
+
+    // Address-pattern state: one conflict stride per stream plus a hot
+    // page. 32 KB strides collide L1 sets on every platform; 4 MB
+    // strides collide the Alpha's direct-mapped L2; 64 B walks blocks.
+    let stride = [32 * 1024u64, 64, 4 << 20, 2048][rng.gen_range(0usize..4)];
+    let conflict_base =
+        if rng.gen_bool(0.08) { u64::MAX - 2 * (4 << 20) } else { rng.gen_range(0..1u64 << 40) };
+    let hot_base = rng.gen_range(0..1u64 << 32) & !0xFFF;
+    let mut conflict_rung: u64 = 0;
+
+    for _ in 0..len {
+        let sid = StaticId::from_raw(rng.gen_range(0..n_sids));
+        let roll = rng.gen_range(0u32..100);
+        let op = if roll < 30 {
+            let kind = if rng.gen_bool(0.25) { OpKind::FpLoad } else { OpKind::IntLoad };
+            let base = pick_src(&mut rng, &produced, counter);
+            let addr = pick_addr(&mut rng, stride, conflict_base, &mut conflict_rung, hot_base);
+            let dst = pick_dst(&mut rng, &mut counter, &mut produced);
+            MicroOp { sid, kind, dst: Some(dst), srcs: [base, None, None], addr: Some(addr), taken: false }
+        } else if roll < 45 {
+            let kind = if rng.gen_bool(0.2) { OpKind::FpStore } else { OpKind::IntStore };
+            let value = pick_src(&mut rng, &produced, counter);
+            let addr = pick_addr(&mut rng, stride, conflict_base, &mut conflict_rung, hot_base);
+            MicroOp { sid, kind, dst: None, srcs: [value, None, None], addr: Some(addr), taken: false }
+        } else if roll < 65 {
+            let srcs = [
+                pick_src(&mut rng, &produced, counter),
+                pick_src(&mut rng, &produced, counter),
+                None,
+            ];
+            let taken = branch_outcome(&mut rng, modes[sid.index()], &mut alternators[sid.index()]);
+            MicroOp { sid, kind: OpKind::CondBranch, dst: None, srcs, addr: None, taken }
+        } else if roll < 90 {
+            let kind = match rng.gen_range(0u32..10) {
+                0..=6 => OpKind::IntAlu,
+                7 => OpKind::IntMul,
+                _ => OpKind::CondMove,
+            };
+            let srcs = [
+                pick_src(&mut rng, &produced, counter),
+                pick_src(&mut rng, &produced, counter),
+                pick_src(&mut rng, &produced, counter),
+            ];
+            // A select's outcome matters on platforms without
+            // if-conversion, where it executes as compare-and-branch.
+            let taken = kind == OpKind::CondMove
+                && branch_outcome(&mut rng, modes[sid.index()], &mut alternators[sid.index()]);
+            let dst = pick_dst(&mut rng, &mut counter, &mut produced);
+            MicroOp { sid, kind, dst: Some(dst), srcs, addr: None, taken }
+        } else if roll < 95 {
+            // Jumps occasionally carry a (meaningless) address so the
+            // codec's addr flag is exercised off the memory-op path.
+            let addr = rng.gen_bool(0.3).then(|| rng.gen::<u64>());
+            MicroOp { sid, kind: OpKind::Jump, dst: None, srcs: [None; MAX_SRCS], addr, taken: false }
+        } else {
+            let kind = match rng.gen_range(0u32..3) {
+                0 => OpKind::FpAlu,
+                1 => OpKind::FpMul,
+                _ => OpKind::FpDiv,
+            };
+            let srcs = [
+                pick_src(&mut rng, &produced, counter),
+                pick_src(&mut rng, &produced, counter),
+                None,
+            ];
+            let dst = pick_dst(&mut rng, &mut counter, &mut produced);
+            MicroOp { sid, kind, dst: Some(dst), srcs, addr: None, taken: false }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Destination picker: mostly the running counter (the codec's elided
+/// fast path), with `lit()`-style gaps and occasional wild resyncs.
+fn pick_dst(rng: &mut StdRng, counter: &mut u64, produced: &mut Vec<u64>) -> VReg {
+    let roll = rng.gen_range(0u32..100);
+    if (82..94).contains(&roll) {
+        // A lit() gap: vregs claimed with no producing op.
+        *counter += rng.gen_range(1u64..4);
+    } else if (94..98).contains(&roll) {
+        // Forward resync far beyond any near encoding.
+        *counter += rng.gen_range(4u64..100_000);
+    } else if roll >= 98 {
+        // Fully wild destination (can rewind the counter).
+        *counter = rng.gen();
+    }
+    let v = *counter;
+    *counter = counter.wrapping_add(1);
+    produced.push(v);
+    VReg(v)
+}
+
+/// Source picker: biased toward recent producers (near deltas) but with
+/// deep-history, delta-0, future, sentinel, and wild references mixed in.
+fn pick_src(rng: &mut StdRng, produced: &[u64], counter: u64) -> Option<VReg> {
+    let roll = rng.gen_range(0u32..100);
+    match roll {
+        0..=34 => {
+            let window = produced.len().min(8);
+            (window > 0).then(|| {
+                VReg(produced[produced.len() - 1 - rng.gen_range(0..window)])
+            })
+        }
+        35..=49 => (!produced.is_empty()).then(|| VReg(produced[rng.gen_range(0..produced.len())])),
+        50..=57 => Some(VReg(counter)), // delta 0: unencodable as near
+        58..=63 => Some(VReg(counter.wrapping_add(rng.gen_range(1u64..100)))),
+        64..=67 => Some(VReg(u64::MAX)), // ready-ring sentinel alias
+        68..=74 => Some(VReg(rng.gen())),
+        _ => None,
+    }
+}
+
+/// Per-dynamic-branch outcome under one of four per-sid modes.
+fn branch_outcome(rng: &mut StdRng, mode: u8, alternator: &mut bool) -> bool {
+    match mode {
+        0 => true,
+        1 => false,
+        2 => {
+            *alternator = !*alternator;
+            *alternator
+        }
+        _ => rng.gen(),
+    }
+}
+
+/// Memory-address picker over four adversarial classes.
+fn pick_addr(
+    rng: &mut StdRng,
+    stride: u64,
+    conflict_base: u64,
+    conflict_rung: &mut u64,
+    hot_base: u64,
+) -> u64 {
+    match rng.gen_range(0u32..100) {
+        0..=39 => {
+            let addr = conflict_base.wrapping_add(*conflict_rung * stride);
+            *conflict_rung = (*conflict_rung + 1) % 64;
+            addr
+        }
+        40..=69 => hot_base + rng.gen_range(0u64..512) * 8,
+        70..=84 => SPILL_BASE + rng.gen_range(0..SPILL_SLOTS) * 8,
+        _ => rng.gen(),
+    }
+}
+
+/// Runs every differential check over one stream, returning the first
+/// divergence. Check order is cheapest-first so shrinking re-evaluations
+/// stay fast.
+pub fn check_stream(ops: &[MicroOp], platform: &PlatformConfig) -> Option<Divergence> {
+    codec_check(ops)
+        .or_else(|| cache_check(ops, platform))
+        .or_else(|| regfile_check(ops, platform))
+        .or_else(|| predictor_check(ops))
+        .or_else(|| pipeline_check(ops, platform))
+}
+
+/// Packed round-trip vs. the raw stream, via both decode paths.
+fn codec_check(ops: &[MicroOp]) -> Option<Divergence> {
+    let mut stream = PackedStream::new();
+    for op in ops {
+        stream.push(op);
+    }
+    if stream.len() != ops.len() {
+        return Some(Divergence::new(
+            "codec",
+            format!("encoded {} ops out of {}", stream.len(), ops.len()),
+        ));
+    }
+    let mut mismatch = None;
+    let mut i = 0usize;
+    stream.for_each(|decoded| {
+        if mismatch.is_none() && *decoded != ops[i] {
+            mismatch = Some(Divergence::new(
+                "codec",
+                format!("op {i}: for_each decoded {decoded:?}, recorded {:?}", ops[i]),
+            ));
+        }
+        i += 1;
+    });
+    if mismatch.is_some() {
+        return mismatch;
+    }
+    for (i, (decoded, recorded)) in stream.iter().zip(ops).enumerate() {
+        if decoded != *recorded {
+            return Some(Divergence::new(
+                "codec",
+                format!("op {i}: iter decoded {decoded:?}, recorded {recorded:?}"),
+            ));
+        }
+    }
+    None
+}
+
+/// Optimized hierarchy vs. [`RefHierarchy`], per-access and final stats.
+fn cache_check(ops: &[MicroOp], platform: &PlatformConfig) -> Option<Divergence> {
+    let mut optimized = platform.hierarchy();
+    let mut reference = RefHierarchy::for_platform(platform);
+    for (i, op) in ops.iter().enumerate() {
+        let Some(addr) = op.addr else { continue };
+        let kind = if op.kind.is_load() { AccessKind::Load } else { AccessKind::Store };
+        let fast = optimized.access_detailed(addr, kind);
+        let slow = reference.access_detailed(addr, kind);
+        if fast != slow {
+            return Some(Divergence::new(
+                "cache",
+                format!("op {i} addr {addr:#x} {kind:?}: optimized {fast:?}, reference {slow:?}"),
+            ));
+        }
+    }
+    (optimized.stats() != reference.stats()).then(|| {
+        Divergence::new(
+            "cache",
+            format!("final stats: optimized {:?}, reference {:?}", optimized.stats(), reference.stats()),
+        )
+    })
+}
+
+/// Optimized O(1) register file vs. [`RefRegFile`] under the simulator's
+/// touch-sources / insert-destination access pattern.
+fn regfile_check(ops: &[MicroOp], platform: &PlatformConfig) -> Option<Divergence> {
+    let mut optimized = RegFile::new(platform.logical_regs);
+    let mut reference = RefRegFile::new(platform.logical_regs);
+    for (i, op) in ops.iter().enumerate() {
+        for src in op.sources() {
+            let fast = optimized.touch(src.0);
+            let slow = reference.touch(src.0);
+            if fast != slow {
+                return Some(Divergence::new(
+                    "regfile",
+                    format!("op {i} touch({}): optimized {fast}, reference {slow}", src.0),
+                ));
+            }
+        }
+        if let Some(dst) = op.dst {
+            let fast = optimized.insert(dst.0);
+            let slow = reference.insert(dst.0);
+            if fast != slow {
+                return Some(Divergence::new(
+                    "regfile",
+                    format!("op {i} insert({}): optimized {fast:?}, reference {slow:?}", dst.0),
+                ));
+            }
+        }
+    }
+    (optimized.len() != reference.len()).then(|| {
+        Divergence::new(
+            "regfile",
+            format!("residents: optimized {}, reference {}", optimized.len(), reference.len()),
+        )
+    })
+}
+
+/// Optimized per-branch profiler vs. [`RefPredictor`], per-branch
+/// correctness and final totals.
+fn predictor_check(ops: &[MicroOp]) -> Option<Divergence> {
+    let mut optimized = BranchProfiler::new();
+    let mut reference = RefPredictor::new();
+    for (i, op) in ops.iter().enumerate() {
+        if !op.kind.is_cond_branch() {
+            continue;
+        }
+        let fast = optimized.observe(op.sid, op.taken);
+        let slow = reference.observe(op.sid, op.taken);
+        if fast != slow {
+            return Some(Divergence::new(
+                "predictor",
+                format!(
+                    "op {i} sid {} taken {}: optimized correct={fast}, reference correct={slow}",
+                    op.sid.index(),
+                    op.taken
+                ),
+            ));
+        }
+    }
+    (optimized.total_executions() != reference.total_executions()
+        || optimized.total_mispredictions() != reference.total_mispredictions())
+    .then(|| {
+        Divergence::new(
+            "predictor",
+            format!(
+                "totals: optimized {}/{}, reference {}/{}",
+                optimized.total_mispredictions(),
+                optimized.total_executions(),
+                reference.total_mispredictions(),
+                reference.total_executions()
+            ),
+        )
+    })
+}
+
+/// Full cycle simulation, optimized vs. [`RefPipeline`].
+fn pipeline_check(ops: &[MicroOp], platform: &PlatformConfig) -> Option<Divergence> {
+    let program = Program::new();
+    let mut optimized = CycleSim::new(*platform);
+    let mut reference = RefPipeline::new(*platform);
+    for op in ops {
+        optimized.consume(op, &program);
+        reference.consume(op, &program);
+    }
+    let fast = optimized.result();
+    let slow = reference.result();
+    (fast != slow).then(|| {
+        Divergence::new("pipeline", format!("optimized {fast:?}, reference {slow:?}"))
+    })
+}
+
+/// Runs one fuzz case: derive the seed, generate, check, and — on
+/// divergence — shrink to a minimal witness and re-derive its diagnosis.
+pub fn run_case(base_seed: u64, index: u64) -> CaseOutcome {
+    let seed = case_seed(base_seed, index);
+    let platform = platform_for_case(index);
+    let ops = generate_stream(seed);
+    let generated = ops.len();
+    let divergence = check_stream(&ops, &platform).map(|first| {
+        let shrunk = proptest::shrink::minimize_removals(
+            &ops,
+            |candidate| check_stream(candidate, &platform).is_some(),
+            SHRINK_BUDGET,
+        );
+        let on_shrunk = check_stream(&shrunk, &platform).unwrap_or(first);
+        CounterExample { component: on_shrunk.component, detail: on_shrunk.detail, ops: shrunk }
+    });
+    CaseOutcome { index, seed, platform: platform.name, ops: generated, divergence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_stream(7), generate_stream(7));
+        assert_ne!(generate_stream(7), generate_stream(8));
+    }
+
+    #[test]
+    fn streams_cover_the_adversarial_features() {
+        // Over a few seeds the generator must exercise every feature the
+        // checks depend on: memory ops, branches, gaps, far references.
+        let mut mem = 0usize;
+        let mut branches = 0usize;
+        let mut gaps = 0usize;
+        let mut prev_max: u64 = 0;
+        for seed in 0..20u64 {
+            let ops = generate_stream(seed);
+            assert!((16..160).contains(&ops.len()));
+            for op in &ops {
+                if op.addr.is_some() {
+                    mem += 1;
+                }
+                if op.kind.is_cond_branch() {
+                    branches += 1;
+                }
+                if let Some(d) = op.dst {
+                    if d.0 > prev_max.wrapping_add(1) {
+                        gaps += 1;
+                    }
+                    prev_max = d.0;
+                }
+            }
+            prev_max = 0;
+        }
+        assert!(mem > 100, "memory ops: {mem}");
+        assert!(branches > 50, "branches: {branches}");
+        assert!(gaps > 10, "counter gaps: {gaps}");
+    }
+
+    #[test]
+    fn case_seeds_decorrelate() {
+        let s: Vec<u64> = (0..16).map(|i| case_seed(1, i)).collect();
+        let mut unique = s.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), s.len());
+    }
+
+    #[test]
+    fn clean_build_has_no_divergence_on_a_quick_sample() {
+        crate::fault::disarm();
+        for index in 0..24u64 {
+            let outcome = run_case(42, index);
+            assert!(
+                outcome.divergence.is_none(),
+                "case {index} (seed {}) diverged: {:?}",
+                outcome.seed,
+                outcome.divergence
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Naive re-implementation of the per-branch profiling predictor.
+//!
+//! `bioperf_branch::BranchProfiler` lazily boxes one `Hybrid` per static
+//! branch in a dense table. [`RefPredictor`] rebuilds the same semantics
+//! from scratch — its own saturating counters, a plain `Vec` history
+//! table indexed with `%`, and an association-list lookup of per-branch
+//! state — so the two share no code. The contract both must satisfy, per
+//! dynamic branch, in order:
+//!
+//! 1. predict with the chooser-selected component under the *current*
+//!    global history;
+//! 2. train the chooser toward the correct component, but only when the
+//!    components disagree;
+//! 3. train the bimodal counter and the history-indexed counter;
+//! 4. shift the outcome into the shared global history register.
+
+use bioperf_branch::BranchStats;
+use bioperf_isa::{MicroOp, Program, StaticId};
+use bioperf_trace::TraceConsumer;
+
+/// A two-bit saturating counter (0 = strongly not-taken … 3 = strongly
+/// taken), written out longhand.
+#[derive(Debug, Clone, Copy)]
+struct NaiveCounter(u8);
+
+impl NaiveCounter {
+    fn weakly_not_taken() -> Self {
+        Self(1)
+    }
+
+    fn predict(self) -> bool {
+        self.0 == 2 || self.0 == 3
+    }
+
+    fn train(&mut self, taken: bool) {
+        if taken && self.0 < 3 {
+            self.0 += 1;
+        }
+        if !taken && self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+}
+
+/// One static branch's predictor: bimodal + history table + chooser.
+#[derive(Debug, Clone)]
+struct NaiveHybrid {
+    bimodal: NaiveCounter,
+    table: Vec<NaiveCounter>,
+    chooser: NaiveCounter,
+}
+
+impl NaiveHybrid {
+    fn new(history_bits: u32) -> Self {
+        Self {
+            bimodal: NaiveCounter::weakly_not_taken(),
+            table: vec![NaiveCounter::weakly_not_taken(); 1usize << history_bits],
+            chooser: NaiveCounter::weakly_not_taken(),
+        }
+    }
+
+    fn index(&self, history: u64) -> usize {
+        (history % self.table.len() as u64) as usize
+    }
+
+    fn predict(&self, history: u64) -> bool {
+        if self.chooser.predict() {
+            self.table[self.index(history)].predict()
+        } else {
+            self.bimodal.predict()
+        }
+    }
+
+    fn update(&mut self, history: u64, taken: bool) {
+        let bi = self.bimodal.predict();
+        let hi = self.table[self.index(history)].predict();
+        if bi != hi {
+            self.chooser.train(hi == taken);
+        }
+        self.bimodal.train(taken);
+        let idx = self.index(history);
+        self.table[idx].train(taken);
+    }
+}
+
+/// Naive per-static-branch profiler: an association list of hybrids plus
+/// a shared global history register.
+#[derive(Debug, Clone)]
+pub struct RefPredictor {
+    history_bits: u32,
+    global_history: u64,
+    /// `(static index, predictor, executions, mispredictions)` in first-
+    /// seen order, looked up by linear scan.
+    branches: Vec<(usize, NaiveHybrid, u64, u64)>,
+}
+
+impl Default for RefPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RefPredictor {
+    /// A profiler with the measurement default of 10 history bits
+    /// (`BranchProfiler::DEFAULT_HISTORY_BITS`).
+    pub fn new() -> Self {
+        Self::with_history_bits(10)
+    }
+
+    /// A profiler with `2^bits`-entry per-branch history tables.
+    pub fn with_history_bits(bits: u32) -> Self {
+        Self { history_bits: bits, global_history: 0, branches: Vec::new() }
+    }
+
+    /// Observes one dynamic branch; returns whether the prediction was
+    /// correct.
+    pub fn observe(&mut self, sid: StaticId, taken: bool) -> bool {
+        let idx = sid.index();
+        let pos = match self.branches.iter().position(|(i, ..)| *i == idx) {
+            Some(pos) => pos,
+            None => {
+                self.branches.push((idx, NaiveHybrid::new(self.history_bits), 0, 0));
+                self.branches.len() - 1
+            }
+        };
+        let entry = &mut self.branches[pos];
+        let correct = entry.1.predict(self.global_history) == taken;
+        entry.1.update(self.global_history, taken);
+        self.global_history = (self.global_history << 1) | taken as u64;
+        entry.2 += 1;
+        if !correct {
+            entry.3 += 1;
+        }
+        correct
+    }
+
+    /// Statistics for one static branch (zeros if never executed).
+    pub fn stats(&self, sid: StaticId) -> BranchStats {
+        self.branches
+            .iter()
+            .find(|(i, ..)| *i == sid.index())
+            .map(|&(_, _, executions, mispredictions)| BranchStats { executions, mispredictions })
+            .unwrap_or_default()
+    }
+
+    /// Total dynamic branches observed.
+    pub fn total_executions(&self) -> u64 {
+        self.branches.iter().map(|(_, _, e, _)| e).sum()
+    }
+
+    /// Total dynamic mispredictions observed.
+    pub fn total_mispredictions(&self) -> u64 {
+        self.branches.iter().map(|(_, _, _, m)| m).sum()
+    }
+}
+
+impl TraceConsumer for RefPredictor {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        if op.kind.is_cond_branch() {
+            self.observe(op.sid, op.taken);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> StaticId {
+        StaticId::from_raw(n)
+    }
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = RefPredictor::new();
+        for _ in 0..100 {
+            p.observe(sid(0), true);
+        }
+        let s = p.stats(sid(0));
+        assert_eq!(s.executions, 100);
+        assert!(s.mispredictions <= 2, "{} wrong on an always-taken branch", s.mispredictions);
+    }
+
+    #[test]
+    fn branches_are_isolated() {
+        let mut p = RefPredictor::new();
+        for _ in 0..200 {
+            p.observe(sid(3), true);
+            p.observe(sid(9), false);
+        }
+        assert!(p.stats(sid(3)).mispredictions <= 2);
+        assert!(p.stats(sid(9)).mispredictions <= 2);
+        assert_eq!(p.total_executions(), 400);
+        assert_eq!(p.stats(sid(7)), BranchStats::default());
+    }
+}

@@ -1,0 +1,40 @@
+//! The unpacked reference recorder.
+//!
+//! `bioperf_trace::Recorder` stores ops in the 12-byte packed encoding
+//! with SSA destination elision and delta-compressed sources. `RefTape`
+//! is the encoding-free alternative: it just keeps every [`MicroOp`]
+//! verbatim. Diffing a packed recording's decode against a `RefTape` of
+//! the same stream is the codec conformance check.
+
+use bioperf_isa::{MicroOp, Program};
+use bioperf_trace::TraceConsumer;
+
+/// Records a micro-op stream with no encoding at all.
+#[derive(Debug, Clone, Default)]
+pub struct RefTape {
+    /// Every consumed op, in trace order.
+    pub ops: Vec<MicroOp>,
+}
+
+impl RefTape {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl TraceConsumer for RefTape {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        self.ops.push(*op);
+    }
+}

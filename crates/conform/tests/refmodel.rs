@@ -1,0 +1,62 @@
+//! Direct reference-vs-optimized checks that predate the fuzzer: a long
+//! adversarial register-file sequence (moved here from the root
+//! `tests/regfile_equivalence.rs`, which now also uses [`RefRegFile`] as
+//! its oracle) and hierarchy agreement on a stride ladder.
+
+use bioperf_cache::AccessKind;
+use bioperf_conform::{RefHierarchy, RefRegFile};
+use bioperf_pipe::{PlatformConfig, RegFile};
+
+/// 50k mixed touch/insert steps over value distributions chosen to force
+/// rapid eviction churn (small dense), far-flung values (sparse), and
+/// recurring values (cyclic), at capacities from degenerate to large.
+#[test]
+fn optimized_regfile_matches_reference_on_adversarial_sequence() {
+    for regs in [3u32, 6, 34, 128] {
+        let mut fast = RegFile::new(regs);
+        let mut slow = RefRegFile::new(regs);
+        let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+        for step in 0..50_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = match state >> 62 {
+                0 => state % 16,
+                1 => (state % 64) * 512,
+                _ => step % 2048,
+            };
+            if state & 1 == 0 {
+                assert_eq!(fast.touch(v), slow.touch(v), "regs={regs} step={step} touch({v})");
+            } else {
+                assert_eq!(fast.insert(v), slow.insert(v), "regs={regs} step={step} insert({v})");
+            }
+        }
+        assert_eq!(fast.len(), slow.len(), "resident count at regs={regs}");
+    }
+}
+
+/// Every platform's optimized hierarchy agrees with the reference on a
+/// deterministic conflict ladder that spans L1 sets, L2 sets, and memory.
+#[test]
+fn optimized_hierarchy_matches_reference_on_conflict_ladder() {
+    for platform in PlatformConfig::all() {
+        let mut fast = platform.hierarchy();
+        let mut slow = RefHierarchy::for_platform(&platform);
+        let mut addr: u64 = 0x40;
+        for step in 0..20_000u32 {
+            let kind = if step % 3 == 0 { AccessKind::Store } else { AccessKind::Load };
+            let a = fast.access_detailed(addr, kind);
+            let b = slow.access_detailed(addr, kind);
+            assert_eq!(a, b, "{} step {step} addr {addr:#x}", platform.name);
+            // Walk a mixed-stride ladder: blocks, L1-set conflicts, and
+            // an occasional fold back to the start.
+            addr = match step % 7 {
+                0..=2 => addr.wrapping_add(64),
+                3 | 4 => addr.wrapping_add(32 * 1024),
+                5 => addr.wrapping_add(4 << 20),
+                _ => addr & 0xFFFF,
+            };
+        }
+        assert_eq!(fast.stats(), slow.stats(), "{} final stats", platform.name);
+    }
+}

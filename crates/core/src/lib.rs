@@ -54,5 +54,6 @@ pub use coverage::LoadCoverage;
 pub use evaluate::{evaluate_program, EvalCell, EvalMatrix};
 pub use loadchar::{HotLoad, LoadBranchAnalysis, SequenceSummary};
 pub use orchestrate::{
-    characterize_all, evaluate_all, run_jobs, run_suite, SuiteConfig, SuiteError, SuiteResult,
+    characterize_all, evaluate_all, run_conform, run_jobs, run_suite, ConformConfig,
+    ConformResult, FaultId, ProgramCrossCheck, SuiteConfig, SuiteError, SuiteResult,
 };

@@ -22,16 +22,29 @@
 //!
 //! Trace-capacity overflow surfaces as a typed [`SuiteError`] (the
 //! `suite` CLI reports it and exits 1) rather than a panic.
+//!
+//! The same pool also drives the conformance harness ([`run_conform`]):
+//! seeded differential fuzz cases (optimized implementations vs. the
+//! `bioperf_conform` reference models) fan out one job per case, the
+//! nine real program traces are cross-checked end-to-end, and mutation
+//! mode arms one catalogued [`FaultId`] before spawning workers so the
+//! fuzzer can prove it would catch that bug class.
 
 use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use bioperf_conform::fuzz::{self, CaseOutcome};
+use bioperf_conform::{RefPipeline, RefTape};
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
 use bioperf_metrics::{Json, MetricSet, Timings};
 use bioperf_pipe::{CycleSim, PlatformConfig, SimResult};
 use bioperf_trace::{replay::DEFAULT_CAPACITY, Recorder, Recording, Tape};
+
+pub use bioperf_conform::{fault, FaultId};
 
 use crate::characterize::{CharacterizationReport, Characterizer};
 use crate::evaluate::{EvalCell, EvalMatrix};
@@ -133,6 +146,22 @@ pub struct SuiteConfig {
     /// collected; this switch only controls the per-access event sinks,
     /// which are the part with a (small) hot-loop cost.
     pub metrics: bool,
+    /// Recorder capacity (in ops) for every captured trace; `0` means
+    /// [`DEFAULT_CAPACITY`]. Small caps force the
+    /// [`SuiteError::TraceOverflow`] path deterministically.
+    pub trace_cap: usize,
+}
+
+impl SuiteConfig {
+    /// The effective recorder capacity ([`DEFAULT_CAPACITY`] when
+    /// [`Self::trace_cap`] is `0`).
+    pub fn capacity(&self) -> usize {
+        if self.trace_cap == 0 {
+            DEFAULT_CAPACITY
+        } else {
+            self.trace_cap
+        }
+    }
 }
 
 /// Wall-clock replay throughput, aggregated over the suite's replay
@@ -327,6 +356,7 @@ fn prepare_program(
     scale: Scale,
     seed: u64,
     events: bool,
+    capacity: usize,
 ) -> Result<PreparedProgram, SuiteError> {
     let name = program.name();
     let mut timings = Timings::new();
@@ -347,7 +377,7 @@ fn prepare_program(
 
     // Single original-variant execution: the tuple consumer fans the op
     // stream out to the characterizer and the replay recorder at once.
-    let mut tape = Tape::new((characterizer, Recorder::new()));
+    let mut tape = Tape::new((characterizer, Recorder::with_capacity(capacity)));
     timings.time(&format!("{name}/trace"), || {
         registry::run(&mut tape, program, Variant::Original, scale, seed);
     });
@@ -365,7 +395,7 @@ fn prepare_program(
     metrics.merge_prefixed(&format!("events/{name}/cache/"), &report.events);
 
     let transformed = timings.time(&format!("{name}/trace"), || {
-        record_variant(program, Variant::LoadTransformed, scale, seed, DEFAULT_CAPACITY)
+        record_variant(program, Variant::LoadTransformed, scale, seed, capacity)
     })?;
     Ok(PreparedProgram {
         report,
@@ -471,9 +501,10 @@ pub fn run_suite(cfg: SuiteConfig) -> Result<SuiteResult, SuiteError> {
     let threads = if cfg.jobs == 0 { default_jobs() } else { cfg.jobs };
 
     // Wave 1: trace + characterize + record, one job per program.
+    let capacity = cfg.capacity();
     let jobs: Vec<_> = ProgramId::ALL
         .into_iter()
-        .map(|program| move || prepare_program(program, cfg.scale, cfg.seed, cfg.metrics))
+        .map(|program| move || prepare_program(program, cfg.scale, cfg.seed, cfg.metrics, capacity))
         .collect();
     let results = run_jobs(jobs, threads);
 
@@ -579,6 +610,289 @@ pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> Result<EvalMatrix, 
     Ok(EvalMatrix { cells: replay.per_program.into_iter().flat_map(|p| p.cells).collect() })
 }
 
+/// Schema tag of the conformance report (`conform --metrics`); bump on
+/// breaking shape changes.
+pub const CONFORM_SCHEMA: &str = "bioperf-conform/v1";
+
+/// Configuration for [`run_conform`].
+#[derive(Debug, Clone)]
+pub struct ConformConfig {
+    /// Seeded fuzz cases to run.
+    pub cases: u64,
+    /// Base seed; case `i`'s stream seed is derived from it.
+    pub seed: u64,
+    /// Worker threads; `0` means [`default_jobs`].
+    pub jobs: usize,
+    /// Arm this catalogued fault for the fuzz run (mutation mode).
+    pub inject: Option<FaultId>,
+    /// Also cross-check the nine real program traces end-to-end
+    /// (ignored in mutation mode, where only the fuzzer runs).
+    pub check_programs: bool,
+    /// Directory for shrunk counterexample artifacts (written only when
+    /// a *clean* run diverges — in mutation mode divergence is the
+    /// expected outcome).
+    pub out_dir: Option<PathBuf>,
+}
+
+/// End-to-end differential check of one real program's captured trace.
+#[derive(Debug, Clone)]
+pub struct ProgramCrossCheck {
+    /// Program that was traced.
+    pub program: ProgramId,
+    /// Ops in the recorded trace.
+    pub ops: u64,
+    /// Platform models replayed (optimized and reference each).
+    pub platforms: usize,
+    /// First mismatch found, if any.
+    pub divergence: Option<String>,
+}
+
+/// Everything [`run_conform`] produces.
+#[derive(Debug)]
+pub struct ConformResult {
+    /// Fuzz cases run.
+    pub cases: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// The fault armed during the run, if any.
+    pub injected: Option<FaultId>,
+    /// Total generated stream ops across all cases.
+    pub fuzz_ops: u64,
+    /// The divergent cases, in case order, each carrying its shrunk
+    /// counterexample.
+    pub divergent: Vec<CaseOutcome>,
+    /// Per-program end-to-end cross-checks (empty unless requested).
+    pub programs: Vec<ProgramCrossCheck>,
+    /// Counterexample files written to [`ConformConfig::out_dir`].
+    pub artifacts: Vec<PathBuf>,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl ConformResult {
+    /// Index of the first divergent case (the detection latency that
+    /// mutation mode compares against [`FaultId::budget`]).
+    pub fn first_detection(&self) -> Option<u64> {
+        self.divergent.first().map(|o| o.index)
+    }
+
+    /// Whether every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.divergent.is_empty() && self.programs.iter().all(|p| p.divergence.is_none())
+    }
+
+    /// The deterministic conformance report. Case outcomes are in case
+    /// order and shrinking is deterministic, so this is byte-identical
+    /// for every worker count (`conform --jobs 1` vs `--jobs 4`).
+    pub fn deterministic_json(&self) -> Json {
+        let divergent: Vec<Json> = self
+            .divergent
+            .iter()
+            .map(|o| {
+                let ce = o.divergence.as_ref().expect("divergent cases carry a counterexample");
+                Json::object(vec![
+                    ("case", Json::U64(o.index)),
+                    ("stream_seed", Json::U64(o.seed)),
+                    ("platform", Json::str(o.platform)),
+                    ("component", Json::str(ce.component)),
+                    ("witness_ops", Json::U64(ce.ops.len() as u64)),
+                    ("detail", Json::str(ce.detail.clone())),
+                ])
+            })
+            .collect();
+        let programs: Vec<Json> = self
+            .programs
+            .iter()
+            .map(|p| {
+                Json::object(vec![
+                    ("program", Json::str(p.program.name())),
+                    ("ops", Json::U64(p.ops)),
+                    ("platforms", Json::U64(p.platforms as u64)),
+                    ("divergence", p.divergence.clone().map_or(Json::Null, Json::Str)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            (
+                "config",
+                Json::object(vec![
+                    ("cases", Json::U64(self.cases)),
+                    ("seed", Json::U64(self.seed)),
+                    (
+                        "fault",
+                        Json::str(self.injected.map_or("none", FaultId::name)),
+                    ),
+                ]),
+            ),
+            (
+                "fuzz",
+                Json::object(vec![
+                    ("ops", Json::U64(self.fuzz_ops)),
+                    ("divergences", Json::U64(self.divergent.len() as u64)),
+                    ("first_detection", self.first_detection().map_or(Json::Null, Json::U64)),
+                ]),
+            ),
+            ("divergent", Json::Array(divergent)),
+            ("programs", Json::Array(programs)),
+        ])
+    }
+
+    /// The full conformance document: `schema` plus the
+    /// [`deterministic`](Self::deterministic_json) report. Unlike the
+    /// suite document there is no `run` section — worker count and
+    /// throughput go to stderr — so the whole file is byte-identical
+    /// across worker counts.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema", Json::str(CONFORM_SCHEMA)),
+            ("deterministic", self.deterministic_json()),
+        ])
+    }
+}
+
+/// Traces `program` once with a `(RefTape, Recorder)` fan-out and diffs
+/// the packed trace against the unpacked reference tape, then replays
+/// the recording through each applicable platform's optimized and
+/// reference simulators and diffs their results.
+fn cross_check_program(program: ProgramId, seed: u64) -> ProgramCrossCheck {
+    let mut tape = Tape::new((RefTape::new(), Recorder::new()));
+    registry::run(&mut tape, program, Variant::Original, Scale::Test, seed);
+    let (static_program, (reference, recorder)) = tape.finish();
+    let ops = recorder.len() as u64;
+    let fail = |divergence: String| ProgramCrossCheck {
+        program,
+        ops,
+        platforms: 0,
+        divergence: Some(divergence),
+    };
+    if recorder.overflowed() {
+        return fail(format!("trace overflowed the recorder after {ops} ops"));
+    }
+    let recording = recorder.into_recording(static_program);
+
+    // Codec: the packed recording must decode to the unpacked tape.
+    if recording.len() != reference.len() {
+        return fail(format!("codec: packed {} ops, reference {}", recording.len(), reference.len()));
+    }
+    for (i, decoded) in recording.iter().enumerate() {
+        if decoded != reference.ops[i] {
+            return fail(format!(
+                "codec: op {i}: packed {decoded:?}, reference {:?}",
+                reference.ops[i]
+            ));
+        }
+    }
+
+    // Pipelines: optimized and reference simulators consume the same
+    // replay side by side via the tuple fan-out.
+    let platforms = applicable_platforms(program);
+    let replayed = platforms.len();
+    for platform in platforms {
+        let mut pair = (CycleSim::new(platform), RefPipeline::new(platform));
+        recording.replay(&mut pair);
+        let fast = pair.0.result();
+        let slow = pair.1.result();
+        if fast != slow {
+            return fail(format!("{}: optimized {fast:?}, reference {slow:?}", platform.name));
+        }
+    }
+    ProgramCrossCheck { program, ops, platforms: replayed, divergence: None }
+}
+
+/// Writes one shrunk counterexample as a self-contained text artifact.
+fn write_counterexample(dir: &Path, base_seed: u64, outcome: &CaseOutcome) -> io::Result<PathBuf> {
+    use std::fmt::Write as _;
+    let ce = outcome.divergence.as_ref().expect("only divergent cases are written");
+    let mut text = String::new();
+    let _ = writeln!(text, "conformance counterexample");
+    let _ = writeln!(text, "base seed:   {base_seed}");
+    let _ = writeln!(text, "case index:  {}", outcome.index);
+    let _ = writeln!(text, "stream seed: {:#x}", outcome.seed);
+    let _ = writeln!(text, "platform:    {}", outcome.platform);
+    let _ = writeln!(text, "component:   {}", ce.component);
+    let _ = writeln!(text, "detail:      {}", ce.detail);
+    let _ = writeln!(text);
+    let _ = writeln!(
+        text,
+        "reproduce: bioperf-loadchar conform --cases {} --seed {base_seed} --jobs 1",
+        outcome.index + 1
+    );
+    let _ = writeln!(
+        text,
+        "(the full {}-op stream is generate_stream({:#x}); the {} ops below are the",
+        outcome.ops,
+        outcome.seed,
+        ce.ops.len()
+    );
+    let _ = writeln!(text, "removal-shrunk witness — see DESIGN.md section 6)");
+    let _ = writeln!(text);
+    for (i, op) in ce.ops.iter().enumerate() {
+        let _ = writeln!(text, "[{i:3}] {op:?}");
+    }
+    let path = dir.join(format!("case-{:05}.txt", outcome.index));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Runs the conformance harness: seeded differential fuzzing of every
+/// simulator against its reference model (one pool job per case), plus
+/// — in clean mode — the nine real program trace cross-checks.
+///
+/// Mutation mode ([`ConformConfig::inject`]) arms the fault *before*
+/// spawning workers (the `SeqCst` store happens-before every job) and
+/// disarms it before returning, whatever the outcome.
+pub fn run_conform(cfg: &ConformConfig) -> io::Result<ConformResult> {
+    let start = Instant::now();
+    let threads = if cfg.jobs == 0 { default_jobs() } else { cfg.jobs };
+
+    match cfg.inject {
+        Some(f) => fault::arm(f),
+        None => fault::disarm(),
+    }
+    let seed = cfg.seed;
+    let jobs: Vec<_> = (0..cfg.cases).map(|index| move || fuzz::run_case(seed, index)).collect();
+    let outcomes = run_jobs(jobs, threads);
+    fault::disarm();
+
+    let fuzz_ops = outcomes.iter().map(|o| o.ops as u64).sum();
+    let divergent: Vec<CaseOutcome> =
+        outcomes.into_iter().filter(|o| o.divergence.is_some()).collect();
+
+    let programs = if cfg.inject.is_none() && cfg.check_programs {
+        let jobs: Vec<_> = ProgramId::ALL
+            .into_iter()
+            .map(|program| move || cross_check_program(program, seed))
+            .collect();
+        run_jobs(jobs, threads)
+    } else {
+        Vec::new()
+    };
+
+    let mut artifacts = Vec::new();
+    if cfg.inject.is_none() && !divergent.is_empty() {
+        if let Some(dir) = &cfg.out_dir {
+            std::fs::create_dir_all(dir)?;
+            for outcome in &divergent {
+                artifacts.push(write_counterexample(dir, cfg.seed, outcome)?);
+            }
+        }
+    }
+
+    Ok(ConformResult {
+        cases: cfg.cases,
+        seed: cfg.seed,
+        workers: threads,
+        injected: cfg.inject,
+        fuzz_ops,
+        divergent,
+        programs,
+        artifacts,
+        elapsed: start.elapsed(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,7 +922,8 @@ mod tests {
         // and capture both variants' traces for the replay shards.
         let direct =
             crate::characterize::characterize_program(ProgramId::Hmmsearch, Scale::Test, 7);
-        let job = prepare_program(ProgramId::Hmmsearch, Scale::Test, 7, false).expect("prepare");
+        let job = prepare_program(ProgramId::Hmmsearch, Scale::Test, 7, false, DEFAULT_CAPACITY)
+            .expect("prepare");
         assert_eq!(direct.mix, job.report.mix);
         assert_eq!(direct.cache, job.report.cache);
         assert_eq!(direct.sequences.loads_to_branch, job.report.sequences.loads_to_branch);
@@ -654,10 +969,12 @@ mod tests {
 
     #[test]
     fn parallel_suite_equals_sequential_suite() {
-        let seq = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1, metrics: true })
-            .expect("suite");
-        let par = run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4, metrics: true })
-            .expect("suite");
+        let seq =
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1, metrics: true, trace_cap: 0 })
+                .expect("suite");
+        let par =
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4, metrics: true, trace_cap: 0 })
+                .expect("suite");
         assert_eq!(seq.reports.len(), par.reports.len());
         for ((pa, a), (pb, b)) in seq.reports.iter().zip(&par.reports) {
             assert_eq!(pa, pb);
@@ -687,8 +1004,9 @@ mod tests {
 
     #[test]
     fn suite_json_has_expected_shape() {
-        let suite = run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: false })
-            .expect("suite");
+        let suite =
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: false, trace_cap: 0 })
+                .expect("suite");
         let doc = suite.to_json();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SUITE_SCHEMA));
         assert_eq!(doc.keys(), vec!["schema", "run", "deterministic"]);
@@ -716,7 +1034,7 @@ mod tests {
         // Raw simulator events only appear when asked for.
         assert!(counters.keys().iter().all(|k| !k.starts_with("events/")));
         let with_events =
-            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: true })
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: true, trace_cap: 0 })
                 .expect("suite");
         let doc = with_events.to_json();
         let counters = doc.get("deterministic").and_then(|d| d.get("counters")).expect("counters");
@@ -725,6 +1043,52 @@ mod tests {
         let text = doc.render_pretty();
         let parsed = bioperf_metrics::json::parse(&text).expect("suite JSON parses");
         assert_eq!(parsed.render(), doc.render());
+    }
+
+    #[test]
+    fn suite_respects_a_small_trace_cap() {
+        let err =
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 42, jobs: 1, metrics: false, trace_cap: 16 })
+                .expect_err("16-op capacity must overflow");
+        let SuiteError::TraceOverflow { captured, .. } = err;
+        assert_eq!(captured, 16);
+    }
+
+    // No test here arms a fault: the injection atomics are process-global
+    // and this binary's tests run concurrently. Mutation coverage lives
+    // in the conform crate's serial `tests/inject.rs`.
+    #[test]
+    fn conform_fuzz_report_is_identical_across_worker_counts() {
+        let cfg = |jobs| ConformConfig {
+            cases: 12,
+            seed: 7,
+            jobs,
+            inject: None,
+            check_programs: false,
+            out_dir: None,
+        };
+        let seq = run_conform(&cfg(1)).expect("conform");
+        let par = run_conform(&cfg(4)).expect("conform");
+        assert!(seq.is_clean(), "clean build diverged: {:?}", seq.divergent.first());
+        assert_eq!(seq.workers, 1);
+        assert_eq!(par.workers, 4);
+        assert_eq!(seq.fuzz_ops, par.fuzz_ops);
+        // The whole JSON document, not just a section, is byte-stable.
+        assert_eq!(seq.to_json().render_pretty(), par.to_json().render_pretty());
+        let doc = seq.to_json();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(CONFORM_SCHEMA));
+        let det = doc.get("deterministic").expect("deterministic section");
+        assert_eq!(det.keys(), vec!["config", "fuzz", "divergent", "programs"]);
+        assert_eq!(det.get("config").and_then(|c| c.get("fault")).and_then(Json::as_str), Some("none"));
+        assert!(det.get("fuzz").and_then(|f| f.get("ops")).and_then(Json::as_u64).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn program_cross_check_passes_on_a_real_trace() {
+        let check = cross_check_program(ProgramId::Predator, 5);
+        assert_eq!(check.divergence, None, "predator trace diverged");
+        assert!(check.ops > 0);
+        assert_eq!(check.platforms, applicable_platforms(ProgramId::Predator).len());
     }
 
     #[test]

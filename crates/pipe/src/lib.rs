@@ -42,6 +42,7 @@
 //! ```
 
 pub mod config;
+pub mod inject;
 pub mod regfile;
 pub mod simulator;
 

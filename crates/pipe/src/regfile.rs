@@ -76,7 +76,9 @@ impl RegFile {
     /// Touches `v`; returns `true` if it was resident (now MRU).
     pub fn touch(&mut self, v: u64) -> bool {
         if let Some(slot) = self.find(v) {
-            self.move_to_mru(slot);
+            if !crate::inject::active(crate::inject::REGFILE_TOUCH_STALE) {
+                self.move_to_mru(slot);
+            }
             true
         } else {
             false
@@ -97,7 +99,11 @@ impl RegFile {
             None
         } else {
             // Reuse the LRU slot for the incoming value.
-            let slot = self.head;
+            let slot = if crate::inject::active(crate::inject::REGFILE_EVICT_MRU) {
+                self.tail
+            } else {
+                self.head
+            };
             let evicted = self.slots[slot as usize].value;
             self.index_remove(evicted);
             self.unlink(slot);
@@ -192,43 +198,15 @@ impl RegFile {
     }
 }
 
+// The scanned reference implementation this LRU replaced lives in the
+// conformance crate as `bioperf_conform::RefRegFile` (this crate cannot
+// depend on it without a cycle). Differential coverage — adversarial
+// synthetic sequences, real-trace equivalence, seeded fuzzing — lives in
+// `crates/conform` and `tests/regfile_equivalence.rs`; the tests below
+// only pin the basic LRU contract directly.
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The scanned reference implementation the LRU replaced; kept here
-    /// (and in `tests/regfile_equivalence.rs`) as the semantic oracle.
-    struct VecRegFile {
-        slots: Vec<u64>,
-        capacity: usize,
-    }
-
-    impl VecRegFile {
-        fn new(logical_regs: u32) -> Self {
-            let capacity = (logical_regs.saturating_sub(2)).max(2) as usize;
-            Self { slots: Vec::with_capacity(capacity), capacity }
-        }
-
-        fn touch(&mut self, v: u64) -> bool {
-            if let Some(pos) = self.slots.iter().position(|&x| x == v) {
-                let val = self.slots.remove(pos);
-                self.slots.push(val);
-                true
-            } else {
-                false
-            }
-        }
-
-        fn insert(&mut self, v: u64) -> Option<u64> {
-            if self.touch(v) {
-                return None;
-            }
-            let evicted =
-                if self.slots.len() == self.capacity { Some(self.slots.remove(0)) } else { None };
-            self.slots.push(v);
-            evicted
-        }
-    }
 
     #[test]
     fn lru_semantics() {
@@ -265,30 +243,5 @@ mod tests {
         assert_eq!(rf.insert(2), None);
         assert_eq!(rf.len(), 3);
         assert_eq!(rf.insert(4), Some(1), "2 refreshed, 1 remains LRU");
-    }
-
-    #[test]
-    fn matches_scanned_reference_on_adversarial_sequence() {
-        // Deterministic pseudo-random access pattern with heavy reuse and
-        // hash-collision-prone values (multiples of the table size).
-        for &regs in &[3u32, 6, 34, 128] {
-            let mut fast = RegFile::new(regs);
-            let mut slow = VecRegFile::new(regs);
-            let mut state = 0x2545_F491_4F6C_DD1Du64;
-            for step in 0..50_000u64 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                let v = match state >> 62 {
-                    0 => state % 16,            // hot set
-                    1 => (state % 64) * 512,    // collision-prone strides
-                    _ => step % 2048,           // sweeping reuse
-                };
-                if state & 1 == 0 {
-                    assert_eq!(fast.touch(v), slow.touch(v), "touch({v}) at step {step}");
-                } else {
-                    assert_eq!(fast.insert(v), slow.insert(v), "insert({v}) at step {step}");
-                }
-            }
-            assert_eq!(fast.len(), slow.slots.len());
-        }
     }
 }

@@ -309,10 +309,12 @@ impl CycleSim {
             // Redirect: the front end restarts after the branch resolves —
             // resolution delay (e.g. waiting on a load) adds directly to
             // the misprediction cost.
-            let redirect = resolve + self.cfg.mispredict_penalty;
-            if redirect > self.fetch_cycle {
-                self.fetch_cycle = redirect;
-                self.fetched_this_cycle = 0;
+            if !crate::inject::active(crate::inject::DROPPED_FLUSH) {
+                let redirect = resolve + self.cfg.mispredict_penalty;
+                if redirect > self.fetch_cycle {
+                    self.fetch_cycle = redirect;
+                    self.fetched_this_cycle = 0;
+                }
             }
         }
         !correct

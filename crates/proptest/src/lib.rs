@@ -5,20 +5,26 @@
 //! repository's property tests use — the [`proptest!`] macro,
 //! [`prop_assert!`]/[`prop_assert_eq!`], range and tuple strategies,
 //! [`prelude::any`], `prop::collection::vec`, `prop::bool::ANY`,
-//! [`strategy::Just`], [`prop_oneof!`], and `prop_map` — with two
-//! deliberate simplifications:
+//! [`strategy::Just`], [`prop_oneof!`], and `prop_map` — with these
+//! properties:
 //!
-//! * **No shrinking.** A failing case reports its inputs via the panic
-//!   message (every generated argument is formatted into it), but no
-//!   minimization pass runs.
+//! * **Greedy shrinking.** A failing case is minimized before being
+//!   reported: ranges descend toward their low end, vectors drop chunks
+//!   and elements ([`shrink::vec_candidates`]), tuples shrink one
+//!   component at a time, all driven to a fixpoint by
+//!   [`shrink::minimize`] under a bounded probe budget. Both the
+//!   original and the minimal inputs are printed. Generated values must
+//!   be `Clone` (they are re-tested during minimization).
 //! * **Deterministic seeding.** Cases derive from a fixed per-test seed
-//!   (an FNV hash of the test's module path and name), so failures
-//!   reproduce exactly on every run and machine.
+//!   (an FNV hash of the test's module path and name), so failures —
+//!   and their shrunk witnesses — reproduce exactly on every run and
+//!   machine.
 //!
 //! The default case count is 64 (upstream defaults to 256); tests that
 //! need a different budget say so with
 //! `#![proptest_config(ProptestConfig::with_cases(n))]`.
 
+pub mod shrink;
 pub mod strategy;
 pub mod test_runner;
 
@@ -67,23 +73,22 @@ macro_rules! proptest {
             #[allow(unused_imports)]
             use $crate::strategy::Strategy as _;
             let __cfg: $crate::test_runner::ProptestConfig = $cfg;
-            let mut __rng = $crate::test_runner::rng_for(
+            // Strategies are built once and combined as a tuple so the
+            // shrinker can re-derive candidates for the whole argument
+            // pack; the runner clones values out per probe.
+            $crate::test_runner::run_cases(
                 concat!(module_path!(), "::", stringify!($name)),
-            );
-            for __case in 0..__cfg.cases {
-                $(let $arg = ($strat).generate(&mut __rng);)+
-                let __inputs = format!(
-                    concat!("case {} of {}: ", $(stringify!($arg), " = {:?}, ",)+ ""),
-                    __case, __cfg.cases, $(&$arg,)+
-                );
-                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                __cfg,
+                &($(&$strat,)+),
+                |__vals| {
+                    let ($($arg,)+) = __vals;
+                    format!(concat!($(stringify!($arg), " = {:?}, ",)+ ""), $($arg,)+)
+                },
+                |__vals| {
+                    let ($($arg,)+) = __vals;
                     $body
-                }));
-                if let Err(panic) = __outcome {
-                    eprintln!("proptest failure inputs: {__inputs}");
-                    ::std::panic::resume_unwind(panic);
-                }
-            }
+                },
+            );
         })*
     };
     ($($rest:tt)*) => {

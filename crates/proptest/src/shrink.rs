@@ -1,0 +1,194 @@
+//! Greedy counterexample minimization.
+//!
+//! [`Strategy::shrink`] proposes simpler candidates for one value;
+//! [`minimize`] drives those proposals to a fixpoint under a
+//! "still fails" predicate, which is exactly what the [`proptest!`] macro
+//! and the conformance fuzzer need: the smallest input the caller's check
+//! still rejects. Everything is deterministic — candidate order is fixed,
+//! so the same failure always minimizes to the same witness.
+//!
+//! [`proptest!`]: crate::proptest
+
+use crate::strategy::Strategy;
+
+/// Candidate budget the [`proptest!`](crate::proptest) macro spends on
+/// minimizing a failing case before reporting it.
+pub const MACRO_SHRINK_BUDGET: usize = 1024;
+
+/// Simplification candidates for a vector: chunk removals (largest
+/// chunks first, so the minimizer discards dead weight in few probes),
+/// then single-element removals, then per-element simplifications via
+/// `shrink_elem`. Candidates never go below `min_len` elements.
+pub fn vec_candidates<T: Clone>(
+    value: &[T],
+    min_len: usize,
+    shrink_elem: impl Fn(&T) -> Vec<T>,
+) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    // Removal passes: chunks of len/2, len/4, ..., 1.
+    let mut chunk = value.len() / 2;
+    while chunk >= 1 {
+        if value.len() - chunk >= min_len {
+            let mut start = 0;
+            while start + chunk <= value.len() {
+                let mut candidate = Vec::with_capacity(value.len() - chunk);
+                candidate.extend_from_slice(&value[..start]);
+                candidate.extend_from_slice(&value[start + chunk..]);
+                out.push(candidate);
+                start += chunk;
+            }
+        }
+        chunk /= 2;
+    }
+    // Element passes: each position simplified in place.
+    for (i, elem) in value.iter().enumerate() {
+        for simpler in shrink_elem(elem) {
+            let mut candidate = value.to_vec();
+            candidate[i] = simpler;
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// Greedily minimizes `value` under `strategy`'s candidates: any
+/// candidate for which `still_fails` holds replaces the value and the
+/// search restarts from it, until no candidate fails or `budget`
+/// predicate evaluations are spent. Returns the smallest failing value
+/// found (at worst the input itself).
+pub fn minimize<S: Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut still_fails: impl FnMut(&S::Value) -> bool,
+    budget: usize,
+) -> S::Value {
+    let mut evals = 0usize;
+    'fixpoint: loop {
+        for candidate in strategy.shrink(&value) {
+            if evals >= budget {
+                break 'fixpoint;
+            }
+            evals += 1;
+            if still_fails(&candidate) {
+                value = candidate;
+                continue 'fixpoint;
+            }
+        }
+        break;
+    }
+    value
+}
+
+/// Removal-only variant of [`minimize`] for plain slices with no
+/// strategy attached (the conformance fuzzer's op streams): greedily
+/// deletes chunks, then single elements, to a fixpoint.
+pub fn minimize_removals<T: Clone>(
+    value: &[T],
+    mut still_fails: impl FnMut(&[T]) -> bool,
+    budget: usize,
+) -> Vec<T> {
+    let mut current = value.to_vec();
+    let mut evals = 0usize;
+    'fixpoint: loop {
+        for candidate in vec_candidates(&current, 0, |_| Vec::new()) {
+            if evals >= budget {
+                break 'fixpoint;
+            }
+            evals += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                continue 'fixpoint;
+            }
+        }
+        break;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{vec, BOOL_ANY};
+
+    #[test]
+    fn integer_range_minimizes_to_smallest_failing_value() {
+        // Predicate "fails" for anything >= 13: the minimum witness is 13.
+        let found = minimize(&(0u32..1000), 700, |v| *v >= 13, 10_000);
+        assert_eq!(found, 13);
+    }
+
+    #[test]
+    fn integer_range_respects_lower_bound() {
+        let found = minimize(&(5i64..100), 60, |v| *v >= 2, 10_000);
+        assert_eq!(found, 5, "cannot shrink below the range start");
+    }
+
+    #[test]
+    fn vec_minimizes_to_single_guilty_element() {
+        // "Fails" when any element >= 8; minimal witness is the one-element
+        // vector [8].
+        let strat = vec(0u32..100, 1..10);
+        let start = vec![9, 2, 8, 4, 77, 1];
+        let found = minimize(&strat, start, |v| v.iter().any(|&e| e >= 8), 100_000);
+        assert_eq!(found, vec![8]);
+    }
+
+    #[test]
+    fn vec_candidates_respect_min_len() {
+        let cands = vec_candidates(&[1, 2, 3], 3, |_: &i32| Vec::new());
+        assert!(cands.is_empty(), "no removals allowed at the size floor");
+        let cands = vec_candidates(&[1, 2, 3], 2, |_: &i32| Vec::new());
+        assert!(cands.iter().all(|c| c.len() >= 2));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_per_candidate() {
+        let strat = (0u8..50, BOOL_ANY);
+        let candidates = crate::strategy::Strategy::shrink(&strat, &(40u8, true));
+        assert!(candidates.contains(&(0, true)), "first component to range start");
+        assert!(candidates.contains(&(40, false)), "second component to false");
+        assert!(
+            candidates.iter().all(|&(n, b)| n == 40 || b),
+            "never both components at once"
+        );
+    }
+
+    #[test]
+    fn minimize_removals_finds_minimal_subsequence() {
+        // Fails iff the slice contains a 3 followed (not necessarily
+        // adjacently) by a 7.
+        let fails = |s: &[u32]| {
+            let first3 = s.iter().position(|&x| x == 3);
+            match first3 {
+                Some(i) => s[i..].contains(&7),
+                None => false,
+            }
+        };
+        let start = [1, 3, 9, 9, 9, 7, 2, 2];
+        let found = minimize_removals(&start, fails, 100_000);
+        assert_eq!(found, vec![3, 7]);
+    }
+
+    #[test]
+    fn minimize_respects_budget() {
+        let mut evals = 0usize;
+        let found = minimize(
+            &(0u64..1_000_000),
+            999_999,
+            |v| {
+                evals += 1;
+                *v >= 500_000
+            },
+            7,
+        );
+        assert!(evals <= 7, "stops at the eval budget, spent {evals}");
+        assert!((500_000..999_999).contains(&found), "made bounded progress: {found}");
+    }
+
+    #[test]
+    fn boolean_shrinks_true_to_false() {
+        assert_eq!(crate::strategy::Strategy::shrink(&BOOL_ANY, &true), vec![false]);
+        assert!(crate::strategy::Strategy::shrink(&BOOL_ANY, &false).is_empty());
+    }
+}

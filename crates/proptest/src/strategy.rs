@@ -1,4 +1,4 @@
-//! Value-generation strategies (no shrinking).
+//! Value-generation strategies with simplification candidates.
 
 use crate::test_runner::TestRng;
 use rand::Rng;
@@ -13,6 +13,16 @@ pub trait Strategy {
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly simpler candidates for `value`, most aggressive
+    /// first. The shrinking loop ([`crate::shrink::minimize`]) keeps any
+    /// candidate that still fails and asks again, so an empty vector —
+    /// the default, used by strategies with no meaningful simpler form
+    /// (e.g. [`Map`], whose function cannot be inverted) — just ends the
+    /// descent along this strategy.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -41,6 +51,10 @@ impl<V> Strategy for BoxedStrategy<V> {
     fn generate(&self, rng: &mut TestRng) -> V {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -48,6 +62,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -138,6 +156,40 @@ impl Strategy for BoolAny {
     fn generate(&self, rng: &mut TestRng) -> bool {
         rng.gen()
     }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Integer shrink candidates: the range's low end, the midpoint between
+/// it and the failing value (binary descent), and the predecessor (so the
+/// fixpoint is the exact minimal failing value, not a power-of-two
+/// neighborhood of it). Wrapping arithmetic keeps full-domain ranges
+/// (e.g. `i64::MIN..MAX`) panic-free; out-of-range artifacts are
+/// filtered by `in_range`.
+macro_rules! int_shrink {
+    ($value:expr, $lo:expr, $in_range:expr) => {{
+        let value = *$value;
+        let lo = $lo;
+        let mut out = Vec::new();
+        if value != lo && $in_range(&value) {
+            out.push(lo);
+            let mid = lo.wrapping_add(value.wrapping_sub(lo) / 2);
+            if mid != lo && mid != value && $in_range(&mid) {
+                out.push(mid);
+            }
+            let prev = value.wrapping_sub(1);
+            if prev != lo && prev != mid && $in_range(&prev) {
+                out.push(prev);
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_range_strategy {
@@ -148,12 +200,20 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!(value, self.start, |v| self.contains(v))
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
 
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink!(value, *self.start(), |v| self.contains(v))
             }
         }
     )*};
@@ -178,11 +238,25 @@ impl Strategy for core::ops::Range<f32> {
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident : $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component varies per candidate, the rest stay fixed.
+                let mut out = Vec::new();
+                $(for candidate in self.$idx.shrink(&value.$idx) {
+                    let mut next = value.clone();
+                    next.$idx = candidate;
+                    out.push(next);
+                })+
+                out
             }
         }
     };
@@ -207,11 +281,18 @@ pub struct VecStrategy<S> {
     sizes: core::ops::Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = rng.gen_range(self.sizes.clone());
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        crate::shrink::vec_candidates(value, self.sizes.start, |e| self.element.shrink(e))
     }
 }

@@ -33,6 +33,47 @@ impl ProptestConfig {
     }
 }
 
+/// The engine behind [`proptest!`](crate::proptest): generates `cfg.cases`
+/// values from `strats` (the tuple of all argument strategies), runs
+/// `body` on each, and on the first panic minimizes the failing value via
+/// [`crate::shrink::minimize`] before reporting both the original and the
+/// minimal inputs and re-raising the panic.
+pub fn run_cases<S: crate::strategy::Strategy>(
+    test_path: &str,
+    cfg: ProptestConfig,
+    strats: &S,
+    render: impl Fn(&S::Value) -> String,
+    body: impl Fn(S::Value),
+) where
+    S::Value: Clone,
+{
+    let mut rng = rng_for(test_path);
+    let check = |vals: &S::Value| {
+        let cloned = vals.clone();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(cloned)))
+    };
+    for case in 0..cfg.cases {
+        let vals = strats.generate(&mut rng);
+        if let Err(panic) = check(&vals) {
+            let inputs = render(&vals);
+            // Minimize under a silenced panic hook: every probe that
+            // still fails would otherwise print its own backtrace.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let shrunk = crate::shrink::minimize(
+                strats,
+                vals.clone(),
+                |cand| check(cand).is_err(),
+                crate::shrink::MACRO_SHRINK_BUDGET,
+            );
+            std::panic::set_hook(hook);
+            eprintln!("proptest failure at case {case} of {}: {inputs}", cfg.cases);
+            eprintln!("proptest minimal inputs: {}", render(&shrunk));
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

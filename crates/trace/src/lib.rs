@@ -50,6 +50,7 @@
 //! ```
 
 pub mod consumers;
+pub mod inject;
 pub mod normalize;
 pub mod packed;
 pub mod replay;

@@ -118,7 +118,11 @@ impl PackedStream {
                 let delta = base.wrapping_sub(v.0);
                 if v.0 < base && delta <= u64::from(u16::MAX) {
                     flags |= MODE_NEAR << SRC_SHIFT[i];
-                    deltas[i] = delta as u16;
+                    let mut near = delta as u16;
+                    if crate::inject::active(crate::inject::SRC_DELTA) && near >= 2 {
+                        near -= 1;
+                    }
+                    deltas[i] = near;
                 } else {
                     flags |= MODE_FAR << SRC_SHIFT[i];
                     self.far_srcs.push(v.0);
@@ -134,7 +138,11 @@ impl PackedStream {
             Some(v) => {
                 flags |= MODE_FAR << DST_SHIFT;
                 self.far_dsts.push(v.0);
-                self.counter = v.0.wrapping_add(1);
+                self.counter = if crate::inject::active(crate::inject::SSA_RESYNC) {
+                    self.counter.wrapping_add(1)
+                } else {
+                    v.0.wrapping_add(1)
+                };
             }
         }
         if let Some(addr) = op.addr {

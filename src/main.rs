@@ -7,14 +7,18 @@
 //! bioperf-loadchar coverage     <program> [scale]
 //! bioperf-loadchar evaluate     <program> [scale]
 //! bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>] [--metrics <out.json>]
+//!                        [--trace-cap <ops>]
+//! bioperf-loadchar conform [--cases <n>] [--seed <u64>] [--jobs <n>] [--metrics <out.json>]
+//!                          [--inject <fault>] [--out <dir>] [--fuzz-only]
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bioperf_core::candidates::{find_candidates, CandidateCriteria};
 use bioperf_core::characterize::characterize_program;
 use bioperf_core::evaluate::{evaluate_program, EvalMatrix};
-use bioperf_core::orchestrate::{run_suite, SuiteConfig};
+use bioperf_core::orchestrate::{fault, run_conform, run_suite, ConformConfig, FaultId, SuiteConfig};
 use bioperf_core::report::{pct, pct2, TextTable};
 use bioperf_isa::OpClass;
 use bioperf_kernels::{ProgramId, Scale};
@@ -32,13 +36,23 @@ fn usage() -> ExitCode {
     eprintln!("  bioperf-loadchar coverage     <program> [scale]");
     eprintln!("  bioperf-loadchar evaluate     <program> [scale]");
     eprintln!("  bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>]");
-    eprintln!("                         [--metrics <out.json>]");
+    eprintln!("                         [--metrics <out.json>] [--trace-cap <ops>]");
+    eprintln!("  bioperf-loadchar conform [--cases <n>] [--seed <u64>] [--jobs <n>]");
+    eprintln!("                           [--metrics <out.json>] [--inject <fault>]");
+    eprintln!("                           [--out <dir>] [--fuzz-only]");
     eprintln!();
     eprintln!("suite runs the whole study — nine characterizations plus the 6-program ×");
     eprintln!("4-platform runtime evaluation — on a worker pool (--jobs 0 = all cores).");
     eprintln!("Output is identical for every worker count. --metrics additionally writes");
     eprintln!("every paper metric, raw simulator event, and phase timing as JSON; its");
     eprintln!("\"deterministic\" section is byte-identical for every --jobs value.");
+    eprintln!("--trace-cap bounds the replay recorder (0 = default capacity).");
+    eprintln!();
+    eprintln!("conform differentially fuzzes every simulator against its naive reference");
+    eprintln!("model (seeded, deterministic; shrunk counterexamples land in --out) and");
+    eprintln!("cross-checks the nine real program traces end-to-end (--fuzz-only skips");
+    eprintln!("that). --inject <fault> arms one catalogued mutation and exits 0 only if");
+    eprintln!("the fuzzer detects it within the fault's case budget.");
     eprintln!();
     eprintln!("programs: blast clustalw dnapenny fasta hmmcalibrate hmmpfam hmmsearch");
     eprintln!("          predator promlk   (evaluate: the six transformed programs only)");
@@ -151,10 +165,10 @@ fn cmd_evaluate(program: ProgramId, scale: Scale) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_suite(scale: Scale, jobs: usize, seed: u64, metrics: Option<&str>) -> ExitCode {
+fn cmd_suite(scale: Scale, jobs: usize, seed: u64, metrics: Option<&str>, trace_cap: usize) -> ExitCode {
     // Raw event collection (the only part with a hot-loop cost) is only
     // switched on when the caller asked for the JSON snapshot.
-    let suite = match run_suite(SuiteConfig { scale, seed, jobs, metrics: metrics.is_some() }) {
+    let suite = match run_suite(SuiteConfig { scale, seed, jobs, metrics: metrics.is_some(), trace_cap }) {
         Ok(suite) => suite,
         Err(e) => {
             eprintln!("suite: {e}");
@@ -219,10 +233,11 @@ struct SuiteArgs<'a> {
     jobs: usize,
     seed: u64,
     metrics: Option<&'a str>,
+    trace_cap: usize,
 }
 
 fn parse_suite_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<SuiteArgs<'a>> {
-    let mut parsed = SuiteArgs { scale: Scale::Test, jobs: 0, seed: SEED, metrics: None };
+    let mut parsed = SuiteArgs { scale: Scale::Test, jobs: 0, seed: SEED, metrics: None, trace_cap: 0 };
     while let Some(flag) = it.next() {
         let value = it.next()?;
         match flag {
@@ -230,10 +245,155 @@ fn parse_suite_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<SuiteAr
             "--jobs" => parsed.jobs = value.parse().ok()?,
             "--seed" => parsed.seed = value.parse().ok()?,
             "--metrics" => parsed.metrics = Some(value),
+            "--trace-cap" => parsed.trace_cap = value.parse().ok()?,
             _ => return None,
         }
     }
     Some(parsed)
+}
+
+struct ConformArgs<'a> {
+    cases: u64,
+    seed: u64,
+    jobs: usize,
+    metrics: Option<&'a str>,
+    inject: Option<&'a str>,
+    out: &'a str,
+    fuzz_only: bool,
+}
+
+fn parse_conform_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<ConformArgs<'a>> {
+    let mut parsed = ConformArgs {
+        cases: 256,
+        seed: SEED,
+        jobs: 0,
+        metrics: None,
+        inject: None,
+        out: "results/conform",
+        fuzz_only: false,
+    };
+    while let Some(flag) = it.next() {
+        if flag == "--fuzz-only" {
+            parsed.fuzz_only = true;
+            continue;
+        }
+        let value = it.next()?;
+        match flag {
+            "--cases" => parsed.cases = value.parse().ok()?,
+            "--seed" => parsed.seed = value.parse().ok()?,
+            "--jobs" => parsed.jobs = value.parse().ok()?,
+            "--metrics" => parsed.metrics = Some(value),
+            "--inject" => parsed.inject = Some(value),
+            "--out" => parsed.out = value,
+            _ => return None,
+        }
+    }
+    Some(parsed)
+}
+
+fn cmd_conform(args: &ConformArgs) -> ExitCode {
+    let injected = match args.inject {
+        None => None,
+        Some(name) => match FaultId::parse(name) {
+            Some(f) => Some(f),
+            None => {
+                eprintln!("error: unknown fault '{name}'; catalogued faults:");
+                for f in FaultId::ALL {
+                    eprintln!("  {:<22} {}", f.name(), f.describe());
+                }
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if injected.is_some() && !fault::injection_compiled() {
+        eprintln!("error: fault-injection hooks are not compiled in");
+        eprintln!("(build with bioperf-conform's default `inject` feature)");
+        return ExitCode::FAILURE;
+    }
+
+    // Mutation mode runs exactly the fault's case budget: exit status is
+    // the harness's answer to "would the fuzzer catch this bug in time".
+    let cases = injected.map_or(args.cases, FaultId::budget);
+    let result = match run_conform(&ConformConfig {
+        cases,
+        seed: args.seed,
+        jobs: args.jobs,
+        inject: injected,
+        check_programs: !args.fuzz_only,
+        out_dir: Some(PathBuf::from(args.out)),
+    }) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("conform: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Throughput and worker count go to stderr: stdout (like the JSON
+    // report) is byte-identical for every --jobs value.
+    let secs = result.elapsed.as_secs_f64();
+    eprintln!(
+        "conform: {} cases in {secs:.2}s on {} workers ({:.0} cases/sec)",
+        result.cases,
+        result.workers,
+        if secs > 0.0 { result.cases as f64 / secs } else { 0.0 }
+    );
+
+    let status = if let Some(f) = injected {
+        match result.first_detection() {
+            Some(index) => {
+                let witness = result.divergent.first().and_then(|o| o.divergence.as_ref());
+                let (component, len) =
+                    witness.map_or(("?", 0), |ce| (ce.component, ce.ops.len()));
+                println!(
+                    "fault {f} detected at case {index} (budget {}): {component} diverged, \
+                     {len}-op witness",
+                    f.budget()
+                );
+                ExitCode::SUCCESS
+            }
+            None => {
+                println!("fault {f} ESCAPED its {}-case budget", f.budget());
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        println!("conformance fuzz: {} cases, seed {}", result.cases, result.seed);
+        println!("  {} stream ops, {} divergences", result.fuzz_ops, result.divergent.len());
+        for outcome in &result.divergent {
+            let ce = outcome.divergence.as_ref().expect("divergent cases carry a counterexample");
+            println!(
+                "  case {} ({}, stream seed {:#x}): {} diverged — {}",
+                outcome.index, outcome.platform, outcome.seed, ce.component, ce.detail
+            );
+        }
+        if !result.programs.is_empty() {
+            println!("program cross-checks:");
+            for check in &result.programs {
+                match &check.divergence {
+                    None => println!(
+                        "  {:<14} ok ({} ops, {} platforms)",
+                        check.program.name(),
+                        check.ops,
+                        check.platforms
+                    ),
+                    Some(d) => println!("  {:<14} DIVERGED: {d}", check.program.name()),
+                }
+            }
+        }
+        for path in &result.artifacts {
+            println!("wrote counterexample {}", path.display());
+        }
+        if result.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+    };
+
+    if let Some(path) = args.metrics {
+        if let Err(e) = std::fs::write(path, result.to_json().render_pretty()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    status
 }
 
 fn main() -> ExitCode {
@@ -246,7 +406,20 @@ fn main() -> ExitCode {
                 eprintln!("error: bad suite arguments");
                 return usage();
             };
-            cmd_suite(suite_args.scale, suite_args.jobs, suite_args.seed, suite_args.metrics)
+            cmd_suite(
+                suite_args.scale,
+                suite_args.jobs,
+                suite_args.seed,
+                suite_args.metrics,
+                suite_args.trace_cap,
+            )
+        }
+        Some("conform") => {
+            let Some(conform_args) = parse_conform_args(it) else {
+                eprintln!("error: bad conform arguments");
+                return usage();
+            };
+            cmd_conform(&conform_args)
         }
         Some(cmd @ ("characterize" | "candidates" | "coverage" | "evaluate")) => {
             let Some(program) = it.next().and_then(ProgramId::from_name) else {

@@ -1,48 +1,17 @@
 //! Pins the O(1) intrusive-LRU `RegFile` to the scanned move-to-front
-//! implementation it replaced, on *real program traces*: both are driven
-//! with the exact touch/insert sequence the cycle simulator issues
-//! (operand touches, miss-path inserts, destination inserts) and must
-//! agree on every residency answer and every evicted value. Identical
-//! eviction sequences are what make every `SimResult` bit-identical to
-//! the pre-rewrite outputs.
+//! reference it replaced — now the conformance crate's [`RefRegFile`],
+//! the single canonical oracle — on *real program traces*: both are
+//! driven with the exact touch/insert sequence the cycle simulator
+//! issues (operand touches, miss-path inserts, destination inserts) and
+//! must agree on every residency answer and every evicted value.
+//! Identical eviction sequences are what make every `SimResult`
+//! bit-identical to the pre-rewrite outputs. Synthetic adversarial
+//! sequences live in the conform crate's `tests/refmodel.rs`.
 
+use bioperf_conform::RefRegFile;
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
 use bioperf_pipe::{PlatformConfig, RegFile};
 use bioperf_trace::{Recorder, Tape};
-
-/// The pre-rewrite implementation, verbatim: a `Vec` scanned per
-/// operand, kept as the semantic oracle.
-struct VecRegFile {
-    slots: Vec<u64>,
-    capacity: usize,
-}
-
-impl VecRegFile {
-    fn new(logical_regs: u32) -> Self {
-        let capacity = (logical_regs.saturating_sub(2)).max(2) as usize;
-        Self { slots: Vec::with_capacity(capacity), capacity }
-    }
-
-    fn touch(&mut self, v: u64) -> bool {
-        if let Some(pos) = self.slots.iter().position(|&x| x == v) {
-            let val = self.slots.remove(pos);
-            self.slots.push(val);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn insert(&mut self, v: u64) -> Option<u64> {
-        if self.touch(v) {
-            return None;
-        }
-        let evicted =
-            if self.slots.len() == self.capacity { Some(self.slots.remove(0)) } else { None };
-        self.slots.push(v);
-        evicted
-    }
-}
 
 #[test]
 fn lru_matches_scanned_reference_on_real_traces() {
@@ -63,7 +32,7 @@ fn lru_matches_scanned_reference_on_real_traces() {
             let recording = rec.into_recording(prog);
             for platform in platforms {
                 let mut fast = RegFile::new(platform.logical_regs);
-                let mut slow = VecRegFile::new(platform.logical_regs);
+                let mut slow = RefRegFile::new(platform.logical_regs);
                 let mut step = 0u64;
                 for op in recording.iter() {
                     // The simulator's access pattern: each source is
