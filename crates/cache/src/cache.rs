@@ -20,6 +20,24 @@ struct Line {
     last_use: u64,
 }
 
+/// Compile-time specialization of the per-access loops by associativity.
+///
+/// The four platform geometries use 1/2/4/8 ways, so those get dedicated
+/// monomorphized instantiations whose tag-match and LRU-victim loops have
+/// fixed trip counts (`access_set` over `&mut [Line; WAYS]` — the
+/// optimizer fully unrolls them); any other associativity takes the
+/// dynamic slice path, which runs the very same body over a runtime
+/// length. Both paths share one implementation, so results are identical
+/// by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaysDispatch {
+    W1,
+    W2,
+    W4,
+    W8,
+    Dyn,
+}
+
 /// A single level of cache: set-associative, true-LRU, with write-back or
 /// write-through policy per its [`CacheConfig`].
 ///
@@ -38,6 +56,9 @@ pub struct Cache {
     lines: Vec<Line>,
     set_shift: u32,
     set_mask: u64,
+    /// `set_mask.count_ones()`, hoisted out of the access path.
+    set_bits: u32,
+    dispatch: WaysDispatch,
     clock: u64,
 }
 
@@ -46,10 +67,18 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.num_sets();
         Self {
+            dispatch: match config.ways {
+                1 => WaysDispatch::W1,
+                2 => WaysDispatch::W2,
+                4 => WaysDispatch::W4,
+                8 => WaysDispatch::W8,
+                _ => WaysDispatch::Dyn,
+            },
             config,
             lines: vec![Line::default(); (sets * config.ways as u64) as usize],
             set_shift: config.block_bytes.trailing_zeros(),
             set_mask: sets - 1,
+            set_bits: (sets - 1).count_ones(),
             clock: 0,
         }
     }
@@ -62,62 +91,72 @@ impl Cache {
     /// Splits an address into (set index, tag).
     fn index(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.set_shift;
-        ((block & self.set_mask) as usize, block >> self.set_mask.count_ones())
+        ((block & self.set_mask) as usize, block >> self.set_bits)
     }
 
     /// Accesses `addr`; `is_store` selects the write path. Returns whether
     /// it hit and any dirty block evicted by the fill.
     pub fn access(&mut self, addr: u64, is_store: bool) -> AccessResult {
+        match self.dispatch {
+            WaysDispatch::W1 => self.access_mono::<1>(addr, is_store),
+            WaysDispatch::W2 => self.access_mono::<2>(addr, is_store),
+            WaysDispatch::W4 => self.access_mono::<4>(addr, is_store),
+            WaysDispatch::W8 => self.access_mono::<8>(addr, is_store),
+            WaysDispatch::Dyn => self.access_dyn(addr, is_store),
+        }
+    }
+
+    /// Fixed-associativity instantiation: the set is viewed as
+    /// `&mut [Line; WAYS]`, so every loop in [`access_set`] has a
+    /// compile-time trip count.
+    fn access_mono<const WAYS: usize>(&mut self, addr: u64, is_store: bool) -> AccessResult {
         self.clock += 1;
         let (set, tag) = self.index(addr);
-        let set_bits = self.set_mask.count_ones();
-        let set_shift = self.set_shift;
+        let base = set * WAYS;
+        let set_lines: &mut [Line; WAYS] =
+            (&mut self.lines[base..base + WAYS]).try_into().expect("set holds WAYS lines");
+        access_set(
+            set_lines,
+            tag,
+            is_store,
+            self.clock,
+            self.config.write_policy,
+            set as u64,
+            self.set_bits,
+            self.set_shift,
+        )
+    }
+
+    /// Dynamic fallback for associativities without a monomorphized
+    /// instantiation: same body, runtime trip count.
+    fn access_dyn(&mut self, addr: u64, is_store: bool) -> AccessResult {
+        self.clock += 1;
+        let (set, tag) = self.index(addr);
         let ways = self.config.ways as usize;
         let base = set * ways;
-        let set_lines = &mut self.lines[base..base + ways];
-
-        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
-            if !crate::inject::active(crate::inject::LRU_TOUCH) {
-                line.last_use = self.clock;
-            }
-            if is_store {
-                match self.config.write_policy {
-                    WritePolicy::WriteBackAllocate => line.dirty = true,
-                    WritePolicy::WriteThroughNoAllocate => {}
-                }
-            }
-            return AccessResult { hit: true, writeback: None };
-        }
-
-        // Miss. Write-through/no-allocate stores do not fill.
-        if is_store && self.config.write_policy == WritePolicy::WriteThroughNoAllocate {
-            return AccessResult { hit: false, writeback: None };
-        }
-
-        // Fill: choose an invalid way, else the LRU way.
-        let victim_idx = match set_lines.iter().position(|l| !l.valid) {
-            Some(i) => i,
-            None => {
-                let (i, _) = set_lines
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .expect("non-empty set");
-                i
-            }
-        };
-        let victim = set_lines[victim_idx];
-        let writeback = (victim.valid && victim.dirty)
-            .then(|| ((victim.tag << set_bits) | set as u64) << set_shift);
-        set_lines[victim_idx] = Line {
+        access_set(
+            &mut self.lines[base..base + ways],
             tag,
-            valid: true,
-            dirty: is_store
-                && self.config.write_policy == WritePolicy::WriteBackAllocate
-                && !crate::inject::active(crate::inject::DIRTY_WRITEBACK),
-            last_use: self.clock,
-        };
-        AccessResult { hit: false, writeback }
+            is_store,
+            self.clock,
+            self.config.write_policy,
+            set as u64,
+            self.set_bits,
+            self.set_shift,
+        )
+    }
+
+    /// The associativity the access path was specialized for (`None` for
+    /// the dynamic fallback). Exposed so tests can pin which geometries
+    /// are const-instantiated.
+    pub fn monomorphized_ways(&self) -> Option<u32> {
+        match self.dispatch {
+            WaysDispatch::W1 => Some(1),
+            WaysDispatch::W2 => Some(2),
+            WaysDispatch::W4 => Some(4),
+            WaysDispatch::W8 => Some(8),
+            WaysDispatch::Dyn => None,
+        }
     }
 
     /// Whether the block containing `addr` is currently resident (no state
@@ -133,6 +172,68 @@ impl Cache {
         self.lines.fill(Line::default());
         self.clock = 0;
     }
+}
+
+/// The shared access body: tag match, LRU touch, victim choice, fill.
+///
+/// Called with `&mut [Line; WAYS]` (coerced to a slice whose length the
+/// optimizer knows) from the monomorphized instantiations and with a
+/// runtime slice from the dynamic fallback. `#[inline(always)]` so each
+/// caller gets its own specialized copy.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn access_set(
+    set_lines: &mut [Line],
+    tag: u64,
+    is_store: bool,
+    clock: u64,
+    write_policy: WritePolicy,
+    set: u64,
+    set_bits: u32,
+    set_shift: u32,
+) -> AccessResult {
+    if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if !crate::inject::active(crate::inject::LRU_TOUCH) {
+            line.last_use = clock;
+        }
+        if is_store {
+            match write_policy {
+                WritePolicy::WriteBackAllocate => line.dirty = true,
+                WritePolicy::WriteThroughNoAllocate => {}
+            }
+        }
+        return AccessResult { hit: true, writeback: None };
+    }
+
+    // Miss. Write-through/no-allocate stores do not fill.
+    if is_store && write_policy == WritePolicy::WriteThroughNoAllocate {
+        return AccessResult { hit: false, writeback: None };
+    }
+
+    // Fill: choose an invalid way, else the LRU way.
+    let victim_idx = match set_lines.iter().position(|l| !l.valid) {
+        Some(i) => i,
+        None => {
+            let (i, _) = set_lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .expect("non-empty set");
+            i
+        }
+    };
+    let victim = set_lines[victim_idx];
+    let writeback =
+        (victim.valid && victim.dirty).then(|| ((victim.tag << set_bits) | set) << set_shift);
+    set_lines[victim_idx] = Line {
+        tag,
+        valid: true,
+        dirty: is_store
+            && write_policy == WritePolicy::WriteBackAllocate
+            && !crate::inject::active(crate::inject::DIRTY_WRITEBACK),
+        last_use: clock,
+    };
+    AccessResult { hit: false, writeback }
 }
 
 #[cfg(test)]
@@ -220,5 +321,35 @@ mod tests {
         c.access(0x000, false);
         c.access(0x080, false);
         assert!(c.probe(0x000) && c.probe(0x080));
+    }
+
+    #[test]
+    fn platform_associativities_are_monomorphized() {
+        // The four platform geometries (1/2/4/8 ways) get fixed-trip
+        // instantiations; anything else takes the dynamic path.
+        for ways in [1u32, 2, 4, 8] {
+            let c = Cache::new(CacheConfig::new(4096, ways, 64));
+            assert_eq!(c.monomorphized_ways(), Some(ways));
+        }
+        let c = Cache::new(CacheConfig::new(4096 * 3, 3, 64));
+        assert_eq!(c.monomorphized_ways(), None);
+    }
+
+    #[test]
+    fn dynamic_fallback_is_textbook_lru_too() {
+        // The dynamic path runs the same shared body as the unrolled
+        // instantiations; pin its fill/LRU behavior on an odd geometry.
+        let mut c = Cache::new(CacheConfig::new(6 * 64, 6, 64)); // 1 set x 6 ways
+        assert_eq!(c.monomorphized_ways(), None);
+        for blk in 0..6u64 {
+            assert!(!c.access(blk * 64, false).hit);
+        }
+        for blk in 0..6u64 {
+            assert!(c.access(blk * 64, false).hit);
+        }
+        // Touch order is 0..5, so 0 is LRU; a 7th block evicts it.
+        c.access(6 * 64, false);
+        assert!(!c.probe(0));
+        assert!(c.probe(6 * 64));
     }
 }

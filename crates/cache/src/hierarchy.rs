@@ -1,7 +1,7 @@
 //! Two-level hierarchy with per-level demand statistics and AMAT.
 
 use bioperf_isa::{MicroOp, Program};
-use bioperf_metrics::{MetricSet, Sink};
+use bioperf_metrics::{LogHistogram, MetricSet};
 use bioperf_trace::TraceConsumer;
 
 use crate::cache::Cache;
@@ -100,7 +100,13 @@ pub struct Hierarchy {
     latencies: LatencyConfig,
     stats: HierarchyStats,
     prefetch: PrefetchEngine,
-    metrics: Sink,
+    // Event metrics accumulate into dedicated local fields (one counter
+    // per service level plus the latency histogram) so the per-access
+    // cost when enabled is an array bump and a histogram record — no
+    // name-keyed lookup; `take_metrics` publishes them under their names.
+    metrics_on: bool,
+    m_serviced: [u64; 3],
+    m_latency: LogHistogram,
 }
 
 impl Hierarchy {
@@ -113,7 +119,9 @@ impl Hierarchy {
             latencies,
             stats: HierarchyStats::default(),
             prefetch: PrefetchEngine::new(Prefetcher::None, block),
-            metrics: Sink::null(),
+            metrics_on: false,
+            m_serviced: [0; 3],
+            m_latency: LogHistogram::new(),
         }
     }
 
@@ -122,14 +130,28 @@ impl Hierarchy {
     /// path then pays exactly one predictable branch per event — the
     /// metrics layer's zero-cost-when-off contract.
     pub fn with_metrics(mut self) -> Self {
-        self.metrics = Sink::collecting();
+        self.metrics_on = true;
         self
     }
 
     /// Takes the collected event metrics (empty if collection is off),
     /// leaving collection in its current mode.
     pub fn take_metrics(&mut self) -> MetricSet {
-        self.metrics.take()
+        let mut out = MetricSet::new();
+        // Names appear only once touched, matching the lazily-created
+        // slots of the name-keyed path this replaced.
+        let names = ["serviced_l1", "serviced_l2", "serviced_memory"];
+        for (name, &n) in names.iter().zip(&self.m_serviced) {
+            if n > 0 {
+                out.counter_add(name, n);
+            }
+        }
+        if self.m_latency.count() > 0 {
+            out.histogram_merge("access_latency_cycles", &self.m_latency);
+        }
+        self.m_serviced = [0; 3];
+        self.m_latency = LogHistogram::new();
+        out
     }
 
     /// Attaches an L1 prefetcher (prefetched blocks fill L1 directly;
@@ -165,16 +187,13 @@ impl Hierarchy {
     /// total latency in cycles.
     pub fn access_detailed(&mut self, addr: u64, kind: AccessKind) -> (ServicedBy, u64) {
         let (level, latency) = self.access_inner(addr, kind);
-        if self.metrics.enabled() {
-            self.metrics.add(
-                match level {
-                    ServicedBy::L1 => "serviced_l1",
-                    ServicedBy::L2 => "serviced_l2",
-                    ServicedBy::Memory => "serviced_memory",
-                },
-                1,
-            );
-            self.metrics.record("access_latency_cycles", latency);
+        if self.metrics_on {
+            self.m_serviced[match level {
+                ServicedBy::L1 => 0,
+                ServicedBy::L2 => 1,
+                ServicedBy::Memory => 2,
+            }] += 1;
+            self.m_latency.record(latency);
         }
         (level, latency)
     }

@@ -8,13 +8,14 @@
 //!   execution feeds the instruction-mix/coverage/cache/sequence passes
 //!   **and** captures the packed trace; transformable programs also
 //!   record their load-transformed variant.
-//! * **Replay** (one job per program × variant × platform): each Table 8
-//!   platform pass is its own shard over the [`Arc`]-shared recording,
-//!   so the 23-cell evaluation load-balances across workers instead of
-//!   serializing up to 8 platform passes inside one program job.
+//! * **Replay** (one job per program × variant): each [`Arc`]-shared
+//!   recording is decoded exactly once and the single decoded op stream
+//!   drives a *bank* of platform simulators
+//!   (`Recording::replay_bank`), so the 23-cell evaluation pays one
+//!   packed-decode per recording instead of one per platform pass.
 //!
 //! Result vectors are indexed by job, not by completion order, and the
-//! shard→cell merge walks a fixed enumeration, so the orchestrated
+//! bank→cell merge walks a fixed enumeration, so the orchestrated
 //! output is identical for any worker count. Combined with address
 //! normalization (see `bioperf_trace::normalize`) this makes the whole
 //! suite deterministic: `--jobs 1` and `--jobs N` produce byte-identical
@@ -165,26 +166,33 @@ impl SuiteConfig {
 }
 
 /// Wall-clock replay throughput, aggregated over the suite's replay
-/// shards. Non-deterministic by nature: reported in the JSON `run`
+/// wave. Non-deterministic by nature: reported in the JSON `run`
 /// section (`run/ops_per_sec/…`), never in the deterministic section.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayThroughput {
-    /// Ops decoded and simulated across all shards (each platform pass
-    /// counts its recording's ops once).
+    /// Ops decoded and simulated across all platform passes (each
+    /// platform consumes its recording's ops once, even though one bank
+    /// decode feeds every platform in the bank).
     pub replayed_ops: u64,
-    /// Total replay wall-clock across shards (CPU-seconds of replay, not
-    /// elapsed time: shards overlap on the pool).
+    /// Elapsed wall-clock of the whole replay wave, pool start to pool
+    /// join. The `total` gauge divides by *this* — not by summed per-job
+    /// CPU-seconds, which overlap on the pool and would under-report
+    /// true aggregate throughput whenever jobs run in parallel.
     pub seconds: f64,
     /// Per-platform `(name, ops, seconds)` in [`PlatformConfig::all`]
-    /// order.
+    /// order. A bank job's elapsed time is split evenly across the
+    /// platforms it drove, so the per-platform rates stay comparable
+    /// CPU-time rates after the (program × variant) resharding; only
+    /// `total` is a wall-clock rate.
     pub per_platform: Vec<(&'static str, u64, f64)>,
 }
 
 impl ReplayThroughput {
+    /// Accumulates one platform's share of a replay job (its recording's
+    /// ops and its even split of the job's elapsed time).
     fn add(&mut self, platform: &'static str, ops: u64, elapsed: Duration) {
         let secs = elapsed.as_secs_f64();
         self.replayed_ops += ops;
-        self.seconds += secs;
         if let Some(slot) = self.per_platform.iter_mut().find(|(name, _, _)| *name == platform) {
             slot.1 += ops;
             slot.2 += secs;
@@ -193,7 +201,8 @@ impl ReplayThroughput {
         }
     }
 
-    /// Aggregate replay throughput in ops per second (0 if nothing ran).
+    /// Aggregate replay throughput in ops per second, measured against
+    /// the wave's elapsed wall-clock (0 if nothing ran).
     pub fn ops_per_sec(&self) -> f64 {
         if self.seconds > 0.0 {
             self.replayed_ops as f64 / self.seconds
@@ -230,7 +239,7 @@ pub struct SuiteResult {
     /// Worker threads actually used.
     pub workers: usize,
     /// Jobs scheduled on the pool across both waves: one prepare job per
-    /// program plus one replay shard per (program, variant, platform).
+    /// program plus one replay bank job per (program, variant).
     pub jobs: usize,
     /// One characterization report per program, in `ProgramId::ALL` order.
     pub reports: Vec<(ProgramId, CharacterizationReport)>,
@@ -276,7 +285,7 @@ impl SuiteResult {
         let run = Json::object(vec![
             ("jobs", Json::U64(self.jobs as u64)),
             ("workers", Json::U64(self.workers as u64)),
-            ("jobs_per_worker", Json::F64(self.jobs as f64 / self.workers.max(1) as f64)),
+            ("jobs_per_worker", Json::F64(jobs_per_worker(self.jobs, self.workers))),
             ("replayed_ops", Json::U64(self.replay.replayed_ops)),
             ("ops_per_sec", self.replay.to_json()),
             ("timings", self.timings.to_json()),
@@ -289,8 +298,23 @@ impl SuiteResult {
     }
 }
 
+/// The `run/jobs_per_worker` gauge: jobs divided by workers, clamped to
+/// `0` when no worker ran and rounded to two decimals so the rendering
+/// is always a stable, short, finite decimal (the JSON layer cannot
+/// represent NaN or infinity).
+fn jobs_per_worker(jobs: usize, workers: usize) -> f64 {
+    if workers == 0 {
+        return 0.0;
+    }
+    let ratio = jobs as f64 / workers as f64;
+    if !ratio.is_finite() {
+        return 0.0;
+    }
+    (ratio * 100.0).round() / 100.0
+}
+
 /// Both captured traces of one transformable program, shared with the
-/// replay shards.
+/// replay bank jobs.
 struct ProgramRecordings {
     original: Arc<Recording>,
     transformed: Arc<Recording>,
@@ -309,13 +333,15 @@ struct PreparedProgram {
     recordings: Option<ProgramRecordings>,
 }
 
-/// Output of one replay shard: a single platform pass over one
-/// recording.
-struct ShardOutput {
-    result: SimResult,
-    /// Raw simulator events (un-namespaced; empty unless requested).
-    events: MetricSet,
+/// Output of one replay bank job: every applicable platform's pass over
+/// one recording, produced by a single decode of the packed stream.
+struct BankOutput {
+    /// `(platform result, raw events)` aligned with the job's platform
+    /// list (events are un-namespaced and empty unless requested).
+    results: Vec<(SimResult, MetricSet)>,
+    /// Ops in the recording (what *each* platform consumed).
     ops: u64,
+    /// Wall-clock of the whole bank pass (shared decode included).
     elapsed: Duration,
 }
 
@@ -347,7 +373,7 @@ fn record_variant(
 
 /// One prepare job: characterize `program` from a single instrumented
 /// execution and, if it has a load-transformed variant, capture both
-/// variants' traces for the replay shards. Every phase runs under a
+/// variants' traces for the replay wave. Every phase runs under a
 /// wall-clock span (`<program>/trace`, `/characterize`); with `events`
 /// set the characterizer also collects raw cache events, namespaced
 /// `events/<program>/cache/…`.
@@ -405,15 +431,24 @@ fn prepare_program(
     })
 }
 
-/// Replays one recording through one platform model, timing the pass.
-fn replay_shard(recording: &Recording, platform: PlatformConfig, events: bool) -> ShardOutput {
-    let mut sim =
-        if events { CycleSim::new(platform).with_metrics() } else { CycleSim::new(platform) };
+/// Replays one recording through a bank of platform models with a
+/// single decode pass, timing the whole pass.
+fn replay_bank_job(recording: &Recording, platforms: &[PlatformConfig], events: bool) -> BankOutput {
+    let mut sims: Vec<CycleSim> = platforms
+        .iter()
+        .map(|&p| if events { CycleSim::new(p).with_metrics() } else { CycleSim::new(p) })
+        .collect();
     let start = Instant::now();
-    recording.replay(&mut sim);
+    recording.replay_bank(&mut sims);
     let elapsed = start.elapsed();
-    let events = sim.take_metrics();
-    ShardOutput { result: sim.into_result(), events, ops: recording.len() as u64, elapsed }
+    let results = sims
+        .into_iter()
+        .map(|mut sim| {
+            let events = sim.take_metrics();
+            (sim.into_result(), events)
+        })
+        .collect();
+    BankOutput { results, ops: recording.len() as u64, elapsed }
 }
 
 /// One program's shard-merged replay output.
@@ -426,39 +461,42 @@ struct ProgramReplay {
     events: MetricSet,
 }
 
-/// Shard-merged output of the replay wave.
-struct ShardedReplay {
+/// Bank-merged output of the replay wave.
+struct BankedReplay {
     /// Aligned with the `recorded` input (one entry per program).
     per_program: Vec<ProgramReplay>,
-    /// `<name>/replay` spans, one per shard.
+    /// `<name>/replay` spans, one per bank job.
     timings: Timings,
     throughput: ReplayThroughput,
-    /// Shards scheduled.
-    shards: usize,
+    /// Bank jobs scheduled.
+    jobs: usize,
 }
 
-/// The replay wave: one shard per (program, variant, platform),
-/// scheduled together on the pool so platform passes of different
-/// programs load-balance. The shard enumeration — program (input order)
-/// × platform ([`PlatformConfig::all`] order) × variant (original
-/// first) — is fixed, and outputs are merged by walking the same
-/// enumeration, so results are identical for any worker count.
-fn replay_sharded(
+/// The replay wave: one bank job per (program, variant), scheduled
+/// together on the pool so recordings of different programs
+/// load-balance. Each job decodes its recording exactly once and drives
+/// every applicable platform model off the shared stream. The job
+/// enumeration — program (input order) × variant (original first) — is
+/// fixed, and outputs are merged by walking the same enumeration, so
+/// results are identical for any worker count.
+fn replay_banked(
     recorded: &[(ProgramId, ProgramRecordings)],
     threads: usize,
     events: bool,
-) -> ShardedReplay {
+) -> BankedReplay {
     let mut jobs = Vec::new();
     for (program, recs) in recorded {
-        for platform in applicable_platforms(*program) {
-            for rec in [&recs.original, &recs.transformed] {
-                let rec = Arc::clone(rec);
-                jobs.push(move || replay_shard(&rec, platform, events));
-            }
+        let platforms: Arc<Vec<PlatformConfig>> = Arc::new(applicable_platforms(*program));
+        for rec in [&recs.original, &recs.transformed] {
+            let rec = Arc::clone(rec);
+            let platforms = Arc::clone(&platforms);
+            jobs.push(move || replay_bank_job(&rec, &platforms, events));
         }
     }
-    let shards = jobs.len();
+    let bank_jobs = jobs.len();
+    let wave = Instant::now();
     let outputs = run_jobs(jobs, threads);
+    let wall = wave.elapsed();
 
     let mut per_program = Vec::with_capacity(recorded.len());
     let mut timings = Timings::new();
@@ -467,36 +505,37 @@ fn replay_sharded(
     for (program, _) in recorded {
         let name = program.name();
         let mut merged = ProgramReplay::default();
-        for platform in applicable_platforms(*program) {
-            let original = out.next().expect("one shard per enumeration slot");
-            let transformed = out.next().expect("one shard per enumeration slot");
-            for shard in [&original, &transformed] {
-                timings.record(&format!("{name}/replay"), shard.elapsed);
-                throughput.add(platform.name, shard.ops, shard.elapsed);
+        let platforms = applicable_platforms(*program);
+        let original = out.next().expect("one bank per enumeration slot");
+        let transformed = out.next().expect("one bank per enumeration slot");
+        for bank in [&original, &transformed] {
+            timings.record(&format!("{name}/replay"), bank.elapsed);
+        }
+        for (i, platform) in platforms.iter().enumerate() {
+            for (bank, variant) in [(&original, "original"), (&transformed, "transformed")] {
+                throughput.add(platform.name, bank.ops, bank.elapsed / platforms.len() as u32);
+                merged.events.merge_prefixed(
+                    &format!("events/{name}/{}/{variant}/", platform.name),
+                    &bank.results[i].1,
+                );
             }
-            merged
-                .events
-                .merge_prefixed(&format!("events/{name}/{}/original/", platform.name), &original.events);
-            merged.events.merge_prefixed(
-                &format!("events/{name}/{}/transformed/", platform.name),
-                &transformed.events,
-            );
             merged.cells.push(EvalCell {
                 program: *program,
                 platform: platform.name,
-                original: original.result,
-                transformed: transformed.result,
+                original: original.results[i].0,
+                transformed: transformed.results[i].0,
             });
         }
         per_program.push(merged);
     }
-    ShardedReplay { per_program, timings, throughput, shards }
+    throughput.seconds = wall.as_secs_f64();
+    BankedReplay { per_program, timings, throughput, jobs: bank_jobs }
 }
 
 /// Runs the nine-program characterization suite and the six-program ×
 /// four-platform runtime evaluation as two parallel job waves: per-
-/// program prepare jobs, then per-(program, variant, platform) replay
-/// shards over the shared recordings.
+/// program prepare jobs, then per-(program, variant) replay bank jobs —
+/// each decoding its shared recording once for all platform models.
 pub fn run_suite(cfg: SuiteConfig) -> Result<SuiteResult, SuiteError> {
     let threads = if cfg.jobs == 0 { default_jobs() } else { cfg.jobs };
 
@@ -524,8 +563,8 @@ pub fn run_suite(cfg: SuiteConfig) -> Result<SuiteResult, SuiteError> {
         }
     }
 
-    // Wave 2: replay shards across all programs at once.
-    let replay = replay_sharded(&recorded, threads, cfg.metrics);
+    // Wave 2: replay banks across all programs at once.
+    let replay = replay_banked(&recorded, threads, cfg.metrics);
     timings.merge(&replay.timings);
     for merged in &replay.per_program {
         metrics.merge(&merged.events);
@@ -548,7 +587,7 @@ pub fn run_suite(cfg: SuiteConfig) -> Result<SuiteResult, SuiteError> {
         scale: cfg.scale,
         seed: cfg.seed,
         workers: threads,
-        jobs: reports.len() + replay.shards,
+        jobs: reports.len() + replay.jobs,
         reports,
         eval,
         metrics,
@@ -574,9 +613,9 @@ pub fn characterize_all(
 }
 
 /// Runs the Table 8 evaluation in parallel: per program, each variant is
-/// executed once (wave 1), then every platform pass runs as its own
-/// replay shard over the shared recordings (wave 2). Cell order matches
-/// [`EvalMatrix::run`].
+/// executed once (wave 1), then each recording is decoded once by a
+/// replay bank job that drives every platform model (wave 2). Cell
+/// order matches [`EvalMatrix::run`].
 pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> Result<EvalMatrix, SuiteError> {
     let threads = if jobs == 0 { default_jobs() } else { jobs };
     let work: Vec<_> = ProgramId::TRANSFORMED
@@ -606,7 +645,7 @@ pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> Result<EvalMatrix, 
     for (program, result) in ProgramId::TRANSFORMED.into_iter().zip(run_jobs(work, threads)) {
         recorded.push((program, result?));
     }
-    let replay = replay_sharded(&recorded, threads, false);
+    let replay = replay_banked(&recorded, threads, false);
     Ok(EvalMatrix { cells: replay.per_program.into_iter().flat_map(|p| p.cells).collect() })
 }
 
@@ -754,8 +793,10 @@ impl ConformResult {
 
 /// Traces `program` once with a `(RefTape, Recorder)` fan-out and diffs
 /// the packed trace against the unpacked reference tape, then replays
-/// the recording through each applicable platform's optimized and
-/// reference simulators and diffs their results.
+/// the recording once through a *bank* of optimized platform simulators
+/// — the exact single-decode fan-out the suite's replay wave uses — and
+/// diffs each bank member against a standalone reference-pipeline
+/// replay of the same platform.
 fn cross_check_program(program: ProgramId, seed: u64) -> ProgramCrossCheck {
     let mut tape = Tape::new((RefTape::new(), Recorder::new()));
     registry::run(&mut tape, program, Variant::Original, Scale::Test, seed);
@@ -785,15 +826,19 @@ fn cross_check_program(program: ProgramId, seed: u64) -> ProgramCrossCheck {
         }
     }
 
-    // Pipelines: optimized and reference simulators consume the same
-    // replay side by side via the tuple fan-out.
+    // Pipelines: one bank replay drives every optimized simulator off a
+    // single decode (the suite's production path); each result is then
+    // diffed against an independent reference-pipeline replay, so a bug
+    // in the shared-decode fan-out itself cannot hide.
     let platforms = applicable_platforms(program);
     let replayed = platforms.len();
-    for platform in platforms {
-        let mut pair = (CycleSim::new(platform), RefPipeline::new(platform));
-        recording.replay(&mut pair);
-        let fast = pair.0.result();
-        let slow = pair.1.result();
+    let mut bank: Vec<CycleSim> = platforms.iter().map(|&p| CycleSim::new(p)).collect();
+    recording.replay_bank(&mut bank);
+    for (platform, sim) in platforms.into_iter().zip(&bank) {
+        let mut reference = RefPipeline::new(platform);
+        recording.replay(&mut reference);
+        let fast = sim.result();
+        let slow = reference.result();
         if fast != slow {
             return fail(format!("{}: optimized {fast:?}, reference {slow:?}", platform.name));
         }
@@ -919,7 +964,7 @@ mod tests {
     fn single_trace_job_matches_direct_characterization() {
         // The tuple fan-out execution inside a prepare job must produce
         // the same characterization as a dedicated characterization run,
-        // and capture both variants' traces for the replay shards.
+        // and capture both variants' traces for the replay wave.
         let direct =
             crate::characterize::characterize_program(ProgramId::Hmmsearch, Scale::Test, 7);
         let job = prepare_program(ProgramId::Hmmsearch, Scale::Test, 7, false, DEFAULT_CAPACITY)
@@ -934,7 +979,7 @@ mod tests {
 
     #[test]
     fn replayed_platform_sims_match_direct_execution() {
-        // Record-once + shard replay must equal running the kernel
+        // Record-once + bank replay must equal running the kernel
         // directly into each platform model.
         let direct = crate::evaluate::evaluate_program(
             ProgramId::Predator,
@@ -945,10 +990,48 @@ mod tests {
         let recording =
             record_variant(ProgramId::Predator, Variant::Original, Scale::Test, 5, DEFAULT_CAPACITY)
                 .expect("record");
-        let shard = replay_shard(&recording, PlatformConfig::alpha21264(), false);
-        assert_eq!(shard.result.cycles, direct.original.cycles);
-        assert_eq!(shard.result.instructions, direct.original.instructions);
-        assert_eq!(shard.ops, recording.len() as u64);
+        let platforms = applicable_platforms(ProgramId::Predator);
+        let bank = replay_bank_job(&recording, &platforms, false);
+        assert_eq!(bank.results.len(), platforms.len());
+        let alpha = platforms
+            .iter()
+            .position(|p| p.name == PlatformConfig::alpha21264().name)
+            .expect("alpha is applicable");
+        assert_eq!(bank.results[alpha].0.cycles, direct.original.cycles);
+        assert_eq!(bank.results[alpha].0.instructions, direct.original.instructions);
+        assert_eq!(bank.ops, recording.len() as u64);
+    }
+
+    #[test]
+    fn jobs_per_worker_gauge_is_clamped_and_rounded() {
+        // Zero-worker edge: clamp to 0.0 instead of emitting inf/NaN,
+        // which the JSON layer cannot represent.
+        assert_eq!(jobs_per_worker(7, 0), 0.0);
+        assert_eq!(jobs_per_worker(0, 0), 0.0);
+        // One-worker edge: exact integer ratio survives the rounding.
+        assert_eq!(jobs_per_worker(21, 1), 21.0);
+        assert_eq!(jobs_per_worker(0, 1), 0.0);
+        // Non-terminating ratios render as a stable two-decimal value.
+        assert_eq!(jobs_per_worker(1, 3), 0.33);
+        assert_eq!(jobs_per_worker(2, 3), 0.67);
+        assert_eq!(jobs_per_worker(21, 2), 10.5);
+    }
+
+    #[test]
+    fn replay_throughput_total_uses_wave_wall_clock() {
+        // Per-platform seconds accumulate (CPU-time style), but the
+        // aggregate divides by the wave's elapsed wall-clock, set once —
+        // summed shard seconds would under-report parallel throughput.
+        let mut t = ReplayThroughput::default();
+        t.add("A", 1_000, Duration::from_secs(2));
+        t.add("B", 1_000, Duration::from_secs(2));
+        t.seconds = 2.0; // both platform passes overlapped on the pool
+        assert_eq!(t.ops_per_sec(), 1_000.0, "2k ops in 2s of wall-clock");
+        let a = &t.per_platform[0];
+        assert_eq!((a.0, a.1, a.2), ("A", 1_000, 2.0));
+
+        let empty = ReplayThroughput::default();
+        assert_eq!(empty.ops_per_sec(), 0.0, "no replay ran");
     }
 
     #[test]
@@ -996,9 +1079,10 @@ mod tests {
         // counts. Timings and throughput live in the `run` section and
         // are excluded.
         assert_eq!(seq.deterministic_json().render(), par.deterministic_json().render());
-        // Both runs scheduled the same job set: 9 prepare + 46 shards.
+        // Both runs scheduled the same job set: 9 prepare jobs + 12
+        // replay banks (6 transformable programs × 2 variants).
         assert_eq!(seq.jobs, par.jobs);
-        assert_eq!(seq.jobs, 9 + 46);
+        assert_eq!(seq.jobs, 9 + 12);
         assert_eq!(seq.replay.replayed_ops, par.replay.replayed_ops);
     }
 

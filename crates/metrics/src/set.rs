@@ -53,6 +53,14 @@ impl MetricSet {
         slot(&mut self.histograms, name).record(sample);
     }
 
+    /// Folds a fully-formed histogram into the named slot (element-wise
+    /// addition) — how hot loops that accumulate into a local
+    /// [`LogHistogram`] publish it without paying a name lookup per
+    /// sample.
+    pub fn histogram_merge(&mut self, name: &str, h: &LogHistogram) {
+        slot(&mut self.histograms, name).merge(h);
+    }
+
     /// The named counter's total (`None` if never touched).
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(n, _)| n == name).map(|(_, c)| c.get())

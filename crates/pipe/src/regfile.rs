@@ -29,13 +29,19 @@ struct Slot {
 /// `head` is the least-recently-used value (the eviction victim), `tail`
 /// the most-recently-used. The index is a linear-probe table of slot ids
 /// sized ≥ 4× capacity (load factor ≤ 25%), with backward-shift deletion
-/// so probes never traverse tombstones.
+/// so probes never traverse tombstones. Each entry's key is mirrored
+/// into a flat `keys` array so the probe loop — the hottest path in the
+/// whole register model — walks one contiguous array instead of
+/// dereferencing the slot arena per step.
 #[derive(Debug, Clone)]
 pub struct RegFile {
     slots: Vec<Slot>,
     head: u32,
     tail: u32,
     index: Vec<u32>,
+    /// `keys[pos]` is the value of the entry at `index[pos]`; garbage
+    /// wherever `index[pos] == NIL`.
+    keys: Vec<u64>,
     /// `index.len() == 1 << bits`; hashes take the top `bits` of v * K.
     shift: u32,
     capacity: usize,
@@ -53,6 +59,7 @@ impl RegFile {
             head: NIL,
             tail: NIL,
             index: vec![NIL; table],
+            keys: vec![0; table],
             shift: 64 - table.trailing_zeros(),
             capacity,
         }
@@ -88,17 +95,36 @@ impl RegFile {
     /// Inserts `v` as MRU, returning the evicted LRU value if the file
     /// was full (`None` if `v` was already resident or there was room).
     pub fn insert(&mut self, v: u64) -> Option<u64> {
-        if self.touch(v) {
-            return None;
+        // One merged probe pass answers "resident?" and, on a miss,
+        // leaves `pos` at the first free entry of v's chain — the exact
+        // position a separate index_insert would find again.
+        let mask = self.index.len() - 1;
+        let mut pos = self.hash(v);
+        loop {
+            let slot = self.index[pos];
+            if slot == NIL {
+                break;
+            }
+            if self.keys[pos] == v {
+                // Already resident: refresh, exactly like `touch`.
+                if !crate::inject::active(crate::inject::REGFILE_TOUCH_STALE) {
+                    self.move_to_mru(slot);
+                }
+                return None;
+            }
+            pos = (pos + 1) & mask;
         }
         if self.slots.len() < self.capacity {
             let slot = self.slots.len() as u32;
             self.slots.push(Slot { value: v, prev: NIL, next: NIL });
             self.push_mru(slot);
-            self.index_insert(v, slot);
+            self.index[pos] = slot;
+            self.keys[pos] = v;
             None
         } else {
-            // Reuse the LRU slot for the incoming value.
+            // Reuse the LRU slot for the incoming value. The removal's
+            // backward shift can slide entries into (or past) `pos`, so
+            // v's entry must be re-probed, not placed at the stale `pos`.
             let slot = if crate::inject::active(crate::inject::REGFILE_EVICT_MRU) {
                 self.tail
             } else {
@@ -126,7 +152,7 @@ impl RegFile {
             if slot == NIL {
                 return None;
             }
-            if self.slots[slot as usize].value == v {
+            if self.keys[pos] == v {
                 return Some(slot);
             }
             pos = (pos + 1) & mask;
@@ -140,23 +166,29 @@ impl RegFile {
             pos = (pos + 1) & mask;
         }
         self.index[pos] = slot;
+        self.keys[pos] = v;
     }
 
     /// Removes `v`'s entry with backward-shift deletion: later entries of
     /// the probe chain slide into the hole unless they already sit at or
     /// past their ideal position, so lookups never need tombstones.
+    ///
+    /// `v` must be present: its entry is then reachable without crossing
+    /// a free slot, so probing on `keys` alone (garbage at free entries
+    /// is never inspected) cannot misidentify the entry.
     fn index_remove(&mut self, v: u64) {
         let mask = self.index.len() - 1;
         let mut pos = self.hash(v);
-        while self.slots[self.index[pos] as usize].value != v {
+        while self.keys[pos] != v {
             pos = (pos + 1) & mask;
         }
         let mut hole = pos;
         let mut probe = (pos + 1) & mask;
         while self.index[probe] != NIL {
-            let ideal = self.hash(self.slots[self.index[probe] as usize].value);
+            let ideal = self.hash(self.keys[probe]);
             if (probe.wrapping_sub(ideal) & mask) >= (probe.wrapping_sub(hole) & mask) {
                 self.index[hole] = self.index[probe];
+                self.keys[hole] = self.keys[probe];
                 hole = probe;
             }
             probe = (probe + 1) & mask;

@@ -5,7 +5,7 @@ use std::collections::VecDeque;
 use bioperf_branch::BranchProfiler;
 use bioperf_cache::{AccessKind, Hierarchy, HierarchyStats};
 use bioperf_isa::{MicroOp, OpKind, Program, VReg};
-use bioperf_metrics::{MetricSet, Sink};
+use bioperf_metrics::{LogHistogram, MetricSet};
 use bioperf_trace::TraceConsumer;
 
 use crate::config::PlatformConfig;
@@ -15,6 +15,13 @@ use crate::regfile::RegFile;
 /// limited by the ROB size times the largest latency.
 const ISSUE_RING: usize = 1 << 12;
 const READY_RING: usize = 1 << 16;
+
+/// The ready ring packs "value came straight from a load" into the top
+/// bit of the stored completion cycle (cycles never approach 2⁶³), so
+/// each destination costs one ring store instead of two and the replay
+/// bank drags one less 64 KB array per simulator through the caches.
+const FROM_LOAD_BIT: u64 = 1 << 63;
+const CYCLE_MASK: u64 = FROM_LOAD_BIT - 1;
 
 /// Where spilled values live: a small stack-like region that stays
 /// L1-resident, as real spill slots do.
@@ -92,8 +99,8 @@ pub struct CycleSim {
     fetch_cycle: u64,
     fetched_this_cycle: u32,
     issue_ring: Vec<(u64, u32)>,
+    /// `(vreg, completion-cycle | FROM_LOAD_BIT)` keyed by `vreg & mask`.
     ready_ring: Vec<(u64, u64)>,
-    from_load_ring: Vec<bool>,
     rob: VecDeque<u64>,
     last_issue: u64,
     regs: RegFile,
@@ -105,7 +112,14 @@ pub struct CycleSim {
     spill_stores: u64,
     spill_reloads: u64,
     timeline: Option<Vec<OpTiming>>,
-    metrics: Sink,
+    // Event metrics accumulate into dedicated local fields — not a
+    // name-keyed set — so the per-op cost when enabled is two histogram
+    // bumps, not two string lookups; `take_metrics` publishes them under
+    // their names.
+    metrics_on: bool,
+    m_op_latency: LogHistogram,
+    m_issue_delay: LogHistogram,
+    m_redirects: u64,
 }
 
 /// Cap on recorded timeline entries; recording is for walkthroughs and
@@ -123,7 +137,6 @@ impl CycleSim {
             fetched_this_cycle: 0,
             issue_ring: vec![(u64::MAX, 0); ISSUE_RING],
             ready_ring: vec![(u64::MAX, 0); READY_RING],
-            from_load_ring: vec![false; READY_RING],
             rob: VecDeque::with_capacity(cfg.rob_size),
             last_issue: 0,
             regs: RegFile::new(cfg.logical_regs),
@@ -134,7 +147,10 @@ impl CycleSim {
             spill_stores: 0,
             spill_reloads: 0,
             timeline: None,
-            metrics: Sink::null(),
+            metrics_on: false,
+            m_op_latency: LogHistogram::new(),
+            m_issue_delay: LogHistogram::new(),
+            m_redirects: 0,
             cfg,
         }
     }
@@ -145,7 +161,7 @@ impl CycleSim {
     /// predictable branch (the metrics layer's zero-cost-when-off
     /// contract).
     pub fn with_metrics(mut self) -> Self {
-        self.metrics = Sink::collecting();
+        self.metrics_on = true;
         self.hierarchy = self.hierarchy.with_metrics();
         self
     }
@@ -154,8 +170,23 @@ impl CycleSim {
     /// cache events under `cache/` — leaving collection in its current
     /// mode. Empty when collection is off.
     pub fn take_metrics(&mut self) -> MetricSet {
+        let mut pipe = MetricSet::new();
+        // Names appear only once touched, matching the lazily-created
+        // slots of the name-keyed path this replaced.
+        if self.m_op_latency.count() > 0 {
+            pipe.histogram_merge("op_latency_cycles", &self.m_op_latency);
+        }
+        if self.m_issue_delay.count() > 0 {
+            pipe.histogram_merge("issue_delay_cycles", &self.m_issue_delay);
+        }
+        if self.m_redirects > 0 {
+            pipe.counter_add("mispredict_redirects", self.m_redirects);
+        }
+        self.m_op_latency = LogHistogram::new();
+        self.m_issue_delay = LogHistogram::new();
+        self.m_redirects = 0;
         let mut out = MetricSet::new();
-        out.merge_prefixed("pipe/", &self.metrics.take());
+        out.merge_prefixed("pipe/", &pipe);
         out.merge_prefixed("cache/", &self.hierarchy.take_metrics());
         out
     }
@@ -222,19 +253,18 @@ impl CycleSim {
 
     fn ready_of(&self, v: VReg) -> Option<u64> {
         let slot = self.ready_ring[(v.0 as usize) & (READY_RING - 1)];
-        (slot.0 == v.0).then_some(slot.1)
+        (slot.0 == v.0).then_some(slot.1 & CYCLE_MASK)
     }
 
-    fn set_ready(&mut self, v: VReg, cycle: u64) {
-        self.ready_ring[(v.0 as usize) & (READY_RING - 1)] = (v.0, cycle);
+    fn set_ready(&mut self, v: VReg, cycle: u64, from_load: bool) {
+        let packed = cycle | if from_load { FROM_LOAD_BIT } else { 0 };
+        self.ready_ring[(v.0 as usize) & (READY_RING - 1)] = (v.0, packed);
     }
 
-    fn mark_from_load(&mut self, v: VReg, from_load: bool) {
-        self.from_load_ring[(v.0 as usize) & (READY_RING - 1)] = from_load;
-    }
-
+    /// Only meaningful right after [`ready_of`] confirmed the slot is
+    /// `v`'s (the flag belongs to whichever vreg owns the slot).
     fn is_from_load(&self, v: VReg) -> bool {
-        self.from_load_ring[(v.0 as usize) & (READY_RING - 1)]
+        self.ready_ring[(v.0 as usize) & (READY_RING - 1)].1 & FROM_LOAD_BIT != 0
     }
 
     /// Advances the front end by one dispatch slot and returns the
@@ -276,7 +306,8 @@ impl CycleSim {
         // One front-end slot: the reload folds into its consumer as a
         // memory operand on the register-scarce ISA where spills matter.
         self.fetched_this_cycle += 1;
-        let (addr, extra) = if self.is_from_load(src) {
+        let from_load = self.is_from_load(src);
+        let (addr, extra) = if from_load {
             // The value came straight from a load: the allocator
             // rematerializes it by repeating the load instead of storing
             // it to a spill slot (no store, no forwarding stall).
@@ -293,7 +324,7 @@ impl CycleSim {
         let start = self.issue_at(dispatch.max(base));
         let lat = self.hierarchy.access(addr, AccessKind::Load) + extra;
         let ready = start + lat;
-        self.set_ready(src, ready);
+        self.set_ready(src, ready, from_load);
         self.regs.insert(src.0);
         ready
     }
@@ -382,8 +413,7 @@ impl TraceConsumer for CycleSim {
             }
         }
         if let Some(dst) = op.dst {
-            self.set_ready(dst, completion);
-            self.mark_from_load(dst, op.kind.is_load());
+            self.set_ready(dst, completion, op.kind.is_load());
             self.regs.insert(dst.0);
         }
         self.rob.push_back(completion);
@@ -393,11 +423,11 @@ impl TraceConsumer for CycleSim {
         if completion > self.max_completion {
             self.max_completion = completion;
         }
-        if self.metrics.enabled() {
-            self.metrics.record("op_latency_cycles", completion - dispatch);
-            self.metrics.record("issue_delay_cycles", start - dispatch);
+        if self.metrics_on {
+            self.m_op_latency.record(completion - dispatch);
+            self.m_issue_delay.record(start - dispatch);
             if mispredicted_now {
-                self.metrics.add("mispredict_redirects", 1);
+                self.m_redirects += 1;
             }
         }
     }

@@ -154,6 +154,27 @@ impl Recording {
     pub fn iter(&self) -> impl Iterator<Item = MicroOp> + '_ {
         self.stream.iter()
     }
+
+    /// Single-pass fan-out replay: decodes the stream exactly once and
+    /// feeds every decoded op to each consumer in the bank (then a final
+    /// `finish` each, like [`replay`](Self::replay)).
+    ///
+    /// This is the suite's platform-bank kernel: one packed decode drives
+    /// all platform simulators, instead of each consumer paying the
+    /// ~10 ns/op decode again. The consumers are homogeneous (`&mut [C]`),
+    /// so the inner dispatch is static; results are identical to
+    /// replaying each consumer separately because decode shares no state
+    /// with consumption.
+    pub fn replay_bank<C: TraceConsumer>(&self, consumers: &mut [C]) {
+        self.stream.for_each(|op| {
+            for c in consumers.iter_mut() {
+                c.consume(op, &self.program);
+            }
+        });
+        for c in consumers.iter_mut() {
+            c.finish(&self.program);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +261,18 @@ mod tests {
         let decoded: Vec<MicroOp> = recording.iter().collect();
         assert_eq!(decoded, collect.0);
         assert!(recording.bytes_per_op() <= 24.0, "got {}", recording.bytes_per_op());
+    }
+
+    #[test]
+    fn bank_replay_matches_sequential_replays() {
+        let rec = small_recording(64);
+        let mut bank = vec![InstrMix::default(); 3];
+        rec.replay_bank(&mut bank);
+        for b in &bank {
+            let mut solo = InstrMix::default();
+            rec.replay(&mut solo);
+            assert_eq!(*b, solo, "bank consumer must equal a sequential replay");
+        }
     }
 
     #[test]

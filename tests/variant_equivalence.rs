@@ -2,11 +2,27 @@
 //! transformed program, the Original and LoadTransformed variants must
 //! produce bit-identical results — natively, under full tracing, and
 //! under cycle simulation (the consumer must never affect results).
+//!
+//! The same bar applies to *how* a trace is replayed: the suite's
+//! single-pass bank replay (one packed decode driving all four platform
+//! models at once) must be indistinguishable from four independent
+//! sequential replays, and from the conformance reference pipeline.
 
+use bioperf_conform::RefPipeline;
 use bioperf_loadchar::core::Characterizer;
 use bioperf_loadchar::kernels::{registry, ProgramId, Scale, Variant};
 use bioperf_loadchar::pipe::{CycleSim, PlatformConfig};
+use bioperf_loadchar::trace::replay::{Recorder, Recording};
 use bioperf_loadchar::trace::{NullTracer, Tape};
+
+/// Records one program variant, failing the test on overflow.
+fn record(program: ProgramId, scale: Scale, seed: u64) -> Recording {
+    let mut tape = Tape::new(Recorder::new());
+    registry::run(&mut tape, program, Variant::Original, scale, seed);
+    let (static_program, rec) = tape.finish();
+    assert!(!rec.overflowed(), "{program}: trace overflowed the recorder");
+    rec.into_recording(static_program)
+}
 
 #[test]
 fn all_transformed_programs_agree_across_variants() {
@@ -45,6 +61,51 @@ fn runs_are_seed_deterministic() {
         assert_eq!(a, b, "{program}: same seed must reproduce");
         let c = registry::run(&mut t, program, Variant::Original, Scale::Test, 124);
         assert_ne!(a, c, "{program}: different seeds should differ");
+    }
+}
+
+#[test]
+fn bank_replay_matches_four_sequential_replays_at_small_scale() {
+    // The suite replays every recording through a bank of all four
+    // platform simulators off one decode pass; a platform model inside
+    // the bank must produce the same cycle counts and hierarchy stats
+    // as a dedicated sequential replay of the same recording.
+    for program in ProgramId::ALL {
+        let recording = record(program, Scale::Small, 42);
+        let platforms = PlatformConfig::all();
+        let mut bank: Vec<CycleSim> = platforms.iter().map(|&p| CycleSim::new(p)).collect();
+        recording.replay_bank(&mut bank);
+        for (platform, banked) in platforms.iter().zip(&bank) {
+            let mut solo = CycleSim::new(*platform);
+            recording.replay(&mut solo);
+            assert_eq!(
+                banked.result(),
+                solo.result(),
+                "{program}/{}: bank replay diverged from a sequential replay",
+                platform.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bank_replay_matches_the_reference_pipeline() {
+    // Conformance cross-check of the bank path itself: each optimized
+    // simulator fed by the shared decode must agree with the reference
+    // pipeline replaying the same recording on the same platform.
+    let recording = record(ProgramId::Hmmsearch, Scale::Test, 42);
+    let platforms = PlatformConfig::all();
+    let mut bank: Vec<CycleSim> = platforms.iter().map(|&p| CycleSim::new(p)).collect();
+    recording.replay_bank(&mut bank);
+    for (platform, banked) in platforms.iter().zip(&bank) {
+        let mut reference = RefPipeline::new(*platform);
+        recording.replay(&mut reference);
+        assert_eq!(
+            banked.result(),
+            reference.result(),
+            "{}: bank replay diverged from the reference pipeline",
+            platform.name
+        );
     }
 }
 
