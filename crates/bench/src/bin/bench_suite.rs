@@ -130,6 +130,7 @@ fn main() {
         jobs: args.jobs,
         metrics: true,
         trace_cap: 0,
+        spill: None,
     })
     .unwrap_or_else(|e| {
         eprintln!("{ARTIFACT}: {e}");

@@ -203,6 +203,19 @@ impl JsonReport {
     }
 }
 
+/// The process's peak resident set size (`VmHWM`) in bytes, read from
+/// `/proc/self/status`. `None` off Linux or if the field is absent —
+/// callers report "n/a" rather than a fake number. A high-water mark:
+/// it proves a phase stayed *under* a bound only if the whole process
+/// did, which is why the streamed-replay memory smoke runs spill mode
+/// as its own process.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
 /// Standard header printed by every binary.
 pub fn banner(artifact: &str, scale: Scale) {
     println!("=== {artifact} ===");

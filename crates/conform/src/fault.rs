@@ -31,6 +31,9 @@ pub enum FaultId {
     /// The packed encoder advances its SSA counter by one on far
     /// destinations instead of resynchronizing to the written vreg.
     PackedSsaResync,
+    /// The spill recorder writes a stale SSA start counter into segment
+    /// headers, so non-first segments no longer decode standalone.
+    SegmentStartCounter,
     /// Mispredicted branches stop redirecting the front end (the flush
     /// is dropped), erasing the misprediction penalty.
     PipeDroppedFlush,
@@ -47,11 +50,12 @@ pub enum FaultId {
 
 impl FaultId {
     /// Every catalogued fault, in reporting order.
-    pub const ALL: [FaultId; 8] = [
+    pub const ALL: [FaultId; 9] = [
         FaultId::CacheLruTouch,
         FaultId::CacheDirtyWriteback,
         FaultId::PackedSrcDelta,
         FaultId::PackedSsaResync,
+        FaultId::SegmentStartCounter,
         FaultId::PipeDroppedFlush,
         FaultId::RegfileEvictMru,
         FaultId::RegfileTouchStale,
@@ -65,6 +69,7 @@ impl FaultId {
             FaultId::CacheDirtyWriteback => "cache-dirty-writeback",
             FaultId::PackedSrcDelta => "packed-src-delta",
             FaultId::PackedSsaResync => "packed-ssa-resync",
+            FaultId::SegmentStartCounter => "segment-start-counter",
             FaultId::PipeDroppedFlush => "pipe-dropped-flush",
             FaultId::RegfileEvictMru => "regfile-evict-mru",
             FaultId::RegfileTouchStale => "regfile-touch-stale",
@@ -84,6 +89,7 @@ impl FaultId {
             FaultId::CacheDirtyWriteback => "store-miss fills lose the dirty bit",
             FaultId::PackedSrcDelta => "encoder shortens near source deltas by one",
             FaultId::PackedSsaResync => "encoder skips SSA counter resync on far dsts",
+            FaultId::SegmentStartCounter => "segment headers record a stale SSA start counter",
             FaultId::PipeDroppedFlush => "mispredict redirects are dropped",
             FaultId::RegfileEvictMru => "register file evicts MRU instead of LRU",
             FaultId::RegfileTouchStale => "register touches stop updating LRU order",
@@ -99,6 +105,9 @@ impl FaultId {
             // Codec faults corrupt almost any stream with sources/gaps.
             FaultId::PackedSrcDelta => 32,
             FaultId::PackedSsaResync => 32,
+            // Any stream long enough for a second segment with a nonzero
+            // start counter (segment_check splits at sizes 1 and 5).
+            FaultId::SegmentStartCounter => 32,
             // Mispredicts are frequent; the first redirect-worthy one
             // exposes the dropped flush.
             FaultId::PipeDroppedFlush => 128,
@@ -140,6 +149,9 @@ pub fn arm(fault: FaultId) {
         }
         FaultId::PackedSrcDelta => bioperf_trace::inject::set(bioperf_trace::inject::SRC_DELTA),
         FaultId::PackedSsaResync => bioperf_trace::inject::set(bioperf_trace::inject::SSA_RESYNC),
+        FaultId::SegmentStartCounter => {
+            bioperf_trace::inject::set(bioperf_trace::inject::SEG_COUNTER)
+        }
         FaultId::PipeDroppedFlush => bioperf_pipe::inject::set(bioperf_pipe::inject::DROPPED_FLUSH),
         FaultId::RegfileEvictMru => {
             bioperf_pipe::inject::set(bioperf_pipe::inject::REGFILE_EVICT_MRU)

@@ -25,7 +25,7 @@ use bioperf_cache::AccessKind;
 use bioperf_isa::{MicroOp, OpKind, Program, StaticId, VReg, MAX_SRCS};
 use bioperf_pipe::{CycleSim, PlatformConfig, RegFile};
 use bioperf_trace::packed::PackedStream;
-use bioperf_trace::TraceConsumer;
+use bioperf_trace::{SpillRecorder, TraceConsumer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -46,8 +46,8 @@ const SHRINK_BUDGET: usize = 2000;
 /// reference model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Divergence {
-    /// Which differential check failed: `codec`, `cache`, `regfile`,
-    /// `predictor`, or `pipeline`.
+    /// Which differential check failed: `codec`, `segment`, `cache`,
+    /// `regfile`, `predictor`, or `pipeline`.
     pub component: &'static str,
     /// Human-readable mismatch description.
     pub detail: String,
@@ -265,6 +265,7 @@ fn pick_addr(
 /// stay fast.
 pub fn check_stream(ops: &[MicroOp], platform: &PlatformConfig) -> Option<Divergence> {
     codec_check(ops)
+        .or_else(|| segment_check(ops))
         .or_else(|| cache_check(ops, platform))
         .or_else(|| regfile_check(ops, platform))
         .or_else(|| predictor_check(ops))
@@ -303,6 +304,65 @@ fn codec_check(ops: &[MicroOp]) -> Option<Divergence> {
                 "codec",
                 format!("op {i}: iter decoded {decoded:?}, recorded {recorded:?}"),
             ));
+        }
+    }
+    None
+}
+
+/// Segmented spill/replay round-trip vs. the raw stream. Segment sizes
+/// 1 and 5 force splits at every position and mid-resync-gap, so the
+/// per-segment header state (the SSA start counter) carries the whole
+/// standalone-decode burden.
+fn segment_check(ops: &[MicroOp]) -> Option<Divergence> {
+    #[derive(Default)]
+    struct Collect(Vec<MicroOp>);
+    impl TraceConsumer for Collect {
+        fn consume(&mut self, op: &MicroOp, _p: &Program) {
+            self.0.push(*op);
+        }
+    }
+
+    for segment_ops in [1usize, 5] {
+        let mut spill = SpillRecorder::in_memory(segment_ops, usize::MAX);
+        let program = Program::new();
+        for op in ops {
+            spill.consume(op, &program);
+        }
+        let segmented = match spill.into_segmented(program) {
+            Ok(s) => s,
+            Err(e) => {
+                return Some(Divergence::new(
+                    "segment",
+                    format!("segment_ops {segment_ops}: spill failed: {e}"),
+                ))
+            }
+        };
+        let mut replayed = Collect::default();
+        if let Err(e) = segmented.replay(&mut replayed) {
+            return Some(Divergence::new(
+                "segment",
+                format!("segment_ops {segment_ops}: replay failed: {e}"),
+            ));
+        }
+        if replayed.0.len() != ops.len() {
+            return Some(Divergence::new(
+                "segment",
+                format!(
+                    "segment_ops {segment_ops}: replayed {} ops out of {}",
+                    replayed.0.len(),
+                    ops.len()
+                ),
+            ));
+        }
+        for (i, (decoded, recorded)) in replayed.0.iter().zip(ops).enumerate() {
+            if decoded != recorded {
+                return Some(Divergence::new(
+                    "segment",
+                    format!(
+                        "segment_ops {segment_ops} op {i}: streamed {decoded:?}, recorded {recorded:?}"
+                    ),
+                ));
+            }
         }
     }
     None

@@ -43,7 +43,11 @@ use bioperf_conform::{RefPipeline, RefTape};
 use bioperf_kernels::{registry, ProgramId, Scale, Variant};
 use bioperf_metrics::{Json, MetricSet, Timings};
 use bioperf_pipe::{CycleSim, PlatformConfig, SimResult};
-use bioperf_trace::{replay::DEFAULT_CAPACITY, Recorder, Recording, Tape};
+use bioperf_isa::MicroOp;
+use bioperf_trace::{
+    replay::DEFAULT_CAPACITY, Recorder, Recording, SegmentError, SegmentedRecording,
+    SpillRecorder, Tape, TraceConsumer,
+};
 
 pub use bioperf_conform::{fault, FaultId};
 
@@ -68,6 +72,16 @@ pub enum SuiteError {
         /// Ops captured before the recorder hit its capacity.
         captured: usize,
     },
+    /// Spilling or streaming a segmented trace failed; the inner error
+    /// names the offending segment path.
+    Segment {
+        /// Program whose trace was being spilled or streamed.
+        program: ProgramId,
+        /// Variant the trace belongs to.
+        variant: Variant,
+        /// The segment-level failure (I/O, truncation, corruption, …).
+        error: SegmentError,
+    },
 }
 
 impl fmt::Display for SuiteError {
@@ -79,6 +93,9 @@ impl fmt::Display for SuiteError {
                  rerun at a smaller scale",
                 variant.label()
             ),
+            SuiteError::Segment { program, variant, error } => {
+                write!(f, "{program} ({}): {error}", variant.label())
+            }
         }
     }
 }
@@ -133,8 +150,38 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Spill-to-disk configuration: record each (program, variant) trace as
+/// fixed-size segment files under a per-trace subdirectory of `dir` and
+/// stream the replay wave from disk, bounding peak memory by O(segment
+/// size) instead of O(trace size).
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Root directory for segment files (one `<program>-<variant>/`
+    /// subdirectory per captured trace; created as needed).
+    pub dir: PathBuf,
+    /// Ops per segment file; `0` means
+    /// [`bioperf_trace::DEFAULT_SEGMENT_OPS`].
+    pub segment_ops: usize,
+}
+
+impl SpillConfig {
+    /// The effective segment size.
+    pub fn segment_ops(&self) -> usize {
+        if self.segment_ops == 0 {
+            bioperf_trace::DEFAULT_SEGMENT_OPS
+        } else {
+            self.segment_ops
+        }
+    }
+
+    /// The segment directory of one (program, variant) trace.
+    fn trace_dir(&self, program: ProgramId, variant: Variant) -> PathBuf {
+        self.dir.join(format!("{}-{}", program.name(), variant.label()))
+    }
+}
+
 /// Configuration for [`run_suite`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SuiteConfig {
     /// Workload scale for every job.
     pub scale: Scale,
@@ -149,8 +196,15 @@ pub struct SuiteConfig {
     pub metrics: bool,
     /// Recorder capacity (in ops) for every captured trace; `0` means
     /// [`DEFAULT_CAPACITY`]. Small caps force the
-    /// [`SuiteError::TraceOverflow`] path deterministically.
+    /// [`SuiteError::TraceOverflow`] path deterministically. In spill
+    /// mode the cap bounds the *total* ops of a trace across all its
+    /// segments, exactly as it bounds the one in-memory recording
+    /// otherwise.
     pub trace_cap: usize,
+    /// Spill captured traces to disk segments and stream the replay
+    /// wave ([`None`] keeps recordings in memory). The replay output is
+    /// byte-identical either way.
+    pub spill: Option<SpillConfig>,
 }
 
 impl SuiteConfig {
@@ -313,11 +367,41 @@ fn jobs_per_worker(jobs: usize, workers: usize) -> f64 {
     (ratio * 100.0).round() / 100.0
 }
 
+/// One captured trace, either resident in memory or spilled to disk
+/// segments. Replay banks treat both identically; only the streaming
+/// mechanics (and peak memory) differ.
+#[derive(Clone)]
+enum TraceStore {
+    Memory(Arc<Recording>),
+    Segmented(Arc<SegmentedRecording>),
+}
+
+impl TraceStore {
+    fn len(&self) -> usize {
+        match self {
+            TraceStore::Memory(r) => r.len(),
+            TraceStore::Segmented(s) => s.len(),
+        }
+    }
+
+    /// Single-decode fan-out over a bank of consumers (segmented stores
+    /// stream with the next segment prefetched in the background).
+    fn replay_bank<C: TraceConsumer>(&self, bank: &mut [C]) -> Result<(), SegmentError> {
+        match self {
+            TraceStore::Memory(r) => {
+                r.replay_bank(bank);
+                Ok(())
+            }
+            TraceStore::Segmented(s) => s.replay_bank(bank),
+        }
+    }
+}
+
 /// Both captured traces of one transformable program, shared with the
 /// replay bank jobs.
 struct ProgramRecordings {
-    original: Arc<Recording>,
-    transformed: Arc<Recording>,
+    original: TraceStore,
+    transformed: TraceStore,
 }
 
 /// Output of one per-program prepare job.
@@ -371,6 +455,27 @@ fn record_variant(
     Ok(rec.into_recording(static_program))
 }
 
+/// Executes one variant once, spilling its trace to disk segments.
+fn record_variant_spilled(
+    program: ProgramId,
+    variant: Variant,
+    scale: Scale,
+    seed: u64,
+    capacity: usize,
+    spill: &SpillConfig,
+) -> Result<SegmentedRecording, SuiteError> {
+    let seg_err = |error| SuiteError::Segment { program, variant, error };
+    let recorder = SpillRecorder::to_dir(spill.trace_dir(program, variant), spill.segment_ops(), capacity)
+        .map_err(seg_err)?;
+    let mut tape = Tape::new(recorder);
+    registry::run(&mut tape, program, variant, scale, seed);
+    let (static_program, rec) = tape.finish();
+    if rec.overflowed() {
+        return Err(SuiteError::TraceOverflow { program, variant, captured: rec.len() });
+    }
+    rec.into_segmented(static_program).map_err(seg_err)
+}
+
 /// One prepare job: characterize `program` from a single instrumented
 /// execution and, if it has a load-transformed variant, capture both
 /// variants' traces for the replay wave. Every phase runs under a
@@ -383,6 +488,7 @@ fn prepare_program(
     seed: u64,
     events: bool,
     capacity: usize,
+    spill: Option<SpillConfig>,
 ) -> Result<PreparedProgram, SuiteError> {
     let name = program.name();
     let mut timings = Timings::new();
@@ -402,44 +508,89 @@ fn prepare_program(
     }
 
     // Single original-variant execution: the tuple consumer fans the op
-    // stream out to the characterizer and the replay recorder at once.
-    let mut tape = Tape::new((characterizer, Recorder::with_capacity(capacity)));
-    timings.time(&format!("{name}/trace"), || {
-        registry::run(&mut tape, program, Variant::Original, scale, seed);
-    });
-    let (static_program, (characterizer, rec)) = tape.finish();
-    if rec.overflowed() {
-        return Err(SuiteError::TraceOverflow {
-            program,
-            variant: Variant::Original,
-            captured: rec.len(),
-        });
-    }
-    let original = Arc::new(rec.into_recording(static_program.clone()));
-    let report = timings
-        .time(&format!("{name}/characterize"), || characterizer.into_report(static_program, 10));
+    // stream out to the characterizer and the replay recorder — in-memory
+    // or spilling, per the config — at once.
+    let (original, report) = match &spill {
+        None => {
+            let mut tape = Tape::new((characterizer, Recorder::with_capacity(capacity)));
+            timings.time(&format!("{name}/trace"), || {
+                registry::run(&mut tape, program, Variant::Original, scale, seed);
+            });
+            let (static_program, (characterizer, rec)) = tape.finish();
+            if rec.overflowed() {
+                return Err(SuiteError::TraceOverflow {
+                    program,
+                    variant: Variant::Original,
+                    captured: rec.len(),
+                });
+            }
+            let original = TraceStore::Memory(Arc::new(rec.into_recording(static_program.clone())));
+            let report = timings.time(&format!("{name}/characterize"), || {
+                characterizer.into_report(static_program, 10)
+            });
+            (original, report)
+        }
+        Some(spill) => {
+            let seg_err =
+                |error| SuiteError::Segment { program, variant: Variant::Original, error };
+            let recorder = SpillRecorder::to_dir(
+                spill.trace_dir(program, Variant::Original),
+                spill.segment_ops(),
+                capacity,
+            )
+            .map_err(seg_err)?;
+            let mut tape = Tape::new((characterizer, recorder));
+            timings.time(&format!("{name}/trace"), || {
+                registry::run(&mut tape, program, Variant::Original, scale, seed);
+            });
+            let (static_program, (characterizer, rec)) = tape.finish();
+            if rec.overflowed() {
+                return Err(SuiteError::TraceOverflow {
+                    program,
+                    variant: Variant::Original,
+                    captured: rec.len(),
+                });
+            }
+            let segmented = rec.into_segmented(static_program.clone()).map_err(seg_err)?;
+            let original = TraceStore::Segmented(Arc::new(segmented));
+            let report = timings.time(&format!("{name}/characterize"), || {
+                characterizer.into_report(static_program, 10)
+            });
+            (original, report)
+        }
+    };
     metrics.merge_prefixed(&format!("events/{name}/cache/"), &report.events);
 
-    let transformed = timings.time(&format!("{name}/trace"), || {
-        record_variant(program, Variant::LoadTransformed, scale, seed, capacity)
+    let transformed = timings.time(&format!("{name}/trace"), || match &spill {
+        None => record_variant(program, Variant::LoadTransformed, scale, seed, capacity)
+            .map(|rec| TraceStore::Memory(Arc::new(rec))),
+        Some(spill) => {
+            record_variant_spilled(program, Variant::LoadTransformed, scale, seed, capacity, spill)
+                .map(|seg| TraceStore::Segmented(Arc::new(seg)))
+        }
     })?;
     Ok(PreparedProgram {
         report,
         events: metrics,
         timings,
-        recordings: Some(ProgramRecordings { original, transformed: Arc::new(transformed) }),
+        recordings: Some(ProgramRecordings { original, transformed }),
     })
 }
 
-/// Replays one recording through a bank of platform models with a
-/// single decode pass, timing the whole pass.
-fn replay_bank_job(recording: &Recording, platforms: &[PlatformConfig], events: bool) -> BankOutput {
+/// Replays one trace store through a bank of platform models with a
+/// single decode pass, timing the whole pass. Segmented stores stream
+/// from disk and can fail with a typed segment error.
+fn replay_bank_job(
+    store: &TraceStore,
+    platforms: &[PlatformConfig],
+    events: bool,
+) -> Result<BankOutput, SegmentError> {
     let mut sims: Vec<CycleSim> = platforms
         .iter()
         .map(|&p| if events { CycleSim::new(p).with_metrics() } else { CycleSim::new(p) })
         .collect();
     let start = Instant::now();
-    recording.replay_bank(&mut sims);
+    store.replay_bank(&mut sims)?;
     let elapsed = start.elapsed();
     let results = sims
         .into_iter()
@@ -448,7 +599,7 @@ fn replay_bank_job(recording: &Recording, platforms: &[PlatformConfig], events: 
             (sim.into_result(), events)
         })
         .collect();
-    BankOutput { results, ops: recording.len() as u64, elapsed }
+    Ok(BankOutput { results, ops: store.len() as u64, elapsed })
 }
 
 /// One program's shard-merged replay output.
@@ -483,14 +634,14 @@ fn replay_banked(
     recorded: &[(ProgramId, ProgramRecordings)],
     threads: usize,
     events: bool,
-) -> BankedReplay {
+) -> Result<BankedReplay, SuiteError> {
     let mut jobs = Vec::new();
     for (program, recs) in recorded {
         let platforms: Arc<Vec<PlatformConfig>> = Arc::new(applicable_platforms(*program));
-        for rec in [&recs.original, &recs.transformed] {
-            let rec = Arc::clone(rec);
+        for store in [&recs.original, &recs.transformed] {
+            let store = store.clone();
             let platforms = Arc::clone(&platforms);
-            jobs.push(move || replay_bank_job(&rec, &platforms, events));
+            jobs.push(move || replay_bank_job(&store, &platforms, events));
         }
     }
     let bank_jobs = jobs.len();
@@ -506,8 +657,17 @@ fn replay_banked(
         let name = program.name();
         let mut merged = ProgramReplay::default();
         let platforms = applicable_platforms(*program);
-        let original = out.next().expect("one bank per enumeration slot");
-        let transformed = out.next().expect("one bank per enumeration slot");
+        // The fixed enumeration pairs job outputs back to (program,
+        // variant), so a streamed-replay failure names its trace.
+        let seg_err = |variant, error| SuiteError::Segment { program: *program, variant, error };
+        let original = out
+            .next()
+            .expect("one bank per enumeration slot")
+            .map_err(|e| seg_err(Variant::Original, e))?;
+        let transformed = out
+            .next()
+            .expect("one bank per enumeration slot")
+            .map_err(|e| seg_err(Variant::LoadTransformed, e))?;
         for bank in [&original, &transformed] {
             timings.record(&format!("{name}/replay"), bank.elapsed);
         }
@@ -529,7 +689,7 @@ fn replay_banked(
         per_program.push(merged);
     }
     throughput.seconds = wall.as_secs_f64();
-    BankedReplay { per_program, timings, throughput, jobs: bank_jobs }
+    Ok(BankedReplay { per_program, timings, throughput, jobs: bank_jobs })
 }
 
 /// Runs the nine-program characterization suite and the six-program ×
@@ -543,7 +703,10 @@ pub fn run_suite(cfg: SuiteConfig) -> Result<SuiteResult, SuiteError> {
     let capacity = cfg.capacity();
     let jobs: Vec<_> = ProgramId::ALL
         .into_iter()
-        .map(|program| move || prepare_program(program, cfg.scale, cfg.seed, cfg.metrics, capacity))
+        .map(|program| {
+            let spill = cfg.spill.clone();
+            move || prepare_program(program, cfg.scale, cfg.seed, cfg.metrics, capacity, spill)
+        })
         .collect();
     let results = run_jobs(jobs, threads);
 
@@ -564,7 +727,7 @@ pub fn run_suite(cfg: SuiteConfig) -> Result<SuiteResult, SuiteError> {
     }
 
     // Wave 2: replay banks across all programs at once.
-    let replay = replay_banked(&recorded, threads, cfg.metrics);
+    let replay = replay_banked(&recorded, threads, cfg.metrics)?;
     timings.merge(&replay.timings);
     for merged in &replay.per_program {
         metrics.merge(&merged.events);
@@ -623,20 +786,20 @@ pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> Result<EvalMatrix, 
         .map(|program| {
             move || -> Result<ProgramRecordings, SuiteError> {
                 Ok(ProgramRecordings {
-                    original: Arc::new(record_variant(
+                    original: TraceStore::Memory(Arc::new(record_variant(
                         program,
                         Variant::Original,
                         scale,
                         seed,
                         DEFAULT_CAPACITY,
-                    )?),
-                    transformed: Arc::new(record_variant(
+                    )?)),
+                    transformed: TraceStore::Memory(Arc::new(record_variant(
                         program,
                         Variant::LoadTransformed,
                         scale,
                         seed,
                         DEFAULT_CAPACITY,
-                    )?),
+                    )?)),
                 })
             }
         })
@@ -645,7 +808,7 @@ pub fn evaluate_all(scale: Scale, seed: u64, jobs: usize) -> Result<EvalMatrix, 
     for (program, result) in ProgramId::TRANSFORMED.into_iter().zip(run_jobs(work, threads)) {
         recorded.push((program, result?));
     }
-    let replay = replay_banked(&recorded, threads, false);
+    let replay = replay_banked(&recorded, threads, false)?;
     Ok(EvalMatrix { cells: replay.per_program.into_iter().flat_map(|p| p.cells).collect() })
 }
 
@@ -791,12 +954,55 @@ impl ConformResult {
     }
 }
 
+/// Streams a recording through the segment codec (spill → standalone
+/// per-segment decode) and diffs each replayed op against the reference
+/// tape. Small segments force many header-state handoffs per trace.
+fn segment_cross_check(recording: &Recording, reference: &[MicroOp]) -> Option<String> {
+    struct Diff<'a> {
+        expected: &'a [MicroOp],
+        at: usize,
+        mismatch: Option<String>,
+    }
+    impl TraceConsumer for Diff<'_> {
+        fn consume(&mut self, op: &bioperf_isa::MicroOp, _p: &bioperf_isa::Program) {
+            if self.mismatch.is_none() {
+                match self.expected.get(self.at) {
+                    Some(want) if want == op => {}
+                    want => {
+                        self.mismatch = Some(format!(
+                            "segment: op {}: streamed {op:?}, reference {want:?}",
+                            self.at
+                        ))
+                    }
+                }
+            }
+            self.at += 1;
+        }
+    }
+
+    let mut spill = SpillRecorder::in_memory(4096, usize::MAX);
+    recording.replay(&mut spill);
+    let segmented = match spill.into_segmented(recording.program().clone()) {
+        Ok(s) => s,
+        Err(e) => return Some(format!("segment: spill failed: {e}")),
+    };
+    let mut diff = Diff { expected: reference, at: 0, mismatch: None };
+    if let Err(e) = segmented.replay(&mut diff) {
+        return Some(format!("segment: streamed replay failed: {e}"));
+    }
+    if diff.mismatch.is_none() && diff.at != reference.len() {
+        return Some(format!("segment: streamed {} ops, reference {}", diff.at, reference.len()));
+    }
+    diff.mismatch
+}
+
 /// Traces `program` once with a `(RefTape, Recorder)` fan-out and diffs
-/// the packed trace against the unpacked reference tape, then replays
-/// the recording once through a *bank* of optimized platform simulators
-/// — the exact single-decode fan-out the suite's replay wave uses — and
-/// diffs each bank member against a standalone reference-pipeline
-/// replay of the same platform.
+/// the packed trace against the unpacked reference tape — both the
+/// in-memory decode and the spill-to-segments streamed decode — then
+/// replays the recording once through a *bank* of optimized platform
+/// simulators — the exact single-decode fan-out the suite's replay wave
+/// uses — and diffs each bank member against a standalone
+/// reference-pipeline replay of the same platform.
 fn cross_check_program(program: ProgramId, seed: u64) -> ProgramCrossCheck {
     let mut tape = Tape::new((RefTape::new(), Recorder::new()));
     registry::run(&mut tape, program, Variant::Original, Scale::Test, seed);
@@ -824,6 +1030,12 @@ fn cross_check_program(program: ProgramId, seed: u64) -> ProgramCrossCheck {
                 reference.ops[i]
             ));
         }
+    }
+
+    // Segment codec: spilling to standalone segments and streaming them
+    // back must also reproduce the reference tape exactly.
+    if let Some(divergence) = segment_cross_check(&recording, &reference.ops) {
+        return fail(divergence);
     }
 
     // Pipelines: one bank replay drives every optimized simulator off a
@@ -967,14 +1179,15 @@ mod tests {
         // and capture both variants' traces for the replay wave.
         let direct =
             crate::characterize::characterize_program(ProgramId::Hmmsearch, Scale::Test, 7);
-        let job = prepare_program(ProgramId::Hmmsearch, Scale::Test, 7, false, DEFAULT_CAPACITY)
-            .expect("prepare");
+        let job =
+            prepare_program(ProgramId::Hmmsearch, Scale::Test, 7, false, DEFAULT_CAPACITY, None)
+                .expect("prepare");
         assert_eq!(direct.mix, job.report.mix);
         assert_eq!(direct.cache, job.report.cache);
         assert_eq!(direct.sequences.loads_to_branch, job.report.sequences.loads_to_branch);
         let recordings = job.recordings.expect("hmmsearch is transformable");
-        assert!(!recordings.original.is_empty());
-        assert!(!recordings.transformed.is_empty());
+        assert!(recordings.original.len() > 0);
+        assert!(recordings.transformed.len() > 0);
     }
 
     #[test]
@@ -990,8 +1203,9 @@ mod tests {
         let recording =
             record_variant(ProgramId::Predator, Variant::Original, Scale::Test, 5, DEFAULT_CAPACITY)
                 .expect("record");
+        let store = TraceStore::Memory(Arc::new(recording));
         let platforms = applicable_platforms(ProgramId::Predator);
-        let bank = replay_bank_job(&recording, &platforms, false);
+        let bank = replay_bank_job(&store, &platforms, false).expect("bank");
         assert_eq!(bank.results.len(), platforms.len());
         let alpha = platforms
             .iter()
@@ -999,7 +1213,7 @@ mod tests {
             .expect("alpha is applicable");
         assert_eq!(bank.results[alpha].0.cycles, direct.original.cycles);
         assert_eq!(bank.results[alpha].0.instructions, direct.original.instructions);
-        assert_eq!(bank.ops, recording.len() as u64);
+        assert_eq!(bank.ops, store.len() as u64);
     }
 
     #[test]
@@ -1044,6 +1258,7 @@ mod tests {
                 assert_eq!(*variant, Variant::Original);
                 assert_eq!(*captured, 10);
             }
+            other => panic!("expected TraceOverflow, got {other:?}"),
         }
         let msg = err.to_string();
         assert!(msg.contains("hmmsearch"), "{msg}");
@@ -1053,10 +1268,10 @@ mod tests {
     #[test]
     fn parallel_suite_equals_sequential_suite() {
         let seq =
-            run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1, metrics: true, trace_cap: 0 })
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 1, metrics: true, trace_cap: 0, spill: None })
                 .expect("suite");
         let par =
-            run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4, metrics: true, trace_cap: 0 })
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 11, jobs: 4, metrics: true, trace_cap: 0, spill: None })
                 .expect("suite");
         assert_eq!(seq.reports.len(), par.reports.len());
         for ((pa, a), (pb, b)) in seq.reports.iter().zip(&par.reports) {
@@ -1089,7 +1304,7 @@ mod tests {
     #[test]
     fn suite_json_has_expected_shape() {
         let suite =
-            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: false, trace_cap: 0 })
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: false, trace_cap: 0, spill: None })
                 .expect("suite");
         let doc = suite.to_json();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SUITE_SCHEMA));
@@ -1118,7 +1333,7 @@ mod tests {
         // Raw simulator events only appear when asked for.
         assert!(counters.keys().iter().all(|k| !k.starts_with("events/")));
         let with_events =
-            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: true, trace_cap: 0 })
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 3, jobs: 2, metrics: true, trace_cap: 0, spill: None })
                 .expect("suite");
         let doc = with_events.to_json();
         let counters = doc.get("deterministic").and_then(|d| d.get("counters")).expect("counters");
@@ -1132,10 +1347,111 @@ mod tests {
     #[test]
     fn suite_respects_a_small_trace_cap() {
         let err =
-            run_suite(SuiteConfig { scale: Scale::Test, seed: 42, jobs: 1, metrics: false, trace_cap: 16 })
+            run_suite(SuiteConfig { scale: Scale::Test, seed: 42, jobs: 1, metrics: false, trace_cap: 16, spill: None })
                 .expect_err("16-op capacity must overflow");
-        let SuiteError::TraceOverflow { captured, .. } = err;
-        assert_eq!(captured, 16);
+        match err {
+            SuiteError::TraceOverflow { captured, .. } => assert_eq!(captured, 16),
+            other => panic!("expected TraceOverflow, got {other:?}"),
+        }
+    }
+
+    /// A unique scratch directory under the target-adjacent temp dir.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bioperf-orch-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spilled_suite_is_byte_identical_to_in_memory_suite() {
+        let memory = run_suite(SuiteConfig {
+            scale: Scale::Test,
+            seed: 11,
+            jobs: 2,
+            metrics: true,
+            trace_cap: 0,
+            spill: None,
+        })
+        .expect("suite");
+        // Tiny segments force many per-trace segment files, and jobs=4
+        // overlaps loader threads with pool workers.
+        let dir = scratch("spill-eq");
+        let spilled = run_suite(SuiteConfig {
+            scale: Scale::Test,
+            seed: 11,
+            jobs: 4,
+            metrics: true,
+            trace_cap: 0,
+            spill: Some(SpillConfig { dir: dir.clone(), segment_ops: 1 << 12 }),
+        })
+        .expect("spilled suite");
+        assert_eq!(
+            memory.deterministic_json().render(),
+            spilled.deterministic_json().render(),
+            "streamed replay must not change a single deterministic byte"
+        );
+        assert_eq!(memory.jobs, spilled.jobs);
+        assert_eq!(memory.replay.replayed_ops, spilled.replay.replayed_ops);
+        // The traces really were spilled: every transformable program
+        // left segment files behind.
+        let traces = std::fs::read_dir(&dir).expect("spill dir").count();
+        assert_eq!(traces, 2 * ProgramId::TRANSFORMED.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_cap_bounds_total_ops_across_segments() {
+        // segment_ops far below the cap: a per-segment misreading would
+        // never overflow, the whole-trace cap must still trip at 16 ops.
+        let dir = scratch("spill-cap");
+        let err = run_suite(SuiteConfig {
+            scale: Scale::Test,
+            seed: 42,
+            jobs: 1,
+            metrics: false,
+            trace_cap: 16,
+            spill: Some(SpillConfig { dir: dir.clone(), segment_ops: 4 }),
+        })
+        .expect_err("16-op total capacity must overflow even with 4-op segments");
+        match err {
+            SuiteError::TraceOverflow { captured, .. } => assert_eq!(captured, 16),
+            other => panic!("expected TraceOverflow, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_middle_segment_is_a_typed_suite_error() {
+        let dir = scratch("spill-missing");
+        let spill = SpillConfig { dir: dir.clone(), segment_ops: 1 << 10 };
+        let prepared =
+            prepare_program(ProgramId::Predator, Scale::Test, 5, false, DEFAULT_CAPACITY, Some(spill))
+                .expect("prepare");
+        let recordings = prepared.recordings.expect("predator is transformable");
+        let TraceStore::Segmented(segmented) = &recordings.original else {
+            panic!("spill mode must produce segmented stores");
+        };
+        let paths = segmented.segment_paths();
+        assert!(paths.len() >= 2, "need a middle segment to delete");
+        let victim = paths[paths.len() / 2].to_path_buf();
+        std::fs::remove_file(&victim).expect("delete middle segment");
+
+        let recorded = vec![(ProgramId::Predator, recordings)];
+        let err = match replay_banked(&recorded, 2, false) {
+            Ok(_) => panic!("replay with a missing segment must fail"),
+            Err(e) => e,
+        };
+        match &err {
+            SuiteError::Segment { program, variant, error } => {
+                assert_eq!(*program, ProgramId::Predator);
+                assert_eq!(*variant, Variant::Original);
+                assert_eq!(error.path(), victim.as_path());
+                assert!(matches!(error, SegmentError::Missing { .. }), "{error:?}");
+            }
+            other => panic!("expected Segment error, got {other:?}"),
+        }
+        assert!(err.to_string().contains(victim.to_str().unwrap()), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // No test here arms a fault: the injection atomics are process-global

@@ -17,6 +17,9 @@ pub const SRC_DELTA: u8 = 1;
 /// After a far-destination side-table entry, advance the running SSA
 /// counter instead of resynchronizing it to the recorded destination.
 pub const SSA_RESYNC: u8 = 2;
+/// Record a stale SSA start counter in each spilled segment header,
+/// breaking the standalone-decode invariant of non-first segments.
+pub const SEG_COUNTER: u8 = 3;
 
 #[cfg(feature = "conform-inject")]
 mod imp {

@@ -54,6 +54,7 @@ pub mod inject;
 pub mod normalize;
 pub mod packed;
 pub mod replay;
+pub mod segment;
 pub mod tape;
 pub mod tracer;
 
@@ -61,5 +62,8 @@ pub use consumers::{FanOut, InstrMix};
 pub use normalize::{AddressNormalizer, NormalizerStats};
 pub use packed::PackedStream;
 pub use replay::{Recorder, Recording};
+pub use segment::{
+    segment_recording, SegmentError, SegmentedRecording, SpillRecorder, DEFAULT_SEGMENT_OPS,
+};
 pub use tape::Tape;
 pub use tracer::{NullTracer, TraceConsumer, Tracer};

@@ -87,12 +87,135 @@ pub struct PackedStream {
     far_srcs: Vec<u64>,
     /// Encoder-side running vreg counter.
     counter: u64,
+    /// Counter value encoding started from (decoding restarts here). `0`
+    /// for a whole-trace stream; a segment of a spilled trace carries the
+    /// counter it was split off at, so it decodes standalone (see
+    /// [`crate::segment`]).
+    base_counter: u64,
 }
 
 impl PackedStream {
     /// An empty stream.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty stream whose SSA counter starts at `base` instead of 0.
+    ///
+    /// This is the segment-spilling hook: a trace split into segments
+    /// keeps encoding each segment with the counter value the previous
+    /// segment ended on, so per-segment decode reproduces exactly the
+    /// ops an unsegmented decode would.
+    pub fn with_base_counter(base: u64) -> Self {
+        Self { counter: base, base_counter: base, ..Self::default() }
+    }
+
+    /// The encoder's current running SSA counter (what the *next*
+    /// segment of a split trace must start from).
+    pub fn encode_counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// The counter value this stream's encoding started from.
+    pub fn base_counter(&self) -> u64 {
+        self.base_counter
+    }
+
+    /// Element counts of the four encoded columns:
+    /// `[ops, addrs, far_dsts, far_srcs]`.
+    pub fn column_lens(&self) -> [usize; 4] {
+        [self.ops.len(), self.addrs.len(), self.far_dsts.len(), self.far_srcs.len()]
+    }
+
+    /// Exact wire size of [`write_payload`](Self::write_payload) for the
+    /// given [`column_lens`](Self::column_lens).
+    pub fn payload_wire_len(columns: [usize; 4]) -> usize {
+        columns[0] * 12 + (columns[1] + columns[2] + columns[3]) * 8
+    }
+
+    /// Appends the wire encoding of the stream's payload to `out`: the
+    /// 12-byte op records (`sid:u32, flags:u16, deltas:3×u16`, all
+    /// little-endian) followed by the address, far-destination, and
+    /// far-source `u64` columns.
+    pub fn write_payload(&self, out: &mut Vec<u8>) {
+        out.reserve(Self::payload_wire_len(self.column_lens()));
+        for op in &self.ops {
+            out.extend_from_slice(&op.sid.to_le_bytes());
+            out.extend_from_slice(&op.flags.to_le_bytes());
+            for d in op.deltas {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        for column in [&self.addrs, &self.far_dsts, &self.far_srcs] {
+            for v in column.iter() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    /// Parses a payload produced by [`write_payload`](Self::write_payload)
+    /// back into a decodable stream whose SSA counter starts at
+    /// `base_counter`. Returns `None` if `bytes` is not exactly the wire
+    /// size implied by `columns`.
+    ///
+    /// The parsed stream is for *decoding*: its encoder counter is left
+    /// at `base_counter`, so pushing further ops onto it would re-encode
+    /// from the segment start rather than the true stream tail.
+    pub fn from_payload(columns: [usize; 4], base_counter: u64, bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::payload_wire_len(columns) {
+            return None;
+        }
+        let (mut stream, [n_ops, n_addrs, n_far_dsts, n_far_srcs]) =
+            (Self::with_base_counter(base_counter), columns);
+        let mut at = 0usize;
+        let mut take = |n: usize| {
+            let slice = &bytes[at..at + n];
+            at += n;
+            slice
+        };
+        stream.ops.reserve_exact(n_ops);
+        for _ in 0..n_ops {
+            let rec = take(12);
+            stream.ops.push(PackedOp {
+                sid: u32::from_le_bytes(rec[0..4].try_into().expect("4-byte slice")),
+                flags: u16::from_le_bytes(rec[4..6].try_into().expect("2-byte slice")),
+                deltas: [
+                    u16::from_le_bytes(rec[6..8].try_into().expect("2-byte slice")),
+                    u16::from_le_bytes(rec[8..10].try_into().expect("2-byte slice")),
+                    u16::from_le_bytes(rec[10..12].try_into().expect("2-byte slice")),
+                ],
+            });
+        }
+        for (column, n) in [
+            (&mut stream.addrs, n_addrs),
+            (&mut stream.far_dsts, n_far_dsts),
+            (&mut stream.far_srcs, n_far_srcs),
+        ] {
+            column.reserve_exact(n);
+            for _ in 0..n {
+                column.push(u64::from_le_bytes(take(8).try_into().expect("8-byte slice")));
+            }
+        }
+        // Cross-validate the flag words against the column lengths so a
+        // parsed stream can never panic during decode: every kind code
+        // must be valid and every far/addr flag must have its side-table
+        // entry.
+        let (mut addrs, mut far_dsts, mut far_srcs) = (0usize, 0usize, 0usize);
+        for op in &stream.ops {
+            OpKind::from_code((op.flags & KIND_MASK) as u8)?;
+            for shift in SRC_SHIFT {
+                if (op.flags >> shift) & FIELD_MASK == MODE_FAR {
+                    far_srcs += 1;
+                }
+            }
+            if (op.flags >> DST_SHIFT) & FIELD_MASK == MODE_FAR {
+                far_dsts += 1;
+            }
+            if op.flags & ADDR_BIT != 0 {
+                addrs += 1;
+            }
+        }
+        ((addrs, far_dsts, far_srcs) == (n_addrs, n_far_dsts, n_far_srcs)).then_some(stream)
     }
 
     /// Number of encoded ops.
@@ -155,7 +278,7 @@ impl PackedStream {
     /// Decodes the stream into a reused [`MicroOp`], calling `f` once
     /// per op in trace order. No unpacked vector is ever materialized.
     pub fn for_each(&self, mut f: impl FnMut(&MicroOp)) {
-        let mut cursor = Cursor::default();
+        let mut cursor = self.start_cursor();
         let mut op = MicroOp {
             sid: StaticId::from_raw(0),
             kind: OpKind::IntAlu,
@@ -172,7 +295,7 @@ impl PackedStream {
 
     /// Iterates the decoded ops by value.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { stream: self, index: 0, cursor: Cursor::default() }
+        Iter { stream: self, index: 0, cursor: self.start_cursor() }
     }
 
     /// Iterates the decoded ops by value starting at op `start`.
@@ -222,9 +345,15 @@ impl PackedStream {
     /// advances the SSA counter, and a far destination reloads the counter
     /// from the side table exactly as [`decode_into`](Self::decode_into)
     /// would.
+    /// Decode state positioned at the start of the stream (the SSA
+    /// counter begins at [`base_counter`](Self::base_counter)).
+    fn start_cursor(&self) -> Cursor {
+        Cursor { counter: self.base_counter, ..Cursor::default() }
+    }
+
     fn cursor_at(&self, index: usize) -> Cursor {
         assert!(index <= self.ops.len(), "cursor index {index} out of range");
-        let mut cursor = Cursor::default();
+        let mut cursor = self.start_cursor();
         for packed in &self.ops[..index] {
             for shift in SRC_SHIFT {
                 if (packed.flags >> shift) & FIELD_MASK == MODE_FAR {
@@ -570,6 +699,79 @@ mod tests {
         }
         let (_, both) = tape.finish();
         assert_split_passes_match(&both.packed, &both.raw);
+    }
+
+    #[test]
+    fn payload_wire_encoding_round_trips() {
+        let ops = vec![
+            MicroOp::compute(sid(0), OpKind::IntAlu, VReg(0), [None; MAX_SRCS]),
+            MicroOp::compute(sid(1), OpKind::IntAlu, VReg(2), [Some(VReg(1)), None, None]),
+            MicroOp::load(sid(2), OpKind::IntLoad, VReg(3), 0x40, Some(VReg(2))),
+            MicroOp::compute(sid(9), OpKind::FpDiv, VReg(u64::MAX), [Some(VReg(u64::MAX)), None, None]),
+        ];
+        let mut stream = PackedStream::new();
+        for op in &ops {
+            stream.push(op);
+        }
+        let mut bytes = Vec::new();
+        stream.write_payload(&mut bytes);
+        assert_eq!(bytes.len(), PackedStream::payload_wire_len(stream.column_lens()));
+        let parsed = PackedStream::from_payload(stream.column_lens(), 0, &bytes)
+            .expect("well-formed payload parses");
+        let decoded: Vec<MicroOp> = parsed.iter().collect();
+        assert_eq!(decoded, ops);
+    }
+
+    #[test]
+    fn from_payload_rejects_malformed_bytes() {
+        let mut stream = PackedStream::new();
+        stream.push(&MicroOp::load(sid(0), OpKind::IntLoad, VReg(0), 0x40, None));
+        let mut bytes = Vec::new();
+        stream.write_payload(&mut bytes);
+        let columns = stream.column_lens();
+        // Wrong payload size for the claimed columns.
+        assert!(PackedStream::from_payload(columns, 0, &bytes[..bytes.len() - 1]).is_none());
+        assert!(PackedStream::from_payload([2, 1, 0, 0], 0, &bytes).is_none());
+        // Address flag set but the address column count claims zero
+        // entries: the cross-validation must reject rather than letting
+        // decode index out of range.
+        let stripped = &bytes[..12];
+        assert!(PackedStream::from_payload([1, 0, 0, 0], 0, stripped).is_none());
+        // Invalid kind code (flags low nibble 0xF is unassigned).
+        let mut bad_kind = bytes.clone();
+        bad_kind[4] |= 0b1111;
+        assert!(PackedStream::from_payload(columns, 0, &bad_kind).is_none());
+    }
+
+    #[test]
+    fn base_counter_continuation_matches_unsegmented_decode() {
+        // Encode a lit()-gap-heavy stream whole, then re-encode it as two
+        // chunks where the second starts from the first's end counter —
+        // concatenated decodes must be op-identical, including when the
+        // split lands exactly on an SSA resync (far-dst) gap.
+        let ops = vec![
+            MicroOp::compute(sid(0), OpKind::IntAlu, VReg(0), [None; MAX_SRCS]),
+            MicroOp::compute(sid(1), OpKind::IntAlu, VReg(2), [Some(VReg(1)), None, None]),
+            MicroOp::load(sid(2), OpKind::IntLoad, VReg(3), 0x40, Some(VReg(2))),
+            MicroOp::compute(sid(3), OpKind::IntMul, VReg(5), [Some(VReg(4)), Some(VReg(3)), None]),
+            MicroOp::store(sid(4), OpKind::IntStore, Some(VReg(5)), 0x80),
+            MicroOp::compute(sid(6), OpKind::IntAlu, VReg(3), [Some(VReg(5)), None, None]),
+            MicroOp::compute(sid(7), OpKind::IntAlu, VReg(4), [Some(VReg(3)), None, None]),
+        ];
+        for split in 0..=ops.len() {
+            let mut head = PackedStream::new();
+            for op in &ops[..split] {
+                head.push(op);
+            }
+            let mut tail = PackedStream::with_base_counter(head.encode_counter());
+            assert_eq!(tail.base_counter(), head.encode_counter());
+            for op in &ops[split..] {
+                tail.push(op);
+            }
+            let mut decoded: Vec<MicroOp> = head.iter().collect();
+            decoded.extend(tail.iter());
+            assert_eq!(decoded, ops, "split at {split} diverged");
+        }
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Property test: spilling an *arbitrary* op stream into segments and
+//! streaming it back is indistinguishable from decoding the unsegmented
+//! packed stream — at adversarial segment sizes (one op per segment,
+//! odd sizes that never divide the stream, a boundary landing exactly on
+//! a `lit()` resync gap). The only cross-segment decode state is the SSA
+//! start counter in each header; these tests are what pins that
+//! invariant against every encoder path the generator can reach.
+
+use bioperf_isa::{MicroOp, OpKind, Program, StaticId, VReg, MAX_SRCS};
+use bioperf_trace::packed::PackedStream;
+use bioperf_trace::{SpillRecorder, TraceConsumer};
+use proptest::prelude::*;
+
+/// One op descriptor: `(kind, taken)`, `(dst_mode, dst_value)`, three
+/// `(src_mode, src_value)` slots, `(has_addr, addr)` — the same shape
+/// (and disciplines) as the packed-codec property test, so every encoder
+/// path crosses segment boundaries too.
+type OpSpec = ((usize, bool), (u8, u64), Vec<(u8, u64)>, (bool, u64));
+
+fn op_spec() -> impl Strategy<Value = OpSpec> {
+    (
+        (0..OpKind::ALL.len(), prop::bool::ANY),
+        (0..4u8, any::<u64>()),
+        prop::collection::vec((0..4u8, any::<u64>()), 3..4),
+        (prop::bool::ANY, any::<u64>()),
+    )
+}
+
+/// Materializes descriptors into a `MicroOp` stream, tracking the SSA
+/// counter the tape would have used so "near" sources really are near.
+fn build_ops(specs: &[OpSpec]) -> Vec<MicroOp> {
+    let mut ops = Vec::with_capacity(specs.len());
+    let mut next_vreg = 0u64;
+    for (i, ((kind_idx, taken), (dst_mode, dst_value), src_specs, (has_addr, addr))) in
+        specs.iter().enumerate()
+    {
+        let base = next_vreg;
+        let mut srcs = [None; MAX_SRCS];
+        for (slot, (src_mode, src_value)) in src_specs.iter().enumerate().take(MAX_SRCS) {
+            srcs[slot] = match src_mode {
+                0 => None,
+                1 if base > 0 => {
+                    let span = base.min(u64::from(u16::MAX));
+                    Some(VReg(base - 1 - (src_value % span.max(1)).min(span - 1)))
+                }
+                1 => None,
+                2 => Some(VReg(*src_value)),
+                _ => Some(VReg(base)),
+            };
+        }
+        let dst = match dst_mode {
+            0 => None,
+            1 => {
+                let v = next_vreg;
+                next_vreg = next_vreg.wrapping_add(1);
+                Some(VReg(v))
+            }
+            2 => {
+                next_vreg = next_vreg.wrapping_add(1);
+                let v = next_vreg;
+                next_vreg = next_vreg.wrapping_add(1);
+                Some(VReg(v))
+            }
+            _ => {
+                next_vreg = dst_value.wrapping_add(1);
+                Some(VReg(*dst_value))
+            }
+        };
+        ops.push(MicroOp {
+            sid: StaticId::from_raw(i as u32 % 97),
+            kind: OpKind::ALL[*kind_idx],
+            dst,
+            srcs,
+            addr: has_addr.then_some(*addr),
+            taken: *taken,
+        });
+    }
+    ops
+}
+
+struct Collect(Vec<MicroOp>);
+
+impl TraceConsumer for Collect {
+    fn consume(&mut self, op: &MicroOp, _p: &Program) {
+        self.0.push(*op);
+    }
+}
+
+/// The reference decode: the same ops through one unsegmented stream.
+fn unsegmented_decode(ops: &[MicroOp]) -> Vec<MicroOp> {
+    let mut stream = PackedStream::new();
+    for op in ops {
+        stream.push(op);
+    }
+    stream.iter().collect()
+}
+
+/// Spills `ops` at `segment_ops` per segment (in memory), streams the
+/// segments back, and asserts the replay matches `reference` op-for-op.
+fn roundtrip_at(ops: &[MicroOp], reference: &[MicroOp], segment_ops: usize) {
+    let mut rec = SpillRecorder::in_memory(segment_ops, usize::MAX);
+    let program = Program::new();
+    for op in ops {
+        rec.consume(op, &program);
+    }
+    assert!(!rec.overflowed());
+    assert_eq!(rec.len(), ops.len());
+    let segmented = rec.into_segmented(program).expect("in-memory spill cannot fail");
+    assert_eq!(segmented.len(), ops.len());
+    assert!(segmented.is_complete());
+    let mut streamed = Collect(Vec::with_capacity(ops.len()));
+    segmented.replay(&mut streamed).expect("streamed replay");
+    assert_eq!(
+        streamed.0, reference,
+        "segment_ops {segment_ops}: streamed replay diverged from the unsegmented decode"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary streams, adversarial fixed segment sizes: 1 op per
+    /// segment (every boundary), odd sizes that never divide the stream,
+    /// one segment larger than the stream (no spill at all), and the
+    /// exact stream length (one full segment, empty tail).
+    #[test]
+    fn segmented_replay_matches_unsegmented_decode(
+        specs in prop::collection::vec(op_spec(), 1..120),
+    ) {
+        let ops = build_ops(&specs);
+        let reference = unsegmented_decode(&ops);
+        prop_assert_eq!(reference.len(), ops.len());
+        for segment_ops in [1, 3, 7, ops.len().max(2) - 1, ops.len(), ops.len() + 1] {
+            roundtrip_at(&ops, &reference, segment_ops);
+        }
+    }
+
+    /// A generated split point: whatever ops the generator produced, cut
+    /// the segments exactly there — including at stream edges (0 is
+    /// clamped to 1 by the recorder).
+    #[test]
+    fn segmented_replay_survives_arbitrary_split_points(
+        specs in prop::collection::vec(op_spec(), 1..80),
+        split in 0usize..81,
+    ) {
+        let ops = build_ops(&specs);
+        let reference = unsegmented_decode(&ops);
+        roundtrip_at(&ops, &reference, split.min(ops.len() + 1).max(1));
+    }
+}
+
+/// A segment boundary landing exactly on a `lit()` resync gap: the op
+/// *after* the gap opens the next segment, so its far-dst resync is the
+/// first record the standalone decoder sees. A stale start counter (the
+/// catalogued `segment-start-counter` fault) breaks precisely this case.
+#[test]
+fn boundary_on_a_lit_resync_gap_round_trips() {
+    // dst_mode 1 = sequential SSA, dst_mode 2 = lit() gap. Put the gap
+    // at index 3 so a segment size of 4 closes the segment on it.
+    let specs: Vec<OpSpec> = (0..12)
+        .map(|i| {
+            let dst_mode = if i == 3 { 2 } else { 1 };
+            (
+                (i % OpKind::ALL.len(), i % 2 == 0),
+                (dst_mode, 0),
+                vec![(1u8, 1u64), (0, 0), (0, 0)],
+                (i % 3 == 0, 0x1000 + i as u64),
+            )
+        })
+        .collect();
+    let ops = build_ops(&specs);
+    assert!(ops[3].dst.unwrap().0 > ops[2].dst.unwrap().0 + 1, "index 3 must be a lit() gap");
+    let reference = unsegmented_decode(&ops);
+    for segment_ops in [1, 3, 4, 5] {
+        roundtrip_at(&ops, &reference, segment_ops);
+    }
+}
+
+/// One-op streams: the smallest possible spill, at every segment size.
+#[test]
+fn single_op_stream_round_trips() {
+    let specs: Vec<OpSpec> =
+        vec![((0, true), (1, 0), vec![(0, 0), (0, 0), (0, 0)], (true, 0xdead))];
+    let ops = build_ops(&specs);
+    let reference = unsegmented_decode(&ops);
+    for segment_ops in [1, 2, 1 << 20] {
+        roundtrip_at(&ops, &reference, segment_ops);
+    }
+}

@@ -7,7 +7,7 @@
 //! bioperf-loadchar coverage     <program> [scale]
 //! bioperf-loadchar evaluate     <program> [scale]
 //! bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>] [--metrics <out.json>]
-//!                        [--trace-cap <ops>]
+//!                        [--trace-cap <ops>] [--spill-dir <dir>] [--segment-ops <ops>]
 //! bioperf-loadchar conform [--cases <n>] [--seed <u64>] [--jobs <n>] [--metrics <out.json>]
 //!                          [--inject <fault>] [--out <dir>] [--fuzz-only]
 //! ```
@@ -18,7 +18,9 @@ use std::process::ExitCode;
 use bioperf_core::candidates::{find_candidates, CandidateCriteria};
 use bioperf_core::characterize::characterize_program;
 use bioperf_core::evaluate::{evaluate_program, EvalMatrix};
-use bioperf_core::orchestrate::{fault, run_conform, run_suite, ConformConfig, FaultId, SuiteConfig};
+use bioperf_core::orchestrate::{
+    fault, run_conform, run_suite, ConformConfig, FaultId, SpillConfig, SuiteConfig,
+};
 use bioperf_core::report::{pct, pct2, TextTable};
 use bioperf_isa::OpClass;
 use bioperf_kernels::{ProgramId, Scale};
@@ -37,6 +39,7 @@ fn usage() -> ExitCode {
     eprintln!("  bioperf-loadchar evaluate     <program> [scale]");
     eprintln!("  bioperf-loadchar suite [--scale <scale>] [--jobs <n>] [--seed <u64>]");
     eprintln!("                         [--metrics <out.json>] [--trace-cap <ops>]");
+    eprintln!("                         [--spill-dir <dir>] [--segment-ops <ops>]");
     eprintln!("  bioperf-loadchar conform [--cases <n>] [--seed <u64>] [--jobs <n>]");
     eprintln!("                           [--metrics <out.json>] [--inject <fault>]");
     eprintln!("                           [--out <dir>] [--fuzz-only]");
@@ -47,6 +50,11 @@ fn usage() -> ExitCode {
     eprintln!("every paper metric, raw simulator event, and phase timing as JSON; its");
     eprintln!("\"deterministic\" section is byte-identical for every --jobs value.");
     eprintln!("--trace-cap bounds the replay recorder (0 = default capacity).");
+    eprintln!("--spill-dir records traces as fixed-size segment files under <dir> and");
+    eprintln!("streams the replay wave from disk (peak memory stays O(segment size);");
+    eprintln!("output is byte-identical to in-memory runs). --segment-ops sets the ops");
+    eprintln!("per segment file (0 = default) and requires --spill-dir. --trace-cap");
+    eprintln!("still bounds each trace's *total* ops across all its segments.");
     eprintln!();
     eprintln!("conform differentially fuzzes every simulator against its naive reference");
     eprintln!("model (seeded, deterministic; shrunk counterexamples land in --out) and");
@@ -165,10 +173,17 @@ fn cmd_evaluate(program: ProgramId, scale: Scale) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_suite(scale: Scale, jobs: usize, seed: u64, metrics: Option<&str>, trace_cap: usize) -> ExitCode {
+fn cmd_suite(
+    scale: Scale,
+    jobs: usize,
+    seed: u64,
+    metrics: Option<&str>,
+    trace_cap: usize,
+    spill: Option<SpillConfig>,
+) -> ExitCode {
     // Raw event collection (the only part with a hot-loop cost) is only
     // switched on when the caller asked for the JSON snapshot.
-    let suite = match run_suite(SuiteConfig { scale, seed, jobs, metrics: metrics.is_some(), trace_cap }) {
+    let suite = match run_suite(SuiteConfig { scale, seed, jobs, metrics: metrics.is_some(), trace_cap, spill }) {
         Ok(suite) => suite,
         Err(e) => {
             eprintln!("suite: {e}");
@@ -234,10 +249,28 @@ struct SuiteArgs<'a> {
     seed: u64,
     metrics: Option<&'a str>,
     trace_cap: usize,
+    spill_dir: Option<&'a str>,
+    segment_ops: usize,
+}
+
+impl SuiteArgs<'_> {
+    /// The resolved spill configuration, if `--spill-dir` was given.
+    fn spill(&self) -> Option<SpillConfig> {
+        self.spill_dir
+            .map(|dir| SpillConfig { dir: PathBuf::from(dir), segment_ops: self.segment_ops })
+    }
 }
 
 fn parse_suite_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<SuiteArgs<'a>> {
-    let mut parsed = SuiteArgs { scale: Scale::Test, jobs: 0, seed: SEED, metrics: None, trace_cap: 0 };
+    let mut parsed = SuiteArgs {
+        scale: Scale::Test,
+        jobs: 0,
+        seed: SEED,
+        metrics: None,
+        trace_cap: 0,
+        spill_dir: None,
+        segment_ops: 0,
+    };
     while let Some(flag) = it.next() {
         let value = it.next()?;
         match flag {
@@ -246,8 +279,14 @@ fn parse_suite_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<SuiteAr
             "--seed" => parsed.seed = value.parse().ok()?,
             "--metrics" => parsed.metrics = Some(value),
             "--trace-cap" => parsed.trace_cap = value.parse().ok()?,
+            "--spill-dir" => parsed.spill_dir = Some(value),
+            "--segment-ops" => parsed.segment_ops = value.parse().ok()?,
             _ => return None,
         }
+    }
+    // Segment sizing only means something when spilling is on.
+    if parsed.segment_ops != 0 && parsed.spill_dir.is_none() {
+        return None;
     }
     Some(parsed)
 }
@@ -406,12 +445,14 @@ fn main() -> ExitCode {
                 eprintln!("error: bad suite arguments");
                 return usage();
             };
+            let spill = suite_args.spill();
             cmd_suite(
                 suite_args.scale,
                 suite_args.jobs,
                 suite_args.seed,
                 suite_args.metrics,
                 suite_args.trace_cap,
+                spill,
             )
         }
         Some("conform") => {

@@ -1,0 +1,129 @@
+//! CLI contract tests for `suite --spill-dir`: the deterministic section
+//! of the metrics snapshot is byte-identical to an in-memory run, the
+//! trace cap composes with segmentation as a *total*-op budget, segment
+//! sizing without spilling is rejected, and filesystem failures surface
+//! as exit 1 with the offending path — never a panic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bioperf-loadchar"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bioperf-clispill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// The `deterministic` section of a metrics snapshot, rendered. The
+/// `run` section (wall-clock timings, worker counts) is legitimately
+/// different between runs and excluded by construction.
+fn deterministic_section(path: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(path).expect("metrics file");
+    let doc = bioperf_metrics::json::parse(&text).expect("valid JSON");
+    doc.get("deterministic").expect("deterministic section").render_pretty()
+}
+
+#[test]
+fn spilled_suite_metrics_match_in_memory_metrics_byte_for_byte() {
+    let dir = scratch("bytes");
+    let mem_json = dir.join("mem.json");
+    let spill_json = dir.join("spill.json");
+    let spill_dir = dir.join("segs");
+
+    let mem = run(&["suite", "--jobs", "2", "--metrics", mem_json.to_str().unwrap()]);
+    assert!(mem.status.success(), "in-memory suite failed: {}", stderr(&mem));
+    let spilled = run(&[
+        "suite",
+        "--jobs",
+        "2",
+        "--metrics",
+        spill_json.to_str().unwrap(),
+        "--spill-dir",
+        spill_dir.to_str().unwrap(),
+        "--segment-ops",
+        "4096",
+    ]);
+    assert!(spilled.status.success(), "spilled suite failed: {}", stderr(&spilled));
+
+    assert_eq!(
+        deterministic_section(&mem_json),
+        deterministic_section(&spill_json),
+        "deterministic metrics must be byte-identical between memory and spill modes"
+    );
+    // The printed characterization/evaluation tables are deterministic
+    // too; only the trailing "wrote <path> …" line names a different
+    // file.
+    let table = |out: &Output| {
+        stdout(out).lines().filter(|l| !l.starts_with("wrote ")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(table(&mem), table(&spilled), "printed tables must match");
+    // The spill directory really was used: one subdirectory per
+    // recorded program×variant trace, each holding segment files.
+    let traces = std::fs::read_dir(&spill_dir).expect("spill dir").count();
+    assert!(traces > 0, "spill directory must contain per-trace subdirectories");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_cap_bounds_total_ops_across_segments_from_the_cli() {
+    // Cap far above the 8-op segment size: only *total* accounting
+    // across segments can trip it, which is the satellite-5 contract.
+    let dir = scratch("cap");
+    let out = run(&[
+        "suite",
+        "--jobs",
+        "2",
+        "--trace-cap",
+        "16",
+        "--spill-dir",
+        dir.to_str().unwrap(),
+        "--segment-ops",
+        "8",
+    ]);
+    assert!(!out.status.success(), "a 16-op total cap must fail the suite");
+    let err = stderr(&out);
+    assert!(err.contains("suite:"), "stderr: {err}");
+    assert!(err.contains("16 ops"), "stderr should report the captured total: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn segment_ops_without_spill_dir_is_a_usage_error() {
+    let out = run(&["suite", "--segment-ops", "4096"]);
+    assert!(!out.status.success(), "--segment-ops without --spill-dir must be rejected");
+    let err = stderr(&out);
+    assert!(err.contains("bad suite arguments"), "stderr: {err}");
+    assert!(err.contains("usage"), "rejection must reprint usage: {err}");
+}
+
+#[test]
+fn unwritable_spill_dir_exits_1_with_the_path() {
+    let out = run(&[
+        "suite",
+        "--jobs",
+        "1",
+        "--spill-dir",
+        "/proc/bioperf-definitely-unwritable",
+    ]);
+    assert!(!out.status.success(), "an unwritable spill dir must fail the suite");
+    assert_eq!(out.status.code(), Some(1), "failure must be exit 1, not a panic/abort");
+    let err = stderr(&out);
+    assert!(err.contains("suite:"), "stderr: {err}");
+    assert!(err.contains("/proc/bioperf-definitely-unwritable"), "stderr names the path: {err}");
+}

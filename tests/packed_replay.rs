@@ -20,7 +20,7 @@ fn packed_replay_reproduces_the_committed_deterministic_section() {
     let committed_det = committed.get("deterministic").expect("deterministic section");
 
     let suite =
-        run_suite(SuiteConfig { scale: Scale::Test, seed: SEED, jobs: 2, metrics: true, trace_cap: 0 })
+        run_suite(SuiteConfig { scale: Scale::Test, seed: SEED, jobs: 2, metrics: true, trace_cap: 0, spill: None })
             .expect("suite");
     // Compact renders compared as strings: every simulated cycle count,
     // cache statistic, and histogram bucket must match the pre-packed

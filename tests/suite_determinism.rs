@@ -11,7 +11,7 @@ use bioperf_kernels::Scale;
 use bioperf_metrics::Json;
 
 fn config(jobs: usize) -> SuiteConfig {
-    SuiteConfig { scale: Scale::Test, seed: 42, jobs, metrics: true, trace_cap: 0 }
+    SuiteConfig { scale: Scale::Test, seed: 42, jobs, metrics: true, trace_cap: 0, spill: None }
 }
 
 #[test]
