@@ -151,6 +151,15 @@ impl TraceConsumer for BranchProfiler {
             self.observe(op.sid, op.taken);
         }
     }
+
+    fn consume_block(&mut self, block: &bioperf_trace::OpBlock, _program: &Program) {
+        // The block decoder pre-filters conditional branches into parallel
+        // (sid, taken) columns — same predicate as `consume` — so the
+        // profiler walks only branch ops without testing kinds.
+        for (&sid, &taken) in block.branch_sids().iter().zip(block.branch_taken()) {
+            self.observe(sid, taken);
+        }
+    }
 }
 
 #[cfg(test)]

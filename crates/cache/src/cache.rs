@@ -20,15 +20,17 @@ struct Line {
     last_use: u64,
 }
 
-/// Compile-time specialization of the per-access loops by associativity.
+/// Compile-time specialization of the per-access loops by geometry.
 ///
-/// The four platform geometries use 1/2/4/8 ways, so those get dedicated
-/// monomorphized instantiations whose tag-match and LRU-victim loops have
-/// fixed trip counts (`access_set` over `&mut [Line; WAYS]` — the
-/// optimizer fully unrolls them); any other associativity takes the
-/// dynamic slice path, which runs the very same body over a runtime
-/// length. Both paths share one implementation, so results are identical
-/// by construction.
+/// The four platform geometries use 1/2/4/8 ways over power-of-two set
+/// counts, so those get dedicated monomorphized instantiations whose
+/// tag-match and LRU-victim loops have fixed trip counts (`access_set`
+/// over `&mut [Line; WAYS]` — the optimizer fully unrolls them) and
+/// whose set indexing is a shift+mask. Any other associativity — or a
+/// non-power-of-two set count, where masking is wrong — takes the
+/// dynamic path, which runs the very same body with a runtime trip
+/// count and divide/modulo indexing. Both paths share one
+/// implementation, so results are identical by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WaysDispatch {
     W1,
@@ -55,9 +57,11 @@ pub struct Cache {
     config: CacheConfig,
     lines: Vec<Line>,
     set_shift: u32,
+    /// Valid only when `sets` is a power of two (the mono dispatch).
     set_mask: u64,
-    /// `set_mask.count_ones()`, hoisted out of the access path.
-    set_bits: u32,
+    /// Set count, for the general divide/modulo index path and victim
+    /// address reconstruction.
+    sets: u64,
     dispatch: WaysDispatch,
     clock: u64,
 }
@@ -67,7 +71,11 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.num_sets();
         Self {
+            // Shift+mask indexing is only correct for power-of-two set
+            // counts; odd sweep geometries fall back to the general
+            // divide/modulo dispatch whatever their associativity.
             dispatch: match config.ways {
+                _ if !sets.is_power_of_two() => WaysDispatch::Dyn,
                 1 => WaysDispatch::W1,
                 2 => WaysDispatch::W2,
                 4 => WaysDispatch::W4,
@@ -77,8 +85,8 @@ impl Cache {
             config,
             lines: vec![Line::default(); (sets * config.ways as u64) as usize],
             set_shift: config.block_bytes.trailing_zeros(),
-            set_mask: sets - 1,
-            set_bits: (sets - 1).count_ones(),
+            set_mask: sets.wrapping_sub(1),
+            sets,
             clock: 0,
         }
     }
@@ -88,10 +96,31 @@ impl Cache {
         &self.config
     }
 
-    /// Splits an address into (set index, tag).
-    fn index(&self, addr: u64) -> (usize, u64) {
+    /// Splits an address into (set index, tag): shift+mask. Only correct
+    /// for power-of-two set counts — the mono dispatch guarantees it.
+    #[inline(always)]
+    fn index_pow2(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.set_shift;
-        ((block & self.set_mask) as usize, block >> self.set_bits)
+        ((block & self.set_mask) as usize, block >> self.set_mask.count_ones())
+    }
+
+    /// Splits an address into (set index, tag) for any set count:
+    /// divide/modulo. Agrees with [`index_pow2`](Self::index_pow2) on
+    /// power-of-two set counts.
+    #[inline(always)]
+    fn index_general(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> self.set_shift;
+        ((block % self.sets) as usize, block / self.sets)
+    }
+
+    /// Splits an address into (set index, tag) along whichever path the
+    /// dispatch selected.
+    fn index(&self, addr: u64) -> (usize, u64) {
+        if self.dispatch == WaysDispatch::Dyn {
+            self.index_general(addr)
+        } else {
+            self.index_pow2(addr)
+        }
     }
 
     /// Accesses `addr`; `is_store` selects the write path. Returns whether
@@ -106,12 +135,12 @@ impl Cache {
         }
     }
 
-    /// Fixed-associativity instantiation: the set is viewed as
-    /// `&mut [Line; WAYS]`, so every loop in [`access_set`] has a
-    /// compile-time trip count.
+    /// Fixed-geometry instantiation: the set index is a shift+mask and
+    /// the set is viewed as `&mut [Line; WAYS]`, so every loop in
+    /// [`access_set`] has a compile-time trip count.
     fn access_mono<const WAYS: usize>(&mut self, addr: u64, is_store: bool) -> AccessResult {
         self.clock += 1;
-        let (set, tag) = self.index(addr);
+        let (set, tag) = self.index_pow2(addr);
         let base = set * WAYS;
         let set_lines: &mut [Line; WAYS] =
             (&mut self.lines[base..base + WAYS]).try_into().expect("set holds WAYS lines");
@@ -122,16 +151,17 @@ impl Cache {
             self.clock,
             self.config.write_policy,
             set as u64,
-            self.set_bits,
+            self.sets,
             self.set_shift,
         )
     }
 
-    /// Dynamic fallback for associativities without a monomorphized
-    /// instantiation: same body, runtime trip count.
+    /// Dynamic fallback for geometries without a monomorphized
+    /// instantiation (odd associativity or non-power-of-two set count):
+    /// same body, runtime trip count, divide/modulo indexing.
     fn access_dyn(&mut self, addr: u64, is_store: bool) -> AccessResult {
         self.clock += 1;
-        let (set, tag) = self.index(addr);
+        let (set, tag) = self.index_general(addr);
         let ways = self.config.ways as usize;
         let base = set * ways;
         access_set(
@@ -141,14 +171,17 @@ impl Cache {
             self.clock,
             self.config.write_policy,
             set as u64,
-            self.set_bits,
+            self.sets,
             self.set_shift,
         )
     }
 
     /// The associativity the access path was specialized for (`None` for
-    /// the dynamic fallback). Exposed so tests can pin which geometries
-    /// are const-instantiated.
+    /// the dynamic fallback — odd associativity *or* a non-power-of-two
+    /// set count, which cannot use shift+mask indexing). Exposed so
+    /// tests can pin which geometries are const-instantiated, and so
+    /// block-replay loops can assert every shipped platform takes the
+    /// specialized path.
     pub fn monomorphized_ways(&self) -> Option<u32> {
         match self.dispatch {
             WaysDispatch::W1 => Some(1),
@@ -189,7 +222,7 @@ fn access_set(
     clock: u64,
     write_policy: WritePolicy,
     set: u64,
-    set_bits: u32,
+    sets: u64,
     set_shift: u32,
 ) -> AccessResult {
     if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
@@ -223,8 +256,11 @@ fn access_set(
         }
     };
     let victim = set_lines[victim_idx];
+    // `tag * sets + set` inverts both index paths: for power-of-two set
+    // counts it equals `(tag << set_bits) | set`, and for the general
+    // path it inverts the divide/modulo split.
     let writeback =
-        (victim.valid && victim.dirty).then(|| ((victim.tag << set_bits) | set) << set_shift);
+        (victim.valid && victim.dirty).then(|| (victim.tag * sets + set) << set_shift);
     set_lines[victim_idx] = Line {
         tag,
         valid: true,
@@ -325,14 +361,55 @@ mod tests {
 
     #[test]
     fn platform_associativities_are_monomorphized() {
-        // The four platform geometries (1/2/4/8 ways) get fixed-trip
-        // instantiations; anything else takes the dynamic path.
+        // The four platform geometries (1/2/4/8 ways over power-of-two
+        // set counts) get fixed-trip shift+mask instantiations; odd
+        // associativity takes the dynamic path.
         for ways in [1u32, 2, 4, 8] {
             let c = Cache::new(CacheConfig::new(4096, ways, 64));
             assert_eq!(c.monomorphized_ways(), Some(ways));
         }
         let c = Cache::new(CacheConfig::new(4096 * 3, 3, 64));
         assert_eq!(c.monomorphized_ways(), None);
+    }
+
+    #[test]
+    fn non_pow2_set_count_disqualifies_shift_mask_indexing() {
+        // 3 sets x 2 ways: the associativity alone would qualify, but
+        // masking with a non-power-of-two set count would alias sets, so
+        // the dispatch must fall back to the general divide/modulo path.
+        let c = Cache::new(CacheConfig::new(3 * 2 * 64, 2, 64));
+        assert_eq!(c.monomorphized_ways(), None);
+    }
+
+    #[test]
+    fn non_pow2_set_count_is_textbook_lru_with_modulo_indexing() {
+        // 3 sets x 1 way x 64 B blocks: set = block % 3. Blocks 0 and 3
+        // conflict; blocks 0, 1, 2 coexist.
+        let mut c = Cache::new(CacheConfig::new(3 * 64, 1, 64));
+        for blk in 0..3u64 {
+            assert!(!c.access(blk * 64, false).hit);
+        }
+        for blk in 0..3u64 {
+            assert!(c.access(blk * 64, false).hit, "blocks 0..3 map to distinct sets");
+        }
+        assert!(!c.access(3 * 64, false).hit, "block 3 conflicts with block 0");
+        assert!(!c.probe(0));
+        assert!(c.probe(3 * 64) && c.probe(64) && c.probe(2 * 64));
+    }
+
+    #[test]
+    fn non_pow2_writeback_reconstructs_the_victim_address() {
+        // Direct-mapped, 3 sets: dirty block 0 is evicted by block 3
+        // (same set); the writeback address must be block 0's, proving
+        // `tag * sets + set` inverts the modulo index split.
+        let mut c = Cache::new(CacheConfig::new(3 * 64, 1, 64));
+        c.access(0, true); // dirty fill of set 0
+        let r = c.access(3 * 64, false); // evicts it
+        assert_eq!(r.writeback, Some(0));
+        // And a deeper tag: block 9 (tag 3, set 0) evicting block 3.
+        c.access(9 * 64, true);
+        let r = c.access(12 * 64, false);
+        assert_eq!(r.writeback, Some(9 * 64));
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Creates a write-back/write-allocate configuration.
     ///
+    /// The set count need not be a power of two (design-space sweeps may
+    /// use odd geometries); non-power-of-two set counts index through
+    /// the general divide/modulo path instead of shift+mask.
+    ///
     /// # Panics
     ///
     /// Panics if the geometry is invalid: zero sizes, non-power-of-two
@@ -65,7 +69,10 @@ impl CacheConfig {
             self.size_bytes.is_multiple_of(self.ways as u64 * self.block_bytes),
             "capacity must be a whole number of sets"
         );
-        assert!(self.num_sets().is_power_of_two(), "set count must be a power of two");
+        // Any whole number of sets is simulatable: power-of-two set
+        // counts (every shipped platform) take the shift+mask index
+        // path, anything else the general divide/modulo path — see
+        // `Cache::monomorphized_ways`.
     }
 }
 
@@ -151,6 +158,14 @@ mod tests {
     #[should_panic(expected = "whole number of sets")]
     fn ragged_capacity_rejected() {
         CacheConfig::new(1000, 2, 64);
+    }
+
+    #[test]
+    fn non_pow2_set_counts_are_valid_geometries() {
+        // 3 sets x 2 ways x 64 B: a legal sweep point; it indexes through
+        // the general path rather than shift+mask.
+        let cfg = CacheConfig::new(3 * 2 * 64, 2, 64);
+        assert_eq!(cfg.num_sets(), 3);
     }
 
     #[test]

@@ -198,6 +198,29 @@ impl Hierarchy {
         (level, latency)
     }
 
+    /// Block replay entry: runs a batch of demand accesses given as
+    /// parallel address/is-load columns.
+    ///
+    /// Semantically identical to calling [`access`](Self::access) per
+    /// element; the batch form hoists the metrics-mode branch out of the
+    /// loop so the common metrics-off replay runs a tight
+    /// [`access_inner`] loop with no instrumentation test per access.
+    ///
+    /// [`access_inner`]: Self::access_detailed
+    pub fn access_block(&mut self, addrs: &[u64], loads: &[bool]) {
+        debug_assert_eq!(addrs.len(), loads.len());
+        let kind_of = |is_load: bool| if is_load { AccessKind::Load } else { AccessKind::Store };
+        if self.metrics_on {
+            for (&addr, &is_load) in addrs.iter().zip(loads) {
+                self.access_detailed(addr, kind_of(is_load));
+            }
+        } else {
+            for (&addr, &is_load) in addrs.iter().zip(loads) {
+                self.access_inner(addr, kind_of(is_load));
+            }
+        }
+    }
+
     fn access_inner(&mut self, addr: u64, kind: AccessKind) -> (ServicedBy, u64) {
         let is_store = kind == AccessKind::Store;
         match kind {
@@ -309,6 +332,13 @@ impl TraceConsumer for CacheSim {
             let kind = if op.kind.is_load() { AccessKind::Load } else { AccessKind::Store };
             self.hierarchy.access(addr, kind);
         }
+    }
+
+    fn consume_block(&mut self, block: &bioperf_trace::OpBlock, _program: &Program) {
+        // The block decoder pre-filters address-carrying ops into parallel
+        // columns (same `addr.is_some()` predicate as `consume`), so the
+        // hot loop touches only memory ops and skips the MicroOp layout.
+        self.hierarchy.access_block(block.mem_addrs(), block.mem_loads());
     }
 }
 
@@ -443,6 +473,32 @@ mod tests {
         // take_metrics drained the set but left collection on.
         h.access(0, AccessKind::Load);
         assert_eq!(h.take_metrics().counter("serviced_l1"), Some(1));
+    }
+
+    #[test]
+    fn access_block_matches_per_access_loop() {
+        // Same mixed load/store pattern through both entry points, with
+        // metrics on and off; stats and metrics must be identical.
+        let addrs: Vec<u64> = (0..256u64).map(|i| (i * 37) % 97 * 64).collect();
+        let loads: Vec<bool> = (0..256).map(|i| i % 3 != 0).collect();
+        for metrics in [false, true] {
+            let build = || {
+                let h = small_hierarchy();
+                if metrics { h.with_metrics() } else { h }
+            };
+            let mut per_op = build();
+            for (&a, &l) in addrs.iter().zip(&loads) {
+                per_op.access(a, if l { AccessKind::Load } else { AccessKind::Store });
+            }
+            let mut blocked = build();
+            blocked.access_block(&addrs, &loads);
+            assert_eq!(per_op.stats(), blocked.stats(), "metrics={metrics}");
+            assert_eq!(
+                per_op.take_metrics().to_json().render(),
+                blocked.take_metrics().to_json().render(),
+                "metrics={metrics}"
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub enum FaultId {
     /// The spill recorder writes a stale SSA start counter into segment
     /// headers, so non-first segments no longer decode standalone.
     SegmentStartCounter,
+    /// The block decoder mis-carries the running SSA counter across a
+    /// block edge, shifting every implicit destination decoded after the
+    /// first non-initial block boundary.
+    BlockBoundaryCarry,
     /// Mispredicted branches stop redirecting the front end (the flush
     /// is dropped), erasing the misprediction penalty.
     PipeDroppedFlush,
@@ -50,12 +54,13 @@ pub enum FaultId {
 
 impl FaultId {
     /// Every catalogued fault, in reporting order.
-    pub const ALL: [FaultId; 9] = [
+    pub const ALL: [FaultId; 10] = [
         FaultId::CacheLruTouch,
         FaultId::CacheDirtyWriteback,
         FaultId::PackedSrcDelta,
         FaultId::PackedSsaResync,
         FaultId::SegmentStartCounter,
+        FaultId::BlockBoundaryCarry,
         FaultId::PipeDroppedFlush,
         FaultId::RegfileEvictMru,
         FaultId::RegfileTouchStale,
@@ -70,6 +75,7 @@ impl FaultId {
             FaultId::PackedSrcDelta => "packed-src-delta",
             FaultId::PackedSsaResync => "packed-ssa-resync",
             FaultId::SegmentStartCounter => "segment-start-counter",
+            FaultId::BlockBoundaryCarry => "block-boundary-carry",
             FaultId::PipeDroppedFlush => "pipe-dropped-flush",
             FaultId::RegfileEvictMru => "regfile-evict-mru",
             FaultId::RegfileTouchStale => "regfile-touch-stale",
@@ -90,6 +96,7 @@ impl FaultId {
             FaultId::PackedSrcDelta => "encoder shortens near source deltas by one",
             FaultId::PackedSsaResync => "encoder skips SSA counter resync on far dsts",
             FaultId::SegmentStartCounter => "segment headers record a stale SSA start counter",
+            FaultId::BlockBoundaryCarry => "block decoder mis-carries the SSA counter across block edges",
             FaultId::PipeDroppedFlush => "mispredict redirects are dropped",
             FaultId::RegfileEvictMru => "register file evicts MRU instead of LRU",
             FaultId::RegfileTouchStale => "register touches stop updating LRU order",
@@ -108,6 +115,10 @@ impl FaultId {
             // Any stream long enough for a second segment with a nonzero
             // start counter (segment_check splits at sizes 1 and 5).
             FaultId::SegmentStartCounter => 32,
+            // Any stream spanning at least two decode blocks; the block
+            // cross-check decodes at small block sizes so even short fuzz
+            // streams have interior edges.
+            FaultId::BlockBoundaryCarry => 32,
             // Mispredicts are frequent; the first redirect-worthy one
             // exposes the dropped flush.
             FaultId::PipeDroppedFlush => 128,
@@ -151,6 +162,9 @@ pub fn arm(fault: FaultId) {
         FaultId::PackedSsaResync => bioperf_trace::inject::set(bioperf_trace::inject::SSA_RESYNC),
         FaultId::SegmentStartCounter => {
             bioperf_trace::inject::set(bioperf_trace::inject::SEG_COUNTER)
+        }
+        FaultId::BlockBoundaryCarry => {
+            bioperf_trace::inject::set(bioperf_trace::inject::BLOCK_CARRY)
         }
         FaultId::PipeDroppedFlush => bioperf_pipe::inject::set(bioperf_pipe::inject::DROPPED_FLUSH),
         FaultId::RegfileEvictMru => {

@@ -46,8 +46,8 @@ const SHRINK_BUDGET: usize = 2000;
 /// reference model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Divergence {
-    /// Which differential check failed: `codec`, `segment`, `cache`,
-    /// `regfile`, `predictor`, or `pipeline`.
+    /// Which differential check failed: `codec`, `block`, `segment`,
+    /// `cache`, `regfile`, `predictor`, or `pipeline`.
     pub component: &'static str,
     /// Human-readable mismatch description.
     pub detail: String,
@@ -265,6 +265,7 @@ fn pick_addr(
 /// stay fast.
 pub fn check_stream(ops: &[MicroOp], platform: &PlatformConfig) -> Option<Divergence> {
     codec_check(ops)
+        .or_else(|| block_check(ops))
         .or_else(|| segment_check(ops))
         .or_else(|| cache_check(ops, platform))
         .or_else(|| regfile_check(ops, platform))
@@ -303,6 +304,86 @@ fn codec_check(ops: &[MicroOp]) -> Option<Divergence> {
             return Some(Divergence::new(
                 "codec",
                 format!("op {i}: iter decoded {decoded:?}, recorded {recorded:?}"),
+            ));
+        }
+    }
+    None
+}
+
+/// Block decoder vs. per-op decode through a [`RefTape`]. Block sizes 3
+/// and 8 put several block edges inside even the shortest fuzz streams,
+/// so the cross-block cursor carry (SSA counter, address, far-ref bases)
+/// is exercised at every offset; the SoA filter columns are checked
+/// against the decoded ops they were derived from.
+fn block_check(ops: &[MicroOp]) -> Option<Divergence> {
+    let mut stream = PackedStream::new();
+    for op in ops {
+        stream.push(op);
+    }
+    // Per-op reference: the iter() decode path feeding an encoding-free
+    // RefTape (codec_check already pinned iter() against the raw ops).
+    let program = Program::new();
+    let mut reference = crate::tape::RefTape::new();
+    for op in stream.iter() {
+        reference.consume(&op, &program);
+    }
+    for block_ops in [3usize, 8] {
+        let mut decoder = stream.block_decoder();
+        let mut block = bioperf_trace::OpBlock::with_capacity(block_ops);
+        let mut at = 0usize;
+        while decoder.next_block(&mut block, block_ops) > 0 {
+            let mut mem = 0usize;
+            let mut branches = 0usize;
+            for (j, op) in block.ops().iter().enumerate() {
+                let i = at + j;
+                if *op != reference.ops[i] {
+                    return Some(Divergence::new(
+                        "block",
+                        format!(
+                            "block_ops {block_ops} op {i}: block decoded {op:?}, per-op {:?}",
+                            reference.ops[i]
+                        ),
+                    ));
+                }
+                if let Some(addr) = op.addr {
+                    if block.mem_addrs().get(mem) != Some(&addr)
+                        || block.mem_loads().get(mem) != Some(&op.kind.is_load())
+                    {
+                        return Some(Divergence::new(
+                            "block",
+                            format!("block_ops {block_ops} op {i}: memory column out of step"),
+                        ));
+                    }
+                    mem += 1;
+                }
+                if op.kind.is_cond_branch() {
+                    if block.branch_sids().get(branches) != Some(&op.sid)
+                        || block.branch_taken().get(branches) != Some(&op.taken)
+                    {
+                        return Some(Divergence::new(
+                            "block",
+                            format!("block_ops {block_ops} op {i}: branch column out of step"),
+                        ));
+                    }
+                    branches += 1;
+                }
+            }
+            if mem != block.mem_addrs().len() || branches != block.branch_sids().len() {
+                return Some(Divergence::new(
+                    "block",
+                    format!(
+                        "block_ops {block_ops} at op {at}: columns hold {}/{} entries, ops imply {mem}/{branches}",
+                        block.mem_addrs().len(),
+                        block.branch_sids().len()
+                    ),
+                ));
+            }
+            at += block.len();
+        }
+        if at != ops.len() {
+            return Some(Divergence::new(
+                "block",
+                format!("block_ops {block_ops}: decoded {at} ops out of {}", ops.len()),
             ));
         }
     }

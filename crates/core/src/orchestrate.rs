@@ -1032,6 +1032,30 @@ fn cross_check_program(program: ProgramId, seed: u64) -> ProgramCrossCheck {
         }
     }
 
+    // Block decoder: replaying through the blocked path (the production
+    // replay loop) into a fresh reference tape must also reproduce the
+    // per-op decode. An odd non-default block size forces several
+    // interior block edges on Test-scale traces, pinning the cross-block
+    // cursor carry.
+    for block_ops in [257usize, bioperf_trace::BLOCK_OPS] {
+        let mut replayed = RefTape::new();
+        recording.replay_bank_blocks(std::slice::from_mut(&mut replayed), block_ops);
+        if replayed.len() != reference.len() {
+            return fail(format!(
+                "block: {block_ops}-op blocks replayed {} ops, reference {}",
+                replayed.len(),
+                reference.len()
+            ));
+        }
+        for (i, (blocked, per_op)) in replayed.ops.iter().zip(&reference.ops).enumerate() {
+            if blocked != per_op {
+                return fail(format!(
+                    "block: {block_ops}-op blocks op {i}: blocked {blocked:?}, reference {per_op:?}"
+                ));
+            }
+        }
+    }
+
     // Segment codec: spilling to standalone segments and streaming them
     // back must also reproduce the reference tape exactly.
     if let Some(divergence) = segment_cross_check(&recording, &reference.ops) {

@@ -1,12 +1,13 @@
 //! The trace-driven cycle simulator.
 
-use std::collections::VecDeque;
-
 use bioperf_branch::BranchProfiler;
 use bioperf_cache::{AccessKind, Hierarchy, HierarchyStats};
 use bioperf_isa::{MicroOp, OpKind, Program, VReg};
 use bioperf_metrics::{LogHistogram, MetricSet};
-use bioperf_trace::TraceConsumer;
+use bioperf_trace::{
+    OpBlock, TraceConsumer, REG_EVENT_DST, REG_EVENT_DST_LOAD, REG_EVENT_IDX_SHIFT,
+    REG_EVENT_POS,
+};
 
 use crate::config::PlatformConfig;
 use crate::regfile::RegFile;
@@ -16,12 +17,47 @@ use crate::regfile::RegFile;
 const ISSUE_RING: usize = 1 << 12;
 const READY_RING: usize = 1 << 16;
 
-/// The ready ring packs "value came straight from a load" into the top
-/// bit of the stored completion cycle (cycles never approach 2⁶³), so
-/// each destination costs one ring store instead of two and the replay
-/// bank drags one less 64 KB array per simulator through the caches.
-const FROM_LOAD_BIT: u64 = 1 << 63;
-const CYCLE_MASK: u64 = FROM_LOAD_BIT - 1;
+/// Each issue-ring slot packs `(cycle << 4) | issued-count` into one
+/// `u64` (issue widths are ≤ 8, cycles nowhere near 2⁶⁰), so a claim is
+/// one load plus one store on a 32 KB ring instead of two fields on a
+/// 64 KB one.
+const ISSUE_COUNT_BITS: u32 = 4;
+const ISSUE_COUNT_MASK: u64 = (1 << ISSUE_COUNT_BITS) - 1;
+
+/// Two out-of-band ready-ring slots used by the blocked engine's
+/// pre-resolved operand plan: reads of `ZERO_SLOT` always see cycle 0
+/// (an absent or long-dead producer), writes to `SINK_SLOT` are
+/// discarded (an op with no destination). Both let the operand loop run
+/// without testing `Option`s.
+const SINK_SLOT: u32 = READY_RING as u32;
+const ZERO_SLOT: u32 = READY_RING as u32 + 1;
+
+/// Per-op flag byte in the blocked engine's plan: two bits per source
+/// position (`00` plain, `01` reload rematerialized from a load, `10`
+/// reload of a computed value through a spill slot), plus the
+/// branch-resolution bits.
+const SRC_RELOAD_LOAD: u8 = 0b01;
+const SRC_RELOAD_COMPUTED: u8 = 0b10;
+const SPILL_MASK: u8 = 0b11_11_11;
+/// The resolved branch mispredicted: redirect the front end.
+const FLAG_REDIRECT: u8 = 1 << 7;
+
+/// The blocked engine phases over sub-chunks of this many ops, not whole
+/// blocks: the plan arrays plus one chunk's columns stay cache-resident
+/// across the three passes, where a full 4096-op block would be
+/// re-fetched by each pass.
+const PHASE_CHUNK: usize = 512;
+
+/// Per-block cursors into the [`OpBlock`] filter columns; each chunk's
+/// passes consume their column prefix and leave the cursors at the next
+/// chunk's first entry.
+#[derive(Default, Clone, Copy)]
+struct ColCursors {
+    ev: usize,
+    mem: usize,
+    br: usize,
+    sel: usize,
+}
 
 /// Where spilled values live: a small stack-like region that stays
 /// L1-resident, as real spill slots do.
@@ -98,12 +134,50 @@ pub struct CycleSim {
 
     fetch_cycle: u64,
     fetched_this_cycle: u32,
-    issue_ring: Vec<(u64, u32)>,
-    /// `(vreg, completion-cycle | FROM_LOAD_BIT)` keyed by `vreg & mask`.
-    ready_ring: Vec<(u64, u64)>,
-    rob: VecDeque<u64>,
+    issue_ring: Vec<u64>,
+    /// Ready-ring tags: the resident vreg keyed by `vreg & mask`. Split
+    /// from the cycles so the blocked engine's register pass can resolve
+    /// producers without touching timing state. The untouched-slot
+    /// sentinel `u64::MAX` is *observable* (an aliasing `VReg(u64::MAX)`
+    /// source reads as a computed value ready at cycle 0 — part of the
+    /// documented ring contract the conformance reference reproduces),
+    /// so the tag stores the full vreg and the from-load flag lives in
+    /// its own array rather than a stolen tag bit.
+    ready_tag: Vec<u64>,
+    /// Whether each ready-ring slot's resident value came straight from
+    /// a load (spill reloads of such values rematerialize: no store).
+    ready_from_load: Vec<bool>,
+    /// Ready-ring completion cycles, same keying as `ready_tag`, plus the
+    /// two out-of-band `SINK_SLOT`/`ZERO_SLOT` entries.
+    ready_cycle: Vec<u64>,
+    /// Completion cycles of in-flight ops, oldest first: a fixed ring
+    /// over `cfg.rob_size` slots (`rob_head` indexes the oldest,
+    /// `rob_len` counts residents — never more than `rob_size`).
+    rob: Vec<u64>,
+    rob_head: usize,
+    rob_len: usize,
     last_issue: u64,
     regs: RegFile,
+
+    /// Execution latency by `OpKind::code()` for kinds whose latency is a
+    /// platform constant (loads come from the hierarchy, stores and
+    /// resolving branches are 1); lets the blocked engine index instead
+    /// of re-matching per op.
+    lat_lut: [u32; 12],
+    /// Blocked-engine scratch, reused across blocks (see
+    /// [`Self::consume_block`]): per-op flag bytes, pre-resolved operand
+    /// slots, destination slots, completion latencies, and the in-order
+    /// stream of spill-reload latencies.
+    sc_flags: Vec<u8>,
+    sc_src: Vec<[u32; 3]>,
+    sc_dst: Vec<u32>,
+    sc_lat: Vec<u32>,
+    sc_spill_lat: Vec<u32>,
+    /// Spill events planned by pass A, in (op, source-position) order:
+    /// `ci << 1 | computed` plus the spill-slot address, consumed by pass
+    /// B's access merge.
+    sc_spill_ev: Vec<u32>,
+    sc_spill_addr: Vec<u64>,
 
     max_completion: u64,
     instructions: u64,
@@ -129,15 +203,34 @@ const TIMELINE_CAP: usize = 65_536;
 impl CycleSim {
     /// Creates a simulator for one platform.
     pub fn new(cfg: PlatformConfig) -> Self {
+        let mut lat_lut = [1u32; 12];
+        for kind in bioperf_isa::OpKind::ALL {
+            if !kind.is_load() && !kind.is_store() {
+                lat_lut[kind.code() as usize] = cfg.op_latency(kind) as u32;
+            }
+        }
         Self {
             hierarchy: cfg.hierarchy(),
             predictor: BranchProfiler::new(),
             fp_load_extra: cfg.fp_load_latency.saturating_sub(cfg.int_load_latency),
             fetch_cycle: 0,
             fetched_this_cycle: 0,
-            issue_ring: vec![(u64::MAX, 0); ISSUE_RING],
-            ready_ring: vec![(u64::MAX, 0); READY_RING],
-            rob: VecDeque::with_capacity(cfg.rob_size),
+            issue_ring: vec![u64::MAX; ISSUE_RING],
+            ready_tag: vec![u64::MAX; READY_RING],
+            ready_from_load: vec![false; READY_RING],
+            // Two extra slots: the write sink and the constant-zero read.
+            ready_cycle: vec![0; READY_RING + 2],
+            lat_lut,
+            sc_flags: Vec::new(),
+            sc_src: Vec::new(),
+            sc_dst: Vec::new(),
+            sc_lat: Vec::new(),
+            sc_spill_lat: Vec::new(),
+            sc_spill_ev: Vec::new(),
+            sc_spill_addr: Vec::new(),
+            rob: vec![0; cfg.rob_size],
+            rob_head: 0,
+            rob_len: 0,
             last_issue: 0,
             regs: RegFile::new(cfg.logical_regs),
             max_completion: 0,
@@ -237,14 +330,18 @@ impl CycleSim {
     /// Claims an issue slot at the first cycle ≥ `earliest` with
     /// bandwidth available.
     fn issue_at(&mut self, earliest: u64) -> u64 {
+        let width = self.cfg.issue_width as u64;
         let mut c = earliest;
         loop {
             let slot = &mut self.issue_ring[(c as usize) & (ISSUE_RING - 1)];
-            if slot.0 != c {
-                *slot = (c, 0);
+            let packed = *slot;
+            if packed >> ISSUE_COUNT_BITS != c {
+                // Stale slot from a lapped cycle: reset and claim.
+                *slot = (c << ISSUE_COUNT_BITS) | 1;
+                return c;
             }
-            if slot.1 < self.cfg.issue_width {
-                slot.1 += 1;
+            if packed & ISSUE_COUNT_MASK < width {
+                *slot = packed + 1;
                 return c;
             }
             c += 1;
@@ -252,19 +349,21 @@ impl CycleSim {
     }
 
     fn ready_of(&self, v: VReg) -> Option<u64> {
-        let slot = self.ready_ring[(v.0 as usize) & (READY_RING - 1)];
-        (slot.0 == v.0).then_some(slot.1 & CYCLE_MASK)
+        let slot = (v.0 as usize) & (READY_RING - 1);
+        (self.ready_tag[slot] == v.0).then(|| self.ready_cycle[slot])
     }
 
     fn set_ready(&mut self, v: VReg, cycle: u64, from_load: bool) {
-        let packed = cycle | if from_load { FROM_LOAD_BIT } else { 0 };
-        self.ready_ring[(v.0 as usize) & (READY_RING - 1)] = (v.0, packed);
+        let slot = (v.0 as usize) & (READY_RING - 1);
+        self.ready_tag[slot] = v.0;
+        self.ready_from_load[slot] = from_load;
+        self.ready_cycle[slot] = cycle;
     }
 
     /// Only meaningful right after [`ready_of`] confirmed the slot is
     /// `v`'s (the flag belongs to whichever vreg owns the slot).
     fn is_from_load(&self, v: VReg) -> bool {
-        self.ready_ring[(v.0 as usize) & (READY_RING - 1)].1 & FROM_LOAD_BIT != 0
+        self.ready_from_load[(v.0 as usize) & (READY_RING - 1)]
     }
 
     /// Advances the front end by one dispatch slot and returns the
@@ -275,8 +374,13 @@ impl CycleSim {
             self.fetched_this_cycle = 0;
         }
         // ROB full: the front end stalls until the oldest op retires.
-        if self.rob.len() >= self.cfg.rob_size {
-            let head = self.rob.pop_front().expect("rob non-empty");
+        if self.rob_len == self.cfg.rob_size {
+            let head = self.rob[self.rob_head];
+            self.rob_head += 1;
+            if self.rob_head == self.cfg.rob_size {
+                self.rob_head = 0;
+            }
+            self.rob_len -= 1;
             if head > self.fetch_cycle {
                 self.fetch_cycle = head;
                 self.fetched_this_cycle = 0;
@@ -329,32 +433,11 @@ impl CycleSim {
         ready
     }
 
-    /// Resolves a conditional branch (or a branch-realized select):
-    /// predicts, updates stats, and redirects the front end on a
-    /// misprediction.
-    fn resolve_branch(&mut self, op: &MicroOp, resolve: u64) -> bool {
-        self.branches += 1;
-        let correct = self.predictor.observe(op.sid, op.taken);
-        if !correct {
-            self.mispredicts += 1;
-            // Redirect: the front end restarts after the branch resolves —
-            // resolution delay (e.g. waiting on a load) adds directly to
-            // the misprediction cost.
-            if !crate::inject::active(crate::inject::DROPPED_FLUSH) {
-                let redirect = resolve + self.cfg.mispredict_penalty;
-                if redirect > self.fetch_cycle {
-                    self.fetch_cycle = redirect;
-                    self.fetched_this_cycle = 0;
-                }
-            }
-        }
-        !correct
-    }
-
-}
-
-impl TraceConsumer for CycleSim {
-    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+    /// One op through the pipeline model: the reference path, used by
+    /// per-op [`TraceConsumer::consume`] and by instrumented block
+    /// replay. Uninstrumented block replay goes through the phased
+    /// engine below, which computes identical simulation state.
+    fn step(&mut self, op: &MicroOp) {
         self.instructions += 1;
         let dispatch = self.dispatch();
 
@@ -416,10 +499,14 @@ impl TraceConsumer for CycleSim {
             self.set_ready(dst, completion, op.kind.is_load());
             self.regs.insert(dst.0);
         }
-        self.rob.push_back(completion);
-        if self.rob.len() > self.cfg.rob_size {
-            self.rob.pop_front();
+        // `dispatch` freed a slot whenever the ring was full, so this
+        // push can never overflow `rob_size`.
+        let mut pos = self.rob_head + self.rob_len;
+        if pos >= self.cfg.rob_size {
+            pos -= self.cfg.rob_size;
         }
+        self.rob[pos] = completion;
+        self.rob_len += 1;
         if completion > self.max_completion {
             self.max_completion = completion;
         }
@@ -429,6 +516,358 @@ impl TraceConsumer for CycleSim {
             if mispredicted_now {
                 self.m_redirects += 1;
             }
+        }
+    }
+
+    /// Resolves a conditional branch (or a branch-realized select):
+    /// predicts, updates stats, and redirects the front end on a
+    /// misprediction.
+    fn resolve_branch(&mut self, op: &MicroOp, resolve: u64) -> bool {
+        self.branches += 1;
+        let correct = self.predictor.observe(op.sid, op.taken);
+        if !correct {
+            self.mispredicts += 1;
+            // Redirect: the front end restarts after the branch resolves —
+            // resolution delay (e.g. waiting on a load) adds directly to
+            // the misprediction cost.
+            if !crate::inject::active(crate::inject::DROPPED_FLUSH) {
+                let redirect = resolve + self.cfg.mispredict_penalty;
+                if redirect > self.fetch_cycle {
+                    self.fetch_cycle = redirect;
+                    self.fetched_this_cycle = 0;
+                }
+            }
+        }
+        !correct
+    }
+
+    // ---- The phased block engine -------------------------------------
+    //
+    // The monolithic `step` interleaves six stateful structures per op
+    // (register file, ready ring, issue ring, cache hierarchy, branch
+    // predictor, ROB), so the replay hot loop is dominated by
+    // data-dependent branches and a working set that spans all of them.
+    // But three of those structures evolve independently of simulated
+    // *time*: which values spill depends only on the vreg touch
+    // sequence, cache state depends only on the address sequence, and
+    // predictor state depends only on the outcome sequence. The blocked
+    // path therefore runs three passes over each block:
+    //
+    //  A. registers — resolves every source to a ready-ring slot
+    //     (`ZERO_SLOT` when there is no producer), decides which
+    //     sources spill-reload, writes destination tags, and emits a
+    //     per-op plan (flag byte + slots);
+    //  B. memory & branches — replays the exact access sequence
+    //     (including the spill traffic planned by A) through the
+    //     hierarchy and the predictor, emitting each op's completion
+    //     latency and the redirect flags;
+    //  D. timing — the serial scheduling core: dispatch, operand max
+    //     over pre-resolved slots (branchless in the no-spill common
+    //     case), issue-slot claim, ROB, redirects — consuming only the
+    //     dense plan arrays.
+    //
+    // Each pass keeps one structure hot and carries one dominant
+    // branch, where the monolithic step pays for all of them on every
+    // op. The passes apply state updates in the same program order as
+    // `step`, so the final simulator state is identical (pinned by the
+    // `blocked_replay_matches_per_op_replay` test and the conformance
+    // cross-checks).
+
+    /// Pass A: register file, spill planning, and ready-ring tags.
+    ///
+    /// Walks the block's register-event column — one entry per *present*
+    /// source or destination, in program order — so the loop never tests
+    /// an `Option` slot or touches a registerless op. Planned spill
+    /// traffic lands in `sc_spill_ev`/`sc_spill_addr` for pass B's
+    /// access merge. The cursor is left at the next chunk's first event.
+    fn block_pass_regs(&mut self, block: &OpBlock, lo: usize, hi: usize, ev: &mut usize) {
+        let n = hi - lo;
+        self.sc_flags.clear();
+        self.sc_flags.resize(n, 0);
+        self.sc_src.clear();
+        self.sc_src.resize(n, [ZERO_SLOT; 3]);
+        self.sc_dst.clear();
+        self.sc_dst.resize(n, SINK_SLOT);
+        self.sc_spill_ev.clear();
+        self.sc_spill_addr.clear();
+        let metas = block.reg_event_meta();
+        let vregs = block.reg_event_vreg();
+        // Flag bits live below the index field, so one shifted compare
+        // bounds the chunk.
+        let end = (hi as u32) << REG_EVENT_IDX_SHIFT;
+        while *ev < metas.len() {
+            let meta = metas[*ev];
+            if meta >= end {
+                break;
+            }
+            let v = vregs[*ev];
+            *ev += 1;
+            let ci = (meta >> REG_EVENT_IDX_SHIFT) as usize - lo;
+            let slot = (v as usize) & (READY_RING - 1);
+            if meta & REG_EVENT_DST != 0 {
+                self.ready_tag[slot] = v;
+                self.ready_from_load[slot] = meta & REG_EVENT_DST_LOAD != 0;
+                self.regs.insert(v);
+                self.sc_dst[ci] = slot as u32;
+                continue;
+            }
+            if self.ready_tag[slot] != v {
+                // No recorded producer: reads as cycle 0 via ZERO_SLOT.
+                continue;
+            }
+            let pos = (meta & REG_EVENT_POS) as usize;
+            self.sc_src[ci][pos] = slot as u32;
+            if !self.regs.touch(v) {
+                // Spilled and reused (see `src_ready` for the model).
+                self.spill_reloads += 1;
+                let computed = !self.ready_from_load[slot];
+                if computed {
+                    self.spill_stores += 1;
+                    self.sc_flags[ci] |= SRC_RELOAD_COMPUTED << (2 * pos);
+                } else {
+                    self.sc_flags[ci] |= SRC_RELOAD_LOAD << (2 * pos);
+                }
+                self.sc_spill_ev.push((ci as u32) << 1 | computed as u32);
+                self.sc_spill_addr.push(SPILL_BASE + (v % SPILL_SLOTS) * 8);
+                // The reload rewrites the slot with the same tag and
+                // flag, so only the cycle (timing pass) changes.
+                self.regs.insert(v);
+            }
+        }
+    }
+
+    /// Pass B: cache hierarchy and branch predictor driven entirely by
+    /// the filter columns; emits per-op completion latencies and the
+    /// spill-reload latency stream.
+    ///
+    /// The hierarchy and the predictor are independent structures, so
+    /// replaying all of the chunk's accesses and then all of its branch
+    /// outcomes preserves each structure's exact update order even though
+    /// the two streams no longer interleave.
+    fn block_pass_memory(&mut self, block: &OpBlock, lo: usize, hi: usize, cur: &mut ColCursors) {
+        // Latency classes: a branchless LUT fill over the kind-code
+        // column (loads are overwritten below; stores and branches
+        // resolve in 1, which is what the LUT holds for them).
+        let codes = &block.kind_codes()[lo..hi];
+        self.sc_lat.clear();
+        self.sc_lat.extend(codes.iter().map(|&c| self.lat_lut[c as usize]));
+        self.sc_spill_lat.clear();
+        let end = hi as u32;
+
+        // The pre-filtered demand stream merged with pass A's planned
+        // spill traffic: spill slots live in the same hierarchy as
+        // demand accesses, and an op resolves operands (reloads) before
+        // it executes (its own access), so ties break toward the spill
+        // stream. Chunks without spills pay one always-false compare per
+        // access.
+        let mem_idx = block.mem_idx();
+        let mem_addrs = block.mem_addrs();
+        let mem_loads = block.mem_loads();
+        let mut sp = 0;
+        loop {
+            let mem_ci = if cur.mem < mem_idx.len() && mem_idx[cur.mem] < end {
+                mem_idx[cur.mem] - lo as u32
+            } else {
+                u32::MAX
+            };
+            let sp_ci = if sp < self.sc_spill_ev.len() {
+                self.sc_spill_ev[sp] >> 1
+            } else {
+                u32::MAX
+            };
+            if sp_ci <= mem_ci {
+                if sp_ci == u32::MAX {
+                    break;
+                }
+                let computed = self.sc_spill_ev[sp] & 1 != 0;
+                let addr = self.sc_spill_addr[sp];
+                sp += 1;
+                let extra = if computed {
+                    // Computed values round-trip through the slot: the
+                    // store happens here, the forwarding stall rides on
+                    // the reload latency.
+                    self.hierarchy.access(addr, AccessKind::Store);
+                    self.cfg.spill_forward_extra
+                } else {
+                    0
+                };
+                let lat = self.hierarchy.access(addr, AccessKind::Load) + extra;
+                self.sc_spill_lat.push(lat as u32);
+                continue;
+            }
+            let e = cur.mem;
+            cur.mem += 1;
+            let ci = mem_ci as usize;
+            let code = codes[ci];
+            if code > OpKind::FpStore.code() {
+                // Address-carrying non-memory kind: the per-op path
+                // ignores its address, so the column entry is skipped.
+                continue;
+            }
+            let is_load = mem_loads[e];
+            let kind = if is_load { AccessKind::Load } else { AccessKind::Store };
+            let lat = self.hierarchy.access(mem_addrs[e], kind)
+                + (code == OpKind::FpLoad.code()) as u64 * self.fp_load_extra;
+            if is_load {
+                self.sc_lat[ci] = lat as u32;
+            }
+        }
+
+        // The pre-filtered outcome stream. Without if-conversion,
+        // selects resolve through the same predictor, so the two columns
+        // merge back into program order.
+        let branch_idx = block.branch_idx();
+        let branch_sids = block.branch_sids();
+        let branch_taken = block.branch_taken();
+        if self.cfg.if_conversion {
+            while cur.br < branch_idx.len() && branch_idx[cur.br] < end {
+                let e = cur.br;
+                cur.br += 1;
+                let ci = branch_idx[e] as usize - lo;
+                self.branches += 1;
+                if !self.predictor.observe(branch_sids[e], branch_taken[e]) {
+                    self.mispredicts += 1;
+                    self.sc_flags[ci] |= FLAG_REDIRECT;
+                }
+                self.sc_lat[ci] = 1;
+            }
+            // Selects stay ALU ops here; step the cursor past the chunk.
+            let select_idx = block.select_idx();
+            while cur.sel < select_idx.len() && select_idx[cur.sel] < end {
+                cur.sel += 1;
+            }
+        } else {
+            let select_idx = block.select_idx();
+            let select_sids = block.select_sids();
+            let select_taken = block.select_taken();
+            loop {
+                let b = branch_idx.get(cur.br).copied().unwrap_or(u32::MAX);
+                let s = select_idx.get(cur.sel).copied().unwrap_or(u32::MAX);
+                let idx = b.min(s);
+                if idx >= end {
+                    break;
+                }
+                let (sid, taken) = if b < s {
+                    let e = cur.br;
+                    cur.br += 1;
+                    (branch_sids[e], branch_taken[e])
+                } else {
+                    let e = cur.sel;
+                    cur.sel += 1;
+                    (select_sids[e], select_taken[e])
+                };
+                let ci = idx as usize - lo;
+                self.branches += 1;
+                if !self.predictor.observe(sid, taken) {
+                    self.mispredicts += 1;
+                    self.sc_flags[ci] |= FLAG_REDIRECT;
+                }
+                self.sc_lat[ci] = 1;
+            }
+        }
+    }
+
+    /// Pass D: the serial timing core, driven entirely by the plan
+    /// arrays. `IN_ORDER` is monomorphized per platform class.
+    fn block_pass_timing<const IN_ORDER: bool>(&mut self, n: usize) {
+        let mut spill_idx = 0usize;
+        for i in 0..n {
+            self.instructions += 1;
+            let dispatch = self.dispatch();
+            let flags = self.sc_flags[i];
+            let slots = self.sc_src[i];
+            let operands = if flags & SPILL_MASK == 0 {
+                // Common case: three unconditional ring reads (absent
+                // sources resolve to ZERO_SLOT's constant 0).
+                let a = self.ready_cycle[slots[0] as usize];
+                let b = self.ready_cycle[slots[1] as usize];
+                let c = self.ready_cycle[slots[2] as usize];
+                a.max(b).max(c)
+            } else {
+                let mut operands = 0u64;
+                for (j, &slot) in slots.iter().enumerate() {
+                    let base = self.ready_cycle[slot as usize];
+                    let code = (flags >> (2 * j)) & 0b11;
+                    if code == 0 {
+                        operands = operands.max(base);
+                        continue;
+                    }
+                    // Spill reload: same bandwidth and ordering as
+                    // `src_ready`, latency precomputed by pass B.
+                    self.fetched_this_cycle += 1;
+                    if code == SRC_RELOAD_COMPUTED {
+                        self.issue_at(dispatch);
+                    }
+                    let start = self.issue_at(dispatch.max(base));
+                    let ready = start + self.sc_spill_lat[spill_idx] as u64;
+                    spill_idx += 1;
+                    self.ready_cycle[slot as usize] = ready;
+                    operands = operands.max(ready);
+                }
+                operands
+            };
+            let mut earliest = dispatch.max(operands);
+            if IN_ORDER {
+                earliest = earliest.max(self.last_issue);
+            }
+            let start = self.issue_at(earliest);
+            if IN_ORDER {
+                self.last_issue = start;
+            }
+            let completion = start + self.sc_lat[i] as u64;
+            if flags & FLAG_REDIRECT != 0
+                && !crate::inject::active(crate::inject::DROPPED_FLUSH)
+            {
+                let redirect = completion + self.cfg.mispredict_penalty;
+                if redirect > self.fetch_cycle {
+                    self.fetch_cycle = redirect;
+                    self.fetched_this_cycle = 0;
+                }
+            }
+            self.ready_cycle[self.sc_dst[i] as usize] = completion;
+            // `dispatch` freed a slot whenever the ring was full, so this
+            // push can never overflow `rob_size`.
+            let mut pos = self.rob_head + self.rob_len;
+            if pos >= self.cfg.rob_size {
+                pos -= self.cfg.rob_size;
+            }
+            self.rob[pos] = completion;
+            self.rob_len += 1;
+            if completion > self.max_completion {
+                self.max_completion = completion;
+            }
+        }
+    }
+}
+
+impl TraceConsumer for CycleSim {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        self.step(op);
+    }
+
+    fn consume_block(&mut self, block: &OpBlock, _program: &Program) {
+        // Instrumented replays keep the reference path: timelines and
+        // event metrics observe per-op interleavings the phased engine
+        // does not materialize.
+        if self.metrics_on || self.timeline.is_some() {
+            for op in block.ops() {
+                self.step(op);
+            }
+            return;
+        }
+        let n = block.len();
+        let mut cur = ColCursors::default();
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + PHASE_CHUNK).min(n);
+            self.block_pass_regs(block, lo, hi, &mut cur.ev);
+            self.block_pass_memory(block, lo, hi, &mut cur);
+            if self.cfg.in_order {
+                self.block_pass_timing::<true>(hi - lo);
+            } else {
+                self.block_pass_timing::<false>(hi - lo);
+            }
+            lo = hi;
         }
     }
 }
@@ -608,6 +1047,56 @@ mod tests {
         io_cfg.in_order = true;
         let io = sim(io_cfg, work);
         assert!(io.cycles >= ooo.cycles, "in-order {} vs ooo {}", io.cycles, ooo.cycles);
+    }
+
+    /// The phased block engine must leave the simulator in exactly the
+    /// state the monolithic per-op path produces — including spill
+    /// counters and cache stats, across odd block sizes whose edges fall
+    /// mid-spill-sequence and on both in-order and out-of-order cores.
+    #[test]
+    fn blocked_replay_matches_per_op_replay() {
+        use bioperf_trace::{Recorder, TraceConsumer};
+        let mut tape = Tape::new(Recorder::new());
+        let xs: Vec<u64> = (0..512).map(|i| i * 3).collect();
+        let mut state = 0xDEAD_BEEFu64;
+        let mut rand_bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        for r in 0..400usize {
+            // Enough live temporaries to force P4 spills, plus branches,
+            // selects, FP traffic, and strided loads.
+            let temps: Vec<_> = (0..12).map(|i| tape.int_load(here!("t"), &xs[(r * 7 + i) % 512])).collect();
+            let mut acc = tape.lit();
+            for v in &temps {
+                acc = tape.int_op(here!("t"), &[acc, *v]);
+            }
+            let sel = tape.select(here!("t"), &[acc], rand_bit());
+            tape.branch(here!("t"), &[sel], rand_bit());
+            let f = tape.fp_load(here!("t"), &xs[r % 512]);
+            let g = tape.fp_op(here!("t"), &[f]);
+            tape.fp_store(here!("t"), &xs[(r * 13) % 512], g);
+        }
+        let (program, rec) = tape.finish();
+        let recording = rec.into_recording(program.clone());
+        for cfg in PlatformConfig::all() {
+            let mut per_op = CycleSim::new(cfg);
+            for op in recording.iter() {
+                per_op.consume(&op, &program);
+            }
+            let reference = per_op.into_result();
+            for block_ops in [1usize, 3, 64, 4096] {
+                let mut blocked = CycleSim::new(cfg);
+                recording.replay_bank_blocks(std::slice::from_mut(&mut blocked), block_ops);
+                assert_eq!(
+                    blocked.into_result(),
+                    reference,
+                    "{} diverged at {}-op blocks",
+                    cfg.name,
+                    block_ops
+                );
+            }
+        }
     }
 
     #[test]

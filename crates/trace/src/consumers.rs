@@ -212,6 +212,12 @@ impl<C: TraceConsumer> TraceConsumer for FanOut<C> {
         }
     }
 
+    fn consume_block(&mut self, block: &crate::packed::OpBlock, program: &Program) {
+        for c in &mut self.consumers {
+            c.consume_block(block, program);
+        }
+    }
+
     fn finish(&mut self, program: &Program) {
         for c in &mut self.consumers {
             c.finish(program);

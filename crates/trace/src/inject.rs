@@ -20,6 +20,10 @@ pub const SSA_RESYNC: u8 = 2;
 /// Record a stale SSA start counter in each spilled segment header,
 /// breaking the standalone-decode invariant of non-first segments.
 pub const SEG_COUNTER: u8 = 3;
+/// Mis-carry the running SSA counter across a block edge in the block
+/// decoder, corrupting every implicit destination after the first
+/// non-initial block boundary.
+pub const BLOCK_CARRY: u8 = 4;
 
 #[cfg(feature = "conform-inject")]
 mod imp {

@@ -60,7 +60,10 @@ pub mod tracer;
 
 pub use consumers::{FanOut, InstrMix};
 pub use normalize::{AddressNormalizer, NormalizerStats};
-pub use packed::PackedStream;
+pub use packed::{
+    BlockDecoder, OpBlock, PackedStream, BLOCK_OPS, REG_EVENT_DST, REG_EVENT_DST_LOAD,
+    REG_EVENT_IDX_SHIFT, REG_EVENT_POS,
+};
 pub use replay::{Recorder, Recording};
 pub use segment::{
     segment_recording, SegmentError, SegmentedRecording, SpillRecorder, DEFAULT_SEGMENT_OPS,

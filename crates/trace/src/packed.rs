@@ -298,6 +298,12 @@ impl PackedStream {
         Iter { stream: self, index: 0, cursor: self.start_cursor() }
     }
 
+    /// A block decoder positioned at the start of the stream — the
+    /// batched form of [`iter`](Self::iter) (see [`BlockDecoder`]).
+    pub fn block_decoder(&self) -> BlockDecoder<'_> {
+        BlockDecoder { stream: self, index: 0, cursor: self.start_cursor() }
+    }
+
     /// Iterates the decoded ops by value starting at op `start`.
     ///
     /// Decoding is stateful (the running SSA destination counter and the
@@ -446,6 +452,290 @@ struct Cursor {
     addr: usize,
     far_dst: usize,
     far_src: usize,
+}
+
+/// Default ops per decoded block: big enough to amortize per-block setup
+/// to noise, small enough that a block (~0.5 MiB of decoded ops plus
+/// filter columns) stays cache-resident while a consumer drains it.
+pub const BLOCK_OPS: usize = 4096;
+
+/// A reusable batch of decoded ops with structure-of-arrays filter
+/// columns, filled by [`BlockDecoder::next_block`].
+///
+/// The `ops` array is the decode-once product every consumer can walk
+/// (the default [`TraceConsumer::consume_block`] does exactly that); the
+/// side columns pre-filter the two op classes the hot simulators care
+/// about so their block loops touch no non-participating op:
+///
+/// * the **memory column** holds `(addr, is_load)` for every op carrying
+///   an effective address — the cache hierarchy's exact access stream,
+///   including non-load/store kinds with addresses, which the per-op
+///   path also treats as accesses;
+/// * the **branch column** holds `(sid, taken)` for every conditional
+///   branch — the branch predictors' exact observation stream.
+///
+/// Capacity is retained across refills, so a replay loop allocates one
+/// block up front and reuses it for the whole trace.
+///
+/// [`TraceConsumer::consume_block`]: crate::TraceConsumer::consume_block
+#[derive(Debug, Clone, Default)]
+pub struct OpBlock {
+    ops: Vec<MicroOp>,
+    mem_addrs: Vec<u64>,
+    mem_loads: Vec<bool>,
+    /// Block-relative op index of each memory-column entry.
+    mem_idx: Vec<u32>,
+    branch_sids: Vec<StaticId>,
+    branch_taken: Vec<bool>,
+    /// Block-relative op index of each branch-column entry.
+    branch_idx: Vec<u32>,
+    /// Block-relative op index of each conditional move (select); on
+    /// platforms without if-conversion these resolve like branches, so
+    /// their sid and predicate ride along in parallel columns.
+    select_idx: Vec<u32>,
+    select_sids: Vec<StaticId>,
+    select_taken: Vec<bool>,
+    /// `OpKind::code()` per op: a dense latency-class column.
+    kind_codes: Vec<u8>,
+    /// Program-ordered register-event stream: one entry per *present*
+    /// source or destination, so register-model consumers never test
+    /// `Option` slots. Parallel to [`reg_event_vreg`](Self::reg_event_vreg);
+    /// see [`reg_event_meta`](Self::reg_event_meta) for the encoding.
+    reg_event_meta: Vec<u32>,
+    reg_event_vreg: Vec<u64>,
+}
+
+/// [`OpBlock::reg_event_meta`] bit layout: the event is a destination
+/// write (else a source read at position `meta & REG_EVENT_POS`).
+pub const REG_EVENT_DST: u32 = 1 << 2;
+/// The destination value was produced by a load (meaningful only with
+/// [`REG_EVENT_DST`]).
+pub const REG_EVENT_DST_LOAD: u32 = 1 << 3;
+/// Source-position mask (0..3).
+pub const REG_EVENT_POS: u32 = 0b11;
+/// The owning op's block-relative index is `meta >> REG_EVENT_IDX_SHIFT`.
+pub const REG_EVENT_IDX_SHIFT: u32 = 4;
+
+impl OpBlock {
+    /// An empty block with room for `ops` decoded ops.
+    pub fn with_capacity(ops: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(ops),
+            mem_addrs: Vec::with_capacity(ops),
+            mem_loads: Vec::with_capacity(ops),
+            mem_idx: Vec::with_capacity(ops),
+            branch_sids: Vec::with_capacity(ops),
+            branch_taken: Vec::with_capacity(ops),
+            branch_idx: Vec::with_capacity(ops),
+            select_idx: Vec::new(),
+            select_sids: Vec::new(),
+            select_taken: Vec::new(),
+            kind_codes: Vec::with_capacity(ops),
+            reg_event_meta: Vec::with_capacity(ops * 2),
+            reg_event_vreg: Vec::with_capacity(ops * 2),
+        }
+    }
+
+    /// Number of decoded ops in the block.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the block holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The decoded ops, in trace order.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Effective addresses of the block's address-carrying ops, in trace
+    /// order (parallel to [`mem_loads`](Self::mem_loads)).
+    pub fn mem_addrs(&self) -> &[u64] {
+        &self.mem_addrs
+    }
+
+    /// Whether each address-carrying op is a load (`false` means the
+    /// access is treated as a store), parallel to
+    /// [`mem_addrs`](Self::mem_addrs).
+    pub fn mem_loads(&self) -> &[bool] {
+        &self.mem_loads
+    }
+
+    /// Static ids of the block's conditional branches, in trace order
+    /// (parallel to [`branch_taken`](Self::branch_taken)).
+    pub fn branch_sids(&self) -> &[StaticId] {
+        &self.branch_sids
+    }
+
+    /// Outcome of each conditional branch, parallel to
+    /// [`branch_sids`](Self::branch_sids).
+    pub fn branch_taken(&self) -> &[bool] {
+        &self.branch_taken
+    }
+
+    /// Block-relative op index of each memory-column entry (parallel to
+    /// [`mem_addrs`](Self::mem_addrs)), for consumers that scatter
+    /// per-access results back to ops.
+    pub fn mem_idx(&self) -> &[u32] {
+        &self.mem_idx
+    }
+
+    /// Block-relative op index of each branch-column entry (parallel to
+    /// [`branch_sids`](Self::branch_sids)).
+    pub fn branch_idx(&self) -> &[u32] {
+        &self.branch_idx
+    }
+
+    /// Block-relative op indices of the block's conditional moves, in
+    /// trace order (parallel to [`select_sids`](Self::select_sids) and
+    /// [`select_taken`](Self::select_taken)).
+    pub fn select_idx(&self) -> &[u32] {
+        &self.select_idx
+    }
+
+    /// Static ids of the block's conditional moves, parallel to
+    /// [`select_idx`](Self::select_idx).
+    pub fn select_sids(&self) -> &[StaticId] {
+        &self.select_sids
+    }
+
+    /// Predicate of each conditional move, parallel to
+    /// [`select_idx`](Self::select_idx).
+    pub fn select_taken(&self) -> &[bool] {
+        &self.select_taken
+    }
+
+    /// `OpKind::code()` of each op — a dense latency-class column.
+    pub fn kind_codes(&self) -> &[u8] {
+        &self.kind_codes
+    }
+
+    /// Register-event metadata, parallel to
+    /// [`reg_event_vreg`](Self::reg_event_vreg): for each *present* source
+    /// or destination, in program order (an op's sources by position,
+    /// then its destination), `idx << REG_EVENT_IDX_SHIFT` plus the
+    /// `REG_EVENT_*` bits.
+    pub fn reg_event_meta(&self) -> &[u32] {
+        &self.reg_event_meta
+    }
+
+    /// The virtual register of each register event.
+    pub fn reg_event_vreg(&self) -> &[u64] {
+        &self.reg_event_vreg
+    }
+
+    /// Clears the side columns only: `ops` is resized (not cleared) by
+    /// the decoder so a steady-state refill overwrites each op in place
+    /// instead of re-initializing it and writing it twice.
+    fn clear(&mut self) {
+        self.mem_addrs.clear();
+        self.mem_loads.clear();
+        self.mem_idx.clear();
+        self.branch_sids.clear();
+        self.branch_taken.clear();
+        self.branch_idx.clear();
+        self.select_idx.clear();
+        self.select_sids.clear();
+        self.select_taken.clear();
+        self.kind_codes.clear();
+        self.reg_event_meta.clear();
+        self.reg_event_vreg.clear();
+    }
+}
+
+/// Resumable block decoder over a [`PackedStream`].
+///
+/// Carries the streaming decode state ([`Cursor`]) across
+/// [`next_block`](Self::next_block) calls, so a sequence of block
+/// decodes reproduces exactly the op stream a single
+/// [`for_each`](PackedStream::for_each) pass would — the property the
+/// block-size proptests and the `block-boundary-carry` conformance fault
+/// pin down.
+#[derive(Debug, Clone)]
+pub struct BlockDecoder<'a> {
+    stream: &'a PackedStream,
+    index: usize,
+    cursor: Cursor,
+}
+
+impl<'a> BlockDecoder<'a> {
+    /// Fills `block` with up to `max_ops` decoded ops and returns how
+    /// many were decoded (0 once the stream is exhausted). The block is
+    /// cleared first; its capacity is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_ops` is 0 on a non-exhausted stream (the decode
+    /// loop could never terminate).
+    pub fn next_block(&mut self, block: &mut OpBlock, max_ops: usize) -> usize {
+        block.clear();
+        let remaining = self.stream.ops.len() - self.index;
+        if remaining == 0 {
+            block.ops.clear();
+            return 0;
+        }
+        assert!(max_ops > 0, "block size must be at least 1 op");
+        // The carried cursor is the only state crossing the block edge;
+        // the armed fault corrupts exactly that carry (and nothing about
+        // a first or only block), which per-op replay never performs —
+        // the divergence the conformance fuzzer must catch.
+        if self.index > 0 && crate::inject::active(crate::inject::BLOCK_CARRY) {
+            self.cursor.counter = self.cursor.counter.wrapping_add(1);
+        }
+        let count = remaining.min(max_ops);
+        let end = self.index + count;
+        // Reuse the previous refill's op storage: a steady-state block is
+        // the same size, so this writes nothing and `decode_into` below
+        // overwrites every field of every op exactly once.
+        block.ops.resize(
+            count,
+            MicroOp {
+                sid: StaticId::from_raw(0),
+                kind: OpKind::IntAlu,
+                dst: None,
+                srcs: [None; MAX_SRCS],
+                addr: None,
+                taken: false,
+            },
+        );
+        for (i, packed) in self.stream.ops[self.index..end].iter().enumerate() {
+            self.stream.decode_into(packed, &mut self.cursor, &mut block.ops[i]);
+            let op = &block.ops[i];
+            block.kind_codes.push(op.kind.code());
+            if let Some(addr) = op.addr {
+                block.mem_addrs.push(addr);
+                block.mem_loads.push(op.kind.is_load());
+                block.mem_idx.push(i as u32);
+            }
+            if op.kind.is_cond_branch() {
+                block.branch_sids.push(op.sid);
+                block.branch_taken.push(op.taken);
+                block.branch_idx.push(i as u32);
+            } else if op.kind == OpKind::CondMove {
+                block.select_idx.push(i as u32);
+                block.select_sids.push(op.sid);
+                block.select_taken.push(op.taken);
+            }
+            let idx = (i as u32) << REG_EVENT_IDX_SHIFT;
+            for (pos, src) in op.srcs.iter().enumerate() {
+                if let Some(v) = src {
+                    block.reg_event_meta.push(idx | pos as u32);
+                    block.reg_event_vreg.push(v.0);
+                }
+            }
+            if let Some(dst) = op.dst {
+                let load = if op.kind.is_load() { REG_EVENT_DST_LOAD } else { 0 };
+                block.reg_event_meta.push(idx | REG_EVENT_DST | load);
+                block.reg_event_vreg.push(dst.0);
+            }
+        }
+        let decoded = end - self.index;
+        self.index = end;
+        decoded
+    }
 }
 
 /// By-value iterator over the decoded ops.
@@ -600,10 +890,8 @@ mod tests {
     #[test]
     fn addresses_only_cost_memory_ops() {
         let mut stream = PackedStream::new();
-        let mut vreg = 0u64;
         for i in 0..100u64 {
-            let dst = VReg(vreg);
-            vreg += 1;
+            let dst = VReg(i);
             if i % 4 == 0 {
                 stream.push(&MicroOp::load(sid(0), OpKind::IntLoad, dst, i, None));
             } else {
@@ -619,11 +907,8 @@ mod tests {
     fn worst_case_bytes_per_op_is_within_budget() {
         // Every op a memory op: 12 + 8 = 20 bytes, still ≤ 24.
         let mut stream = PackedStream::new();
-        let mut vreg = 0u64;
         for i in 0..64u64 {
-            let dst = VReg(vreg);
-            vreg += 1;
-            stream.push(&MicroOp::load(sid(0), OpKind::FpLoad, dst, i * 8, None));
+            stream.push(&MicroOp::load(sid(0), OpKind::FpLoad, VReg(i), i * 8, None));
         }
         assert!(stream.bytes_per_op() <= 24.0, "got {}", stream.bytes_per_op());
     }
@@ -772,6 +1057,82 @@ mod tests {
             decoded.extend(tail.iter());
             assert_eq!(decoded, ops, "split at {split} diverged");
         }
+    }
+
+    #[test]
+    fn block_decode_matches_per_op_decode_at_every_block_size() {
+        // The SSA-resync fixture from the split-pass test: block edges
+        // must carry the counter across lit() gaps exactly like a
+        // single-pass decode.
+        let ops = vec![
+            MicroOp::compute(sid(0), OpKind::IntAlu, VReg(0), [None; MAX_SRCS]),
+            MicroOp::compute(sid(1), OpKind::IntAlu, VReg(2), [Some(VReg(1)), None, None]),
+            MicroOp::load(sid(2), OpKind::IntLoad, VReg(3), 0x40, Some(VReg(2))),
+            MicroOp::compute(sid(3), OpKind::IntMul, VReg(5), [Some(VReg(4)), Some(VReg(3)), None]),
+            MicroOp::store(sid(4), OpKind::IntStore, Some(VReg(5)), 0x80),
+            MicroOp::branch(sid(5), [Some(VReg(5)), None, None], true),
+            MicroOp { sid: sid(6), kind: OpKind::Jump, dst: None, srcs: [None; MAX_SRCS], addr: Some(0xbeef), taken: true },
+            MicroOp::compute(sid(7), OpKind::IntAlu, VReg(3), [Some(VReg(5)), None, None]),
+            MicroOp::compute(sid(8), OpKind::IntAlu, VReg(4), [Some(VReg(3)), None, None]),
+        ];
+        let mut stream = PackedStream::new();
+        for op in &ops {
+            stream.push(op);
+        }
+        for block_size in 1..=ops.len() + 1 {
+            let mut decoder = stream.block_decoder();
+            let mut block = OpBlock::with_capacity(block_size);
+            let mut decoded = Vec::new();
+            let (mut mem, mut branches) = (Vec::new(), Vec::new());
+            loop {
+                let n = decoder.next_block(&mut block, block_size);
+                if n == 0 {
+                    break;
+                }
+                assert_eq!(n, block.len());
+                assert!(n <= block_size);
+                decoded.extend_from_slice(block.ops());
+                mem.extend(block.mem_addrs().iter().zip(block.mem_loads()).map(|(&a, &l)| (a, l)));
+                branches.extend(
+                    block.branch_sids().iter().zip(block.branch_taken()).map(|(&s, &t)| (s, t)),
+                );
+            }
+            assert_eq!(decoded, ops, "block size {block_size} diverged");
+            // The memory column covers every address-carrying op — the
+            // Jump with an address included — with its load/store class.
+            let expect_mem: Vec<(u64, bool)> = ops
+                .iter()
+                .filter_map(|op| op.addr.map(|a| (a, op.kind.is_load())))
+                .collect();
+            assert_eq!(mem, expect_mem, "block size {block_size} memory column");
+            let expect_branches: Vec<(StaticId, bool)> = ops
+                .iter()
+                .filter(|op| op.kind.is_cond_branch())
+                .map(|op| (op.sid, op.taken))
+                .collect();
+            assert_eq!(branches, expect_branches, "block size {block_size} branch column");
+        }
+    }
+
+    #[test]
+    fn exhausted_block_decoder_keeps_returning_zero() {
+        let mut stream = PackedStream::new();
+        stream.push(&MicroOp::compute(sid(0), OpKind::IntAlu, VReg(0), [None; MAX_SRCS]));
+        let mut decoder = stream.block_decoder();
+        let mut block = OpBlock::with_capacity(BLOCK_OPS);
+        assert_eq!(decoder.next_block(&mut block, BLOCK_OPS), 1);
+        assert_eq!(decoder.next_block(&mut block, BLOCK_OPS), 0);
+        assert!(block.is_empty(), "an exhausted decode clears the block");
+        assert_eq!(decoder.next_block(&mut block, BLOCK_OPS), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 op")]
+    fn zero_block_size_is_rejected() {
+        let mut stream = PackedStream::new();
+        stream.push(&MicroOp::compute(sid(0), OpKind::IntAlu, VReg(0), [None; MAX_SRCS]));
+        let mut block = OpBlock::with_capacity(1);
+        let _ = stream.block_decoder().next_block(&mut block, 0);
     }
 
     #[test]

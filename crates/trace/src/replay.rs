@@ -13,7 +13,7 @@
 
 use bioperf_isa::{MicroOp, Program};
 
-use crate::packed::PackedStream;
+use crate::packed::{OpBlock, PackedStream, BLOCK_OPS};
 use crate::tracer::TraceConsumer;
 
 /// Default cap on recorded ops (packed, ~16 bytes each; 256M ops ≈ 4 GB
@@ -143,11 +143,13 @@ impl Recording {
         self.stream.bytes_per_op()
     }
 
-    /// Feeds the recorded stream (and a final `finish`) to a consumer,
-    /// decoding into a single reused op — no unpacked vector exists.
+    /// Feeds the recorded stream (and a final `finish`) to a consumer.
+    ///
+    /// A single-consumer bank: routes through
+    /// [`replay_bank`](Self::replay_bank) so there is exactly one replay
+    /// loop in the crate to optimize and test.
     pub fn replay<C: TraceConsumer>(&self, consumer: &mut C) {
-        self.stream.for_each(|op| consumer.consume(op, &self.program));
-        consumer.finish(&self.program);
+        self.replay_bank(std::slice::from_mut(consumer));
     }
 
     /// Iterates over the recorded ops, decoded by value.
@@ -161,16 +163,29 @@ impl Recording {
     ///
     /// This is the suite's platform-bank kernel: one packed decode drives
     /// all platform simulators, instead of each consumer paying the
-    /// ~10 ns/op decode again. The consumers are homogeneous (`&mut [C]`),
-    /// so the inner dispatch is static; results are identical to
-    /// replaying each consumer separately because decode shares no state
-    /// with consumption.
+    /// ~10 ns/op decode again. Ops are delivered in [`BLOCK_OPS`]-sized
+    /// [`OpBlock`] batches — decoded once per block, then handed to each
+    /// consumer's [`TraceConsumer::consume_block`] — so a consumer's
+    /// state stays hot across the whole block instead of the bank's
+    /// combined working set thrashing per op. The consumers are
+    /// homogeneous (`&mut [C]`), so the inner dispatch is static; results
+    /// are identical to replaying each consumer separately because decode
+    /// shares no state with consumption.
     pub fn replay_bank<C: TraceConsumer>(&self, consumers: &mut [C]) {
-        self.stream.for_each(|op| {
+        self.replay_bank_blocks(consumers, BLOCK_OPS);
+    }
+
+    /// [`replay_bank`](Self::replay_bank) with an explicit block size —
+    /// the benchmarking and property-test hook (block size must never
+    /// change any result).
+    pub fn replay_bank_blocks<C: TraceConsumer>(&self, consumers: &mut [C], block_ops: usize) {
+        let mut block = OpBlock::with_capacity(block_ops.min(self.stream.len()));
+        let mut decoder = self.stream.block_decoder();
+        while decoder.next_block(&mut block, block_ops) > 0 {
             for c in consumers.iter_mut() {
-                c.consume(op, &self.program);
+                c.consume_block(&block, &self.program);
             }
-        });
+        }
         for c in consumers.iter_mut() {
             c.finish(&self.program);
         }

@@ -53,7 +53,7 @@ use std::sync::mpsc;
 
 use bioperf_isa::{MicroOp, Program};
 
-use crate::packed::PackedStream;
+use crate::packed::{OpBlock, PackedStream, BLOCK_OPS};
 use crate::tracer::TraceConsumer;
 
 /// Magic bytes opening every segment file.
@@ -576,28 +576,43 @@ impl SegmentedRecording {
     /// Feeds the recorded stream (and a final `finish`) to one consumer,
     /// streaming segment by segment. Equivalent to
     /// [`Recording::replay`](crate::Recording::replay) on the same trace.
+    ///
+    /// A single-consumer bank: routes through
+    /// [`replay_bank`](Self::replay_bank), exactly like the in-memory
+    /// [`Recording::replay`](crate::Recording::replay).
     pub fn replay<C: TraceConsumer>(&self, consumer: &mut C) -> Result<(), SegmentError> {
-        self.stream_segments(|stream| {
-            stream.for_each(|op| consumer.consume(op, &self.program));
-        })?;
-        consumer.finish(&self.program);
-        Ok(())
+        self.replay_bank(std::slice::from_mut(consumer))
     }
 
     /// Single-pass fan-out replay off the streamed segments: each
-    /// segment is decoded exactly once and every decoded op drives each
-    /// consumer in the bank, then each gets a final `finish` — the
-    /// streaming twin of
+    /// segment is decoded exactly once — in [`OpBlock`] batches handed
+    /// to every consumer's [`TraceConsumer::consume_block`] — then each
+    /// consumer gets a final `finish`. The streaming twin of
     /// [`Recording::replay_bank`](crate::Recording::replay_bank), with
     /// the next segment prefetched while the bank drains the current
-    /// one.
+    /// one. A segment boundary simply ends a block early: each segment
+    /// gets its own block decoder (the header's SSA start counter is the
+    /// only carried state), so blocks never span segments.
     pub fn replay_bank<C: TraceConsumer>(&self, consumers: &mut [C]) -> Result<(), SegmentError> {
+        self.replay_bank_blocks(consumers, BLOCK_OPS)
+    }
+
+    /// [`replay_bank`](Self::replay_bank) with an explicit block size —
+    /// the benchmarking and property-test hook (block size must never
+    /// change any result).
+    pub fn replay_bank_blocks<C: TraceConsumer>(
+        &self,
+        consumers: &mut [C],
+        block_ops: usize,
+    ) -> Result<(), SegmentError> {
+        let mut block = OpBlock::with_capacity(block_ops.min(self.total_ops));
         self.stream_segments(|stream| {
-            stream.for_each(|op| {
+            let mut decoder = stream.block_decoder();
+            while decoder.next_block(&mut block, block_ops) > 0 {
                 for c in consumers.iter_mut() {
-                    c.consume(op, &self.program);
+                    c.consume_block(&block, &self.program);
                 }
-            });
+            }
         })?;
         for c in consumers.iter_mut() {
             c.finish(&self.program);

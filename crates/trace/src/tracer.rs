@@ -1,5 +1,6 @@
 //! The [`Tracer`] abstraction and its no-op implementation.
 
+use crate::packed::OpBlock;
 use bioperf_isa::{MicroOp, OpKind, Program, SrcLoc};
 
 /// Receives the dynamic micro-op stream produced by a [`Tape`].
@@ -8,11 +9,31 @@ use bioperf_isa::{MicroOp, OpKind, Program, SrcLoc};
 /// order, and must not assume the trace fits in memory. [`finish`] is
 /// called once after the last op.
 ///
+/// The replay hot path delivers ops in decoded batches through
+/// [`consume_block`]; the default implementation loops over [`consume`],
+/// so a consumer only implements the per-op form unless it wants the
+/// batched one for speed. An override must be observably equivalent to
+/// the default — same state after the block, same `finish` result — for
+/// every possible block, including blocks cut short by segment
+/// boundaries (the conformance fuzzer cross-checks this).
+///
 /// [`Tape`]: crate::Tape
 /// [`finish`]: TraceConsumer::finish
+/// [`consume`]: TraceConsumer::consume
+/// [`consume_block`]: TraceConsumer::consume_block
 pub trait TraceConsumer {
     /// Observes one dynamic instruction.
     fn consume(&mut self, op: &MicroOp, program: &Program);
+
+    /// Observes one decoded block of dynamic instructions, in trace
+    /// order. Equivalent to calling [`consume`](TraceConsumer::consume)
+    /// on each op of [`OpBlock::ops`]; hot simulators override it with a
+    /// monomorphic loop over the block (or one of its filter columns).
+    fn consume_block(&mut self, block: &OpBlock, program: &Program) {
+        for op in block.ops() {
+            self.consume(op, program);
+        }
+    }
 
     /// Called once after the trace ends.
     fn finish(&mut self, _program: &Program) {}
@@ -21,6 +42,9 @@ pub trait TraceConsumer {
 impl<C: TraceConsumer + ?Sized> TraceConsumer for &mut C {
     fn consume(&mut self, op: &MicroOp, program: &Program) {
         (**self).consume(op, program);
+    }
+    fn consume_block(&mut self, block: &OpBlock, program: &Program) {
+        (**self).consume_block(block, program);
     }
     fn finish(&mut self, program: &Program) {
         (**self).finish(program);
@@ -31,6 +55,9 @@ impl<C: TraceConsumer + ?Sized> TraceConsumer for Box<C> {
     fn consume(&mut self, op: &MicroOp, program: &Program) {
         (**self).consume(op, program);
     }
+    fn consume_block(&mut self, block: &OpBlock, program: &Program) {
+        (**self).consume_block(block, program);
+    }
     fn finish(&mut self, program: &Program) {
         (**self).finish(program);
     }
@@ -40,6 +67,11 @@ impl TraceConsumer for Vec<Box<dyn TraceConsumer>> {
     fn consume(&mut self, op: &MicroOp, program: &Program) {
         for c in self.iter_mut() {
             c.consume(op, program);
+        }
+    }
+    fn consume_block(&mut self, block: &OpBlock, program: &Program) {
+        for c in self.iter_mut() {
+            c.consume_block(block, program);
         }
     }
     fn finish(&mut self, program: &Program) {
@@ -54,6 +86,9 @@ macro_rules! impl_consumer_for_tuple {
         impl<$($name: TraceConsumer),+> TraceConsumer for ($($name,)+) {
             fn consume(&mut self, op: &MicroOp, program: &Program) {
                 $(self.$idx.consume(op, program);)+
+            }
+            fn consume_block(&mut self, block: &OpBlock, program: &Program) {
+                $(self.$idx.consume_block(block, program);)+
             }
             fn finish(&mut self, program: &Program) {
                 $(self.$idx.finish(program);)+

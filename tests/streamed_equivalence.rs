@@ -12,7 +12,9 @@
 use std::path::PathBuf;
 
 use bioperf_core::orchestrate::{run_suite, SpillConfig, SuiteConfig};
-use bioperf_kernels::{ProgramId, Scale};
+use bioperf_kernels::{registry, ProgramId, Scale, Variant};
+use bioperf_pipe::{CycleSim, PlatformConfig};
+use bioperf_trace::{Recorder, SpillRecorder, Tape, TraceConsumer};
 
 fn scratch(tag: &str) -> PathBuf {
     let dir =
@@ -87,6 +89,59 @@ fn streamed_suite_is_worker_count_independent() {
     assert_eq!(par.workers, 4);
     let _ = std::fs::remove_dir_all(&dir1);
     let _ = std::fs::remove_dir_all(&dir4);
+}
+
+#[test]
+fn blocked_streamed_bank_matches_per_op_in_memory_replay() {
+    // The two replay transports composed: disk-shaped segments (here
+    // in-memory, same chunking and headers) *and* block-batched decode
+    // through the pipeline's phased block engine, against the plainest
+    // possible reference — one op at a time out of the in-memory
+    // recording, straight into `consume`. Odd block sizes interact with
+    // the segment edges (a block never spans two segments), so every
+    // combination exercises mid-stream cursor hand-off.
+    let mut tape = Tape::new(Recorder::new());
+    registry::run(&mut tape, ProgramId::Hmmsearch, Variant::Original, Scale::Test, 42);
+    let (program, rec) = tape.finish();
+    let recording = rec.into_recording(program);
+
+    let platforms = PlatformConfig::all();
+    let reference: Vec<_> = platforms
+        .iter()
+        .map(|&platform| {
+            let mut sim = CycleSim::new(platform);
+            let program = recording.program();
+            for op in recording.iter() {
+                sim.consume(&op, program);
+            }
+            sim.finish(program);
+            sim.into_result()
+        })
+        .collect();
+
+    for segment_ops in [509, 1 << 12] {
+        let mut spill = SpillRecorder::in_memory(segment_ops, usize::MAX);
+        for op in recording.iter() {
+            spill.consume(&op, recording.program());
+        }
+        let segmented =
+            spill.into_segmented(recording.program().clone()).expect("in-memory spill");
+        for block_ops in [1, 127, 4096] {
+            let mut bank: Vec<CycleSim> =
+                platforms.iter().map(|&p| CycleSim::new(p)).collect();
+            segmented.replay_bank_blocks(&mut bank, block_ops).expect("streamed replay");
+            for (platform, (sim, want)) in
+                platforms.iter().zip(bank.into_iter().zip(&reference))
+            {
+                assert_eq!(
+                    sim.into_result(),
+                    *want,
+                    "{}: {segment_ops}-op segments, {block_ops}-op blocks",
+                    platform.name
+                );
+            }
+        }
+    }
 }
 
 #[test]
