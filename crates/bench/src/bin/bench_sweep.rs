@@ -1,0 +1,162 @@
+//! The design-space sweep snapshot: runs the smoke grid over every
+//! transformed program and writes each program's Pareto frontier as one
+//! JSON document (`BENCH_sweep.json` at the repository root; CI
+//! regenerates and schema-checks it on every push).
+//!
+//! `--check` mode does not run anything: it parses an existing document
+//! and verifies its `bioperf-sweep/v1` shape, failing with exit status 1
+//! on drift — the guard CI runs against the committed artifact.
+
+use std::path::PathBuf;
+
+use bioperf_bench::{banner, usage as usage_line, REPRO_SEED, USAGE_EXIT};
+use bioperf_core::sweep::{run_sweep, SweepConfig, SweepGrid, SWEEP_SCHEMA};
+use bioperf_kernels::Scale;
+use bioperf_metrics::{json, Json};
+
+const ARTIFACT: &str = "bench_sweep";
+
+fn usage() -> String {
+    format!(
+        "{} [--jobs <n>] [--out <path>] [--check]",
+        usage_line(ARTIFACT, true).trim_end_matches(" [--json <path>]")
+    )
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("{ARTIFACT}: {msg}");
+    eprintln!("{}", usage());
+    std::process::exit(USAGE_EXIT);
+}
+
+struct Args {
+    scale: Scale,
+    jobs: usize,
+    out: PathBuf,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed =
+        Args { scale: Scale::Test, jobs: 0, out: PathBuf::from("BENCH_sweep.json"), check: false };
+    let mut scale_seen = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        std::process::exit(0);
+    }
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => parsed.jobs = n,
+                None => bail("--jobs needs a number"),
+            },
+            "--out" => match it.next() {
+                Some(path) if !path.is_empty() => parsed.out = PathBuf::from(path),
+                _ => bail("--out needs a file path"),
+            },
+            "--check" => parsed.check = true,
+            s if s.starts_with('-') => bail(&format!("unknown option '{s}'")),
+            s => {
+                if scale_seen {
+                    bail(&format!("unexpected extra argument '{s}'"));
+                }
+                match Scale::from_name(s) {
+                    Some(scale) => parsed.scale = scale,
+                    None => bail(&format!("unknown scale '{s}' (use test|small|medium|large)")),
+                }
+                scale_seen = true;
+            }
+        }
+    }
+    parsed
+}
+
+/// The schema invariants `--check` pins (and the `cli_sweep` test
+/// re-checks against the committed artifact).
+fn check_document(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SWEEP_SCHEMA) {
+        return Err(format!("schema tag is not {SWEEP_SCHEMA:?}"));
+    }
+    if doc.keys() != vec!["schema", "deterministic"] {
+        return Err(format!("unexpected top-level keys {:?}", doc.keys()));
+    }
+    let det = doc.get("deterministic").ok_or("missing deterministic section")?;
+    if det.keys() != vec!["config", "skipped", "frontier"] {
+        return Err(format!("unexpected deterministic keys {:?}", det.keys()));
+    }
+    let config = det.get("config").ok_or("missing config")?;
+    if config.keys() != vec!["scale", "seed", "grid_hash", "cells", "programs", "complete"] {
+        return Err(format!("unexpected config keys {:?}", config.keys()));
+    }
+    if config.get("complete").and_then(Json::as_u64) != Some(1) {
+        return Err("committed sweep artifact must be complete".into());
+    }
+    let frontier = det.get("frontier").ok_or("missing frontier section")?;
+    for program in frontier.keys() {
+        let points = frontier.get(program).expect("listed key");
+        let Json::Array(points) = points else {
+            return Err(format!("frontier.{program} is not an array"));
+        };
+        if points.is_empty() {
+            return Err(format!("frontier.{program} is empty"));
+        }
+        for point in points {
+            for key in
+                ["cell", "config", "amat", "speedup", "cost", "cycles_original", "cycles_transformed"]
+            {
+                if point.get(key).is_none() {
+                    return Err(format!("a frontier.{program} point is missing {key:?}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.check {
+        let text = std::fs::read_to_string(&args.out)
+            .unwrap_or_else(|e| bail(&format!("reading {}: {e}", args.out.display())));
+        let doc = json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{ARTIFACT}: {} does not parse: {e}", args.out.display());
+            std::process::exit(1);
+        });
+        if let Err(msg) = check_document(&doc) {
+            eprintln!("{ARTIFACT}: {}: {msg}", args.out.display());
+            std::process::exit(1);
+        }
+        println!("{}: schema ok ({SWEEP_SCHEMA})", args.out.display());
+        return;
+    }
+
+    banner("Design-space sweep: smoke-grid Pareto frontiers", args.scale);
+    let result = run_sweep(&SweepConfig {
+        scale: args.scale,
+        seed: REPRO_SEED,
+        jobs: args.jobs,
+        programs: Vec::new(), // every transformed program
+        grid: SweepGrid::smoke(),
+        checkpoint: None,
+        max_cells: 0,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("{ARTIFACT}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", result.render_table());
+    let doc = result.to_json();
+    check_document(&doc).expect("freshly generated sweep document must satisfy its own schema");
+    std::fs::write(&args.out, doc.render_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.out.display()));
+    println!(
+        "wrote {} ({} cells x {} programs, {} skipped)",
+        args.out.display(),
+        result.grid.cells(),
+        result.programs.len(),
+        result.skipped.len()
+    );
+}

@@ -1,0 +1,203 @@
+//! A runtime-selectable predictor for design-space sweeps.
+//!
+//! The cycle simulator is hard-wired to the paper's measurement predictor
+//! (a private [`Hybrid`](crate::Hybrid) per static branch). The sweep
+//! wants the predictor *family* to be a grid axis, so this module wraps
+//! the three families the crate models behind one observe interface:
+//! the idealized no-aliasing hybrid, the realistic shared-table
+//! [`AliasedHybrid`], and a plain per-branch bimodal floor.
+
+use bioperf_isa::StaticId;
+
+use crate::counter::SatCounter;
+use crate::{AliasedHybrid, BranchProfiler};
+
+/// Predictor family selector — one sweep-grid axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// The paper's idealized hybrid: a private predictor per static
+    /// branch (no aliasing), shared global history.
+    Hybrid,
+    /// A realistic shared-table bimodal + gshare + chooser (aliasing
+    /// across branches).
+    Aliased,
+    /// A per-branch two-bit bimodal counter — the bias-only floor.
+    Bimodal,
+}
+
+impl PredictorKind {
+    /// Every family, in the fixed enumeration order sweeps use.
+    pub const ALL: [PredictorKind; 3] =
+        [PredictorKind::Hybrid, PredictorKind::Aliased, PredictorKind::Bimodal];
+
+    /// Stable lowercase name used in CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Hybrid => "hybrid",
+            PredictorKind::Aliased => "aliased",
+            PredictorKind::Bimodal => "bimodal",
+        }
+    }
+
+    /// Parses a [`name`](Self::name) back to the family.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A predictor of any [`PredictorKind`] behind one observe interface.
+///
+/// # Example
+///
+/// ```
+/// use bioperf_branch::{DynPredictor, PredictorKind};
+/// use bioperf_isa::StaticId;
+///
+/// let mut p = DynPredictor::new(PredictorKind::Bimodal);
+/// let b = StaticId::from_raw(0);
+/// for _ in 0..8 {
+///     p.observe(b, true);
+/// }
+/// assert!(p.observe(b, true), "biased branch learned");
+/// ```
+#[derive(Debug, Clone)]
+pub enum DynPredictor {
+    /// Idealized per-static-branch hybrid.
+    Hybrid(BranchProfiler),
+    /// Shared-table realistic hybrid.
+    Aliased(Box<AliasedHybrid>),
+    /// Per-static-branch bimodal counters (grown on demand).
+    Bimodal(Vec<SatCounter>),
+}
+
+impl DynPredictor {
+    /// Shared-table size for the aliased family: 2^12 entries per table,
+    /// a mid-range front-end budget.
+    pub const ALIASED_TABLE_BITS: u32 = 12;
+
+    /// Creates a cold predictor of the given family.
+    pub fn new(kind: PredictorKind) -> Self {
+        match kind {
+            PredictorKind::Hybrid => DynPredictor::Hybrid(BranchProfiler::new()),
+            PredictorKind::Aliased => {
+                DynPredictor::Aliased(Box::new(AliasedHybrid::new(Self::ALIASED_TABLE_BITS)))
+            }
+            PredictorKind::Bimodal => DynPredictor::Bimodal(Vec::new()),
+        }
+    }
+
+    /// Which family this predictor belongs to.
+    pub fn kind(&self) -> PredictorKind {
+        match self {
+            DynPredictor::Hybrid(_) => PredictorKind::Hybrid,
+            DynPredictor::Aliased(_) => PredictorKind::Aliased,
+            DynPredictor::Bimodal(_) => PredictorKind::Bimodal,
+        }
+    }
+
+    /// Observes one dynamic branch: predicts, updates, and returns
+    /// whether the prediction was *correct* — the same contract as
+    /// [`BranchProfiler::observe`].
+    pub fn observe(&mut self, sid: StaticId, taken: bool) -> bool {
+        match self {
+            DynPredictor::Hybrid(p) => p.observe(sid, taken),
+            DynPredictor::Aliased(p) => p.observe(sid, taken),
+            DynPredictor::Bimodal(counters) => {
+                let idx = sid.index();
+                if idx >= counters.len() {
+                    counters.resize(idx + 1, SatCounter::weakly_not_taken());
+                }
+                let correct = counters[idx].predict() == taken;
+                counters[idx].train(taken);
+                correct
+            }
+        }
+    }
+}
+
+impl Default for DynPredictor {
+    fn default() -> Self {
+        Self::new(PredictorKind::Hybrid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> StaticId {
+        StaticId::from_raw(n)
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in PredictorKind::ALL {
+            assert_eq!(PredictorKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(PredictorKind::from_name("gshare"), None);
+    }
+
+    #[test]
+    fn hybrid_variant_matches_profiler() {
+        // The sweep's default family must reproduce the simulator's
+        // hard-wired profiler exactly, outcome for outcome.
+        let mut dyn_p = DynPredictor::new(PredictorKind::Hybrid);
+        let mut prof = BranchProfiler::new();
+        let mut state = 3u64;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = sid(((state >> 33) % 5) as u32);
+            let taken = (state >> 40) & 3 != 0;
+            assert_eq!(dyn_p.observe(b, taken), prof.observe(b, taken));
+        }
+    }
+
+    #[test]
+    fn bimodal_learns_bias_but_not_patterns() {
+        let mut p = DynPredictor::new(PredictorKind::Bimodal);
+        let mut wrong = 0;
+        for i in 0..1000u64 {
+            // Period-2 pattern: bimodal hovers near chance.
+            if !p.observe(sid(0), i % 2 == 0) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 300, "bimodal should not learn period-2: {wrong} wrong");
+
+        let mut q = DynPredictor::new(PredictorKind::Bimodal);
+        let mut wrong = 0;
+        for _ in 0..1000u64 {
+            if !q.observe(sid(1), true) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 5, "bimodal must learn constant bias: {wrong} wrong");
+    }
+
+    #[test]
+    fn families_disagree_on_patterned_branch() {
+        // Period-4 TTNN: hybrid learns it, bimodal cannot — the sweep
+        // axis is only meaningful if families actually differ.
+        let pattern = [true, true, false, false];
+        let mut hybrid_wrong = 0;
+        let mut bimodal_wrong = 0;
+        let mut h = DynPredictor::new(PredictorKind::Hybrid);
+        let mut b = DynPredictor::new(PredictorKind::Bimodal);
+        for i in 0..2000usize {
+            let taken = pattern[i % 4];
+            if !h.observe(sid(0), taken) {
+                hybrid_wrong += 1;
+            }
+            if !b.observe(sid(0), taken) {
+                bimodal_wrong += 1;
+            }
+        }
+        assert!(hybrid_wrong * 4 < bimodal_wrong, "hybrid {hybrid_wrong} vs bimodal {bimodal_wrong}");
+    }
+}

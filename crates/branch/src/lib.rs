@@ -29,12 +29,14 @@
 
 pub mod aliased;
 pub mod counter;
+pub mod dynpred;
 pub mod inject;
 pub mod predictor;
 pub mod profiler;
 
 pub use aliased::AliasedHybrid;
 pub use counter::SatCounter;
+pub use dynpred::{DynPredictor, PredictorKind};
 pub use predictor::{Bimodal, HistoryTable, Hybrid};
 pub use profiler::{BranchProfiler, BranchStats};
 

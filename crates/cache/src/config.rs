@@ -2,6 +2,89 @@
 
 use std::fmt;
 
+/// Largest supported cache line. Lines beyond 4 KB exceed anything the
+/// modeled machines (or the design-space sweep) can mean: a "cache" with
+/// page-sized lines is a different structure, and the address
+/// normalization layer's region staggering assumes sub-page lines.
+pub const MAX_BLOCK_BYTES: u64 = 4096;
+
+/// A typed rejection of a cache geometry.
+///
+/// Design-space sweeps enumerate geometries mechanically, so degenerate
+/// points (zero ways, page-sized lines, ragged capacities) are expected
+/// inputs, not programming errors: [`CacheConfig::try_new`] returns this
+/// error and the sweep reports the cell as *skipped* with the reason,
+/// instead of a worker panicking mid-wave. [`CacheConfig::new`] keeps
+/// its panicking contract for hand-written configurations by panicking
+/// with the same messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// Size, ways, or block bytes was zero.
+    ZeroGeometry {
+        /// Total capacity in bytes.
+        size_bytes: u64,
+        /// Associativity.
+        ways: u32,
+        /// Line size in bytes.
+        block_bytes: u64,
+    },
+    /// The block size is not a power of two.
+    BlockNotPowerOfTwo {
+        /// The rejected line size.
+        block_bytes: u64,
+    },
+    /// The block size exceeds [`MAX_BLOCK_BYTES`].
+    BlockTooLarge {
+        /// The rejected line size.
+        block_bytes: u64,
+    },
+    /// The capacity is not a whole number of sets (`size` not divisible
+    /// by `ways * block_bytes`).
+    RaggedCapacity {
+        /// Total capacity in bytes.
+        size_bytes: u64,
+        /// Associativity.
+        ways: u32,
+        /// Line size in bytes.
+        block_bytes: u64,
+    },
+    /// The set count is not a power of two where one is required (the
+    /// sweep requires it at L2, whose direct-mapped presets and the
+    /// normalization layer's 4 MB index staggering assume pow2 indexing).
+    SetsNotPowerOfTwo {
+        /// The offending set count.
+        sets: u64,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::ZeroGeometry { size_bytes, ways, block_bytes } => write!(
+                f,
+                "zero-sized cache ({size_bytes} B, {ways} ways, {block_bytes} B blocks)"
+            ),
+            CacheConfigError::BlockNotPowerOfTwo { block_bytes } => {
+                write!(f, "block size must be a power of two (got {block_bytes} B)")
+            }
+            CacheConfigError::BlockTooLarge { block_bytes } => write!(
+                f,
+                "block size must be at most {MAX_BLOCK_BYTES} B (got {block_bytes} B)"
+            ),
+            CacheConfigError::RaggedCapacity { size_bytes, ways, block_bytes } => write!(
+                f,
+                "capacity must be a whole number of sets \
+                 ({size_bytes} B is not a multiple of {ways} ways x {block_bytes} B blocks)"
+            ),
+            CacheConfigError::SetsNotPowerOfTwo { sets } => {
+                write!(f, "set count must be a power of two here (got {sets} sets)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
 /// Write handling policy of a cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WritePolicy {
@@ -46,9 +129,21 @@ impl CacheConfig {
     /// Panics if the geometry is invalid: zero sizes, non-power-of-two
     /// block size, or a capacity not divisible by `ways * block_bytes`.
     pub fn new(size_bytes: u64, ways: u32, block_bytes: u64) -> Self {
-        let cfg = Self { size_bytes, ways, block_bytes, write_policy: WritePolicy::WriteBackAllocate };
-        cfg.validate();
-        cfg
+        match Self::try_new(size_bytes, ways, block_bytes) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a write-back/write-allocate configuration, rejecting
+    /// degenerate geometries with a typed [`CacheConfigError`] instead
+    /// of panicking — the entry point for mechanically enumerated
+    /// design-space sweep points.
+    pub fn try_new(size_bytes: u64, ways: u32, block_bytes: u64) -> Result<Self, CacheConfigError> {
+        let cfg =
+            Self { size_bytes, ways, block_bytes, write_policy: WritePolicy::WriteBackAllocate };
+        cfg.validate_checked()?;
+        Ok(cfg)
     }
 
     /// Sets the write policy.
@@ -62,17 +157,43 @@ impl CacheConfig {
         self.size_bytes / (self.ways as u64 * self.block_bytes)
     }
 
-    fn validate(&self) {
-        assert!(self.size_bytes > 0 && self.ways > 0 && self.block_bytes > 0, "zero-sized cache");
-        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
-        assert!(
-            self.size_bytes.is_multiple_of(self.ways as u64 * self.block_bytes),
-            "capacity must be a whole number of sets"
-        );
+    fn validate_checked(&self) -> Result<(), CacheConfigError> {
+        if self.size_bytes == 0 || self.ways == 0 || self.block_bytes == 0 {
+            return Err(CacheConfigError::ZeroGeometry {
+                size_bytes: self.size_bytes,
+                ways: self.ways,
+                block_bytes: self.block_bytes,
+            });
+        }
+        if !self.block_bytes.is_power_of_two() {
+            return Err(CacheConfigError::BlockNotPowerOfTwo { block_bytes: self.block_bytes });
+        }
+        if self.block_bytes > MAX_BLOCK_BYTES {
+            return Err(CacheConfigError::BlockTooLarge { block_bytes: self.block_bytes });
+        }
+        if !self.size_bytes.is_multiple_of(self.ways as u64 * self.block_bytes) {
+            return Err(CacheConfigError::RaggedCapacity {
+                size_bytes: self.size_bytes,
+                ways: self.ways,
+                block_bytes: self.block_bytes,
+            });
+        }
         // Any whole number of sets is simulatable: power-of-two set
         // counts (every shipped platform) take the shift+mask index
         // path, anything else the general divide/modulo path — see
         // `Cache::monomorphized_ways`.
+        Ok(())
+    }
+
+    /// Requires a power-of-two set count, for the callers (the sweep's
+    /// L2 axis) whose indexing contract assumes it.
+    pub fn require_pow2_sets(&self) -> Result<(), CacheConfigError> {
+        let sets = self.num_sets();
+        if sets.is_power_of_two() {
+            Ok(())
+        } else {
+            Err(CacheConfigError::SetsNotPowerOfTwo { sets })
+        }
     }
 }
 

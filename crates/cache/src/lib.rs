@@ -28,7 +28,7 @@ pub mod inject;
 pub mod prefetch;
 
 pub use cache::{AccessResult, Cache};
-pub use config::{CacheConfig, LatencyConfig, WritePolicy};
+pub use config::{CacheConfig, CacheConfigError, LatencyConfig, WritePolicy, MAX_BLOCK_BYTES};
 pub use hierarchy::{
     alpha21264_hierarchy, AccessKind, CacheSim, Hierarchy, HierarchyStats, LevelStats, ServicedBy,
 };

@@ -1,0 +1,86 @@
+//! Regression tests for typed rejection of degenerate cache geometries.
+//!
+//! The design-space sweep enumerates geometries mechanically, so the
+//! invalid points it can produce (zero ways, page-sized lines, ragged
+//! capacities, non-power-of-two L2 set counts) must come back as
+//! `CacheConfigError` values the sweep can report as skipped cells —
+//! not as panics that take down a worker mid-wave.
+
+use bioperf_cache::{CacheConfig, CacheConfigError, MAX_BLOCK_BYTES};
+
+#[test]
+fn zero_ways_is_typed_error() {
+    let err = CacheConfig::try_new(64 * 1024, 0, 64).unwrap_err();
+    assert_eq!(
+        err,
+        CacheConfigError::ZeroGeometry { size_bytes: 64 * 1024, ways: 0, block_bytes: 64 }
+    );
+    assert!(err.to_string().contains("zero-sized cache"), "got: {err}");
+}
+
+#[test]
+fn zero_size_and_zero_block_are_typed_errors() {
+    assert!(matches!(
+        CacheConfig::try_new(0, 2, 64),
+        Err(CacheConfigError::ZeroGeometry { size_bytes: 0, .. })
+    ));
+    assert!(matches!(
+        CacheConfig::try_new(1024, 2, 0),
+        Err(CacheConfigError::ZeroGeometry { block_bytes: 0, .. })
+    ));
+}
+
+#[test]
+fn non_pow2_block_is_typed_error() {
+    let err = CacheConfig::try_new(1024, 2, 48).unwrap_err();
+    assert_eq!(err, CacheConfigError::BlockNotPowerOfTwo { block_bytes: 48 });
+    assert!(err.to_string().contains("power of two"), "got: {err}");
+}
+
+#[test]
+fn block_over_4kb_is_typed_error() {
+    // 8 KB lines: a power of two, divides the capacity evenly — rejected
+    // purely by the MAX_BLOCK_BYTES cap.
+    let block = 2 * MAX_BLOCK_BYTES;
+    let err = CacheConfig::try_new(64 * block, 2, block).unwrap_err();
+    assert_eq!(err, CacheConfigError::BlockTooLarge { block_bytes: block });
+    assert!(err.to_string().contains("at most 4096 B"), "got: {err}");
+}
+
+#[test]
+fn block_at_exactly_4kb_is_accepted() {
+    let cfg = CacheConfig::try_new(64 * MAX_BLOCK_BYTES, 2, MAX_BLOCK_BYTES).unwrap();
+    assert_eq!(cfg.num_sets(), 32);
+}
+
+#[test]
+fn ragged_capacity_is_typed_error() {
+    let err = CacheConfig::try_new(1000, 2, 64).unwrap_err();
+    assert_eq!(err, CacheConfigError::RaggedCapacity { size_bytes: 1000, ways: 2, block_bytes: 64 });
+    assert!(err.to_string().contains("whole number of sets"), "got: {err}");
+}
+
+#[test]
+fn pow2_sets_requirement_is_opt_in() {
+    // Three sets is a legal geometry in general (divide/modulo indexing),
+    // but callers that require power-of-two indexing — the sweep's L2
+    // axis — get a typed rejection from require_pow2_sets.
+    let cfg = CacheConfig::try_new(3 * 2 * 64, 2, 64).unwrap();
+    assert_eq!(cfg.num_sets(), 3);
+    let err = cfg.require_pow2_sets().unwrap_err();
+    assert_eq!(err, CacheConfigError::SetsNotPowerOfTwo { sets: 3 });
+    assert!(err.to_string().contains("power of two"), "got: {err}");
+
+    let ok = CacheConfig::try_new(4 * 2 * 64, 2, 64).unwrap();
+    assert!(ok.require_pow2_sets().is_ok());
+}
+
+#[test]
+fn new_still_panics_with_stable_messages() {
+    // The panicking constructor keeps its message contract: downstream
+    // code (and the cache crate's own should_panic tests) match on these
+    // substrings.
+    let err = std::panic::catch_unwind(|| CacheConfig::new(1024, 2, 48)).unwrap_err();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("power of two"), "got: {msg}");
+}

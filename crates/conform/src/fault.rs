@@ -50,11 +50,17 @@ pub enum FaultId {
     /// The hybrid predictor's chooser stops training, freezing component
     /// selection at its cold state.
     BranchChooserStale,
+    /// The design-space sweep's cell merge rotates each bank job's
+    /// per-cell results by one, crediting every measurement to a
+    /// neighboring grid cell. (The atomic lives in `bioperf-trace`
+    /// because the perturbation site, `bioperf-core`, sits above this
+    /// crate in the dependency graph.)
+    SweepMergeOrder,
 }
 
 impl FaultId {
     /// Every catalogued fault, in reporting order.
-    pub const ALL: [FaultId; 10] = [
+    pub const ALL: [FaultId; 11] = [
         FaultId::CacheLruTouch,
         FaultId::CacheDirtyWriteback,
         FaultId::PackedSrcDelta,
@@ -65,6 +71,7 @@ impl FaultId {
         FaultId::RegfileEvictMru,
         FaultId::RegfileTouchStale,
         FaultId::BranchChooserStale,
+        FaultId::SweepMergeOrder,
     ];
 
     /// Stable CLI / report name.
@@ -80,6 +87,7 @@ impl FaultId {
             FaultId::RegfileEvictMru => "regfile-evict-mru",
             FaultId::RegfileTouchStale => "regfile-touch-stale",
             FaultId::BranchChooserStale => "branch-chooser-stale",
+            FaultId::SweepMergeOrder => "sweep-merge-order",
         }
     }
 
@@ -101,6 +109,7 @@ impl FaultId {
             FaultId::RegfileEvictMru => "register file evicts MRU instead of LRU",
             FaultId::RegfileTouchStale => "register touches stop updating LRU order",
             FaultId::BranchChooserStale => "hybrid chooser stops training",
+            FaultId::SweepMergeOrder => "sweep cell merge rotates each bank's results by one",
         }
     }
 
@@ -133,6 +142,12 @@ impl FaultId {
             // Needs a branch where the trained chooser would switch
             // components; patterned branch modes make these common.
             FaultId::BranchChooserStale => 1024,
+            // Not detected by the op-level fuzzer at all: the sweep
+            // self-check (one tiny multi-cell sweep diffed against
+            // direct per-cell replays) fires deterministically on its
+            // single run, so the budget only bounds the fuzz phase that
+            // runs alongside it.
+            FaultId::SweepMergeOrder => 16,
         }
     }
 }
@@ -176,6 +191,7 @@ pub fn arm(fault: FaultId) {
         FaultId::BranchChooserStale => {
             bioperf_branch::inject::set(bioperf_branch::inject::CHOOSER_STALE)
         }
+        FaultId::SweepMergeOrder => bioperf_trace::inject::set(bioperf_trace::inject::SWEEP_MERGE),
     }
 }
 

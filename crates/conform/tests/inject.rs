@@ -17,6 +17,13 @@ fn every_catalogued_fault_is_detected_within_its_budget() {
     );
 
     for f in FaultId::ALL {
+        // The sweep merge fault perturbs code in bioperf-core, above the
+        // op-level fuzzer's horizon — no micro-op stream can expose it.
+        // Its detector is the sweep self-check run_conform performs (see
+        // crates/core/tests/sweep_inject.rs and the CI mutation sweep).
+        if f == FaultId::SweepMergeOrder {
+            continue;
+        }
         fault::arm(f);
         let mut detected = None;
         for index in 0..f.budget() {

@@ -25,6 +25,10 @@
 //!   the platform models via a `FanOut` of simulators, and schedules the
 //!   per-program jobs on a scoped worker pool with results in job order
 //!   — `--jobs 1` and `--jobs N` produce identical output.
+//! * [`sweep`] — design-space exploration: grid sweeps over cache
+//!   geometry, pipeline shape, predictor family, and prefetcher policy,
+//!   with resumable FNV-checksummed checkpoints and per-program
+//!   [`pareto`]-front reports.
 //! * [`report`] — plain-text table formatting used by the `bioperf-bench`
 //!   binaries that regenerate every table and figure.
 //!
@@ -46,7 +50,9 @@ pub mod coverage;
 pub mod evaluate;
 pub mod loadchar;
 pub mod orchestrate;
+pub mod pareto;
 pub mod report;
+pub mod sweep;
 
 pub use candidates::{find_candidates, CandidateCriteria, TransformCandidate};
 pub use characterize::{characterize_program, Characterizer, CharacterizationReport};
@@ -56,4 +62,9 @@ pub use loadchar::{HotLoad, LoadBranchAnalysis, SequenceSummary};
 pub use orchestrate::{
     characterize_all, evaluate_all, run_conform, run_jobs, run_suite, ConformConfig,
     ConformResult, FaultId, ProgramCrossCheck, SuiteConfig, SuiteError, SuiteResult,
+};
+pub use pareto::{pareto_frontier, ParetoPoint};
+pub use sweep::{
+    run_sweep, sweep_merge_self_check, CellMeasure, CellSpec, CheckpointError, SweepConfig,
+    SweepError, SweepGrid, SweepResult, SWEEP_SCHEMA,
 };

@@ -439,7 +439,7 @@ fn applicable_platforms(program: ProgramId) -> Vec<PlatformConfig> {
 }
 
 /// Executes one variant once and captures its trace.
-fn record_variant(
+pub(crate) fn record_variant(
     program: ProgramId,
     variant: Variant,
     scale: Scale,
@@ -1135,11 +1135,37 @@ pub fn run_conform(cfg: &ConformConfig) -> io::Result<ConformResult> {
     let seed = cfg.seed;
     let jobs: Vec<_> = (0..cfg.cases).map(|index| move || fuzz::run_case(seed, index)).collect();
     let outcomes = run_jobs(jobs, threads);
+
+    // The sweep's cell merge runs above the op-level fuzzer's horizon, so
+    // it gets its own differential check: a tiny sweep through the
+    // production merge path diffed against direct per-cell replays. Runs
+    // while the fault is still armed — it is the detector for
+    // `sweep-merge-order` — and in clean full-check mode.
+    let sweep_divergence = if cfg.inject == Some(FaultId::SweepMergeOrder)
+        || (cfg.inject.is_none() && cfg.check_programs)
+    {
+        crate::sweep::sweep_merge_self_check(seed)
+    } else {
+        None
+    };
     fault::disarm();
 
     let fuzz_ops = outcomes.iter().map(|o| o.ops as u64).sum();
-    let divergent: Vec<CaseOutcome> =
+    let mut divergent: Vec<CaseOutcome> =
         outcomes.into_iter().filter(|o| o.divergence.is_some()).collect();
+    if let Some(detail) = sweep_divergence {
+        divergent.push(CaseOutcome {
+            index: cfg.cases,
+            seed,
+            platform: "sweep",
+            ops: 0,
+            divergence: Some(fuzz::CounterExample {
+                component: "sweep-merge",
+                detail,
+                ops: Vec::new(),
+            }),
+        });
+    }
 
     let programs = if cfg.inject.is_none() && cfg.check_programs {
         let jobs: Vec<_> = ProgramId::ALL

@@ -1,0 +1,102 @@
+//! Pareto-front reduction over design-space sweep cells.
+//!
+//! The sweep scores every configuration on three objectives — average
+//! memory access time (minimize), speedup of the load transformation
+//! (maximize), and a hardware-cost proxy (minimize: total cache bytes
+//! plus window depth). The report keeps only the non-dominated frontier:
+//! a configuration survives unless some other configuration is at least
+//! as good on every objective and strictly better on one.
+//!
+//! The reduction is `O(n²)` over a few hundred points — far below the
+//! replay cost of producing them — and returns the frontier sorted by
+//! point id, so the result is invariant under permutation of the input
+//! (the property tests in `tests/pareto_prop.rs` pin this down).
+
+/// One candidate configuration's objective scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Caller-assigned identity (the sweep uses the cell index); ties on
+    /// all three objectives keep every id.
+    pub id: u32,
+    /// Average memory access time in cycles (lower is better).
+    pub amat: f64,
+    /// Speedup of the transformed variant over the original (higher is
+    /// better).
+    pub speedup: f64,
+    /// Hardware-cost proxy: total cache bytes + window depth (lower is
+    /// better).
+    pub cost: u64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other`: no worse on every objective and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let no_worse =
+            self.amat <= other.amat && self.speedup >= other.speedup && self.cost <= other.cost;
+        let better =
+            self.amat < other.amat || self.speedup > other.speedup || self.cost < other.cost;
+        no_worse && better
+    }
+}
+
+/// Reduces `points` to its non-dominated frontier, sorted by id.
+///
+/// Points that tie on all three objectives do not dominate each other,
+/// so equivalent configurations all survive. The output depends only on
+/// the *set* of points, never on input order.
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut frontier: Vec<ParetoPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .copied()
+        .collect();
+    frontier.sort_by_key(|p| p.id);
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(id: u32, amat: f64, speedup: f64, cost: u64) -> ParetoPoint {
+        ParetoPoint { id, amat, speedup, cost }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = pt(0, 3.0, 1.1, 100);
+        let b = pt(1, 3.0, 1.1, 100);
+        assert!(!a.dominates(&b), "equal points do not dominate");
+        assert!(!b.dominates(&a));
+        let c = pt(2, 3.0, 1.1, 99);
+        assert!(c.dominates(&a));
+        assert!(!a.dominates(&c));
+    }
+
+    #[test]
+    fn frontier_drops_strictly_worse_points() {
+        let points = [
+            pt(0, 3.0, 1.10, 100), // frontier
+            pt(1, 2.5, 1.05, 200), // frontier (best amat at its cost)
+            pt(2, 3.1, 1.08, 150), // dominated by 0
+            pt(3, 3.0, 1.10, 300), // dominated by 0 (same scores, pricier)
+        ];
+        let front = pareto_frontier(&points);
+        assert_eq!(front.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ties_on_all_objectives_all_survive() {
+        let points = [pt(5, 3.0, 1.1, 100), pt(2, 3.0, 1.1, 100)];
+        let front = pareto_frontier(&points);
+        assert_eq!(front.iter().map(|p| p.id).collect::<Vec<_>>(), vec![2, 5]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(pareto_frontier(&[]).is_empty());
+        let one = [pt(7, 4.0, 1.0, 9)];
+        assert_eq!(pareto_frontier(&one), vec![one[0]]);
+    }
+}

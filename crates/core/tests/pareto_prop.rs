@@ -1,0 +1,95 @@
+//! Property tests for the Pareto-front reducer: the frontier must be
+//! mutually non-dominated, every dropped point must be dominated by a
+//! surviving one, and the result must depend only on the *set* of input
+//! points, not their order.
+
+use bioperf_core::pareto::{pareto_frontier, ParetoPoint};
+use proptest::prelude::*;
+
+/// Builds points from small integer grids so ties on individual
+/// objectives (and on all three at once) are common — the interesting
+/// cases for dominance logic. Ids are the input indices, so duplicates
+/// of the same scores still have distinct identities.
+fn build_points(specs: &[(u32, u32, u64)]) -> Vec<ParetoPoint> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(id, &(amat_q, speedup_q, cost))| ParetoPoint {
+            id: id as u32,
+            amat: amat_q as f64 / 4.0,
+            speedup: 1.0 + speedup_q as f64 / 8.0,
+            cost,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frontier_is_mutually_non_dominated(
+        specs in prop::collection::vec((0u32..8, 0u32..8, 0u64..6), 0..60),
+    ) {
+        let points = build_points(&specs);
+        let frontier = pareto_frontier(&points);
+        for a in &frontier {
+            for b in &frontier {
+                prop_assert!(
+                    !a.dominates(b),
+                    "frontier point {:?} dominates frontier point {:?}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_dropped_point_is_dominated_by_a_frontier_point(
+        specs in prop::collection::vec((0u32..8, 0u32..8, 0u64..6), 0..60),
+    ) {
+        let points = build_points(&specs);
+        let frontier = pareto_frontier(&points);
+        for p in &points {
+            let kept = frontier.iter().any(|f| f.id == p.id);
+            if kept {
+                continue;
+            }
+            prop_assert!(
+                frontier.iter().any(|f| f.dominates(p)),
+                "dropped point {:?} is not dominated by any frontier point", p
+            );
+        }
+        // And the other direction: kept points are exactly the
+        // non-dominated ones.
+        for p in &points {
+            let dominated = points.iter().any(|q| q.dominates(p));
+            let kept = frontier.iter().any(|f| f.id == p.id);
+            prop_assert_eq!(kept, !dominated);
+        }
+    }
+
+    #[test]
+    fn frontier_is_invariant_under_input_permutation(
+        specs in prop::collection::vec((0u32..8, 0u32..8, 0u64..6), 0..60),
+        rot in 0usize..64,
+    ) {
+        let points = build_points(&specs);
+        let baseline = pareto_frontier(&points);
+
+        // Rotation, reversal, and their composition cover arbitrary
+        // cyclic + order-reversing reshuffles of the input.
+        let mut rotated = points.clone();
+        if !rotated.is_empty() {
+            let k = rot % rotated.len();
+            rotated.rotate_left(k);
+        }
+        prop_assert_eq!(&pareto_frontier(&rotated), &baseline);
+
+        let mut reversed = points.clone();
+        reversed.reverse();
+        prop_assert_eq!(&pareto_frontier(&reversed), &baseline);
+
+        let k = rot % reversed.len().max(1);
+        reversed.rotate_right(k);
+        prop_assert_eq!(&pareto_frontier(&reversed), &baseline);
+    }
+}

@@ -1,0 +1,38 @@
+//! Mutation test for the sweep's cell merge: the `sweep-merge-order`
+//! fault rotates each bank job's per-cell results before the merge,
+//! which no micro-op fuzz case can see (the perturbation sits above the
+//! op-level differential checks). The conformance harness detects it
+//! through its sweep self-check — a tiny sweep through the production
+//! merge path diffed against direct per-cell replays — so this test
+//! lives here, next to the sweep, rather than in `conform/tests/inject.rs`.
+
+use bioperf_core::{run_conform, sweep_merge_self_check, ConformConfig, FaultId};
+
+#[test]
+fn sweep_merge_fault_is_detected_and_clean_build_passes() {
+    assert!(
+        bioperf_core::orchestrate::fault::injection_compiled(),
+        "test requires the conform crate's default `inject` feature"
+    );
+
+    // Armed: the self-check alone (no fuzz cases needed) must flag the
+    // rotated merge.
+    let armed = run_conform(&ConformConfig {
+        cases: 4,
+        seed: 42,
+        jobs: 1,
+        inject: Some(FaultId::SweepMergeOrder),
+        check_programs: false,
+        out_dir: None,
+    })
+    .expect("conform run");
+    assert!(
+        armed.first_detection().is_some(),
+        "sweep-merge-order fault escaped the sweep self-check"
+    );
+    let ce = armed.divergent.last().and_then(|o| o.divergence.as_ref()).expect("counterexample");
+    assert_eq!(ce.component, "sweep-merge");
+
+    // Disarmed, the same self-check is clean.
+    assert_eq!(sweep_merge_self_check(42), None);
+}

@@ -1,7 +1,7 @@
 //! The trace-driven cycle simulator.
 
-use bioperf_branch::BranchProfiler;
-use bioperf_cache::{AccessKind, Hierarchy, HierarchyStats};
+use bioperf_branch::{DynPredictor, PredictorKind};
+use bioperf_cache::{AccessKind, Hierarchy, HierarchyStats, Prefetcher};
 use bioperf_isa::{MicroOp, OpKind, Program, VReg};
 use bioperf_metrics::{LogHistogram, MetricSet};
 use bioperf_trace::{
@@ -129,7 +129,7 @@ pub struct OpTiming {
 pub struct CycleSim {
     cfg: PlatformConfig,
     hierarchy: Hierarchy,
-    predictor: BranchProfiler,
+    predictor: DynPredictor,
     fp_load_extra: u64,
 
     fetch_cycle: u64,
@@ -211,7 +211,7 @@ impl CycleSim {
         }
         Self {
             hierarchy: cfg.hierarchy(),
-            predictor: BranchProfiler::new(),
+            predictor: DynPredictor::default(),
             fp_load_extra: cfg.fp_load_latency.saturating_sub(cfg.int_load_latency),
             fetch_cycle: 0,
             fetched_this_cycle: 0,
@@ -282,6 +282,23 @@ impl CycleSim {
         out.merge_prefixed("pipe/", &pipe);
         out.merge_prefixed("cache/", &self.hierarchy.take_metrics());
         out
+    }
+
+    /// Swaps in a branch predictor of the given family. The default is
+    /// the paper's idealized per-static-branch hybrid
+    /// ([`PredictorKind::Hybrid`]); design-space sweep cells select other
+    /// families per configuration.
+    pub fn with_predictor(mut self, kind: PredictorKind) -> Self {
+        self.predictor = DynPredictor::new(kind);
+        self
+    }
+
+    /// Installs a hardware prefetcher in the cache hierarchy. The default
+    /// is [`Prefetcher::None`] — the paper's baseline machines do not
+    /// prefetch.
+    pub fn with_prefetcher(mut self, policy: Prefetcher) -> Self {
+        self.hierarchy = self.hierarchy.with_prefetcher(policy);
+        self
     }
 
     /// Enables per-op timeline recording (capped at 65 536 ops). Use for

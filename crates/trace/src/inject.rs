@@ -24,6 +24,12 @@ pub const SEG_COUNTER: u8 = 3;
 /// decoder, corrupting every implicit destination after the first
 /// non-initial block boundary.
 pub const BLOCK_CARRY: u8 = 4;
+/// Rotate each sweep bank job's per-cell results by one before the
+/// cell merge, crediting every measurement to a neighboring grid cell.
+/// The atomic lives here (not in the sweep's own crate) because the
+/// conformance catalogue can only arm faults in crates *below* it in
+/// the dependency graph; the perturbation site is in `bioperf-core`.
+pub const SWEEP_MERGE: u8 = 5;
 
 #[cfg(feature = "conform-inject")]
 mod imp {

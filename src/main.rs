@@ -10,6 +10,11 @@
 //!                        [--trace-cap <ops>] [--spill-dir <dir>] [--segment-ops <ops>]
 //! bioperf-loadchar conform [--cases <n>] [--seed <u64>] [--jobs <n>] [--metrics <out.json>]
 //!                          [--inject <fault>] [--out <dir>] [--fuzz-only]
+//! bioperf-loadchar sweep [--grid smoke|standard] [--scale <scale>] [--seed <u64>]
+//!                        [--jobs <n>] [--programs <a,b>] [--l1 <KBxW,..>] [--l2 <KBxW,..>]
+//!                        [--line <B,..>] [--lat <L1:L2:MEM,..>] [--pipe <WxROB,..>]
+//!                        [--pred <name,..>] [--prefetch <name,..>] [--checkpoint <file>]
+//!                        [--max-cells <n>] [--out <report.json>]
 //! ```
 
 use std::path::PathBuf;
@@ -22,6 +27,8 @@ use bioperf_core::orchestrate::{
     fault, run_conform, run_suite, ConformConfig, FaultId, SpillConfig, SuiteConfig,
 };
 use bioperf_core::report::{pct, pct2, TextTable};
+use bioperf_core::sweep::{parse_prefetcher, run_sweep, SweepConfig, SweepGrid};
+use bioperf_branch::PredictorKind;
 use bioperf_isa::OpClass;
 use bioperf_kernels::{ProgramId, Scale};
 use bioperf_pipe::PlatformConfig;
@@ -43,6 +50,8 @@ fn usage() -> ExitCode {
     eprintln!("  bioperf-loadchar conform [--cases <n>] [--seed <u64>] [--jobs <n>]");
     eprintln!("                           [--metrics <out.json>] [--inject <fault>]");
     eprintln!("                           [--out <dir>] [--fuzz-only]");
+    eprintln!("  bioperf-loadchar sweep [--grid smoke|standard] [axis and run flags;");
+    eprintln!("                         see 'sweep --help' via any bad flag for details]");
     eprintln!();
     eprintln!("suite runs the whole study — nine characterizations plus the 6-program ×");
     eprintln!("4-platform runtime evaluation — on a worker pool (--jobs 0 = all cores).");
@@ -330,6 +339,209 @@ fn parse_conform_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Option<Confo
     Some(parsed)
 }
 
+/// Exit code for sweep usage errors, per the bench-CLI convention
+/// (strict parsing: unknown, malformed, and duplicate flags all land
+/// here rather than silently winning or losing).
+const SWEEP_USAGE_EXIT: u8 = 2;
+
+/// Exit code of a sweep that ran cleanly but left cells unmeasured
+/// because `--max-cells` capped the invocation.
+const SWEEP_PARTIAL_EXIT: u8 = 3;
+
+fn sweep_usage() {
+    eprintln!("usage: bioperf-loadchar sweep [--grid smoke|standard] [--scale <scale>]");
+    eprintln!("           [--seed <u64>] [--jobs <n>] [--programs <a,b>]");
+    eprintln!("           [--l1 <KBxWAYS,..>] [--l2 <KBxWAYS,..>] [--line <BYTES,..>]");
+    eprintln!("           [--lat <L1:L2:MEM,..>] [--pipe <WIDTHxROB,..>]");
+    eprintln!("           [--pred <hybrid|aliased|bimodal,..>]");
+    eprintln!("           [--prefetch <none|nextline|stride,..>]");
+    eprintln!("           [--checkpoint <file>] [--max-cells <n>] [--out <report.json>]");
+    eprintln!();
+    eprintln!("Sweeps the configuration grid (axis flags override the preset's axes),");
+    eprintln!("replaying both variants of each program through every cell, and prints");
+    eprintln!("each program's Pareto frontier over (AMAT, speedup, hardware cost).");
+    eprintln!("Output is byte-identical for every --jobs value. --checkpoint appends");
+    eprintln!("completed cells to a resumable bioperf-sweep/v1 file; --max-cells bounds");
+    eprintln!("new measurements per invocation (exit {SWEEP_PARTIAL_EXIT} while cells remain). --out writes");
+    eprintln!("the deterministic JSON report.");
+}
+
+struct SweepArgs<'a> {
+    cfg: SweepConfig,
+    out: Option<&'a str>,
+}
+
+/// Strict sweep-flag parser: every flag takes exactly one value, appears
+/// at most once, and must parse; anything else is a usage error naming
+/// the offender.
+fn parse_sweep_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SweepArgs<'a>, String> {
+    fn split_list(value: &str) -> impl Iterator<Item = &str> {
+        value.split(',').filter(|s| !s.is_empty())
+    }
+    fn pair(item: &str, sep: char) -> Result<(&str, &str), String> {
+        item.split_once(sep).ok_or_else(|| format!("malformed value '{item}' (expected A{sep}B)"))
+    }
+    fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+        s.parse().map_err(|_| format!("malformed number '{s}'"))
+    }
+
+    let mut grid = SweepGrid::smoke();
+    let mut grid_flag: Option<&str> = None;
+    let mut overrides: Vec<(&str, &str)> = Vec::new();
+    let mut args = SweepArgs {
+        cfg: SweepConfig {
+            scale: Scale::Test,
+            seed: SEED,
+            jobs: 0,
+            programs: Vec::new(),
+            grid: SweepGrid::smoke(),
+            checkpoint: None,
+            max_cells: 0,
+        },
+        out: None,
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    while let Some(flag) = it.next() {
+        if seen.contains(&flag) {
+            return Err(format!("duplicate flag {flag}"));
+        }
+        seen.push(flag);
+        let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag {
+            "--grid" => grid_flag = Some(value),
+            "--scale" => {
+                args.cfg.scale =
+                    parse_scale(Some(value)).ok_or_else(|| format!("unknown scale '{value}'"))?;
+            }
+            "--seed" => args.cfg.seed = num(value)?,
+            "--jobs" => args.cfg.jobs = num(value)?,
+            "--max-cells" => args.cfg.max_cells = num(value)?,
+            "--checkpoint" => args.cfg.checkpoint = Some(PathBuf::from(value)),
+            "--out" => args.out = Some(value),
+            "--programs" => {
+                for name in split_list(value) {
+                    let p = ProgramId::from_name(name)
+                        .ok_or_else(|| format!("unknown program '{name}'"))?;
+                    args.cfg.programs.push(p);
+                }
+            }
+            "--l1" | "--l2" | "--line" | "--lat" | "--pipe" | "--pred" | "--prefetch" => {
+                overrides.push((flag, value));
+            }
+            _ => return Err(format!("unknown flag {flag}")),
+        }
+    }
+    if let Some(name) = grid_flag {
+        grid = match name {
+            "smoke" => SweepGrid::smoke(),
+            "standard" => SweepGrid::standard(),
+            _ => return Err(format!("unknown grid '{name}' (smoke or standard)")),
+        };
+    }
+    // Axis overrides replace the preset's axis wholesale, in flag order.
+    for (flag, value) in overrides {
+        match flag {
+            "--l1" | "--l2" => {
+                let mut axis = Vec::new();
+                for item in split_list(value) {
+                    let (kb, ways) = pair(item, 'x')?;
+                    axis.push((num(kb)?, num(ways)?));
+                }
+                if flag == "--l1" {
+                    grid.l1 = axis;
+                } else {
+                    grid.l2 = axis;
+                }
+            }
+            "--line" => {
+                grid.line = split_list(value).map(num).collect::<Result<_, _>>()?;
+            }
+            "--lat" => {
+                let mut axis = Vec::new();
+                for item in split_list(value) {
+                    let (l1, rest) = pair(item, ':')?;
+                    let (l2, mem) = pair(rest, ':')?;
+                    axis.push((num(l1)?, num(l2)?, num(mem)?));
+                }
+                grid.lat = axis;
+            }
+            "--pipe" => {
+                let mut axis = Vec::new();
+                for item in split_list(value) {
+                    let (width, rob) = pair(item, 'x')?;
+                    axis.push((num(width)?, num(rob)?));
+                }
+                grid.pipe = axis;
+            }
+            "--pred" => {
+                let mut axis = Vec::new();
+                for name in split_list(value) {
+                    axis.push(
+                        PredictorKind::from_name(name)
+                            .ok_or_else(|| format!("unknown predictor '{name}'"))?,
+                    );
+                }
+                grid.pred = axis;
+            }
+            "--prefetch" => {
+                let mut axis = Vec::new();
+                for name in split_list(value) {
+                    axis.push(
+                        parse_prefetcher(name)
+                            .ok_or_else(|| format!("unknown prefetcher '{name}'"))?,
+                    );
+                }
+                grid.prefetch = axis;
+            }
+            _ => unreachable!("only axis flags are deferred"),
+        }
+    }
+    args.cfg.grid = grid;
+    Ok(args)
+}
+
+fn cmd_sweep(args: &SweepArgs) -> ExitCode {
+    let result = match run_sweep(&args.cfg) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Worker count and cache-hit statistics go to stderr: stdout and the
+    // JSON report are byte-identical for every --jobs value and for any
+    // interrupt/resume split of the same sweep.
+    eprintln!(
+        "sweep: {} cells x {} programs on {} workers ({} replayed, {} from checkpoint)",
+        result.grid.cells(),
+        result.programs.len(),
+        result.workers,
+        result.computed,
+        result.cached,
+    );
+
+    print!("{}", result.render_table());
+    if !result.complete {
+        println!(
+            "sweep incomplete: --max-cells {} left cells unmeasured (rerun to continue)",
+            args.cfg.max_cells
+        );
+    }
+
+    if let Some(path) = args.out {
+        if let Err(e) = std::fs::write(path, result.to_json().render_pretty()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if result.complete {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(SWEEP_PARTIAL_EXIT)
+    }
+}
+
 fn cmd_conform(args: &ConformArgs) -> ExitCode {
     let injected = match args.inject {
         None => None,
@@ -462,6 +674,14 @@ fn main() -> ExitCode {
             };
             cmd_conform(&conform_args)
         }
+        Some("sweep") => match parse_sweep_args(it) {
+            Ok(sweep_args) => cmd_sweep(&sweep_args),
+            Err(e) => {
+                eprintln!("error: {e}");
+                sweep_usage();
+                ExitCode::from(SWEEP_USAGE_EXIT)
+            }
+        },
         Some(cmd @ ("characterize" | "candidates" | "coverage" | "evaluate")) => {
             let Some(program) = it.next().and_then(ProgramId::from_name) else {
                 eprintln!("error: expected a program name");
