@@ -3,14 +3,24 @@
 //! JSON document (`BENCH_sweep.json` at the repository root; CI
 //! regenerates and schema-checks it on every push).
 //!
+//! The sweep runs **twice** — once through the factored two-pass
+//! pipeline and once through the unfactored oracle — and prints a
+//! wall-clock / cells-per-second comparison of the two, after asserting
+//! their measurements are bit-identical. `--min-speedup <x>` turns the
+//! comparison into a regression gate: exit status 1 if the factored
+//! path is less than `x`× faster. `--grid standard` swaps in the
+//! 576-cell exploration grid (the configuration the speedup target is
+//! specified against).
+//!
 //! `--check` mode does not run anything: it parses an existing document
 //! and verifies its `bioperf-sweep/v1` shape, failing with exit status 1
 //! on drift — the guard CI runs against the committed artifact.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use bioperf_bench::{banner, usage as usage_line, REPRO_SEED, USAGE_EXIT};
-use bioperf_core::sweep::{run_sweep, SweepConfig, SweepGrid, SWEEP_SCHEMA};
+use bioperf_core::sweep::{run_sweep, SweepConfig, SweepGrid, SweepResult, SWEEP_SCHEMA};
 use bioperf_kernels::Scale;
 use bioperf_metrics::{json, Json};
 
@@ -18,7 +28,7 @@ const ARTIFACT: &str = "bench_sweep";
 
 fn usage() -> String {
     format!(
-        "{} [--jobs <n>] [--out <path>] [--check]",
+        "{} [--jobs <n>] [--out <path>] [--grid smoke|standard] [--min-speedup <x>] [--check]",
         usage_line(ARTIFACT, true).trim_end_matches(" [--json <path>]")
     )
 }
@@ -33,12 +43,20 @@ struct Args {
     scale: Scale,
     jobs: usize,
     out: PathBuf,
+    grid: SweepGrid,
+    min_speedup: Option<f64>,
     check: bool,
 }
 
 fn parse_args() -> Args {
-    let mut parsed =
-        Args { scale: Scale::Test, jobs: 0, out: PathBuf::from("BENCH_sweep.json"), check: false };
+    let mut parsed = Args {
+        scale: Scale::Test,
+        jobs: 0,
+        out: PathBuf::from("BENCH_sweep.json"),
+        grid: SweepGrid::smoke(),
+        min_speedup: None,
+        check: false,
+    };
     let mut scale_seen = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
@@ -55,6 +73,15 @@ fn parse_args() -> Args {
             "--out" => match it.next() {
                 Some(path) if !path.is_empty() => parsed.out = PathBuf::from(path),
                 _ => bail("--out needs a file path"),
+            },
+            "--grid" => match it.next().map(String::as_str) {
+                Some("smoke") => parsed.grid = SweepGrid::smoke(),
+                Some("standard") => parsed.grid = SweepGrid::standard(),
+                _ => bail("--grid needs smoke or standard"),
+            },
+            "--min-speedup" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 => parsed.min_speedup = Some(x),
+                _ => bail("--min-speedup needs a positive number"),
             },
             "--check" => parsed.check = true,
             s if s.starts_with('-') => bail(&format!("unknown option '{s}'")),
@@ -133,20 +160,52 @@ fn main() {
         return;
     }
 
-    banner("Design-space sweep: smoke-grid Pareto frontiers", args.scale);
-    let result = run_sweep(&SweepConfig {
+    banner("Design-space sweep: Pareto frontiers + factored-path timing", args.scale);
+    let cfg = SweepConfig {
         scale: args.scale,
         seed: REPRO_SEED,
         jobs: args.jobs,
         programs: Vec::new(), // every transformed program
-        grid: SweepGrid::smoke(),
+        grid: args.grid.clone(),
         checkpoint: None,
         max_cells: 0,
-    })
-    .unwrap_or_else(|e| {
-        eprintln!("{ARTIFACT}: {e}");
-        std::process::exit(1);
-    });
+        factor: true,
+    };
+    let timed = |cfg: &SweepConfig| -> (SweepResult, f64) {
+        let start = Instant::now();
+        let result = run_sweep(cfg).unwrap_or_else(|e| {
+            eprintln!("{ARTIFACT}: {e}");
+            std::process::exit(1);
+        });
+        (result, start.elapsed().as_secs_f64())
+    };
+    let (result, factored_secs) = timed(&cfg);
+    let (oracle, unfactored_secs) = timed(&SweepConfig { factor: false, ..cfg });
+
+    // The comparison is only meaningful if the two strategies agree; a
+    // mismatch here is a correctness bug, not a performance result.
+    for (p, per_cell) in result.measures.iter().enumerate() {
+        if *per_cell != oracle.measures[p] {
+            eprintln!(
+                "{ARTIFACT}: factored and unfactored measurements diverge for {}",
+                result.programs[p].name()
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let cells = result.computed as f64;
+    let speedup = unfactored_secs / factored_secs;
+    println!(
+        "factored:   {factored_secs:8.2} s  {:9.1} cells/s",
+        cells / factored_secs
+    );
+    println!(
+        "unfactored: {unfactored_secs:8.2} s  {:9.1} cells/s",
+        cells / unfactored_secs
+    );
+    println!("speedup:    {speedup:8.2} x");
+
     print!("{}", result.render_table());
     let doc = result.to_json();
     check_document(&doc).expect("freshly generated sweep document must satisfy its own schema");
@@ -159,4 +218,14 @@ fn main() {
         result.programs.len(),
         result.skipped.len()
     );
+
+    if let Some(floor) = args.min_speedup {
+        if speedup < floor {
+            eprintln!(
+                "{ARTIFACT}: factored sweep speedup {speedup:.2}x is below the {floor:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("speedup floor ok ({speedup:.2}x >= {floor:.2}x)");
+    }
 }

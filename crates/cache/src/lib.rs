@@ -21,15 +21,19 @@
 //! assert_eq!(h.stats().l1.load_misses, 1);
 //! ```
 
+pub mod annotation;
 pub mod cache;
 pub mod config;
 pub mod hierarchy;
 pub mod inject;
 pub mod prefetch;
+pub mod stackdist;
 
+pub use annotation::{AnnotationError, AnnotationStream, MissLevelBank, ANN_SCHEMA};
 pub use cache::{AccessResult, Cache};
 pub use config::{CacheConfig, CacheConfigError, LatencyConfig, WritePolicy, MAX_BLOCK_BYTES};
 pub use hierarchy::{
     alpha21264_hierarchy, AccessKind, CacheSim, Hierarchy, HierarchyStats, LevelStats, ServicedBy,
 };
 pub use prefetch::{PrefetchEngine, Prefetcher};
+pub use stackdist::{StackDistProfiler, MAX_TRACKED_WAYS};

@@ -1,0 +1,90 @@
+//! Property tests for the all-associativity stack-distance profiler:
+//! the analytic machinery behind the factored sweep's cache-pass
+//! verification. One profile of an access stream must (a) obey LRU
+//! inclusion — more ways never miss more, (b) conserve accesses in its
+//! histograms, and (c) derive exactly the miss count a real set-indexed
+//! LRU cache simulates, for arbitrary streams and geometries.
+
+use bioperf_cache::{Cache, CacheConfig, StackDistProfiler, MAX_TRACKED_WAYS};
+use proptest::prelude::*;
+
+proptest! {
+    /// LRU inclusion: for a fixed set count, a cache with more ways
+    /// contains everything the narrower cache contains, so misses are
+    /// monotonically non-increasing in associativity.
+    #[test]
+    fn misses_never_increase_with_ways(
+        addrs in prop::collection::vec(0u64..1 << 14, 1..400),
+        set_bits in 0u32..6,
+    ) {
+        let sets = 1u64 << set_bits;
+        let mut prof = StackDistProfiler::new(64, &[sets]);
+        for &a in &addrs {
+            prof.access(a);
+        }
+        let mut last = u64::MAX;
+        for ways in 1..=MAX_TRACKED_WAYS as u32 {
+            let m = prof.misses(sets, ways);
+            prop_assert!(m <= last, "misses rose from {last} to {m} at {ways} ways");
+            last = m;
+        }
+    }
+
+    /// Conservation: every access lands in exactly one histogram bucket
+    /// or the cold-miss count, for every profiled set count at once.
+    #[test]
+    fn histogram_buckets_conserve_accesses(
+        addrs in prop::collection::vec(0u64..1 << 16, 1..400),
+    ) {
+        let set_counts = [1u64, 4, 16, 64];
+        let mut prof = StackDistProfiler::new(32, &set_counts);
+        for &a in &addrs {
+            prof.access(a);
+        }
+        prop_assert_eq!(prof.accesses(), addrs.len() as u64);
+        for &sets in &set_counts {
+            let reuses: u64 = prof.histogram(sets).iter().sum();
+            prop_assert_eq!(
+                reuses + prof.cold_misses(),
+                prof.accesses(),
+                "histogram for {} sets does not conserve accesses",
+                sets
+            );
+        }
+    }
+
+    /// Exactness: the misses derived from one profile equal a real
+    /// LRU cache's simulated misses for every (sets, ways) geometry —
+    /// the invariant that lets one pass stand in for a bank of caches.
+    #[test]
+    fn derived_misses_match_simulated_caches(
+        ops in prop::collection::vec((0u64..1 << 13, prop::bool::ANY), 1..300),
+        block_bits in 4u32..8,
+        ways in 1u32..9,
+        set_bits in 0u32..5,
+    ) {
+        let block = 1u64 << block_bits;
+        let sets = 1u64 << set_bits;
+        let mut prof = StackDistProfiler::new(block, &[sets]);
+        let mut cache = Cache::new(CacheConfig::new(
+            sets * u64::from(ways) * block,
+            ways,
+            block,
+        ));
+        let mut simulated = 0u64;
+        for (addr, is_store) in &ops {
+            prof.access(*addr);
+            if !cache.access(*addr, *is_store).hit {
+                simulated += 1;
+            }
+        }
+        prop_assert_eq!(
+            prof.misses(sets, ways),
+            simulated,
+            "profile disagrees with a {}x{} cache ({}B lines)",
+            sets,
+            ways,
+            block
+        );
+    }
+}

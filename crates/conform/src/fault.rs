@@ -56,11 +56,17 @@ pub enum FaultId {
     /// because the perturbation site, `bioperf-core`, sits above this
     /// crate in the dependency graph.)
     SweepMergeOrder,
+    /// The factored sweep's miss-level annotation cursor starts at 1
+    /// instead of 0, so every annotated access reads its successor's
+    /// level. (Atomic in `bioperf-trace` for the same dependency-graph
+    /// reason; the perturbation site is `CycleSim::with_annotations` in
+    /// `bioperf-pipe`.)
+    FactoredAnnotationSkew,
 }
 
 impl FaultId {
     /// Every catalogued fault, in reporting order.
-    pub const ALL: [FaultId; 11] = [
+    pub const ALL: [FaultId; 12] = [
         FaultId::CacheLruTouch,
         FaultId::CacheDirtyWriteback,
         FaultId::PackedSrcDelta,
@@ -72,6 +78,7 @@ impl FaultId {
         FaultId::RegfileTouchStale,
         FaultId::BranchChooserStale,
         FaultId::SweepMergeOrder,
+        FaultId::FactoredAnnotationSkew,
     ];
 
     /// Stable CLI / report name.
@@ -88,6 +95,7 @@ impl FaultId {
             FaultId::RegfileTouchStale => "regfile-touch-stale",
             FaultId::BranchChooserStale => "branch-chooser-stale",
             FaultId::SweepMergeOrder => "sweep-merge-order",
+            FaultId::FactoredAnnotationSkew => "factored-annotation-skew",
         }
     }
 
@@ -110,6 +118,9 @@ impl FaultId {
             FaultId::RegfileTouchStale => "register touches stop updating LRU order",
             FaultId::BranchChooserStale => "hybrid chooser stops training",
             FaultId::SweepMergeOrder => "sweep cell merge rotates each bank's results by one",
+            FaultId::FactoredAnnotationSkew => {
+                "factored sweep's annotation cursor starts off by one"
+            }
         }
     }
 
@@ -148,6 +159,11 @@ impl FaultId {
             // single run, so the budget only bounds the fuzz phase that
             // runs alongside it.
             FaultId::SweepMergeOrder => 16,
+            // Like SweepMergeOrder: invisible to the op-level fuzzer
+            // (its replays own live hierarchies). The sweep-factor
+            // self-check runs a factored-vs-unfactored diff once and
+            // fires deterministically; the budget bounds the fuzz phase.
+            FaultId::FactoredAnnotationSkew => 16,
         }
     }
 }
@@ -192,6 +208,9 @@ pub fn arm(fault: FaultId) {
             bioperf_branch::inject::set(bioperf_branch::inject::CHOOSER_STALE)
         }
         FaultId::SweepMergeOrder => bioperf_trace::inject::set(bioperf_trace::inject::SWEEP_MERGE),
+        FaultId::FactoredAnnotationSkew => {
+            bioperf_trace::inject::set(bioperf_trace::inject::ANN_SKEW)
+        }
     }
 }
 

@@ -1148,6 +1148,18 @@ pub fn run_conform(cfg: &ConformConfig) -> io::Result<ConformResult> {
     } else {
         None
     };
+    // The factored sweep's annotation pipeline sits above the fuzzer's
+    // horizon too (fuzz replays own live hierarchies): its detector is
+    // a factored-vs-unfactored diff of a tiny sweep plus an analytic
+    // stack-distance cross-check of the cache pass — the detector for
+    // `factored-annotation-skew`, also run in clean full-check mode.
+    let factor_divergence = if cfg.inject == Some(FaultId::FactoredAnnotationSkew)
+        || (cfg.inject.is_none() && cfg.check_programs)
+    {
+        crate::sweep::sweep_factor_self_check(seed)
+    } else {
+        None
+    };
     fault::disarm();
 
     let fuzz_ops = outcomes.iter().map(|o| o.ops as u64).sum();
@@ -1161,6 +1173,19 @@ pub fn run_conform(cfg: &ConformConfig) -> io::Result<ConformResult> {
             ops: 0,
             divergence: Some(fuzz::CounterExample {
                 component: "sweep-merge",
+                detail,
+                ops: Vec::new(),
+            }),
+        });
+    }
+    if let Some(detail) = factor_divergence {
+        divergent.push(CaseOutcome {
+            index: cfg.cases + 1,
+            seed,
+            platform: "sweep",
+            ops: 0,
+            divergence: Some(fuzz::CounterExample {
+                component: "sweep-factor",
                 detail,
                 ops: Vec::new(),
             }),

@@ -7,12 +7,31 @@
 //! configuration grid. [`run_sweep`] enumerates the grid ([`SweepGrid`]),
 //! validates every cell's cache geometry (degenerate points become
 //! skipped-cell diagnostics, not panics), and fans the surviving cells
-//! out as bank-replay jobs over the [`run_jobs`] worker pool: each
-//! program's two variant traces are recorded once, `Arc`-shared, and
-//! every job decodes its recording once while driving a bank of
-//! per-cell simulators. The job enumeration — program (input order) ×
-//! cell chunk (grid order) — is fixed and the merge walks the same
-//! enumeration, so output is byte-identical at any `--jobs`.
+//! out over the [`run_jobs`] worker pool: each program's two variant
+//! traces are recorded once, `Arc`-shared, and every job decodes its
+//! recording once while driving a bank of per-cell simulators. The job
+//! enumeration — program (input order) × cell chunk (grid order) — is
+//! fixed and the merge walks the same enumeration, so output is
+//! byte-identical at any `--jobs`.
+//!
+//! By default the evaluation is **factored** along the grid's two
+//! independent axis groups. The hierarchy-access sequence a cell's
+//! simulator generates depends only on the trace and the register-file
+//! geometry — which every cell shares — never on latencies, pipeline
+//! shape, or predictor. So a *cache pass* ([`bioperf_pipe::CachePassSim`])
+//! replays each recording once per distinct cache-axis configuration
+//! (L1 × L2 × line × prefetcher), banking several hierarchies per
+//! decode, and emits a 2-bit-per-access miss-level annotation stream
+//! plus final hierarchy stats. A *timing pass* then replays each cell
+//! with [`CycleSim::with_annotations`], converting levels back to
+//! latencies through the cell's own latency axis instead of simulating
+//! a hierarchy. On the standard grid this collapses 1152 hierarchy
+//! simulations to 64 while producing bit-identical measurements; the
+//! unfactored path survives behind `--no-factor` as the oracle the
+//! `sweep-factor` conformance self-check diffs against. Annotation
+//! streams larger than the [`ANN_SPILL_ENV`] budget spill to disk in
+//! the checksummed `bioperf-ann/v1` format rather than accumulating in
+//! RAM.
 //!
 //! Completed `(program, cell)` measurements append to a
 //! **`bioperf-sweep/v1` checkpoint** (binary, FNV-1a-checksummed records,
@@ -32,10 +51,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bioperf_branch::PredictorKind;
-use bioperf_cache::{CacheConfig, CacheConfigError, LatencyConfig, Prefetcher};
+use bioperf_cache::{
+    AnnotationStream, CacheConfig, CacheConfigError, Hierarchy, HierarchyStats, LatencyConfig,
+    Prefetcher, StackDistProfiler,
+};
 use bioperf_kernels::{ProgramId, Scale, Variant};
 use bioperf_metrics::Json;
-use bioperf_pipe::{CycleSim, OpLatencies, PlatformConfig};
+use bioperf_pipe::{CachePassSim, CycleSim, OpLatencies, PlatformConfig, TimingBank};
 use bioperf_trace::{replay::DEFAULT_CAPACITY, Recording};
 
 use crate::orchestrate::{default_jobs, record_variant, run_jobs, SuiteError};
@@ -62,6 +84,28 @@ pub const CHECKPOINT_RECORD_LEN: usize = 40;
 /// once and drives this many per-cell simulators off the shared stream,
 /// amortizing the decode without making one job dominate the pool.
 const BANK_CELLS: usize = 8;
+
+/// Cache-axis configurations simulated per cache-pass job in the
+/// factored sweep — the same decode-amortization tradeoff as
+/// [`BANK_CELLS`], applied to hierarchies instead of timing cells.
+const ANN_BANK: usize = 8;
+
+/// Environment variable overriding the in-memory byte budget for the
+/// factored sweep's annotation store. When the (estimated) total size
+/// of all annotation streams exceeds the budget, the cache pass spills
+/// each stream to a `bioperf-ann/v1` file under a per-run temporary
+/// directory and the timing pass reloads it on demand.
+pub const ANN_SPILL_ENV: &str = "BIOPERF_SWEEP_ANN_BYTES";
+
+/// Default annotation-store budget: 1 GiB.
+const ANN_SPILL_DEFAULT: u64 = 1 << 30;
+
+fn ann_spill_budget() -> u64 {
+    std::env::var(ANN_SPILL_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(ANN_SPILL_DEFAULT)
+}
 
 /// FNV-1a 64 — the same dependency-free checksum the trace segments use.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -200,6 +244,9 @@ pub enum SweepError {
     Untransformable(ProgramId),
     /// The grid enumerates no cells (some axis is empty).
     EmptyGrid,
+    /// Spilling or reloading a factored-sweep annotation stream failed
+    /// (the message names the stream file and the underlying error).
+    AnnotationSpill(String),
 }
 
 impl fmt::Display for SweepError {
@@ -211,6 +258,9 @@ impl fmt::Display for SweepError {
                 write!(f, "{p} has no load-transformed variant; sweep needs both variants")
             }
             SweepError::EmptyGrid => write!(f, "sweep grid has an empty axis (no cells)"),
+            SweepError::AnnotationSpill(msg) => {
+                write!(f, "factored sweep annotation spill failed: {msg}")
+            }
         }
     }
 }
@@ -483,6 +533,11 @@ pub struct SweepConfig {
     /// measurements this invocation (`0` = unlimited). A budget-stopped
     /// run checkpoints what it measured and reports `complete: false`.
     pub max_cells: usize,
+    /// Evaluate via the factored two-pass pipeline (cache pass +
+    /// annotated timing replay). `false` selects the unfactored oracle:
+    /// one live hierarchy per cell. Both produce bit-identical
+    /// measurements; the factored path is the production default.
+    pub factor: bool,
 }
 
 /// One cell's measurements for one program.
@@ -532,6 +587,10 @@ pub struct SweepResult {
     pub computed: usize,
     /// Measurements restored from the checkpoint.
     pub cached: usize,
+    /// Variant traces recorded by this invocation — zero when every
+    /// scheduled cell came out of the checkpoint (a resumed sweep with
+    /// no remaining work does no recording at all).
+    pub recorded: usize,
     /// Whether every valid `(program, cell)` pair is measured.
     pub complete: bool,
 }
@@ -874,13 +933,16 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, SweepError> {
 
     // Wave 1: record both variants of every program that still has work,
     // one job per (program, variant); recordings are Arc-shared with
-    // every bank job of that program.
+    // every bank job of that program. Fully-checkpointed programs never
+    // reach `active`, so a resumed sweep with no remaining cells records
+    // nothing (`SweepResult::recorded` pins this).
     let mut active: Vec<usize> = Vec::new();
     for p in 0..programs.len() {
         if missing.iter().any(|&(mp, _)| mp == p) {
             active.push(p);
         }
     }
+    let recorded = active.len() * 2;
     let record_jobs: Vec<_> = active
         .iter()
         .flat_map(|&p| {
@@ -899,9 +961,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, SweepError> {
         recordings[p] = Some((original, transformed));
     }
 
-    // Wave 2: one bank job per (program, ≤BANK_CELLS missing cells).
-    // Each job decodes the original and transformed recordings once
-    // apiece, driving one simulator per cell off each shared stream.
+    // Wave 2: evaluate the missing cells, chunked program (input order) ×
+    // ≤BANK_CELLS cells (grid order). The chunking — and therefore the
+    // merge below — is shared by both evaluation strategies, so factored
+    // and unfactored runs produce identical checkpoint bytes.
     let chunks: Vec<(usize, Vec<usize>)> = {
         let mut out: Vec<(usize, Vec<usize>)> = Vec::new();
         for &(p, c) in &missing {
@@ -912,44 +975,53 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, SweepError> {
         }
         out
     };
-    let bank_jobs: Vec<_> = chunks
-        .iter()
-        .map(|(p, cell_ids)| {
-            let (original, transformed) =
-                recordings[*p].as_ref().expect("active programs have recordings");
-            let original = Arc::clone(original);
-            let transformed = Arc::clone(transformed);
-            let cells: Vec<ResolvedCell> =
-                cell_ids.iter().map(|&c| resolved[c].expect("scheduled cells are valid")).collect();
-            move || -> Vec<CellMeasure> {
-                let build = |rc: &ResolvedCell| {
-                    CycleSim::new(rc.platform)
-                        .with_predictor(rc.pred)
-                        .with_prefetcher(rc.prefetch)
-                };
-                let mut orig_bank: Vec<CycleSim> = cells.iter().map(build).collect();
-                original.replay_bank(&mut orig_bank);
-                let mut trans_bank: Vec<CycleSim> = cells.iter().map(build).collect();
-                transformed.replay_bank(&mut trans_bank);
-                cells
+    let outputs: Vec<Vec<CellMeasure>> = if cfg.factor {
+        factored_outputs(threads, &cfg.grid, &resolved, &chunks, &recordings, hash)?
+    } else {
+        // Unfactored oracle: each job decodes the recordings once and
+        // drives one live simulator (with its own hierarchy) per cell.
+        let bank_jobs: Vec<_> = chunks
+            .iter()
+            .map(|(p, cell_ids)| {
+                let (original, transformed) =
+                    recordings[*p].as_ref().expect("active programs have recordings");
+                let original = Arc::clone(original);
+                let transformed = Arc::clone(transformed);
+                let cells: Vec<ResolvedCell> = cell_ids
                     .iter()
-                    .zip(orig_bank.into_iter().zip(trans_bank))
-                    .map(|(rc, (o, t))| {
-                        let o = o.into_result();
-                        let t = t.into_result();
-                        CellMeasure {
-                            cycles_original: o.cycles,
-                            cycles_transformed: t.cycles,
-                            amat: rc
-                                .lat
-                                .amat(o.cache.l1.load_miss_ratio(), o.cache.l2.load_miss_ratio()),
-                        }
-                    })
-                    .collect()
-            }
-        })
-        .collect();
-    let outputs = run_jobs(bank_jobs, threads);
+                    .map(|&c| resolved[c].expect("scheduled cells are valid"))
+                    .collect();
+                move || -> Vec<CellMeasure> {
+                    let build = |rc: &ResolvedCell| {
+                        CycleSim::new(rc.platform)
+                            .with_predictor(rc.pred)
+                            .with_prefetcher(rc.prefetch)
+                    };
+                    let mut orig_bank: Vec<CycleSim> = cells.iter().map(build).collect();
+                    original.replay_bank(&mut orig_bank);
+                    let mut trans_bank: Vec<CycleSim> = cells.iter().map(build).collect();
+                    transformed.replay_bank(&mut trans_bank);
+                    cells
+                        .iter()
+                        .zip(orig_bank.into_iter().zip(trans_bank))
+                        .map(|(rc, (o, t))| {
+                            let o = o.into_result();
+                            let t = t.into_result();
+                            CellMeasure {
+                                cycles_original: o.cycles,
+                                cycles_transformed: t.cycles,
+                                amat: rc.lat.amat(
+                                    o.cache.l1.load_miss_ratio(),
+                                    o.cache.l2.load_miss_ratio(),
+                                ),
+                            }
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+        run_jobs(bank_jobs, threads)
+    };
 
     // Merge in the fixed (program, chunk, cell) enumeration — identical
     // for every worker count — and collect the checkpoint append batch
@@ -984,8 +1056,302 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, SweepError> {
         measures,
         computed,
         cached,
+        recorded,
         complete,
     })
+}
+
+/// The cache-axis coordinates of a cell: everything that shapes the
+/// hierarchy's behavior (geometry, line size, prefetcher) and nothing
+/// that only shapes timing. Cells sharing a key share one cache pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CacheAxisKey {
+    l1: (u64, u32),
+    l2: (u64, u32),
+    line: u64,
+    prefetch: Prefetcher,
+}
+
+impl CacheAxisKey {
+    fn of(spec: &CellSpec) -> Self {
+        Self { l1: spec.l1, l2: spec.l2, line: spec.line, prefetch: spec.prefetch }
+    }
+}
+
+/// Where one (program, variant, cache-config) annotation stream lives
+/// between the cache pass and the timing pass.
+#[derive(Debug, Clone)]
+enum AnnHandle {
+    /// Shared in memory.
+    Mem(Arc<AnnotationStream>),
+    /// Spilled to a `bioperf-ann/v1` file; reloaded per timing job.
+    Disk(PathBuf),
+}
+
+/// One cache-pass output per geometry: hierarchy stats (AMAT inputs),
+/// the stream's content key (timing-memo grouping), and where the
+/// stream lives.
+type CachePassOutput = (HierarchyStats, (u64, u64), AnnHandle);
+
+impl AnnHandle {
+    fn fetch(&self) -> Result<Arc<AnnotationStream>, String> {
+        match self {
+            AnnHandle::Mem(s) => Ok(Arc::clone(s)),
+            AnnHandle::Disk(p) => {
+                AnnotationStream::load(p).map(Arc::new).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// The factored wave 2: a cache pass produces per-cache-config miss
+/// annotations and hierarchy stats (one trace decode per ≤[`ANN_BANK`]
+/// configs), then a timing pass replays every chunk's cells in
+/// annotated mode — no live hierarchies. Chunk outputs are returned in
+/// `chunks` order, exactly like the unfactored bank jobs.
+fn factored_outputs(
+    threads: usize,
+    grid: &SweepGrid,
+    resolved: &[Option<ResolvedCell>],
+    chunks: &[(usize, Vec<usize>)],
+    recordings: &[Option<(Arc<Recording>, Arc<Recording>)>],
+    hash: u64,
+) -> Result<Vec<Vec<CellMeasure>>, SweepError> {
+    // Distinct cache-axis keys in first-seen (missing-order) sequence,
+    // one representative resolved cell per key, and each scheduled
+    // cell's key index.
+    let mut keys: Vec<CacheAxisKey> = Vec::new();
+    let mut reps: Vec<ResolvedCell> = Vec::new();
+    let mut cell_key: Vec<Option<usize>> = vec![None; resolved.len()];
+    // Per program, the key indices it needs, ascending.
+    let mut prog_keys: Vec<Vec<usize>> = vec![Vec::new(); recordings.len()];
+    for (p, cell_ids) in chunks {
+        for &c in cell_ids {
+            let k = match cell_key[c] {
+                Some(k) => k,
+                None => {
+                    let key = CacheAxisKey::of(&grid.spec(c));
+                    let k = keys.iter().position(|&x| x == key).unwrap_or_else(|| {
+                        keys.push(key);
+                        reps.push(resolved[c].expect("scheduled cells are valid"));
+                        keys.len() - 1
+                    });
+                    cell_key[c] = Some(k);
+                    k
+                }
+            };
+            if !prog_keys[*p].contains(&k) {
+                prog_keys[*p].push(k);
+            }
+        }
+    }
+    for ks in &mut prog_keys {
+        ks.sort_unstable();
+    }
+
+    // Spill decision, up front and for the whole store: the estimate
+    // assumes about one hierarchy access per recorded op (2 bits each),
+    // which is the right order of magnitude for every shipped kernel.
+    let mut est_bytes = 0u64;
+    for (p, ks) in prog_keys.iter().enumerate() {
+        if ks.is_empty() {
+            continue;
+        }
+        let (orig, trans) = recordings[p].as_ref().expect("active programs have recordings");
+        est_bytes += ((orig.len() + trans.len()) as u64).div_ceil(4) * ks.len() as u64;
+    }
+    let spill_dir: Option<Arc<PathBuf>> = if est_bytes > ann_spill_budget() {
+        let dir = std::env::temp_dir()
+            .join(format!("bioperf-sweep-ann-{hash:016x}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SweepError::AnnotationSpill(format!("{}: {e}", dir.display())))?;
+        Some(Arc::new(dir))
+    } else {
+        None
+    };
+
+    // Cache pass: one job per (program, variant, ≤ANN_BANK keys).
+    let mut descriptors: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+    for (p, ks) in prog_keys.iter().enumerate() {
+        for variant in 0..2usize {
+            for chunk in ks.chunks(ANN_BANK) {
+                descriptors.push((p, variant, chunk.to_vec()));
+            }
+        }
+    }
+    let cache_jobs: Vec<_> = descriptors
+        .iter()
+        .map(|(p, variant, key_ids)| {
+            let (orig, trans) = recordings[*p].as_ref().expect("active programs have recordings");
+            let rec = Arc::clone(if *variant == 0 { orig } else { trans });
+            let members: Vec<ResolvedCell> = key_ids.iter().map(|&k| reps[k]).collect();
+            let key_ids = key_ids.clone();
+            let dir = spill_dir.clone();
+            let (p, variant) = (*p, *variant);
+            move || -> Result<Vec<CachePassOutput>, String> {
+                let hierarchies: Vec<Hierarchy> = members
+                    .iter()
+                    .map(|rc| {
+                        Hierarchy::new(rc.platform.l1, rc.platform.l2, rc.lat)
+                            .with_prefetcher(rc.prefetch)
+                    })
+                    .collect();
+                let mut pass = CachePassSim::new(members[0].platform.logical_regs, hierarchies);
+                rec.replay_bank(std::slice::from_mut(&mut pass));
+                pass.finish_bank()
+                    .into_iter()
+                    .zip(&key_ids)
+                    .map(|((stats, stream), &k)| {
+                        let content = stream.content_key();
+                        let handle = match &dir {
+                            Some(d) => {
+                                let path = d.join(format!("p{p}-v{variant}-k{k}.ann"));
+                                stream.save(&path).map_err(|e| e.to_string())?;
+                                AnnHandle::Disk(path)
+                            }
+                            None => AnnHandle::Mem(Arc::new(stream)),
+                        };
+                        Ok((stats, content, handle))
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+    let mut store: Vec<Vec<Option<CachePassOutput>>> =
+        vec![vec![None; keys.len()]; 2 * recordings.len()];
+    for ((p, variant, key_ids), out) in
+        descriptors.iter().zip(run_jobs(cache_jobs, threads))
+    {
+        let out = out.map_err(SweepError::AnnotationSpill)?;
+        for ((stats, content, handle), &k) in out.into_iter().zip(key_ids) {
+            store[2 * p + variant][k] = Some((stats, content, handle));
+        }
+    }
+
+    // Timing pass, memoized: a cell's cycle counts depend only on its
+    // timing axis (latency triple, pipe shape, predictor) and the
+    // *contents* of its two annotation streams — never on which cache
+    // geometry produced them. Distinct geometries frequently produce
+    // identical miss sequences (every L2 that stops missing after
+    // warmup, every line size the access pattern strides past), so
+    // cells are grouped by (timing axis, stream content keys) and each
+    // group is simulated once. The groups run through shared-pass
+    // [`TimingBank`]s — every grid cell keeps the base platform's
+    // register file and if-conversion mode (see `CellSpec::resolve`),
+    // so within a job the register/spill plan runs once, each
+    // predictor family once, and only the serial timing core per lane.
+    // AMATs stay per cell: they come from the cache pass's
+    // original-variant stats, the same counts a live hierarchy ends
+    // with, so the measurement is bit-identical.
+    #[derive(PartialEq, Clone, Copy)]
+    struct TimingKey {
+        lat: (u64, u64, u64),
+        pipe: (u32, usize),
+        pred: PredictorKind,
+        streams: ((u64, u64), (u64, u64)),
+    }
+    let mut group_keys: Vec<Vec<TimingKey>> = vec![Vec::new(); recordings.len()];
+    let mut group_lane: Vec<Vec<(ResolvedCell, AnnHandle, AnnHandle)>> =
+        vec![Vec::new(); recordings.len()];
+    // Per chunk, each cell's group index within its program.
+    let mut cell_group: Vec<Vec<usize>> = Vec::with_capacity(chunks.len());
+    for (p, cell_ids) in chunks {
+        let mut per_chunk = Vec::with_capacity(cell_ids.len());
+        for &c in cell_ids {
+            let spec = grid.spec(c);
+            let k = cell_key[c].expect("scheduled cells have keys");
+            let (_, okey, oh) =
+                store[2 * p][k].as_ref().expect("cache pass covered every key");
+            let (_, tkey, th) =
+                store[2 * p + 1][k].as_ref().expect("cache pass covered every key");
+            let key = TimingKey {
+                lat: spec.lat,
+                pipe: spec.pipe,
+                pred: spec.pred,
+                streams: (*okey, *tkey),
+            };
+            let g = group_keys[*p].iter().position(|&x| x == key).unwrap_or_else(|| {
+                group_keys[*p].push(key);
+                group_lane[*p].push((
+                    resolved[c].expect("scheduled cells are valid"),
+                    oh.clone(),
+                    th.clone(),
+                ));
+                group_keys[*p].len() - 1
+            });
+            per_chunk.push(g);
+        }
+        cell_group.push(per_chunk);
+    }
+
+    // One job per ≤BANK_CELLS groups of one program, in group order.
+    let mut lane_descr: Vec<(usize, usize)> = Vec::new();
+    for (p, lanes) in group_lane.iter().enumerate() {
+        for start in (0..lanes.len()).step_by(BANK_CELLS) {
+            lane_descr.push((p, start));
+        }
+    }
+    let timing_jobs: Vec<_> = lane_descr
+        .iter()
+        .map(|&(p, start)| {
+            let (original, transformed) =
+                recordings[p].as_ref().expect("active programs have recordings");
+            let original = Arc::clone(original);
+            let transformed = Arc::clone(transformed);
+            let end = (start + BANK_CELLS).min(group_lane[p].len());
+            let lanes = group_lane[p][start..end].to_vec();
+            move || -> Result<Vec<(u64, u64)>, String> {
+                let base = lanes[0].0.platform;
+                let mut orig_bank = TimingBank::new(base.logical_regs, base.if_conversion);
+                let mut trans_bank = TimingBank::new(base.logical_regs, base.if_conversion);
+                for (rc, oh, th) in &lanes {
+                    orig_bank.push_lane(&rc.platform, rc.pred, oh.fetch()?);
+                    trans_bank.push_lane(&rc.platform, rc.pred, th.fetch()?);
+                }
+                original.replay_bank(std::slice::from_mut(&mut orig_bank));
+                transformed.replay_bank(std::slice::from_mut(&mut trans_bank));
+                Ok(orig_bank
+                    .into_results()
+                    .into_iter()
+                    .zip(trans_bank.into_results())
+                    .map(|(o, t)| (o.cycles, t.cycles))
+                    .collect())
+            }
+        })
+        .collect();
+    let timing_results = run_jobs(timing_jobs, threads);
+    if let Some(dir) = &spill_dir {
+        let _ = std::fs::remove_dir_all(dir.as_path());
+    }
+    let mut group_cycles: Vec<Vec<(u64, u64)>> = vec![Vec::new(); recordings.len()];
+    for (&(p, _), out) in lane_descr.iter().zip(timing_results) {
+        group_cycles[p].extend(out.map_err(SweepError::AnnotationSpill)?);
+    }
+
+    let mut outputs = Vec::with_capacity(chunks.len());
+    for ((p, cell_ids), groups) in chunks.iter().zip(&cell_group) {
+        outputs.push(
+            cell_ids
+                .iter()
+                .zip(groups)
+                .map(|(&c, &g)| {
+                    let k = cell_key[c].expect("scheduled cells have keys");
+                    let rc = resolved[c].expect("scheduled cells are valid");
+                    let (ostats, _, _) =
+                        store[2 * p][k].as_ref().expect("cache pass covered every key");
+                    let (cycles_original, cycles_transformed) = group_cycles[*p][g];
+                    CellMeasure {
+                        cycles_original,
+                        cycles_transformed,
+                        amat: rc
+                            .lat
+                            .amat(ostats.l1.load_miss_ratio(), ostats.l2.load_miss_ratio()),
+                    }
+                })
+                .collect(),
+        );
+    }
+    Ok(outputs)
 }
 
 /// Differential self-check of the sweep's cell merge, run by the
@@ -1013,6 +1379,7 @@ pub fn sweep_merge_self_check(seed: u64) -> Option<String> {
         grid: grid.clone(),
         checkpoint: None,
         max_cells: 0,
+        factor: true,
     };
     let result = match run_sweep(&cfg) {
         Ok(r) => r,
@@ -1054,6 +1421,103 @@ pub fn sweep_merge_self_check(seed: u64) -> Option<String> {
             return Some(format!(
                 "sweep cell {cell} ({}): merged {got:?}, direct replay {want:?}",
                 grid.spec(cell).describe()
+            ));
+        }
+    }
+    None
+}
+
+/// Differential self-check of the factored two-pass sweep, run by the
+/// conformance harness: a tiny sweep is evaluated through the factored
+/// pipeline (cache pass + annotated timing replay) and through the
+/// unfactored oracle (one live hierarchy per cell), and every
+/// measurement is compared bitwise. A stack-distance cross-check then
+/// validates the cache pass analytically: for the prefetcher-free
+/// cells, L1 miss counts derived from one LRU stack-distance profile of
+/// the shared access stream must equal the banked hierarchies' counts.
+/// Under the `factored-annotation-skew` fault the annotated replay
+/// reads every miss level off by one and the first comparison fires.
+pub fn sweep_factor_self_check(seed: u64) -> Option<String> {
+    let grid = SweepGrid {
+        l1: vec![(32, 2), (64, 2)],
+        l2: vec![(4096, 1)],
+        line: vec![64],
+        lat: vec![(3, 5, 72), (2, 4, 60)],
+        pipe: vec![(4, 80)],
+        pred: vec![PredictorKind::Hybrid],
+        prefetch: vec![Prefetcher::None, Prefetcher::NextLine],
+    };
+    let program = ProgramId::Predator;
+    let factored_cfg = SweepConfig {
+        scale: Scale::Test,
+        seed,
+        jobs: 1,
+        programs: vec![program],
+        grid: grid.clone(),
+        checkpoint: None,
+        max_cells: 0,
+        factor: true,
+    };
+    let oracle_cfg = SweepConfig { factor: false, ..factored_cfg.clone() };
+    let factored = match run_sweep(&factored_cfg) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("factored sweep failed: {e}")),
+    };
+    let oracle = match run_sweep(&oracle_cfg) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("unfactored sweep failed: {e}")),
+    };
+    for cell in 0..grid.cells() {
+        let got = factored.measures[0][cell];
+        let want = oracle.measures[0][cell];
+        if got != want {
+            return Some(format!(
+                "sweep cell {cell} ({}): factored {got:?}, unfactored oracle {want:?}",
+                grid.spec(cell).describe()
+            ));
+        }
+    }
+
+    // Analytic cross-check: one all-associativity LRU profile of the
+    // access stream predicts each prefetcher-free L1's miss count.
+    let original = match record_variant(program, Variant::Original, Scale::Test, seed, DEFAULT_CAPACITY)
+    {
+        Ok(r) => r,
+        Err(e) => return Some(format!("sweep reference recording failed: {e}")),
+    };
+    let mut members: Vec<(CellSpec, ResolvedCell)> = Vec::new();
+    for cell in 0..grid.cells() {
+        let spec = grid.spec(cell);
+        if spec.prefetch != Prefetcher::None {
+            continue;
+        }
+        if members.iter().any(|(s, _)| s.l1 == spec.l1) {
+            continue;
+        }
+        members.push((spec, spec.resolve().expect("self-check grid is valid")));
+    }
+    let hierarchies: Vec<Hierarchy> = members
+        .iter()
+        .map(|(_, rc)| Hierarchy::new(rc.platform.l1, rc.platform.l2, rc.lat))
+        .collect();
+    let mut pass =
+        CachePassSim::new(members[0].1.platform.logical_regs, hierarchies).with_address_log();
+    original.replay_bank(std::slice::from_mut(&mut pass));
+    let log: Vec<u64> = pass.address_log().expect("log enabled").to_vec();
+    let banked = pass.finish_bank();
+    let set_counts: Vec<u64> = members.iter().map(|(_, rc)| rc.platform.l1.num_sets()).collect();
+    let mut prof = StackDistProfiler::new(grid.line[0], &set_counts);
+    for addr in log {
+        prof.access(addr);
+    }
+    for ((spec, rc), (stats, _)) in members.iter().zip(&banked) {
+        let want = stats.l1.load_misses + stats.l1.store_misses;
+        let got = prof.misses(rc.platform.l1.num_sets(), rc.platform.l1.ways);
+        if got != want {
+            return Some(format!(
+                "stack-distance cross-check: l1 {}Kx{} simulates {want} L1 misses, \
+                 profile derives {got}",
+                spec.l1.0, spec.l1.1
             ));
         }
     }
@@ -1137,3 +1601,4 @@ mod tests {
         assert_eq!(fnv1a(&r[..32]), u64::from_le_bytes(r[32..40].try_into().unwrap()));
     }
 }
+

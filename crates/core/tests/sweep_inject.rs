@@ -1,22 +1,30 @@
-//! Mutation test for the sweep's cell merge: the `sweep-merge-order`
-//! fault rotates each bank job's per-cell results before the merge,
-//! which no micro-op fuzz case can see (the perturbation sits above the
-//! op-level differential checks). The conformance harness detects it
-//! through its sweep self-check — a tiny sweep through the production
-//! merge path diffed against direct per-cell replays — so this test
-//! lives here, next to the sweep, rather than in `conform/tests/inject.rs`.
+//! Mutation tests for the sweep-level faults: `sweep-merge-order`
+//! rotates each bank job's per-cell results before the merge, and
+//! `factored-annotation-skew` starts the factored sweep's miss-level
+//! annotation cursor off by one. Neither is visible to any micro-op
+//! fuzz case (the perturbations sit above the op-level differential
+//! checks). The conformance harness detects them through its sweep
+//! self-checks — tiny sweeps through the production paths diffed
+//! against oracles — so these tests live here, next to the sweep,
+//! rather than in `conform/tests/inject.rs`.
+//!
+//! Both arming tests share one `#[test]` body because the injection
+//! hooks are process-global atomics (the same reasoning as the conform
+//! crate's serial mutation test).
 
-use bioperf_core::{run_conform, sweep_merge_self_check, ConformConfig, FaultId};
+use bioperf_core::{
+    run_conform, sweep_factor_self_check, sweep_merge_self_check, ConformConfig, FaultId,
+};
 
 #[test]
-fn sweep_merge_fault_is_detected_and_clean_build_passes() {
+fn sweep_faults_are_detected_and_clean_build_passes() {
     assert!(
         bioperf_core::orchestrate::fault::injection_compiled(),
         "test requires the conform crate's default `inject` feature"
     );
 
-    // Armed: the self-check alone (no fuzz cases needed) must flag the
-    // rotated merge.
+    // Armed: the merge self-check alone (no fuzz cases needed) must
+    // flag the rotated merge.
     let armed = run_conform(&ConformConfig {
         cases: 4,
         seed: 42,
@@ -33,6 +41,26 @@ fn sweep_merge_fault_is_detected_and_clean_build_passes() {
     let ce = armed.divergent.last().and_then(|o| o.divergence.as_ref()).expect("counterexample");
     assert_eq!(ce.component, "sweep-merge");
 
-    // Disarmed, the same self-check is clean.
+    // Armed: the skewed annotation cursor must be flagged by the
+    // factored-vs-unfactored diff (the oracle path reads no annotations,
+    // so only the factored measurements move).
+    let armed = run_conform(&ConformConfig {
+        cases: 4,
+        seed: 42,
+        jobs: 1,
+        inject: Some(FaultId::FactoredAnnotationSkew),
+        check_programs: false,
+        out_dir: None,
+    })
+    .expect("conform run");
+    assert!(
+        armed.first_detection().is_some(),
+        "factored-annotation-skew fault escaped the sweep-factor self-check"
+    );
+    let ce = armed.divergent.last().and_then(|o| o.divergence.as_ref()).expect("counterexample");
+    assert_eq!(ce.component, "sweep-factor");
+
+    // Disarmed, the same self-checks are clean.
     assert_eq!(sweep_merge_self_check(42), None);
+    assert_eq!(sweep_factor_self_check(42), None);
 }

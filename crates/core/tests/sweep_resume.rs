@@ -45,6 +45,7 @@ fn cfg(checkpoint: Option<PathBuf>, max_cells: usize) -> SweepConfig {
         grid: tiny_grid(),
         checkpoint,
         max_cells,
+        factor: true,
     }
 }
 
@@ -83,11 +84,38 @@ fn interrupted_and_resumed_sweep_matches_uninterrupted_byte_for_byte() {
     );
 
     // A repeat invocation is a full cache hit: nothing is replayed and
-    // the report is still byte-identical.
+    // the report is still byte-identical. Crucially it also records no
+    // traces at all — a fully-checkpointed program never reaches the
+    // recording wave.
+    assert_eq!(baseline.recorded, 2, "fresh sweep records both variants");
     let cached = run_sweep(&cfg(Some(baseline_ck), 0)).expect("cached sweep");
     assert_eq!(cached.computed, 0);
     assert_eq!(cached.cached, 4);
+    assert_eq!(cached.recorded, 0, "a full cache hit must skip trace recording entirely");
     assert_eq!(cached.to_json().render_pretty(), baseline_json);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The factored pipeline and the unfactored oracle must leave
+/// byte-identical checkpoints and reports behind — the `--no-factor`
+/// contract the CI byte-identity gate also checks at the CLI level.
+#[test]
+fn factored_and_unfactored_checkpoints_are_byte_identical() {
+    let dir = scratch("factor");
+    let factored_ck = dir.join("factored.ck");
+    let oracle_ck = dir.join("oracle.ck");
+
+    let factored = run_sweep(&cfg(Some(factored_ck.clone()), 0)).expect("factored sweep");
+    let mut oracle_cfg = cfg(Some(oracle_ck.clone()), 0);
+    oracle_cfg.factor = false;
+    let oracle = run_sweep(&oracle_cfg).expect("unfactored sweep");
+
+    assert_eq!(factored.to_json().render_pretty(), oracle.to_json().render_pretty());
+    assert_eq!(
+        fs::read(&factored_ck).expect("factored checkpoint"),
+        fs::read(&oracle_ck).expect("oracle checkpoint"),
+    );
 
     let _ = fs::remove_dir_all(&dir);
 }

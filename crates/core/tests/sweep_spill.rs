@@ -1,0 +1,64 @@
+//! Disk-spill test for the factored sweep's annotation store. Setting
+//! `BIOPERF_SWEEP_ANN_BYTES` below the estimated annotation footprint
+//! forces every cache-pass stream onto disk; the timing pass must load
+//! the spilled streams back and produce output byte-identical to the
+//! all-in-memory run, and the spill directory must be gone afterwards.
+//!
+//! This lives in its own integration-test binary because the budget is
+//! read from a process-global environment variable: any other test
+//! sharing the process would race with `set_var`.
+
+use bioperf_branch::PredictorKind;
+use bioperf_cache::Prefetcher;
+use bioperf_core::sweep::{run_sweep, SweepConfig, SweepGrid, ANN_SPILL_ENV};
+use bioperf_kernels::{ProgramId, Scale};
+
+fn cfg() -> SweepConfig {
+    SweepConfig {
+        scale: Scale::Test,
+        seed: 42,
+        jobs: 2,
+        programs: vec![ProgramId::Predator],
+        grid: SweepGrid {
+            l1: vec![(32, 2), (64, 2)],
+            l2: vec![(4096, 1)],
+            line: vec![64],
+            lat: vec![(3, 5, 72)],
+            pipe: vec![(4, 80)],
+            pred: vec![PredictorKind::Hybrid],
+            prefetch: vec![Prefetcher::None, Prefetcher::NextLine],
+        },
+        checkpoint: None,
+        max_cells: 0,
+        factor: true,
+    }
+}
+
+#[test]
+fn spilled_annotations_reproduce_the_in_memory_sweep() {
+    let in_memory = run_sweep(&cfg()).expect("in-memory factored sweep");
+    assert!(in_memory.complete);
+
+    // A 1-byte budget is below any real annotation footprint, so every
+    // stream spills. `set_var` is safe here: this binary's only test.
+    std::env::set_var(ANN_SPILL_ENV, "1");
+    let spilled = run_sweep(&cfg()).expect("spilled factored sweep");
+    std::env::remove_var(ANN_SPILL_ENV);
+
+    assert_eq!(spilled.measures, in_memory.measures);
+    assert_eq!(
+        spilled.to_json().render_pretty(),
+        in_memory.to_json().render_pretty()
+    );
+
+    // The spill directory is temporary: nothing under the temp dir may
+    // survive the sweep that created it.
+    let pid = std::process::id();
+    let leftovers: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+        .expect("temp dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("bioperf-sweep-ann-") && n.ends_with(&format!("-{pid}")))
+        .collect();
+    assert!(leftovers.is_empty(), "spill dirs left behind: {leftovers:?}");
+}

@@ -1,0 +1,284 @@
+//! The factored sweep's cache pass: one trace decode drives a bank of
+//! cache-axis configurations and records each one's miss-level
+//! annotation stream.
+//!
+//! [`CachePassSim`] replays exactly the hierarchy-access sequence a full
+//! [`CycleSim`](crate::CycleSim) would generate — the demand loads and
+//! stores plus the spill stores/reloads inserted by the register-pressure
+//! model — without any timing state. That sequence depends only on the
+//! trace and the platform's logical register count: every sweep cell
+//! shares the register file geometry, so one pass serves every timing
+//! configuration (see `core::sweep`'s factored wave 2). Each access is
+//! applied to every member [`Hierarchy`], and the servicing level lands
+//! in that member's [`AnnotationStream`]; the timing pass later converts
+//! levels back to latencies through each cell's own latency axis.
+
+use bioperf_cache::{AccessKind, AnnotationStream, Hierarchy, HierarchyStats, MissLevelBank};
+use bioperf_isa::{MicroOp, OpKind, Program};
+use bioperf_trace::{
+    OpBlock, TraceConsumer, REG_EVENT_DST, REG_EVENT_DST_LOAD, REG_EVENT_IDX_SHIFT,
+};
+
+use crate::regfile::RegFile;
+use crate::simulator::{READY_RING, SPILL_BASE, SPILL_SLOTS};
+
+/// Replays a trace's hierarchy-access sequence into a bank of cache
+/// configurations, producing per-config stats and annotation streams.
+#[derive(Debug)]
+pub struct CachePassSim {
+    regs: RegFile,
+    ready_tag: Vec<u64>,
+    ready_from_load: Vec<bool>,
+    bank: MissLevelBank,
+    // Blocked-path scratch: the spill plan and the merged access columns.
+    spill_ci: Vec<u32>,
+    spill_addr: Vec<u64>,
+    spill_computed: Vec<bool>,
+    acc_addrs: Vec<u64>,
+    acc_loads: Vec<bool>,
+    addr_log: Option<Vec<u64>>,
+}
+
+impl CachePassSim {
+    /// Builds a cache pass over the given member hierarchies, using the
+    /// platform's logical register count for the spill model (identical
+    /// across sweep cells, so the access sequence is shared).
+    pub fn new(logical_regs: u32, hierarchies: Vec<Hierarchy>) -> Self {
+        Self {
+            regs: RegFile::new(logical_regs),
+            ready_tag: vec![u64::MAX; READY_RING],
+            ready_from_load: vec![false; READY_RING],
+            bank: MissLevelBank::new(hierarchies),
+            spill_ci: Vec::new(),
+            spill_addr: Vec::new(),
+            spill_computed: Vec::new(),
+            acc_addrs: Vec::new(),
+            acc_loads: Vec::new(),
+            addr_log: None,
+        }
+    }
+
+    /// Also record the raw address sequence presented to the bank, for
+    /// analytic cross-checks (the sweep's stack-distance verification
+    /// profiles exactly this stream).
+    pub fn with_address_log(mut self) -> Self {
+        self.addr_log = Some(Vec::new());
+        self
+    }
+
+    /// The logged address sequence, when [`Self::with_address_log`] was
+    /// requested.
+    pub fn address_log(&self) -> Option<&[u64]> {
+        self.addr_log.as_deref()
+    }
+
+    /// Accesses presented to the bank so far (the annotation length).
+    pub fn accesses(&self) -> usize {
+        self.bank.accesses()
+    }
+
+    /// Final per-member stats and annotation streams, in construction
+    /// order.
+    pub fn finish_bank(self) -> Vec<(HierarchyStats, AnnotationStream)> {
+        self.bank.finish()
+    }
+
+    fn bank_access(&mut self, addr: u64, kind: AccessKind) {
+        if let Some(log) = &mut self.addr_log {
+            log.push(addr);
+        }
+        self.bank.access(addr, kind);
+    }
+}
+
+impl TraceConsumer for CachePassSim {
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        // Mirrors `CycleSim::step`'s access order: spill traffic from
+        // operand resolution first, then the op's own demand access.
+        for src in op.sources() {
+            let slot = (src.0 as usize) & (READY_RING - 1);
+            if self.ready_tag[slot] != src.0 {
+                continue; // no recorded producer
+            }
+            if self.regs.touch(src.0) {
+                continue; // still architected: no spill traffic
+            }
+            let addr = SPILL_BASE + (src.0 % SPILL_SLOTS) * 8;
+            if !self.ready_from_load[slot] {
+                // Computed value: round-trips through the spill slot.
+                self.bank_access(addr, AccessKind::Store);
+            }
+            self.bank_access(addr, AccessKind::Load);
+            self.regs.insert(src.0);
+        }
+        match op.kind {
+            OpKind::IntLoad | OpKind::FpLoad => {
+                self.bank_access(op.addr.expect("loads carry addresses"), AccessKind::Load);
+            }
+            OpKind::IntStore | OpKind::FpStore => {
+                self.bank_access(op.addr.expect("stores carry addresses"), AccessKind::Store);
+            }
+            _ => {}
+        }
+        if let Some(dst) = op.dst {
+            let slot = (dst.0 as usize) & (READY_RING - 1);
+            self.ready_tag[slot] = dst.0;
+            self.ready_from_load[slot] = op.kind.is_load();
+            self.regs.insert(dst.0);
+        }
+    }
+
+    fn consume_block(&mut self, block: &OpBlock, _program: &Program) {
+        // Spill plan over the whole block: the register-event walk of
+        // `CycleSim::block_pass_regs`, keeping only what decides accesses.
+        self.spill_ci.clear();
+        self.spill_addr.clear();
+        self.spill_computed.clear();
+        let metas = block.reg_event_meta();
+        let vregs = block.reg_event_vreg();
+        for (e, &meta) in metas.iter().enumerate() {
+            let v = vregs[e];
+            let slot = (v as usize) & (READY_RING - 1);
+            if meta & REG_EVENT_DST != 0 {
+                self.ready_tag[slot] = v;
+                self.ready_from_load[slot] = meta & REG_EVENT_DST_LOAD != 0;
+                self.regs.insert(v);
+                continue;
+            }
+            if self.ready_tag[slot] != v {
+                continue;
+            }
+            if !self.regs.touch(v) {
+                self.spill_ci.push(meta >> REG_EVENT_IDX_SHIFT);
+                self.spill_addr.push(SPILL_BASE + (v % SPILL_SLOTS) * 8);
+                self.spill_computed.push(!self.ready_from_load[slot]);
+                self.regs.insert(v);
+            }
+        }
+
+        // Merge the planned spill traffic with the pre-filtered demand
+        // column into one access run, ties toward the spill stream — the
+        // same interleaving as `block_pass_memory`, which itself matches
+        // per-op order (an op resolves operands before executing).
+        self.acc_addrs.clear();
+        self.acc_loads.clear();
+        let mem_idx = block.mem_idx();
+        let mem_addrs = block.mem_addrs();
+        let mem_loads = block.mem_loads();
+        let codes = block.kind_codes();
+        let mut sp = 0;
+        let mut me = 0;
+        loop {
+            let sp_ci = self.spill_ci.get(sp).copied().unwrap_or(u32::MAX);
+            let mem_ci = mem_idx.get(me).copied().unwrap_or(u32::MAX);
+            if sp_ci <= mem_ci {
+                if sp_ci == u32::MAX {
+                    break;
+                }
+                if self.spill_computed[sp] {
+                    self.acc_addrs.push(self.spill_addr[sp]);
+                    self.acc_loads.push(false);
+                }
+                self.acc_addrs.push(self.spill_addr[sp]);
+                self.acc_loads.push(true);
+                sp += 1;
+                continue;
+            }
+            if codes[mem_ci as usize] <= OpKind::FpStore.code() {
+                self.acc_addrs.push(mem_addrs[me]);
+                self.acc_loads.push(mem_loads[me]);
+            }
+            me += 1;
+        }
+        if let Some(log) = &mut self.addr_log {
+            log.extend_from_slice(&self.acc_addrs);
+        }
+        self.bank.access_run(&self.acc_addrs, &self.acc_loads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+    use crate::simulator::CycleSim;
+    use bioperf_isa::here;
+    use bioperf_trace::{Recorder, Tape, Tracer};
+
+    fn spill_heavy_recording() -> (Program, bioperf_trace::Recording) {
+        let mut tape = Tape::new(Recorder::new());
+        let xs: Vec<u64> = (0..512).map(|i| i * 3).collect();
+        let mut state = 0xFEED_F00Du64;
+        let mut rand_bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        for r in 0..400usize {
+            let temps: Vec<_> =
+                (0..12).map(|i| tape.int_load(here!("t"), &xs[(r * 7 + i) % 512])).collect();
+            let mut acc = tape.lit();
+            for v in &temps {
+                acc = tape.int_op(here!("t"), &[acc, *v]);
+            }
+            let sel = tape.select(here!("t"), &[acc], rand_bit());
+            tape.branch(here!("t"), &[sel], rand_bit());
+            let f = tape.fp_load(here!("t"), &xs[r % 512]);
+            let g = tape.fp_op(here!("t"), &[f]);
+            tape.fp_store(here!("t"), &xs[(r * 13) % 512], g);
+        }
+        let (program, rec) = tape.finish();
+        let recording = rec.into_recording(program.clone());
+        (program, recording)
+    }
+
+    /// The cache pass must present exactly the access sequence a live
+    /// `CycleSim` presents to its hierarchy — pinned by comparing final
+    /// hierarchy stats on every platform, per-op and blocked.
+    #[test]
+    fn cache_pass_reproduces_cyclesim_hierarchy_stats() {
+        let (program, recording) = spill_heavy_recording();
+        for cfg in PlatformConfig::all() {
+            let mut sim = CycleSim::new(cfg.clone());
+            recording.replay_bank(std::slice::from_mut(&mut sim));
+            let reference = sim.into_result().cache;
+
+            let mut blocked = CachePassSim::new(cfg.logical_regs, vec![cfg.hierarchy()]);
+            recording.replay_bank(std::slice::from_mut(&mut blocked));
+            let (stats, stream) = blocked.finish_bank().pop().expect("one member");
+            assert_eq!(stats, reference, "{} blocked cache pass diverged", cfg.name);
+            assert_eq!(
+                stream.len() as u64,
+                reference.l1.load_accesses + reference.l1.store_accesses,
+                "{}: one annotation per demand access",
+                cfg.name
+            );
+
+            let mut per_op = CachePassSim::new(cfg.logical_regs, vec![cfg.hierarchy()]);
+            for op in recording.iter() {
+                per_op.consume(&op, &program);
+            }
+            let (stats, _) = per_op.finish_bank().pop().expect("one member");
+            assert_eq!(stats, reference, "{} per-op cache pass diverged", cfg.name);
+        }
+    }
+
+    /// A multi-member bank must equal independent single-member passes.
+    #[test]
+    fn bank_members_are_independent() {
+        let (_, recording) = spill_heavy_recording();
+        let cfg = PlatformConfig::pentium4();
+        let others = PlatformConfig::alpha21264();
+        let mut bank =
+            CachePassSim::new(cfg.logical_regs, vec![cfg.hierarchy(), others.hierarchy()]);
+        recording.replay_bank(std::slice::from_mut(&mut bank));
+        let banked = bank.finish_bank();
+
+        for (i, member_cfg) in [&cfg, &others].into_iter().enumerate() {
+            let mut solo = CachePassSim::new(cfg.logical_regs, vec![member_cfg.hierarchy()]);
+            recording.replay_bank(std::slice::from_mut(&mut solo));
+            let (stats, stream) = solo.finish_bank().pop().expect("one member");
+            assert_eq!(stats, banked[i].0, "member {i} stats");
+            assert_eq!(stream, banked[i].1, "member {i} stream");
+        }
+    }
+}

@@ -41,11 +41,15 @@
 //! assert_eq!(result.instructions, 512);
 //! ```
 
+pub mod annotate;
 pub mod config;
 pub mod inject;
 pub mod regfile;
 pub mod simulator;
+pub mod timing_bank;
 
+pub use annotate::CachePassSim;
 pub use config::{OpLatencies, PlatformConfig};
 pub use regfile::RegFile;
 pub use simulator::{CycleSim, OpTiming, SimResult};
+pub use timing_bank::TimingBank;

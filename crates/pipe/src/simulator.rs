@@ -14,39 +14,39 @@ use crate::regfile::RegFile;
 
 /// Ring sizes; both bound the span of "active" cycles / values, which is
 /// limited by the ROB size times the largest latency.
-const ISSUE_RING: usize = 1 << 12;
-const READY_RING: usize = 1 << 16;
+pub(crate) const ISSUE_RING: usize = 1 << 12;
+pub(crate) const READY_RING: usize = 1 << 16;
 
 /// Each issue-ring slot packs `(cycle << 4) | issued-count` into one
 /// `u64` (issue widths are ≤ 8, cycles nowhere near 2⁶⁰), so a claim is
 /// one load plus one store on a 32 KB ring instead of two fields on a
 /// 64 KB one.
-const ISSUE_COUNT_BITS: u32 = 4;
-const ISSUE_COUNT_MASK: u64 = (1 << ISSUE_COUNT_BITS) - 1;
+pub(crate) const ISSUE_COUNT_BITS: u32 = 4;
+pub(crate) const ISSUE_COUNT_MASK: u64 = (1 << ISSUE_COUNT_BITS) - 1;
 
 /// Two out-of-band ready-ring slots used by the blocked engine's
 /// pre-resolved operand plan: reads of `ZERO_SLOT` always see cycle 0
 /// (an absent or long-dead producer), writes to `SINK_SLOT` are
 /// discarded (an op with no destination). Both let the operand loop run
 /// without testing `Option`s.
-const SINK_SLOT: u32 = READY_RING as u32;
-const ZERO_SLOT: u32 = READY_RING as u32 + 1;
+pub(crate) const SINK_SLOT: u32 = READY_RING as u32;
+pub(crate) const ZERO_SLOT: u32 = READY_RING as u32 + 1;
 
 /// Per-op flag byte in the blocked engine's plan: two bits per source
 /// position (`00` plain, `01` reload rematerialized from a load, `10`
 /// reload of a computed value through a spill slot), plus the
 /// branch-resolution bits.
-const SRC_RELOAD_LOAD: u8 = 0b01;
-const SRC_RELOAD_COMPUTED: u8 = 0b10;
-const SPILL_MASK: u8 = 0b11_11_11;
+pub(crate) const SRC_RELOAD_LOAD: u8 = 0b01;
+pub(crate) const SRC_RELOAD_COMPUTED: u8 = 0b10;
+pub(crate) const SPILL_MASK: u8 = 0b11_11_11;
 /// The resolved branch mispredicted: redirect the front end.
-const FLAG_REDIRECT: u8 = 1 << 7;
+pub(crate) const FLAG_REDIRECT: u8 = 1 << 7;
 
 /// The blocked engine phases over sub-chunks of this many ops, not whole
 /// blocks: the plan arrays plus one chunk's columns stay cache-resident
 /// across the three passes, where a full 4096-op block would be
 /// re-fetched by each pass.
-const PHASE_CHUNK: usize = 512;
+pub(crate) const PHASE_CHUNK: usize = 512;
 
 /// Per-block cursors into the [`OpBlock`] filter columns; each chunk's
 /// passes consume their column prefix and leave the cursors at the next
@@ -61,8 +61,20 @@ struct ColCursors {
 
 /// Where spilled values live: a small stack-like region that stays
 /// L1-resident, as real spill slots do.
-const SPILL_BASE: u64 = 0x7fff_0000_0000;
-const SPILL_SLOTS: u64 = 512;
+pub(crate) const SPILL_BASE: u64 = 0x7fff_0000_0000;
+pub(crate) const SPILL_SLOTS: u64 = 512;
+
+/// Annotated-replay state (see [`CycleSim::with_annotations`]): a shared
+/// miss-level stream, the read cursor, and the platform's
+/// level-to-latency table.
+#[derive(Debug, Clone)]
+struct AnnCursor {
+    stream: std::sync::Arc<bioperf_cache::AnnotationStream>,
+    pos: usize,
+    /// Total access latency by 2-bit level code (L1 / L2 / memory; the
+    /// fourth entry aliases L1 so indexing a raw code never bounds-checks).
+    lat: [u64; 4],
+}
 
 /// Results of simulating one trace on one platform.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,6 +141,9 @@ pub struct OpTiming {
 pub struct CycleSim {
     cfg: PlatformConfig,
     hierarchy: Hierarchy,
+    /// When set, every hierarchy access instead pops one precomputed
+    /// miss-level annotation — the factored sweep's timing pass.
+    ann: Option<AnnCursor>,
     predictor: DynPredictor,
     fp_load_extra: u64,
 
@@ -211,6 +226,7 @@ impl CycleSim {
         }
         Self {
             hierarchy: cfg.hierarchy(),
+            ann: None,
             predictor: DynPredictor::default(),
             fp_load_extra: cfg.fp_load_latency.saturating_sub(cfg.int_load_latency),
             fetch_cycle: 0,
@@ -299,6 +315,59 @@ impl CycleSim {
     pub fn with_prefetcher(mut self, policy: Prefetcher) -> Self {
         self.hierarchy = self.hierarchy.with_prefetcher(policy);
         self
+    }
+
+    /// Replays against a precomputed miss-level annotation stream instead
+    /// of a live cache hierarchy — the factored sweep's timing pass.
+    /// Every access the pipeline would present to a hierarchy (demand
+    /// loads and stores plus spill traffic) pops exactly one annotation,
+    /// and the level maps to this platform's cumulative hit/miss
+    /// latencies. `SimResult::cache` stays zeroed in this mode: the cache
+    /// pass that produced the stream owns the stats.
+    pub fn with_annotations(
+        mut self,
+        stream: std::sync::Arc<bioperf_cache::AnnotationStream>,
+    ) -> Self {
+        let lat = bioperf_cache::LatencyConfig {
+            l1: self.cfg.int_load_latency,
+            l2: self.cfg.l2_latency,
+            memory: self.cfg.memory_latency,
+        };
+        // An armed `factored-annotation-skew` fault starts the cursor one
+        // annotation in — the off-by-one the sweep self-check must catch.
+        let pos =
+            bioperf_trace::inject::active(bioperf_trace::inject::ANN_SKEW) as usize;
+        self.ann = Some(AnnCursor {
+            stream,
+            pos,
+            lat: [
+                lat.total(false, false),
+                lat.total(true, false),
+                lat.total(true, true),
+                lat.total(false, false),
+            ],
+        });
+        self
+    }
+
+    /// Annotations consumed so far (None outside annotated mode).
+    pub fn annotations_consumed(&self) -> Option<usize> {
+        self.ann.as_ref().map(|c| c.pos)
+    }
+
+    /// One hierarchy access — or, in annotated mode, one pop of the
+    /// precomputed miss-level stream. An exhausted cursor reads the
+    /// benign L1 code, so a skewed replay diverges instead of crashing.
+    #[inline]
+    fn mem_access(&mut self, addr: u64, kind: AccessKind) -> u64 {
+        match &mut self.ann {
+            Some(c) => {
+                let code = c.stream.code(c.pos);
+                c.pos += 1;
+                c.lat[code as usize]
+            }
+            None => self.hierarchy.access(addr, kind),
+        }
     }
 
     /// Enables per-op timeline recording (capped at 65 536 ops). Use for
@@ -438,12 +507,12 @@ impl CycleSim {
             // one store plus a forwarded reload.
             self.spill_stores += 1;
             let addr = SPILL_BASE + (src.0 % SPILL_SLOTS) * 8;
-            self.hierarchy.access(addr, AccessKind::Store);
+            self.mem_access(addr, AccessKind::Store);
             self.issue_at(dispatch);
             (addr, self.cfg.spill_forward_extra)
         };
         let start = self.issue_at(dispatch.max(base));
-        let lat = self.hierarchy.access(addr, AccessKind::Load) + extra;
+        let lat = self.mem_access(addr, AccessKind::Load) + extra;
         let ready = start + lat;
         self.set_ready(src, ready, from_load);
         self.regs.insert(src.0);
@@ -475,12 +544,12 @@ impl CycleSim {
         let mut mispredicted_now = false;
         let completion = match op.kind {
             OpKind::IntLoad | OpKind::FpLoad => {
-                let lat = self.hierarchy.access(op.addr.expect("loads carry addresses"), AccessKind::Load);
+                let lat = self.mem_access(op.addr.expect("loads carry addresses"), AccessKind::Load);
                 let extra = if op.kind == OpKind::FpLoad { self.fp_load_extra } else { 0 };
                 start + lat + extra
             }
             OpKind::IntStore | OpKind::FpStore => {
-                self.hierarchy.access(op.addr.expect("stores carry addresses"), AccessKind::Store);
+                self.mem_access(op.addr.expect("stores carry addresses"), AccessKind::Store);
                 start + 1
             }
             OpKind::CondBranch => {
@@ -703,12 +772,12 @@ impl CycleSim {
                     // Computed values round-trip through the slot: the
                     // store happens here, the forwarding stall rides on
                     // the reload latency.
-                    self.hierarchy.access(addr, AccessKind::Store);
+                    self.mem_access(addr, AccessKind::Store);
                     self.cfg.spill_forward_extra
                 } else {
                     0
                 };
-                let lat = self.hierarchy.access(addr, AccessKind::Load) + extra;
+                let lat = self.mem_access(addr, AccessKind::Load) + extra;
                 self.sc_spill_lat.push(lat as u32);
                 continue;
             }
@@ -723,7 +792,7 @@ impl CycleSim {
             }
             let is_load = mem_loads[e];
             let kind = if is_load { AccessKind::Load } else { AccessKind::Store };
-            let lat = self.hierarchy.access(mem_addrs[e], kind)
+            let lat = self.mem_access(mem_addrs[e], kind)
                 + (code == OpKind::FpLoad.code()) as u64 * self.fp_load_extra;
             if is_load {
                 self.sc_lat[ci] = lat as u32;
@@ -1113,6 +1182,72 @@ mod tests {
                     block_ops
                 );
             }
+        }
+    }
+
+    /// The factored timing pass: a sim fed the cache pass's annotation
+    /// stream must produce the exact cycles/branch/spill numbers of a
+    /// sim owning the live hierarchy — per-op and blocked, on every
+    /// platform.
+    #[test]
+    fn annotated_replay_matches_live_hierarchy_replay() {
+        use crate::annotate::CachePassSim;
+        use bioperf_trace::Recorder;
+        let mut tape = Tape::new(Recorder::new());
+        let xs: Vec<u64> = (0..512).map(|i| i * 5).collect();
+        let mut state = 0xC0FF_EE11u64;
+        let mut rand_bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        for r in 0..400usize {
+            let temps: Vec<_> =
+                (0..12).map(|i| tape.int_load(here!("a"), &xs[(r * 11 + i) % 512])).collect();
+            let mut acc = tape.lit();
+            for v in &temps {
+                acc = tape.int_op(here!("a"), &[acc, *v]);
+            }
+            let sel = tape.select(here!("a"), &[acc], rand_bit());
+            tape.branch(here!("a"), &[sel], rand_bit());
+            let f = tape.fp_load(here!("a"), &xs[r % 512]);
+            let g = tape.fp_op(here!("a"), &[f]);
+            tape.fp_store(here!("a"), &xs[(r * 3) % 512], g);
+        }
+        let (program, rec) = tape.finish();
+        let recording = rec.into_recording(program.clone());
+        for cfg in PlatformConfig::all() {
+            let mut live = CycleSim::new(cfg.clone());
+            recording.replay_bank(std::slice::from_mut(&mut live));
+            let reference = live.into_result();
+
+            let mut pass = CachePassSim::new(cfg.logical_regs, vec![cfg.hierarchy()]);
+            recording.replay_bank(std::slice::from_mut(&mut pass));
+            let (_, stream) = pass.finish_bank().pop().expect("one member");
+            let stream = std::sync::Arc::new(stream);
+
+            let mut blocked = CycleSim::new(cfg.clone()).with_annotations(stream.clone());
+            recording.replay_bank(std::slice::from_mut(&mut blocked));
+            assert_eq!(blocked.annotations_consumed(), Some(stream.len()), "{}", cfg.name);
+            let got = blocked.into_result();
+            assert_eq!(got.cycles, reference.cycles, "{} annotated cycles", cfg.name);
+            assert_eq!(
+                (got.instructions, got.branches, got.mispredicts, got.spill_stores, got.spill_reloads),
+                (
+                    reference.instructions,
+                    reference.branches,
+                    reference.mispredicts,
+                    reference.spill_stores,
+                    reference.spill_reloads
+                ),
+                "{} annotated counters",
+                cfg.name
+            );
+
+            let mut per_op = CycleSim::new(cfg.clone()).with_annotations(stream.clone());
+            for op in recording.iter() {
+                per_op.consume(&op, &program);
+            }
+            assert_eq!(per_op.into_result().cycles, reference.cycles, "{} per-op", cfg.name);
         }
     }
 

@@ -1,0 +1,776 @@
+//! The factored sweep's timing pass: one trace decode drives a bank of
+//! annotated timing configurations through shared front-end passes.
+//!
+//! An annotated [`CycleSim`](crate::CycleSim) spends most of its time in
+//! state that is *identical across sweep cells*: the register/spill plan
+//! depends only on the trace and the platform's logical register count,
+//! and predictor evolution depends only on the trace and the predictor
+//! family — both shared by construction across a sweep's timing axis
+//! (every cell keeps the base platform's register file and if-conversion
+//! mode). [`TimingBank`] therefore runs the phased engine's register
+//! pass once per chunk, each distinct predictor family once per chunk,
+//! and only the irreducible serial timing core (pass D) plus the cheap
+//! annotation-to-latency mapping per lane. Every lane's result is
+//! bit-identical to an independent `CycleSim::with_annotations` replay —
+//! pinned by this module's tests and, transitively, by the sweep's
+//! factored-vs-oracle self-check.
+
+use std::sync::Arc;
+
+use bioperf_branch::{DynPredictor, PredictorKind};
+use bioperf_cache::{AnnotationStream, HierarchyStats, LatencyConfig};
+use bioperf_isa::{MicroOp, OpKind, Program, StaticId};
+use bioperf_trace::{
+    OpBlock, TraceConsumer, REG_EVENT_DST, REG_EVENT_DST_LOAD, REG_EVENT_IDX_SHIFT,
+    REG_EVENT_POS,
+};
+
+use crate::config::PlatformConfig;
+use crate::regfile::RegFile;
+use crate::simulator::{
+    SimResult, FLAG_REDIRECT, ISSUE_COUNT_BITS, ISSUE_COUNT_MASK, ISSUE_RING, PHASE_CHUNK,
+    READY_RING, SINK_SLOT, SPILL_MASK, SRC_RELOAD_COMPUTED, SRC_RELOAD_LOAD, ZERO_SLOT,
+};
+
+// Merged access-event tags, in the exact pop order of
+// `CycleSim::block_pass_memory`: an op's spill reloads precede its own
+// demand access, and a computed-value reload pops a store annotation
+// before its load annotation.
+const ACC_INT_LOAD: u32 = 0;
+const ACC_FP_LOAD: u32 = 1;
+const ACC_STORE: u32 = 2;
+const ACC_SPILL_LOAD: u32 = 3;
+const ACC_SPILL_COMPUTED: u32 = 4;
+const ACC_TAG_BITS: u32 = 3;
+
+/// One timing configuration's private state: annotation cursor, latency
+/// tables, and the serial scheduling core (ready ring, issue ring, ROB,
+/// front end).
+#[derive(Debug, Clone)]
+struct TimingLane {
+    // Cell shape.
+    in_order: bool,
+    fetch_width: u32,
+    issue_width: u64,
+    rob_size: usize,
+    mispredict_penalty: u64,
+    spill_forward_extra: u64,
+    fp_load_extra: u64,
+    lat_lut: [u32; 12],
+    /// Index into the bank's predictor families.
+    family: usize,
+    // Annotation cursor (`CycleSim`'s `AnnCursor`).
+    stream: Arc<AnnotationStream>,
+    pos: usize,
+    ann_lat: [u64; 4],
+    // Pass D state, field-for-field the timing half of `CycleSim`.
+    fetch_cycle: u64,
+    fetched_this_cycle: u32,
+    issue_ring: Vec<u64>,
+    ready_cycle: Vec<u64>,
+    rob: Vec<u64>,
+    rob_head: usize,
+    rob_len: usize,
+    last_issue: u64,
+    max_completion: u64,
+    // Per-chunk scratch.
+    flags: Vec<u8>,
+    lat: Vec<u32>,
+    spill_lat: Vec<u32>,
+}
+
+impl TimingLane {
+    /// One annotation pop: the miss level's total latency on this lane.
+    #[inline]
+    fn pop(&mut self) -> u64 {
+        let code = self.stream.code(self.pos);
+        self.pos += 1;
+        self.ann_lat[code as usize]
+    }
+
+    /// Fills this lane's latency plan for one chunk: base LUT over the
+    /// kind codes, then the merged access events in pop order, then the
+    /// branch resolutions (latency 1).
+    fn fill_latencies(&mut self, codes: &[u8], acc: &[u32], branches: &[(u32, StaticId, bool)]) {
+        self.lat.clear();
+        self.lat.extend(codes.iter().map(|&c| self.lat_lut[c as usize]));
+        self.spill_lat.clear();
+        for &ev in acc {
+            let ci = (ev >> ACC_TAG_BITS) as usize;
+            match ev & ((1 << ACC_TAG_BITS) - 1) {
+                ACC_INT_LOAD => self.lat[ci] = self.pop() as u32,
+                ACC_FP_LOAD => self.lat[ci] = (self.pop() + self.fp_load_extra) as u32,
+                ACC_STORE => {
+                    self.pop();
+                }
+                ACC_SPILL_LOAD => {
+                    let l = self.pop();
+                    self.spill_lat.push(l as u32);
+                }
+                _ => {
+                    // Computed-value reload: the spill store pops first,
+                    // then the reload plus the forwarding stall.
+                    self.pop();
+                    let l = self.pop() + self.spill_forward_extra;
+                    self.spill_lat.push(l as u32);
+                }
+            }
+        }
+        for &(ci, _, _) in branches {
+            self.lat[ci as usize] = 1;
+        }
+    }
+
+    /// `CycleSim::issue_at`, on lane state.
+    fn issue_at(&mut self, earliest: u64) -> u64 {
+        let mut c = earliest;
+        loop {
+            let slot = &mut self.issue_ring[(c as usize) & (ISSUE_RING - 1)];
+            let packed = *slot;
+            if packed >> ISSUE_COUNT_BITS != c {
+                *slot = (c << ISSUE_COUNT_BITS) | 1;
+                return c;
+            }
+            if packed & ISSUE_COUNT_MASK < self.issue_width {
+                *slot = packed + 1;
+                return c;
+            }
+            c += 1;
+        }
+    }
+
+    /// `CycleSim::dispatch`, on lane state.
+    fn dispatch(&mut self) -> u64 {
+        if self.fetched_this_cycle >= self.fetch_width {
+            self.fetch_cycle += 1;
+            self.fetched_this_cycle = 0;
+        }
+        if self.rob_len == self.rob_size {
+            let head = self.rob[self.rob_head];
+            self.rob_head += 1;
+            if self.rob_head == self.rob_size {
+                self.rob_head = 0;
+            }
+            self.rob_len -= 1;
+            if head > self.fetch_cycle {
+                self.fetch_cycle = head;
+                self.fetched_this_cycle = 0;
+            }
+        }
+        self.fetched_this_cycle += 1;
+        self.fetch_cycle
+    }
+
+    /// `CycleSim::block_pass_timing`, on lane state with the bank's
+    /// shared operand plan.
+    fn run_chunk<const IN_ORDER: bool>(&mut self, n: usize, src: &[[u32; 3]], dst: &[u32]) {
+        let mut spill_idx = 0usize;
+        for i in 0..n {
+            let dispatch = self.dispatch();
+            let flags = self.flags[i];
+            let slots = src[i];
+            let operands = if flags & SPILL_MASK == 0 {
+                let a = self.ready_cycle[slots[0] as usize];
+                let b = self.ready_cycle[slots[1] as usize];
+                let c = self.ready_cycle[slots[2] as usize];
+                a.max(b).max(c)
+            } else {
+                let mut operands = 0u64;
+                for (j, &slot) in slots.iter().enumerate() {
+                    let base = self.ready_cycle[slot as usize];
+                    let code = (flags >> (2 * j)) & 0b11;
+                    if code == 0 {
+                        operands = operands.max(base);
+                        continue;
+                    }
+                    self.fetched_this_cycle += 1;
+                    if code == SRC_RELOAD_COMPUTED {
+                        self.issue_at(dispatch);
+                    }
+                    let start = self.issue_at(dispatch.max(base));
+                    let ready = start + self.spill_lat[spill_idx] as u64;
+                    spill_idx += 1;
+                    self.ready_cycle[slot as usize] = ready;
+                    operands = operands.max(ready);
+                }
+                operands
+            };
+            let mut earliest = dispatch.max(operands);
+            if IN_ORDER {
+                earliest = earliest.max(self.last_issue);
+            }
+            let start = self.issue_at(earliest);
+            if IN_ORDER {
+                self.last_issue = start;
+            }
+            let completion = start + self.lat[i] as u64;
+            if flags & FLAG_REDIRECT != 0
+                && !crate::inject::active(crate::inject::DROPPED_FLUSH)
+            {
+                let redirect = completion + self.mispredict_penalty;
+                if redirect > self.fetch_cycle {
+                    self.fetch_cycle = redirect;
+                    self.fetched_this_cycle = 0;
+                }
+            }
+            self.ready_cycle[dst[i] as usize] = completion;
+            let mut pos = self.rob_head + self.rob_len;
+            if pos >= self.rob_size {
+                pos -= self.rob_size;
+            }
+            self.rob[pos] = completion;
+            self.rob_len += 1;
+            if completion > self.max_completion {
+                self.max_completion = completion;
+            }
+        }
+    }
+}
+
+/// Replays a trace once through a bank of annotated timing
+/// configurations, sharing the register/spill plan across every lane and
+/// each predictor family across its lanes.
+///
+/// All lanes must share the platform's `logical_regs` and
+/// `if_conversion` (true of every sweep grid cell — both come from the
+/// base platform, not the swept axes); [`Self::push_lane`] panics
+/// otherwise. Each lane's [`SimResult`] is bit-identical to replaying an
+/// independent `CycleSim::new(cfg).with_predictor(pred)
+/// .with_annotations(stream)`.
+#[derive(Debug)]
+pub struct TimingBank {
+    logical_regs: u32,
+    if_conversion: bool,
+    // Shared front: the register/spill plan state.
+    regs: RegFile,
+    ready_tag: Vec<u64>,
+    ready_from_load: Vec<bool>,
+    instructions: u64,
+    branches: u64,
+    spill_stores: u64,
+    spill_reloads: u64,
+    // One predictor per distinct family among the lanes.
+    pred_kinds: Vec<PredictorKind>,
+    preds: Vec<DynPredictor>,
+    fam_mispredicts: Vec<u64>,
+    fam_redirects: Vec<Vec<u32>>,
+    // Shared per-chunk plan (the phased engine's pass A output plus the
+    // merged access-event and branch-outcome sequences).
+    sc_flags: Vec<u8>,
+    sc_src: Vec<[u32; 3]>,
+    sc_dst: Vec<u32>,
+    sc_spill_ev: Vec<u32>,
+    sc_acc: Vec<u32>,
+    sc_branch: Vec<(u32, StaticId, bool)>,
+    lanes: Vec<TimingLane>,
+}
+
+impl TimingBank {
+    /// An empty bank over the shared platform invariants.
+    pub fn new(logical_regs: u32, if_conversion: bool) -> Self {
+        Self {
+            logical_regs,
+            if_conversion,
+            regs: RegFile::new(logical_regs),
+            ready_tag: vec![u64::MAX; READY_RING],
+            ready_from_load: vec![false; READY_RING],
+            instructions: 0,
+            branches: 0,
+            spill_stores: 0,
+            spill_reloads: 0,
+            pred_kinds: Vec::new(),
+            preds: Vec::new(),
+            fam_mispredicts: Vec::new(),
+            fam_redirects: Vec::new(),
+            sc_flags: Vec::new(),
+            sc_src: Vec::new(),
+            sc_dst: Vec::new(),
+            sc_spill_ev: Vec::new(),
+            sc_acc: Vec::new(),
+            sc_branch: Vec::new(),
+            lanes: Vec::new(),
+        }
+    }
+
+    /// Adds one timing configuration: a platform shape, a predictor
+    /// family, and its precomputed miss-level stream.
+    pub fn push_lane(
+        &mut self,
+        cfg: &PlatformConfig,
+        pred: PredictorKind,
+        stream: Arc<AnnotationStream>,
+    ) {
+        assert_eq!(cfg.logical_regs, self.logical_regs, "lanes must share the register file");
+        assert_eq!(cfg.if_conversion, self.if_conversion, "lanes must share if-conversion");
+        let family = match self.pred_kinds.iter().position(|&k| k == pred) {
+            Some(f) => f,
+            None => {
+                self.pred_kinds.push(pred);
+                self.preds.push(DynPredictor::new(pred));
+                self.fam_mispredicts.push(0);
+                self.fam_redirects.push(Vec::new());
+                self.pred_kinds.len() - 1
+            }
+        };
+        let mut lat_lut = [1u32; 12];
+        for kind in OpKind::ALL {
+            if !kind.is_load() && !kind.is_store() {
+                lat_lut[kind.code() as usize] = cfg.op_latency(kind) as u32;
+            }
+        }
+        let lat = LatencyConfig {
+            l1: cfg.int_load_latency,
+            l2: cfg.l2_latency,
+            memory: cfg.memory_latency,
+        };
+        // Same skew hook as `CycleSim::with_annotations`: an armed
+        // `factored-annotation-skew` fault starts the cursor one in.
+        let pos = bioperf_trace::inject::active(bioperf_trace::inject::ANN_SKEW) as usize;
+        self.lanes.push(TimingLane {
+            in_order: cfg.in_order,
+            fetch_width: cfg.fetch_width,
+            issue_width: cfg.issue_width as u64,
+            rob_size: cfg.rob_size,
+            mispredict_penalty: cfg.mispredict_penalty,
+            spill_forward_extra: cfg.spill_forward_extra,
+            fp_load_extra: cfg.fp_load_latency.saturating_sub(cfg.int_load_latency),
+            lat_lut,
+            family,
+            stream,
+            pos,
+            ann_lat: [
+                lat.total(false, false),
+                lat.total(true, false),
+                lat.total(true, true),
+                lat.total(false, false),
+            ],
+            fetch_cycle: 0,
+            fetched_this_cycle: 0,
+            issue_ring: vec![u64::MAX; ISSUE_RING],
+            ready_cycle: vec![0; READY_RING + 2],
+            rob: vec![0; cfg.rob_size],
+            rob_head: 0,
+            rob_len: 0,
+            last_issue: 0,
+            max_completion: 0,
+            flags: Vec::new(),
+            lat: Vec::new(),
+            spill_lat: Vec::new(),
+        });
+    }
+
+    /// Lanes pushed so far.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the bank has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Final per-lane results, in push order. `SimResult::cache` is
+    /// zeroed exactly as in annotated `CycleSim` replay: the cache pass
+    /// that produced the streams owns the hierarchy stats.
+    pub fn into_results(self) -> Vec<SimResult> {
+        self.lanes
+            .iter()
+            .map(|lane| SimResult {
+                cycles: lane.max_completion.max(lane.fetch_cycle),
+                instructions: self.instructions,
+                branches: self.branches,
+                mispredicts: self.fam_mispredicts[lane.family],
+                spill_stores: self.spill_stores,
+                spill_reloads: self.spill_reloads,
+                cache: HierarchyStats::default(),
+            })
+            .collect()
+    }
+
+    /// Pass A for one chunk — `CycleSim::block_pass_regs` on the shared
+    /// register state, without spill addresses (annotated pops ignore
+    /// them).
+    fn chunk_pass_regs(&mut self, block: &OpBlock, lo: usize, hi: usize, ev: &mut usize) {
+        let n = hi - lo;
+        self.sc_flags.clear();
+        self.sc_flags.resize(n, 0);
+        self.sc_src.clear();
+        self.sc_src.resize(n, [ZERO_SLOT; 3]);
+        self.sc_dst.clear();
+        self.sc_dst.resize(n, SINK_SLOT);
+        self.sc_spill_ev.clear();
+        let metas = block.reg_event_meta();
+        let vregs = block.reg_event_vreg();
+        let end = (hi as u32) << REG_EVENT_IDX_SHIFT;
+        while *ev < metas.len() {
+            let meta = metas[*ev];
+            if meta >= end {
+                break;
+            }
+            let v = vregs[*ev];
+            *ev += 1;
+            let ci = (meta >> REG_EVENT_IDX_SHIFT) as usize - lo;
+            let slot = (v as usize) & (READY_RING - 1);
+            if meta & REG_EVENT_DST != 0 {
+                self.ready_tag[slot] = v;
+                self.ready_from_load[slot] = meta & REG_EVENT_DST_LOAD != 0;
+                self.regs.insert(v);
+                self.sc_dst[ci] = slot as u32;
+                continue;
+            }
+            if self.ready_tag[slot] != v {
+                continue;
+            }
+            let pos = (meta & REG_EVENT_POS) as usize;
+            self.sc_src[ci][pos] = slot as u32;
+            if !self.regs.touch(v) {
+                self.spill_reloads += 1;
+                let computed = !self.ready_from_load[slot];
+                if computed {
+                    self.spill_stores += 1;
+                    self.sc_flags[ci] |= SRC_RELOAD_COMPUTED << (2 * pos);
+                } else {
+                    self.sc_flags[ci] |= SRC_RELOAD_LOAD << (2 * pos);
+                }
+                self.sc_spill_ev.push((ci as u32) << 1 | computed as u32);
+                self.regs.insert(v);
+            }
+        }
+    }
+
+    /// The chunk's merged access events, in `block_pass_memory`'s pop
+    /// order: pass A's spill plan interleaved with the pre-filtered
+    /// demand column, ties toward the spill stream.
+    fn chunk_pass_accesses(&mut self, block: &OpBlock, lo: usize, hi: usize, mem: &mut usize) {
+        self.sc_acc.clear();
+        let codes = &block.kind_codes()[lo..hi];
+        let mem_idx = block.mem_idx();
+        let mem_loads = block.mem_loads();
+        let end = hi as u32;
+        let mut sp = 0;
+        loop {
+            let mem_ci = if *mem < mem_idx.len() && mem_idx[*mem] < end {
+                mem_idx[*mem] - lo as u32
+            } else {
+                u32::MAX
+            };
+            let sp_ci = if sp < self.sc_spill_ev.len() {
+                self.sc_spill_ev[sp] >> 1
+            } else {
+                u32::MAX
+            };
+            if sp_ci <= mem_ci {
+                if sp_ci == u32::MAX {
+                    break;
+                }
+                let tag = if self.sc_spill_ev[sp] & 1 != 0 {
+                    ACC_SPILL_COMPUTED
+                } else {
+                    ACC_SPILL_LOAD
+                };
+                self.sc_acc.push(sp_ci << ACC_TAG_BITS | tag);
+                sp += 1;
+                continue;
+            }
+            let e = *mem;
+            *mem += 1;
+            let ci = mem_ci as usize;
+            let code = codes[ci];
+            if code > OpKind::FpStore.code() {
+                continue;
+            }
+            let tag = if !mem_loads[e] {
+                ACC_STORE
+            } else if code == OpKind::FpLoad.code() {
+                ACC_FP_LOAD
+            } else {
+                ACC_INT_LOAD
+            };
+            self.sc_acc.push(mem_ci << ACC_TAG_BITS | tag);
+        }
+    }
+
+    /// The chunk's branch outcomes, merged as in `block_pass_memory`,
+    /// then one predictor walk per family.
+    fn chunk_pass_branches(&mut self, block: &OpBlock, lo: usize, hi: usize, br: &mut usize, sel: &mut usize) {
+        self.sc_branch.clear();
+        let end = hi as u32;
+        let branch_idx = block.branch_idx();
+        let branch_sids = block.branch_sids();
+        let branch_taken = block.branch_taken();
+        if self.if_conversion {
+            while *br < branch_idx.len() && branch_idx[*br] < end {
+                let e = *br;
+                *br += 1;
+                self.sc_branch.push((branch_idx[e] - lo as u32, branch_sids[e], branch_taken[e]));
+            }
+            let select_idx = block.select_idx();
+            while *sel < select_idx.len() && select_idx[*sel] < end {
+                *sel += 1;
+            }
+        } else {
+            let select_idx = block.select_idx();
+            let select_sids = block.select_sids();
+            let select_taken = block.select_taken();
+            loop {
+                let b = branch_idx.get(*br).copied().unwrap_or(u32::MAX);
+                let s = select_idx.get(*sel).copied().unwrap_or(u32::MAX);
+                let idx = b.min(s);
+                if idx >= end {
+                    break;
+                }
+                let (sid, taken) = if b < s {
+                    let e = *br;
+                    *br += 1;
+                    (branch_sids[e], branch_taken[e])
+                } else {
+                    let e = *sel;
+                    *sel += 1;
+                    (select_sids[e], select_taken[e])
+                };
+                self.sc_branch.push((idx - lo as u32, sid, taken));
+            }
+        }
+        self.branches += self.sc_branch.len() as u64;
+        for f in 0..self.preds.len() {
+            self.fam_redirects[f].clear();
+            for &(ci, sid, taken) in &self.sc_branch {
+                if !self.preds[f].observe(sid, taken) {
+                    self.fam_mispredicts[f] += 1;
+                    self.fam_redirects[f].push(ci);
+                }
+            }
+        }
+    }
+
+    /// Runs every lane over the shared chunk plan.
+    fn chunk_pass_lanes(&mut self, codes: &[u8]) {
+        let n = codes.len();
+        for lane in &mut self.lanes {
+            lane.fill_latencies(codes, &self.sc_acc, &self.sc_branch);
+            lane.flags.clear();
+            lane.flags.extend_from_slice(&self.sc_flags);
+            for &ci in &self.fam_redirects[lane.family] {
+                lane.flags[ci as usize] |= FLAG_REDIRECT;
+            }
+            if lane.in_order {
+                lane.run_chunk::<true>(n, &self.sc_src, &self.sc_dst);
+            } else {
+                lane.run_chunk::<false>(n, &self.sc_src, &self.sc_dst);
+            }
+        }
+    }
+}
+
+impl TraceConsumer for TimingBank {
+    /// The per-op reference path: a degenerate one-op chunk through the
+    /// same shared-plan machinery (mirrors `CachePassSim::consume`'s
+    /// ordering — operand resolution, then the op's own access, then
+    /// destination tags).
+    fn consume(&mut self, op: &MicroOp, _program: &Program) {
+        self.instructions += 1;
+        self.sc_flags.clear();
+        self.sc_flags.push(0);
+        self.sc_src.clear();
+        self.sc_src.push([ZERO_SLOT; 3]);
+        self.sc_dst.clear();
+        self.sc_dst.push(SINK_SLOT);
+        self.sc_acc.clear();
+        self.sc_branch.clear();
+        for (pos, src) in op.sources().enumerate() {
+            let slot = (src.0 as usize) & (READY_RING - 1);
+            if self.ready_tag[slot] != src.0 {
+                continue;
+            }
+            self.sc_src[0][pos] = slot as u32;
+            if !self.regs.touch(src.0) {
+                self.spill_reloads += 1;
+                let computed = !self.ready_from_load[slot];
+                let tag = if computed {
+                    self.spill_stores += 1;
+                    self.sc_flags[0] |= SRC_RELOAD_COMPUTED << (2 * pos);
+                    ACC_SPILL_COMPUTED
+                } else {
+                    self.sc_flags[0] |= SRC_RELOAD_LOAD << (2 * pos);
+                    ACC_SPILL_LOAD
+                };
+                self.sc_acc.push(tag);
+                self.regs.insert(src.0);
+            }
+        }
+        match op.kind {
+            OpKind::IntLoad => self.sc_acc.push(ACC_INT_LOAD),
+            OpKind::FpLoad => self.sc_acc.push(ACC_FP_LOAD),
+            OpKind::IntStore | OpKind::FpStore => self.sc_acc.push(ACC_STORE),
+            _ => {}
+        }
+        let is_branch = op.kind == OpKind::CondBranch
+            || (op.kind == OpKind::CondMove && !self.if_conversion);
+        if is_branch {
+            self.sc_branch.push((0, op.sid, op.taken));
+            self.branches += 1;
+            for f in 0..self.preds.len() {
+                self.fam_redirects[f].clear();
+                if !self.preds[f].observe(op.sid, op.taken) {
+                    self.fam_mispredicts[f] += 1;
+                    self.fam_redirects[f].push(0);
+                }
+            }
+        } else {
+            for f in 0..self.preds.len() {
+                self.fam_redirects[f].clear();
+            }
+        }
+        if let Some(dst) = op.dst {
+            let slot = (dst.0 as usize) & (READY_RING - 1);
+            self.ready_tag[slot] = dst.0;
+            self.ready_from_load[slot] = op.kind.is_load();
+            self.regs.insert(dst.0);
+            self.sc_dst[0] = slot as u32;
+        }
+        let code = [op.kind.code()];
+        self.chunk_pass_lanes(&code);
+    }
+
+    fn consume_block(&mut self, block: &OpBlock, _program: &Program) {
+        let n = block.len();
+        let (mut ev, mut mem, mut br, mut sel) = (0usize, 0usize, 0usize, 0usize);
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + PHASE_CHUNK).min(n);
+            self.instructions += (hi - lo) as u64;
+            self.chunk_pass_regs(block, lo, hi, &mut ev);
+            self.chunk_pass_accesses(block, lo, hi, &mut mem);
+            self.chunk_pass_branches(block, lo, hi, &mut br, &mut sel);
+            let codes = &block.kind_codes()[lo..hi];
+            // Split borrows: the lanes pass reads only the shared plan.
+            let codes = codes.to_vec();
+            self.chunk_pass_lanes(&codes);
+            lo = hi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::CachePassSim;
+    use crate::simulator::CycleSim;
+    use bioperf_branch::PredictorKind;
+    use bioperf_isa::here;
+    use bioperf_trace::{Recorder, Tape, Tracer};
+
+    fn spill_heavy_recording() -> bioperf_trace::Recording {
+        let mut tape = Tape::new(Recorder::new());
+        let xs: Vec<u64> = (0..512).map(|i| i * 3).collect();
+        let mut state = 0xFEED_F00Du64;
+        let mut rand_bit = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) & 1 == 1
+        };
+        for r in 0..400usize {
+            let temps: Vec<_> =
+                (0..12).map(|i| tape.int_load(here!("t"), &xs[(r * 7 + i) % 512])).collect();
+            let mut acc = tape.lit();
+            for v in &temps {
+                acc = tape.int_op(here!("t"), &[acc, *v]);
+            }
+            let sel = tape.select(here!("t"), &[acc], rand_bit());
+            tape.branch(here!("t"), &[sel], rand_bit());
+            let f = tape.fp_load(here!("t"), &xs[r % 512]);
+            let g = tape.fp_op(here!("t"), &[f]);
+            tape.fp_store(here!("t"), &xs[(r * 13) % 512], g);
+        }
+        let (program, rec) = tape.finish();
+        rec.into_recording(program)
+    }
+
+    /// Timing-axis variants of a base platform (latency triple, pipe
+    /// shape), as the sweep derives them.
+    fn variants(base: PlatformConfig) -> Vec<PlatformConfig> {
+        let mut v = Vec::new();
+        for (l1, l2, mem) in [(3, 8, 72), (2, 5, 60)] {
+            for (width, rob) in [(2u32, 32usize), (6, 128)] {
+                let mut cfg = base;
+                cfg.int_load_latency = l1;
+                cfg.fp_load_latency = l1 + 1;
+                cfg.l2_latency = l2;
+                cfg.memory_latency = mem;
+                cfg.issue_width = width;
+                cfg.fetch_width = width;
+                cfg.rob_size = rob;
+                v.push(cfg);
+            }
+        }
+        v
+    }
+
+    /// Every lane of a heterogeneous bank (mixed latencies, pipe shapes,
+    /// predictor families, and annotation streams) must be bit-identical
+    /// to an independent annotated `CycleSim`, blocked and per-op.
+    #[test]
+    fn bank_lanes_match_independent_annotated_cyclesims() {
+        let recording = spill_heavy_recording();
+        for base in PlatformConfig::all() {
+            // Two cache-axis geometries' annotation streams for this
+            // platform family.
+            let small = PlatformConfig::pentium4();
+            let mut pass = CachePassSim::new(
+                base.logical_regs,
+                vec![base.hierarchy(), {
+                    let mut alt = base;
+                    alt.l1 = small.l1;
+                    alt.hierarchy()
+                }],
+            );
+            recording.replay_bank(std::slice::from_mut(&mut pass));
+            let streams: Vec<Arc<AnnotationStream>> =
+                pass.finish_bank().into_iter().map(|(_, s)| Arc::new(s)).collect();
+
+            let preds = [PredictorKind::Hybrid, PredictorKind::Bimodal, PredictorKind::Aliased];
+            let mut bank = TimingBank::new(base.logical_regs, base.if_conversion);
+            let mut expected = Vec::new();
+            for (i, cfg) in variants(base).into_iter().enumerate() {
+                let pred = preds[i % preds.len()];
+                let stream = streams[i % streams.len()].clone();
+                bank.push_lane(&cfg, pred, stream.clone());
+                let mut solo =
+                    CycleSim::new(cfg).with_predictor(pred).with_annotations(stream);
+                recording.replay_bank(std::slice::from_mut(&mut solo));
+                expected.push(solo.into_result());
+            }
+            recording.replay_bank(std::slice::from_mut(&mut bank));
+            let got = bank.into_results();
+            assert_eq!(got, expected, "{}: banked timing lanes diverged", base.name);
+        }
+    }
+
+    /// The per-op consume path equals the blocked path (and therefore
+    /// the annotated `CycleSim` both paths mirror).
+    #[test]
+    fn per_op_path_matches_blocked_path() {
+        let recording = spill_heavy_recording();
+        let base = PlatformConfig::alpha21264();
+        let mut pass = CachePassSim::new(base.logical_regs, vec![base.hierarchy()]);
+        recording.replay_bank(std::slice::from_mut(&mut pass));
+        let (_, stream) = pass.finish_bank().pop().expect("one member");
+        let stream = Arc::new(stream);
+
+        let mk = || {
+            let mut bank = TimingBank::new(base.logical_regs, base.if_conversion);
+            for (i, cfg) in variants(base).into_iter().enumerate() {
+                let pred = [PredictorKind::Hybrid, PredictorKind::Bimodal][i % 2];
+                bank.push_lane(&cfg, pred, stream.clone());
+            }
+            bank
+        };
+        let mut blocked = mk();
+        recording.replay_bank(std::slice::from_mut(&mut blocked));
+        let mut per_op = mk();
+        let program = recording.program().clone();
+        for op in recording.iter() {
+            per_op.consume(&op, &program);
+        }
+        assert_eq!(per_op.into_results(), blocked.into_results());
+    }
+}

@@ -356,6 +356,7 @@ fn sweep_usage() {
     eprintln!("           [--pred <hybrid|aliased|bimodal,..>]");
     eprintln!("           [--prefetch <none|nextline|stride,..>]");
     eprintln!("           [--checkpoint <file>] [--max-cells <n>] [--out <report.json>]");
+    eprintln!("           [--no-factor]");
     eprintln!();
     eprintln!("Sweeps the configuration grid (axis flags override the preset's axes),");
     eprintln!("replaying both variants of each program through every cell, and prints");
@@ -363,7 +364,8 @@ fn sweep_usage() {
     eprintln!("Output is byte-identical for every --jobs value. --checkpoint appends");
     eprintln!("completed cells to a resumable bioperf-sweep/v1 file; --max-cells bounds");
     eprintln!("new measurements per invocation (exit {SWEEP_PARTIAL_EXIT} while cells remain). --out writes");
-    eprintln!("the deterministic JSON report.");
+    eprintln!("the deterministic JSON report. --no-factor disables the factored");
+    eprintln!("cache-pass/timing-pass evaluation (slower; bit-identical output).");
 }
 
 struct SweepArgs<'a> {
@@ -397,6 +399,7 @@ fn parse_sweep_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SweepAr
             grid: SweepGrid::smoke(),
             checkpoint: None,
             max_cells: 0,
+            factor: true,
         },
         out: None,
     };
@@ -406,6 +409,10 @@ fn parse_sweep_args<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<SweepAr
             return Err(format!("duplicate flag {flag}"));
         }
         seen.push(flag);
+        if flag == "--no-factor" {
+            args.cfg.factor = false;
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
         match flag {
             "--grid" => grid_flag = Some(value),
@@ -513,12 +520,14 @@ fn cmd_sweep(args: &SweepArgs) -> ExitCode {
     // JSON report are byte-identical for every --jobs value and for any
     // interrupt/resume split of the same sweep.
     eprintln!(
-        "sweep: {} cells x {} programs on {} workers ({} replayed, {} from checkpoint)",
+        "sweep: {} cells x {} programs on {} workers \
+         ({} replayed, {} from checkpoint, {} traces recorded)",
         result.grid.cells(),
         result.programs.len(),
         result.workers,
         result.computed,
         result.cached,
+        result.recorded,
     );
 
     print!("{}", result.render_table());

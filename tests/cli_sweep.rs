@@ -1,7 +1,8 @@
 //! CLI contract tests for the `sweep` subcommand: strict argument
 //! parsing (unknown, malformed, duplicate, and value-less flags exit 2
-//! with usage — the bench-CLI convention), worker-count independence of
-//! stdout and the JSON report across a ≥500-cell grid, the partial-exit
+//! with usage — the bench-CLI convention), worker-count and
+//! `--no-factor` independence of stdout and the JSON report across a
+//! ≥500-cell grid, the partial-exit
 //! contract of `--max-cells`, skipped-cell diagnostics for degenerate
 //! geometries, and the schema pin of the committed `BENCH_sweep.json`
 //! artifact.
@@ -58,27 +59,30 @@ fn standard_grid_sweep_is_byte_identical_across_worker_counts() {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let a = dir.join("jobs1.json");
     let b = dir.join("jobs4.json");
-    let mk = |jobs: &str, path: &std::path::Path| {
-        run(&[
-            "sweep",
-            "--grid",
-            "standard",
-            "--programs",
-            "predator",
-            "--jobs",
-            jobs,
-            "--out",
-            path.to_str().expect("utf-8 temp path"),
-        ])
+    let c = dir.join("oracle.json");
+    let mk = |extra: &[&str], path: &std::path::Path| {
+        let mut args = vec!["sweep", "--grid", "standard", "--programs", "predator"];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["--out", path.to_str().expect("utf-8 temp path")]);
+        run(&args)
     };
-    let seq = mk("1", &a);
-    let par = mk("4", &b);
+    let seq = mk(&["--jobs", "1"], &a);
+    let par = mk(&["--jobs", "4"], &b);
+    let oracle = mk(&["--jobs", "4", "--no-factor"], &c);
     assert!(seq.status.success(), "{}", stderr(&seq));
     assert!(par.status.success(), "{}", stderr(&par));
+    assert!(oracle.status.success(), "{}", stderr(&oracle));
     assert_eq!(stdout(&seq), stdout(&par), "sweep stdout must not depend on --jobs");
+    assert_eq!(
+        stdout(&par),
+        stdout(&oracle),
+        "sweep stdout must not depend on --no-factor"
+    );
     let a = std::fs::read_to_string(&a).expect("jobs1 report");
     let b = std::fs::read_to_string(&b).expect("jobs4 report");
+    let c = std::fs::read_to_string(&c).expect("oracle report");
     assert_eq!(a, b, "sweep JSON report must be byte-identical across --jobs");
+    assert_eq!(b, c, "the factored sweep must match the --no-factor oracle byte for byte");
     let doc = json::parse(&a).expect("report parses");
     assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SWEEP_SCHEMA));
     let config = doc.get("deterministic").and_then(|d| d.get("config")).expect("config");
